@@ -1,0 +1,11 @@
+"""Benchmark harness: one module per paper table/figure, plus ablations.
+
+Run everything and regenerate EXPERIMENTS.md:
+
+    python benchmarks/run_all.py            # full paper scale
+    python benchmarks/run_all.py --quick    # scaled down
+
+Or time the harness itself:
+
+    pytest benchmarks/ --benchmark-only
+"""

@@ -1,0 +1,49 @@
+"""Fig 13 — SWGG elapsed time vs total cores on 2/3/4/5 nodes.
+
+Paper setup: seq_len=10000, process_partition_size=200,
+thread_partition_size=10, Experiment_X_Y for X in 2..5 over the Y ranges
+of Section VI. Expected shape: elapsed time falls steadily as cores grow
+on every node count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import (
+    BENCH_SEQ_LEN,
+    PAPER_NODE_COUNTS,
+    elapsed_series,
+    series_table,
+    swgg_instance,
+)
+
+
+def compute_fig13(seq_len: int = BENCH_SEQ_LEN):
+    problem = swgg_instance(seq_len)
+    return [elapsed_series(problem, nodes) for nodes in PAPER_NODE_COUNTS]
+
+
+@pytest.mark.parametrize("nodes", PAPER_NODE_COUNTS)
+def test_fig13_panel(benchmark, nodes):
+    problem = swgg_instance()
+    series = benchmark.pedantic(
+        lambda: elapsed_series(problem, nodes), rounds=1, iterations=1
+    )
+    times = series.ys
+    assert times[-1] < times[0], "more cores must reduce SWGG elapsed time"
+
+
+def main(seq_len: int = BENCH_SEQ_LEN) -> str:
+    series = compute_fig13(seq_len)
+    out = series_table(
+        f"Fig 13 — SWGG elapsed time (s) vs cores, seq_len={seq_len}", series
+    )
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    from benchmarks.common import PAPER_SEQ_LEN
+
+    main(PAPER_SEQ_LEN)

@@ -1,0 +1,46 @@
+"""Fig 14 — Nussinov elapsed time vs total cores on 2/3/4/5 nodes.
+
+Same settings as Fig 13 with the Nussinov workload (triangular 2D/1D
+pattern). Expected shape: the same steady time reduction with more cores.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import (
+    BENCH_SEQ_LEN,
+    PAPER_NODE_COUNTS,
+    elapsed_series,
+    nussinov_instance,
+    series_table,
+)
+
+
+def compute_fig14(seq_len: int = BENCH_SEQ_LEN):
+    problem = nussinov_instance(seq_len)
+    return [elapsed_series(problem, nodes) for nodes in PAPER_NODE_COUNTS]
+
+
+@pytest.mark.parametrize("nodes", PAPER_NODE_COUNTS)
+def test_fig14_panel(benchmark, nodes):
+    problem = nussinov_instance()
+    series = benchmark.pedantic(
+        lambda: elapsed_series(problem, nodes), rounds=1, iterations=1
+    )
+    assert series.ys[-1] < series.ys[0], "more cores must reduce Nussinov elapsed time"
+
+
+def main(seq_len: int = BENCH_SEQ_LEN) -> str:
+    series = compute_fig14(seq_len)
+    out = series_table(
+        f"Fig 14 — Nussinov elapsed time (s) vs cores, seq_len={seq_len}", series
+    )
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    from benchmarks.common import PAPER_SEQ_LEN
+
+    main(PAPER_SEQ_LEN)

@@ -1,0 +1,66 @@
+"""Fig 15 — node-count comparison at equal core budgets.
+
+Paper finding: with 20 total cores, 4 nodes beat 5; with 40 cores, 5
+nodes beat 4 — i.e. a crossover between "pack threads onto few nodes"
+(less scheduling-core overhead) and "spread over more nodes" (less
+per-node memory contention, more NICs). Both workloads show it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import (
+    BENCH_SEQ_LEN,
+    elapsed_series,
+    nussinov_instance,
+    series_table,
+    swgg_instance,
+)
+from repro.analysis.figures import crossover_points
+
+CORES = tuple(range(14, 42, 2))
+NODE_PAIR = (4, 5)
+
+
+def compute_fig15(seq_len: int = BENCH_SEQ_LEN):
+    out = {}
+    for problem in (swgg_instance(seq_len), nussinov_instance(seq_len)):
+        out[problem.name] = [
+            elapsed_series(problem, nodes, cores=CORES) for nodes in NODE_PAIR
+        ]
+    return out
+
+
+@pytest.mark.parametrize("make_problem", [swgg_instance, nussinov_instance],
+                         ids=["swgg", "nussinov"])
+def test_fig15_crossover(benchmark, make_problem):
+    problem = make_problem()
+    s4, s5 = benchmark.pedantic(
+        lambda: [elapsed_series(problem, n, cores=(20, 40)) for n in NODE_PAIR],
+        rounds=1,
+        iterations=1,
+    )
+    t4, t5 = dict(zip(s4.xs, s4.ys)), dict(zip(s5.xs, s5.ys))
+    assert t4[20] < t5[20], "4 nodes should win at 20 cores"
+    assert t5[40] < t4[40], "5 nodes should win at 40 cores"
+
+
+def main(seq_len: int = BENCH_SEQ_LEN) -> str:
+    blocks = []
+    for name, (s4, s5) in compute_fig15(seq_len).items():
+        blocks.append(series_table(
+            f"Fig 15 — {name} elapsed time (s), 4 vs 5 nodes, seq_len={seq_len}",
+            [s4, s5],
+        ))
+        xs = crossover_points(s4, s5)
+        blocks.append(f"crossover core counts ({name}): {xs or 'none detected'}")
+    out = "\n\n".join(blocks)
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    from benchmarks.common import PAPER_SEQ_LEN
+
+    main(PAPER_SEQ_LEN)

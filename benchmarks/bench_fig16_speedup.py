@@ -1,0 +1,78 @@
+"""Fig 16 — elapsed time and speedup under the optimal node grouping.
+
+For each total core count, pick the node count that minimizes makespan
+(the paper's "optimal core group strategy"), then report elapsed time and
+speedup against the sequential baseline. Paper: ~30x for SWGG and ~20x
+for Nussinov at 50 cores; EasyHPS needs at least 4 cores to run at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import (
+    BENCH_SEQ_LEN,
+    PAPER_PARTITION,
+    best_node_count,
+    nussinov_instance,
+    series_table,
+    swgg_instance,
+)
+from repro import RunConfig
+from repro.analysis.figures import Series
+from repro.backends.simulated import simulated_serial_makespan
+
+CORES = (4, 8, 14, 20, 26, 32, 38, 44, 50)
+
+
+def compute_fig16(seq_len: int = BENCH_SEQ_LEN):
+    out = {}
+    for problem in (swgg_instance(seq_len), nussinov_instance(seq_len)):
+        base = simulated_serial_makespan(
+            problem, RunConfig.experiment(2, 5, **PAPER_PARTITION)
+        )
+        elapsed, speedup, grouping = [], [], []
+        for y in CORES:
+            try:
+                nodes, t = best_node_count(problem, y)
+            except ValueError:
+                continue
+            elapsed.append((y, t))
+            speedup.append((y, base / t))
+            grouping.append((y, nodes))
+        out[problem.name] = (
+            Series.from_points(f"{problem.name} elapsed", elapsed),
+            Series.from_points(f"{problem.name} speedup", speedup),
+            Series.from_points(f"{problem.name} best X", grouping),
+        )
+    return out
+
+
+def test_fig16_speedup_shape(benchmark):
+    result = benchmark.pedantic(compute_fig16, rounds=1, iterations=1)
+    sw_speed = dict(zip(*[result["swgg"][1].xs, result["swgg"][1].ys]))
+    nu_speed = dict(zip(*[result["nussinov"][1].xs, result["nussinov"][1].ys]))
+    assert sw_speed[50] > 15, "SWGG should exceed 15x at 50 cores"
+    assert nu_speed[50] > 10, "Nussinov should exceed 10x at 50 cores"
+    assert sw_speed[50] > nu_speed[50], "SWGG scales better than Nussinov"
+    # Speedup grows with cores (sub-linear, as in the paper's Fig 16b/d).
+    assert sw_speed[50] > sw_speed[20] > sw_speed[8]
+    assert sw_speed[50] < 50, "must stay below ideal linear speedup"
+
+
+def main(seq_len: int = BENCH_SEQ_LEN) -> str:
+    blocks = []
+    for name, (elapsed, speedup, grouping) in compute_fig16(seq_len).items():
+        blocks.append(series_table(
+            f"Fig 16 — {name} with optimal node grouping, seq_len={seq_len}",
+            [elapsed, speedup, grouping],
+        ))
+    out = "\n\n".join(blocks)
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    from benchmarks.common import PAPER_SEQ_LEN
+
+    main(PAPER_SEQ_LEN)

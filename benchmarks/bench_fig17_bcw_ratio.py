@@ -1,0 +1,67 @@
+"""Fig 17 — BCW/EasyHPS runtime ratio across node counts and core budgets.
+
+The baseline is block-cyclic wavefront (static worker pools at both
+levels) implemented on the same DAG Data Driven Model. Expected shape:
+ratio curves sit on or above the 1.00 line everywhere — the dynamic pool
+never leaves a computable sub-task next to an idle worker, the static one
+does — with the gap oscillating as core budgets hit uneven thread splits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import (
+    BENCH_SEQ_LEN,
+    PAPER_NODE_COUNTS,
+    bcw_ratio_series,
+    nussinov_instance,
+    series_table,
+    swgg_instance,
+)
+
+
+def compute_fig17(seq_len: int = BENCH_SEQ_LEN):
+    out = {}
+    for problem in (swgg_instance(seq_len), nussinov_instance(seq_len)):
+        out[problem.name] = [
+            bcw_ratio_series(problem, nodes) for nodes in PAPER_NODE_COUNTS
+        ]
+    return out
+
+
+@pytest.mark.parametrize("nodes", PAPER_NODE_COUNTS[1:])  # X=2 has 1 worker
+def test_fig17_ratio_above_baseline(benchmark, nodes):
+    problem = nussinov_instance()
+    series = benchmark.pedantic(
+        lambda: bcw_ratio_series(problem, nodes), rounds=1, iterations=1
+    )
+    assert all(r >= 0.999 for r in series.ys), series.ys
+    assert max(series.ys) > 1.01, "BCW should lose somewhere on the sweep"
+
+
+def test_fig17_swgg_uneven_splits_punish_bcw(benchmark):
+    problem = swgg_instance()
+    series = benchmark.pedantic(
+        lambda: bcw_ratio_series(problem, 3, cores=range(8, 19)), rounds=1, iterations=1
+    )
+    assert max(series.ys) > 1.05
+
+
+def main(seq_len: int = BENCH_SEQ_LEN) -> str:
+    blocks = []
+    for name, series in compute_fig17(seq_len).items():
+        blocks.append(series_table(
+            f"Fig 17 — {name} BCW/EasyHPS runtime ratio (1.00 = parity), "
+            f"seq_len={seq_len}",
+            series,
+        ))
+    out = "\n\n".join(blocks)
+    print(out)
+    return out
+
+
+if __name__ == "__main__":
+    from benchmarks.common import PAPER_SEQ_LEN
+
+    main(PAPER_SEQ_LEN)

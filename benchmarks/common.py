@@ -1,0 +1,101 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Scale: the paper uses seq_len = 10000 with process/thread partition sizes
+200/10. Full scale is the default for ``run_all.py`` (EXPERIMENTS.md);
+``pytest benchmarks/ --benchmark-only`` trims to ``BENCH_SEQ_LEN`` (env
+``REPRO_BENCH_SEQLEN``, default 4000) so a benchmark pass stays quick.
+Partition sizes are always the paper's.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence, Tuple
+
+from repro import RunConfig
+from repro.algorithms import Nussinov, SmithWatermanGG
+from repro.analysis.figures import Series
+from repro.analysis.tables import ascii_table
+from repro.backends.simulated import (
+    experiment_series,
+    paper_core_range,
+    run_simulated,
+    simulated_serial_makespan,
+)
+
+PAPER_SEQ_LEN = 10000
+BENCH_SEQ_LEN = int(os.environ.get("REPRO_BENCH_SEQLEN", "4000"))
+PAPER_PARTITION = dict(process_partition=200, thread_partition=10)
+
+#: The node counts and total-core ranges of Section VI.
+PAPER_NODE_COUNTS = (2, 3, 4, 5)
+
+
+def swgg_instance(seq_len: int = BENCH_SEQ_LEN) -> SmithWatermanGG:
+    return SmithWatermanGG.random(seq_len, seed=1)
+
+
+def nussinov_instance(seq_len: int = BENCH_SEQ_LEN) -> Nussinov:
+    return Nussinov.random(seq_len, seed=2)
+
+
+def elapsed_series(problem, nodes: int, cores: Sequence[int] | None = None,
+                   **overrides) -> Series:
+    """Makespan-vs-cores series for one node count (a Fig 13/14 panel)."""
+    cores = cores if cores is not None else paper_core_range(nodes)
+    merged = {**PAPER_PARTITION, **overrides}
+    pts = [(y, rep.makespan) for y, rep in experiment_series(problem, nodes, cores, **merged)]
+    return Series.from_points(f"{problem.name} X={nodes}", pts)
+
+
+def bcw_ratio_series(problem, nodes: int, cores: Sequence[int] | None = None) -> Series:
+    """BCW/EasyHPS runtime ratio series for one node count (Fig 17)."""
+    cores = cores if cores is not None else paper_core_range(nodes)
+    pts: List[Tuple[float, float]] = []
+    for y in cores:
+        try:
+            dyn = RunConfig.experiment(nodes, y, **PAPER_PARTITION)
+            bcw = RunConfig.experiment(
+                nodes, y, scheduler="bcw", thread_scheduler="bcw", **PAPER_PARTITION
+            )
+        except Exception:
+            continue
+        _, rd = run_simulated(problem, dyn)
+        _, rb = run_simulated(problem, bcw)
+        pts.append((y, rb.makespan / rd.makespan))
+    return Series.from_points(f"{problem.name} X={nodes} BCW/EasyHPS", pts)
+
+
+def speedup_at(problem, nodes: int, cores: int) -> float:
+    cfg = RunConfig.experiment(nodes, cores, **PAPER_PARTITION)
+    base = simulated_serial_makespan(problem, cfg)
+    _, rep = run_simulated(problem, cfg)
+    return base / rep.makespan
+
+
+def best_node_count(problem, cores: int,
+                    node_counts: Sequence[int] = PAPER_NODE_COUNTS) -> Tuple[int, float]:
+    """The paper's 'optimal core group strategy': best X for a given Y."""
+    best: Tuple[int, float] | None = None
+    for nodes in node_counts:
+        try:
+            cfg = RunConfig.experiment(nodes, cores, **PAPER_PARTITION)
+        except Exception:
+            continue
+        _, rep = run_simulated(problem, cfg)
+        if best is None or rep.makespan < best[1]:
+            best = (nodes, rep.makespan)
+    if best is None:
+        raise ValueError(f"no feasible node count for {cores} cores")
+    return best
+
+
+def series_table(title: str, series: Sequence[Series]) -> str:
+    """Render several series with a shared x axis as one table."""
+    xs = sorted({x for s in series for x in s.xs})
+    headers = ["cores"] + [s.label for s in series]
+    lookup: List[Dict[float, float]] = [dict(zip(s.xs, s.ys)) for s in series]
+    rows = []
+    for x in xs:
+        rows.append([int(x)] + [m.get(x, float("nan")) for m in lookup])
+    return f"## {title}\n\n" + ascii_table(headers, rows)

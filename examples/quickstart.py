@@ -1,0 +1,51 @@
+"""Quickstart: parallelize a dynamic-programming problem with EasyHPS.
+
+Computes the edit distance between two DNA sequences three ways — serial
+reference, the real multi-threaded master/slave runtime, and the real
+multi-process runtime (the MPI stand-in) — and shows they agree, plus a
+simulated-cluster run that predicts performance at cluster scale.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import EasyHPS, RunConfig
+from repro.algorithms import EditDistance
+
+
+def main() -> None:
+    # A DP problem instance. Every bundled algorithm has a .random()
+    # convenience constructor; real sequences go through the constructor.
+    problem = EditDistance.random(300, 300, seed=42)
+
+    # 1. Serial reference run — the correctness baseline.
+    serial = EasyHPS(RunConfig(nodes=1, backend="serial")).run(problem)
+    print(f"serial:    distance = {serial.value.distance}")
+
+    # 2. Real threads: one master, two slave parts, two computing threads
+    #    each — the whole Fig 9/Fig 11 protocol in-process.
+    threads = EasyHPS(
+        RunConfig(nodes=3, threads_per_node=2, backend="threads",
+                  process_partition=64, thread_partition=16)
+    ).run(problem)
+    print(f"threads:   distance = {threads.value.distance}")
+    print(threads.report.summary())
+
+    # 3. Real processes: slave parts as OS processes, messages over pipes.
+    processes = EasyHPS(
+        RunConfig(nodes=3, threads_per_node=2, backend="processes",
+                  process_partition=64, thread_partition=16)
+    ).run(problem)
+    print(f"processes: distance = {processes.value.distance}")
+
+    assert serial.value.distance == threads.value.distance == processes.value.distance
+
+    # 4. Simulated cluster: predict the schedule on the paper's
+    #    Experiment_4_22 layout (4 nodes, 22 cores total).
+    sim = EasyHPS(RunConfig.experiment(4, 22, process_partition=64,
+                                       thread_partition=16)).run(problem)
+    print(f"simulated Experiment_4_22 makespan: {sim.report.makespan * 1e3:.2f} ms "
+          f"(utilization {sim.report.utilization:.0%})")
+
+
+if __name__ == "__main__":
+    main()

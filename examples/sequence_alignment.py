@@ -1,0 +1,56 @@
+"""Local sequence alignment with Smith-Waterman General Gap (SWGG).
+
+The paper's first workload: SW with an *arbitrary* gap-penalty function,
+whose row/column prefix scans give every cell an O(n) dependency (the
+RowColPrefix 2D/1D pattern). This example aligns two DNA reads that share
+a planted motif, runs the alignment on the threads backend, prints the
+alignment, and then shows the effect of swapping in a concave
+(log-shaped) gap function — something affine-gap implementations cannot
+express.
+
+Run:  python examples/sequence_alignment.py
+"""
+
+import numpy as np
+
+from repro import EasyHPS, RunConfig
+from repro.algorithms import SmithWatermanGG
+from repro.algorithms.sequences import random_dna
+
+
+def plant_motif(host: str, motif: str, at: int) -> str:
+    return host[:at] + motif + host[at + len(motif):]
+
+
+def show(result) -> None:
+    print(f"  score {result.score:.1f}, alignment ends at {result.end}")
+    print(f"  a: {result.aligned_a}")
+    print(f"  b: {result.aligned_b}")
+
+
+def main() -> None:
+    motif = "ACGTGTTGACCA" * 3
+    a = plant_motif(random_dna(220, seed=1), motif, 40)
+    b = plant_motif(random_dna(260, seed=2), motif, 150)
+
+    runner = EasyHPS(RunConfig(nodes=3, threads_per_node=2, backend="threads",
+                               process_partition=48, thread_partition=12))
+
+    print("Affine gap penalty (2 + 0.5 * length), evaluated generally:")
+    affine = runner.run(SmithWatermanGG(a, b, gap_open=2.0, gap_extend=0.5))
+    show(affine.value)
+
+    print("\nConcave gap penalty (3 + 2 * log1p(length)) — long gaps cheap:")
+    concave = runner.run(
+        SmithWatermanGG(a, b, gap_fn=lambda d: 3.0 + 2.0 * np.log1p(d))
+    )
+    show(concave.value)
+
+    print("\nThe planted motif should dominate both alignments:")
+    print(f"  motif present in a's alignment: {motif[:12] in affine.value.aligned_a.replace('-', '')}")
+    print("\nRun report (affine case):")
+    print(affine.report.summary())
+
+
+if __name__ == "__main__":
+    main()

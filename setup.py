@@ -1,0 +1,4 @@
+"""Legacy shim so `pip install -e .`/`setup.py develop` works offline (no wheel pkg)."""
+from setuptools import setup
+
+setup()

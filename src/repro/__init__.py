@@ -1,0 +1,51 @@
+"""EasyHPS reproduction — a multilevel hybrid parallel runtime for dynamic programming.
+
+This package reproduces the system described in *EasyHPS: A Multilevel
+Hybrid Parallel System for Dynamic Programming* (Du, Yu, Sun, Sun, Tang,
+Yin — IPPS 2013): a master–slave runtime that parallelizes dynamic
+programming across a cluster of multi-core nodes using a DAG Data Driven
+Model, dynamic worker pools at both the processor level and the thread
+level, and timeout-based hierarchical fault tolerance.
+
+Top-level convenience re-exports cover the public API most users need:
+
+>>> from repro import EasyHPS, RunConfig
+>>> from repro.algorithms import SmithWatermanGG
+>>> system = EasyHPS(RunConfig(nodes=4, threads_per_node=4))
+>>> result = system.run(SmithWatermanGG.random(200, seed=1))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from typing import TYPE_CHECKING
+
+__version__ = "1.0.0"
+
+__all__ = ["EasyHPS", "RunConfig", "RunResult", "RunReport", "__version__"]
+
+if TYPE_CHECKING:  # pragma: no cover - typing-time imports only
+    from repro.analysis.report import RunReport
+    from repro.runtime.config import RunConfig
+    from repro.runtime.system import EasyHPS, RunResult
+
+_LAZY = {
+    "RunConfig": ("repro.runtime.config", "RunConfig"),
+    "EasyHPS": ("repro.runtime.system", "EasyHPS"),
+    "RunResult": ("repro.runtime.system", "RunResult"),
+    "RunReport": ("repro.analysis.report", "RunReport"),
+}
+
+
+def __getattr__(name: str):
+    """Lazily resolve the public re-exports to keep ``import repro`` cheap."""
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value

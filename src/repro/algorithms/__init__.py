@@ -1,0 +1,40 @@
+"""DP applications implemented on top of the DAG Data Driven Model.
+
+Each algorithm is a :class:`~repro.algorithms.problem.DPProblem`: it names
+its DAG pattern, knows how to split itself into blocks, what data each
+block needs (the data-communication level), how to compute a block (the
+``process`` function of Table I), and what a block costs — the latter
+feeds the simulated cluster backend.
+"""
+
+from repro.algorithms.problem import BlockEvaluator, DPProblem
+from repro.algorithms.edit_distance import EditDistance
+from repro.algorithms.lcs import LongestCommonSubsequence
+from repro.algorithms.needleman_wunsch import NeedlemanWunsch
+from repro.algorithms.smith_waterman import SmithWatermanGG
+from repro.algorithms.nussinov import Nussinov
+from repro.algorithms.matrix_chain import MatrixChainOrder
+from repro.algorithms.cyk import CYKParsing, Grammar
+from repro.algorithms.viterbi import ViterbiDecoding
+from repro.algorithms.floyd_warshall import FloydWarshall
+from repro.algorithms.obst import OptimalBST
+from repro.algorithms.knapsack import Knapsack
+from repro.algorithms import sequences
+
+__all__ = [
+    "DPProblem",
+    "BlockEvaluator",
+    "EditDistance",
+    "LongestCommonSubsequence",
+    "NeedlemanWunsch",
+    "SmithWatermanGG",
+    "Nussinov",
+    "MatrixChainOrder",
+    "CYKParsing",
+    "Grammar",
+    "ViterbiDecoding",
+    "FloydWarshall",
+    "OptimalBST",
+    "Knapsack",
+    "sequences",
+]

@@ -1,0 +1,117 @@
+"""Boundary-retention (compact-memory) mode for wavefront problems.
+
+The paper closes by naming space consumption as EasyHPS's main open
+problem: the master holds the entire DP matrix. For the 2D/0D wavefront
+family the fix is structural — a finished block is only ever read through
+its last row, last column, and corner cell, so the master can retain
+O(h + w) per block instead of O(h * w), and drop even that once every
+consumer block has *completed* (not merely been dispatched — completion
+is the safe point under fault-tolerant re-dispatch).
+
+This module provides the boundary store plus the memory accounting; the
+grid problems opt in with ``retain="boundary"``. The price is that only
+the final score survives — tracebacks need the dense matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.algorithms.problem import ELEMENT_BYTES
+from repro.dag.partition import Partition
+from repro.dag.pattern import VertexId
+
+
+@dataclass(frozen=True)
+class CompactScoreResult:
+    """Score-only result of a boundary-mode run, with memory accounting."""
+
+    score: float
+    #: High-water mark of boundary bytes held by the master.
+    peak_bytes: int
+    #: What the dense matrix would have cost.
+    dense_bytes: int
+
+    @property
+    def reduction(self) -> float:
+        """Dense-to-peak memory ratio (> 1 means compaction helped)."""
+        if self.peak_bytes == 0:
+            return float("inf")
+        return self.dense_bytes / self.peak_bytes
+
+
+class BoundaryStore:
+    """Master-side store of finished-block boundaries with GC.
+
+    Keys are block ids; values are the block's last row, last column, and
+    corner (bottom-right) cell. ``mark_complete`` records that a consumer
+    finished and frees every source block whose consumer set is done.
+    """
+
+    def __init__(self) -> None:
+        self.rows: Dict[VertexId, np.ndarray] = {}
+        self.cols: Dict[VertexId, np.ndarray] = {}
+        self.corners: Dict[VertexId, float] = {}
+        self.final: Optional[float] = None
+        self.current_bytes = 0
+        self.peak_bytes = 0
+        self._completed: Set[VertexId] = set()
+
+    # -- storage ---------------------------------------------------------------
+
+    def put(self, bid: VertexId, block: np.ndarray) -> None:
+        """Retain one finished block's boundary data."""
+        self.rows[bid] = block[-1, :].copy()
+        self.cols[bid] = block[:, -1].copy()
+        self.corners[bid] = float(block[-1, -1])
+        self.current_bytes += ELEMENT_BYTES * (block.shape[0] + block.shape[1] + 1)
+        self.peak_bytes = max(self.peak_bytes, self.current_bytes)
+
+    def _free(self, bid: VertexId) -> None:
+        row = self.rows.pop(bid, None)
+        col = self.cols.pop(bid, None)
+        if row is not None:
+            self.current_bytes -= ELEMENT_BYTES * (len(row) + len(col) + 1)
+        self.corners.pop(bid, None)
+
+    # -- garbage collection ----------------------------------------------------------
+
+    @staticmethod
+    def sources_of(partition: Partition, bid: VertexId) -> Iterable[VertexId]:
+        """Finished blocks whose boundaries block ``bid`` reads: NW family."""
+        i, j = bid
+        for src in ((i - 1, j), (i, j - 1), (i - 1, j - 1)):
+            if partition.abstract.contains(src):
+                yield src
+
+    @staticmethod
+    def consumers_of(partition: Partition, bid: VertexId) -> Tuple[VertexId, ...]:
+        """Blocks that will read ``bid``'s boundary."""
+        i, j = bid
+        return tuple(
+            c
+            for c in ((i + 1, j), (i, j + 1), (i + 1, j + 1))
+            if partition.abstract.contains(c)
+        )
+
+    def mark_complete(self, partition: Partition, bid: VertexId) -> None:
+        """Record completion of ``bid`` and free fully-consumed sources.
+
+        Completion (not dispatch) is the free point: a timed-out block can
+        be re-dispatched and must still find its inputs alive.
+        """
+        self._completed.add(bid)
+        for src in self.sources_of(partition, bid):
+            if src in self.rows and all(
+                c in self._completed for c in self.consumers_of(partition, src)
+            ):
+                self._free(src)
+
+    def __repr__(self) -> str:
+        return (
+            f"BoundaryStore(live={len(self.rows)} blocks, "
+            f"current={self.current_bytes}B, peak={self.peak_bytes}B)"
+        )

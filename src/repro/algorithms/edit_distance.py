@@ -1,0 +1,100 @@
+"""Levenshtein edit distance — the canonical 2D/0D wavefront DP.
+
+``D[i, j] = min(D[i-1, j] + 1, D[i, j-1] + 1, D[i-1, j-1] + [a_i != b_j])``
+with ``D[i, 0] = i`` and ``D[0, j] = j`` — Algorithm 4.1 of the paper with
+``x_i = y_j = 1`` and ``z_{ij}`` the mismatch indicator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.algorithms.grid_base import PairwiseGridProblem
+from repro.algorithms.kernels import edit_distance_region
+
+
+@dataclass(frozen=True)
+class EditDistanceResult:
+    """Final answer: the distance plus an optimal edit script."""
+
+    distance: int
+    #: Edit operations as ("match"|"substitute"|"insert"|"delete", i, j) with
+    #: 0-based positions into the two sequences.
+    script: Tuple[Tuple[str, int, int], ...]
+
+    def n_edits(self) -> int:
+        return sum(1 for op, _, _ in self.script if op != "match")
+
+
+class EditDistance(PairwiseGridProblem):
+    """Edit distance between two strings under EasyHPS."""
+
+    name = "edit-distance"
+
+    @classmethod
+    def random(cls, m: int, n: int | None = None, seed: int | None = None) -> "EditDistance":
+        """Instance over random DNA sequences of lengths ``m`` and ``n``."""
+        from repro.algorithms.sequences import random_dna
+
+        n = m if n is None else n
+        return cls(random_dna(m, seed=seed), random_dna(n, seed=None if seed is None else seed + 1))
+
+    def boundary_row(self) -> np.ndarray:
+        return np.arange(self.n + 1, dtype=np.float64)
+
+    def boundary_col(self) -> np.ndarray:
+        return np.arange(self.m + 1, dtype=np.float64)
+
+    def cell_data(self, rows: range, cols: range) -> np.ndarray:
+        a = np.frombuffer(self.a.encode(), dtype=np.uint8)[rows.start : rows.stop]
+        b = np.frombuffer(self.b.encode(), dtype=np.uint8)[cols.start : cols.stop]
+        return (a[:, None] != b[None, :]).astype(np.float64)
+
+    def kernel(self):
+        return edit_distance_region
+
+    def finalize(self, state: Dict[str, np.ndarray]):
+        if self.retain == "boundary":
+            return self.boundary_result(state)
+        D = state["D"]
+        return EditDistanceResult(
+            distance=int(D[self.m, self.n]),
+            script=tuple(self._traceback(D)),
+        )
+
+    def _traceback(self, D: np.ndarray) -> List[Tuple[str, int, int]]:
+        """Recover one optimal edit script by walking the matrix backwards."""
+        ops: List[Tuple[str, int, int]] = []
+        i, j = self.m, self.n
+        while i > 0 or j > 0:
+            here = D[i, j]
+            if i > 0 and j > 0 and here == D[i - 1, j - 1] + (self.a[i - 1] != self.b[j - 1]):
+                op = "match" if self.a[i - 1] == self.b[j - 1] else "substitute"
+                ops.append((op, i - 1, j - 1))
+                i, j = i - 1, j - 1
+            elif i > 0 and here == D[i - 1, j] + 1:
+                ops.append(("delete", i - 1, j))
+                i -= 1
+            else:
+                ops.append(("insert", i, j - 1))
+                j -= 1
+        ops.reverse()
+        return ops
+
+    def reference(self) -> int:
+        """Independent pure-Python implementation (row-rolling)."""
+        prev = list(range(self.n + 1))
+        for i in range(1, self.m + 1):
+            cur = [i] + [0] * self.n
+            ai = self.a[i - 1]
+            for j in range(1, self.n + 1):
+                cur[j] = min(
+                    prev[j] + 1,
+                    cur[j - 1] + 1,
+                    prev[j - 1] + (ai != self.b[j - 1]),
+                )
+            prev = cur
+        return prev[self.n]

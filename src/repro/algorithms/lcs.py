@@ -1,0 +1,85 @@
+"""Longest common subsequence — a max-form 2D/0D wavefront DP.
+
+``L[i, j] = L[i-1, j-1] + 1`` on a character match, else
+``max(L[i-1, j], L[i, j-1])``; boundaries are zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.algorithms.grid_base import PairwiseGridProblem
+from repro.algorithms.kernels import lcs_region
+
+
+@dataclass(frozen=True)
+class LCSResult:
+    """Final answer: the LCS length and one witness subsequence."""
+
+    length: int
+    subsequence: str
+
+
+class LongestCommonSubsequence(PairwiseGridProblem):
+    """LCS of two strings under EasyHPS."""
+
+    name = "lcs"
+    FLOPS_PER_CELL = 2.0
+
+    @classmethod
+    def random(
+        cls, m: int, n: int | None = None, seed: int | None = None
+    ) -> "LongestCommonSubsequence":
+        """Instance over random DNA sequences of lengths ``m`` and ``n``."""
+        from repro.algorithms.sequences import random_dna
+
+        n = m if n is None else n
+        return cls(random_dna(m, seed=seed), random_dna(n, seed=None if seed is None else seed + 1))
+
+    def boundary_row(self) -> np.ndarray:
+        return np.zeros(self.n + 1, dtype=np.float64)
+
+    def boundary_col(self) -> np.ndarray:
+        return np.zeros(self.m + 1, dtype=np.float64)
+
+    def cell_data(self, rows: range, cols: range) -> np.ndarray:
+        a = np.frombuffer(self.a.encode(), dtype=np.uint8)[rows.start : rows.stop]
+        b = np.frombuffer(self.b.encode(), dtype=np.uint8)[cols.start : cols.stop]
+        return (a[:, None] == b[None, :]).astype(np.float64)
+
+    def kernel(self):
+        return lcs_region
+
+    def finalize(self, state: Dict[str, np.ndarray]):
+        if self.retain == "boundary":
+            return self.boundary_result(state)
+        L = state["D"]
+        chars = []
+        i, j = self.m, self.n
+        while i > 0 and j > 0:
+            if self.a[i - 1] == self.b[j - 1] and L[i, j] == L[i - 1, j - 1] + 1:
+                chars.append(self.a[i - 1])
+                i, j = i - 1, j - 1
+            elif L[i - 1, j] >= L[i, j - 1]:
+                i -= 1
+            else:
+                j -= 1
+        chars.reverse()
+        return LCSResult(length=int(L[self.m, self.n]), subsequence="".join(chars))
+
+    def reference(self) -> int:
+        """Independent pure-Python implementation (row-rolling)."""
+        prev = [0] * (self.n + 1)
+        for i in range(1, self.m + 1):
+            cur = [0] * (self.n + 1)
+            ai = self.a[i - 1]
+            for j in range(1, self.n + 1):
+                if ai == self.b[j - 1]:
+                    cur[j] = prev[j - 1] + 1
+                else:
+                    cur[j] = max(prev[j], cur[j - 1])
+            prev = cur
+        return prev[self.n]

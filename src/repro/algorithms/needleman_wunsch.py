@@ -1,0 +1,126 @@
+"""Needleman-Wunsch global alignment — a max-form 2D/0D wavefront DP.
+
+``D[i,j] = max(D[i-1,j-1] + s(a_i, b_j), D[i-1,j] - g, D[i,j-1] - g)``
+with gap-penalty boundaries ``D[i,0] = -i*g``, ``D[0,j] = -j*g``.
+Complements the bundled local aligner (SWGG): same pattern family as
+edit distance, global semantics, linear gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.algorithms.grid_base import PairwiseGridProblem
+from repro.algorithms.kernels import needleman_wunsch_region
+
+
+@dataclass(frozen=True)
+class NWResult:
+    """Final answer: global score and the full-length alignment."""
+
+    score: float
+    aligned_a: str
+    aligned_b: str
+
+    def identity(self) -> float:
+        """Fraction of aligned columns that are exact matches."""
+        pairs = [
+            (x, y) for x, y in zip(self.aligned_a, self.aligned_b) if "-" not in (x, y)
+        ]
+        if not self.aligned_a:
+            return 0.0
+        return sum(x == y for x, y in pairs) / len(self.aligned_a)
+
+
+class NeedlemanWunsch(PairwiseGridProblem):
+    """Global alignment under EasyHPS (linear gap penalty)."""
+
+    name = "needleman-wunsch"
+
+    def __init__(
+        self,
+        a: str,
+        b: str,
+        *,
+        match: float = 1.0,
+        mismatch: float = -1.0,
+        gap: float = 1.0,
+        retain: str = "full",
+    ) -> None:
+        super().__init__(a, b, retain=retain)
+        self.match = float(match)
+        self.mismatch = float(mismatch)
+        if gap < 0:
+            raise ValueError(f"gap penalty must be >= 0, got {gap}")
+        self.gap = float(gap)
+
+    @classmethod
+    def random(cls, m: int, n: int | None = None, seed: int | None = None, **kw) -> "NeedlemanWunsch":
+        from repro.algorithms.sequences import random_dna
+
+        n = m if n is None else n
+        return cls(random_dna(m, seed=seed), random_dna(n, seed=None if seed is None else seed + 1), **kw)
+
+    # -- grid hooks ------------------------------------------------------------
+
+    def boundary_row(self) -> np.ndarray:
+        return -self.gap * np.arange(self.n + 1, dtype=np.float64)
+
+    def boundary_col(self) -> np.ndarray:
+        return -self.gap * np.arange(self.m + 1, dtype=np.float64)
+
+    def cell_data(self, rows: range, cols: range) -> np.ndarray:
+        a = np.frombuffer(self.a.encode(), dtype=np.uint8)[rows.start : rows.stop]
+        b = np.frombuffer(self.b.encode(), dtype=np.uint8)[cols.start : cols.stop]
+        return np.where(a[:, None] == b[None, :], self.match, self.mismatch)
+
+    def kernel(self):
+        def _kernel(D, scores, rows, cols):
+            needleman_wunsch_region(D, scores, self.gap, rows, cols)
+
+        return _kernel
+
+    # -- result ------------------------------------------------------------------
+
+    def finalize(self, state: Dict[str, np.ndarray]):
+        if self.retain == "boundary":
+            return self.boundary_result(state)
+        D = state["D"]
+        aligned = self._traceback(D)
+        return NWResult(score=float(D[self.m, self.n]), aligned_a=aligned[0], aligned_b=aligned[1])
+
+    def _traceback(self, D: np.ndarray) -> Tuple[str, str]:
+        out_a, out_b = [], []
+        i, j = self.m, self.n
+        while i > 0 or j > 0:
+            here = D[i, j]
+            if i > 0 and j > 0 and np.isclose(
+                here, D[i - 1, j - 1] + (self.match if self.a[i - 1] == self.b[j - 1] else self.mismatch)
+            ):
+                out_a.append(self.a[i - 1])
+                out_b.append(self.b[j - 1])
+                i, j = i - 1, j - 1
+            elif i > 0 and np.isclose(here, D[i - 1, j] - self.gap):
+                out_a.append(self.a[i - 1])
+                out_b.append("-")
+                i -= 1
+            else:
+                out_a.append("-")
+                out_b.append(self.b[j - 1])
+                j -= 1
+        return "".join(reversed(out_a)), "".join(reversed(out_b))
+
+    def reference(self) -> float:
+        """Independent pure-Python implementation of the global score."""
+        prev = [-self.gap * j for j in range(self.n + 1)]
+        for i in range(1, self.m + 1):
+            cur = [-self.gap * i] + [0.0] * self.n
+            ai = self.a[i - 1]
+            for j in range(1, self.n + 1):
+                s = self.match if ai == self.b[j - 1] else self.mismatch
+                cur[j] = max(prev[j - 1] + s, prev[j] - self.gap, cur[j - 1] - self.gap)
+            prev = cur
+        return float(prev[self.n])

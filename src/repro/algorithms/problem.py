@@ -1,0 +1,233 @@
+"""The DPProblem interface — what an application must provide to EasyHPS.
+
+This is the Python rendering of the paper's user API (Table I): a problem
+binds a DAG Pattern Model, a data-mapping rule (which cells belong to
+which DAG vertex), and a ``process`` function (here
+:meth:`DPProblem.evaluator` + :meth:`BlockEvaluator.run_subblock`). On top
+of the paper's C API we also require an explicit *cost model*
+(:meth:`DPProblem.block_flops`, :meth:`DPProblem.input_bytes`, ...)
+because the performance experiments run on a simulated cluster — see
+DESIGN.md's substitution table.
+
+Execution contract
+------------------
+
+The master owns the global problem state (the DP matrix). For each
+sub-task ``bid`` it calls :meth:`extract_inputs` and ships the result to a
+slave; the slave builds a :class:`BlockEvaluator` from it, runs the
+sub-sub-tasks of the thread-level partition through
+:meth:`BlockEvaluator.run_subblock` (in any order consistent with the
+intra-block DAG; sub-blocks touching disjoint cells may run concurrently),
+and ships :meth:`BlockEvaluator.outputs` back; the master merges it with
+:meth:`apply_result`. :meth:`finalize` turns the completed state into the
+user-facing answer (score, alignment, structure...).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.dag.partition import Partition
+from repro.dag.pattern import DAGPattern, VertexId
+
+#: Bytes per DP matrix element shipped over the (simulated) wire.
+ELEMENT_BYTES = 8
+
+
+class BlockEvaluator(ABC):
+    """Slave-side computation of one sub-task (one abstract-DAG vertex).
+
+    The evaluator owns a private working buffer assembled from the shipped
+    inputs. ``run_subblock`` must only read cells that the intra-block DAG
+    guarantees are already computed, and must write only its own cells —
+    that discipline is what lets the slave worker pool run sub-sub-tasks
+    on concurrent threads against the shared buffer.
+    """
+
+    @abstractmethod
+    def run_subblock(self, local_rows: range, local_cols: range) -> None:
+        """Compute the cells of one sub-sub-task, in block-local coordinates."""
+
+    @abstractmethod
+    def outputs(self) -> Dict[str, np.ndarray]:
+        """The computed block data to return to the master."""
+
+    def run_serial(self, inner: Partition) -> Dict[str, np.ndarray]:
+        """Execute the whole block by draining the inner DAG serially."""
+        for sub_bid in inner.abstract.topological_order():
+            rows, cols = inner.block_ranges(sub_bid)
+            self.run_subblock(rows, cols)
+        return self.outputs()
+
+
+class DPProblem(ABC):
+    """A dynamic-programming application runnable under EasyHPS.
+
+    Subclasses are immutable descriptions of a concrete instance (the
+    sequences to align, the chain dimensions, ...). All methods are pure
+    with respect to the instance so one problem object can be shared
+    across backends and repeated runs.
+    """
+
+    #: Human-readable algorithm name (used in reports and benchmarks).
+    name: str = "dp-problem"
+
+    # -- structure ----------------------------------------------------------
+
+    @abstractmethod
+    def pattern(self) -> DAGPattern:
+        """The cell-level DAG Pattern Model of this instance."""
+
+    def build_partition(self, process_partition) -> Partition:
+        """The process-level partition the runtime schedules.
+
+        Default: block-partition the cell-level pattern with the built-in
+        family rules. Problems whose schedulable DAG is not a blocked
+        version of a cell grid (e.g. staged algorithms like blocked
+        Floyd-Warshall) override this and return their own
+        :class:`Partition`.
+        """
+        from repro.dag.partition import partition_pattern
+
+        return partition_pattern(self.pattern(), process_partition)
+
+    def default_partition_sizes(self) -> Tuple[int, int]:
+        """Reasonable (process, thread) partition sizes for this instance size."""
+        shape = getattr(self.pattern(), "shape", None)
+        n = shape[0] if shape else getattr(self.pattern(), "n")
+        proc = max(1, n // 8)
+        thread = max(1, proc // 4)
+        return (proc, thread)
+
+    # -- master-side state ----------------------------------------------------
+
+    @abstractmethod
+    def make_state(self) -> Dict[str, np.ndarray]:
+        """Allocate the global DP state (matrices with boundary conditions)."""
+
+    @abstractmethod
+    def extract_inputs(
+        self, state: Dict[str, np.ndarray], partition: Partition, bid: VertexId
+    ) -> Dict[str, np.ndarray]:
+        """Slice out exactly the data block ``bid`` needs (data-comm level).
+
+        The returned arrays are copies (a real master would serialize them
+        onto the wire), so a slave can never scribble on master state.
+        """
+
+    @abstractmethod
+    def apply_result(
+        self,
+        state: Dict[str, np.ndarray],
+        partition: Partition,
+        bid: VertexId,
+        outputs: Dict[str, np.ndarray],
+    ) -> None:
+        """Merge a finished block back into the global state."""
+
+    @abstractmethod
+    def finalize(self, state: Dict[str, np.ndarray]) -> Any:
+        """Produce the user-facing result from the completed state."""
+
+    # -- slave-side computation ----------------------------------------------------
+
+    @abstractmethod
+    def evaluator(
+        self, partition: Partition, bid: VertexId, inputs: Dict[str, np.ndarray]
+    ) -> BlockEvaluator:
+        """Build the slave-side evaluator for block ``bid``."""
+
+    # -- reference ------------------------------------------------------------------
+
+    @abstractmethod
+    def reference(self) -> Any:
+        """Straightforward serial implementation, used as ground truth in tests."""
+
+    # -- cost model (simulated backend) ------------------------------------------------
+
+    def region_flops(self, rows: range, cols: range, diagonal: bool = False) -> float:
+        """Work units (≈ cell-update operations) of an arbitrary cell region.
+
+        ``rows``/``cols`` are *global* cell ranges; ``diagonal`` marks a
+        triangular region sitting on the problem's main diagonal. The
+        default charges one unit per cell; algorithms with per-cell cost
+        depending on position (SWGG, Nussinov) override this, and the
+        simulator uses it for thread-level sub-blocks too.
+        """
+        if diagonal:
+            h = len(rows)
+            return h * (h + 1) / 2.0
+        return float(len(rows) * len(cols))
+
+    def block_flops(self, partition: Partition, bid: VertexId) -> float:
+        """Work units of block ``bid`` (derived from :meth:`region_flops`)."""
+        rows, cols = partition.block_ranges(bid)
+        return self.region_flops(rows, cols, partition.is_diagonal_block(bid))
+
+    def subblock_flops(
+        self, partition: Partition, bid: VertexId, local_rows: range, local_cols: range
+    ) -> float:
+        """Work units of one thread-level sub-block of block ``bid``.
+
+        The default translates block-local ranges to global cell ranges
+        and defers to :meth:`region_flops`. Staged algorithms whose cost
+        depends on the *stage* rather than cell position (Floyd-Warshall)
+        override this directly.
+        """
+        rows, cols = partition.block_ranges(bid)
+        grows = range(rows.start + local_rows.start, rows.start + local_rows.stop)
+        gcols = range(cols.start + local_cols.start, cols.start + local_cols.stop)
+        # Inner sub-blocks sitting on the problem diagonal (only possible
+        # inside a diagonal block of a triangular partition) are triangles.
+        diagonal = partition.is_diagonal_block(bid) and grows == gcols
+        return self.region_flops(grows, gcols, diagonal)
+
+    def block_cost_class(self, partition: Partition, bid: VertexId) -> object:
+        """Hashable key under which two blocks have identical inner cost
+        structure (same shape and same per-cell cost profile).
+
+        The simulator memoizes thread-level schedules per class, which
+        collapses the thousands of cost-identical blocks of a regular DP
+        grid. The default key is exact for position-independent cell
+        costs; position-dependent problems (SWGG, triangular) refine it.
+        """
+        rows, cols = partition.block_ranges(bid)
+        return (len(rows), len(cols), partition.is_diagonal_block(bid))
+
+    def input_bytes(self, partition: Partition, bid: VertexId) -> int:
+        """Bytes the master must ship to the slave for block ``bid``.
+
+        Default: measure the actual extracted arrays against a fresh
+        state. Subclasses override with closed forms when extraction is
+        expensive.
+        """
+        state = self.make_state()
+        return sum(
+            int(np.asarray(v).nbytes) for v in self.extract_inputs(state, partition, bid).values()
+        )
+
+    def output_bytes(self, partition: Partition, bid: VertexId) -> int:
+        """Bytes the slave returns: the block's computed cells."""
+        return ELEMENT_BYTES * partition.cell_count(bid)
+
+    def cached_input_bytes(
+        self, partition: Partition, bid: VertexId, node_history
+    ) -> int:
+        """Bytes to ship when the target node already executed the blocks
+        in ``node_history`` (affinity scheduling, simulated backend).
+
+        Default: no reuse modeled. Problems whose inputs are dominated by
+        data a precedence neighbor already holds (SWGG's prefixes, the
+        triangular strips) override this with the reduced volume.
+        """
+        return self.input_bytes(partition, bid)
+
+    def total_flops(self, partition: Partition) -> float:
+        """Total work of the instance under this partition."""
+        return sum(self.block_flops(partition, b) for b in partition.block_ids())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

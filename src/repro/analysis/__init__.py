@@ -1,0 +1,7 @@
+"""Run reporting and experiment-series helpers."""
+
+from repro.analysis.report import RunReport
+from repro.analysis.tables import ascii_table, format_series
+from repro.analysis.figures import Series, speedup_series
+
+__all__ = ["RunReport", "ascii_table", "format_series", "Series", "speedup_series"]

@@ -1,0 +1,134 @@
+"""Structured experiment records: persist and compare runs.
+
+Benchmarks and user studies produce many (config, report) pairs; this
+module gives them a stable on-disk form — JSON lines — plus grouping and
+markdown rendering, so results survive sessions and can be diffed across
+code versions.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.analysis.report import RunReport
+from repro.analysis.tables import ascii_table
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One measured run, flattened for persistence."""
+
+    experiment: str
+    algorithm: str
+    backend: str
+    scheduler: str
+    nodes: int
+    cores: Optional[int]
+    makespan: float
+    utilization: float
+    faults_recovered: int
+    idle_while_ready: float
+    n_tasks: int
+    timestamp: float
+    params: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def from_report(
+        cls,
+        experiment: str,
+        report: RunReport,
+        timestamp: float,
+        **params,
+    ) -> "ExperimentRecord":
+        """Flatten a run report under an experiment label.
+
+        ``timestamp`` is explicit so records stay reproducible in
+        deterministic pipelines (pass ``time.time()`` for live runs).
+        """
+        return cls(
+            experiment=experiment,
+            algorithm=report.algorithm,
+            backend=report.backend,
+            scheduler=report.scheduler,
+            nodes=report.nodes,
+            cores=report.total_cores,
+            makespan=report.makespan,
+            utilization=report.utilization,
+            faults_recovered=report.faults_recovered,
+            idle_while_ready=report.idle_while_ready,
+            n_tasks=report.n_tasks,
+            timestamp=timestamp,
+            params=dict(params),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "ExperimentRecord":
+        data = json.loads(line)
+        return cls(**data)
+
+
+class ExperimentLog:
+    """An append-only JSONL store of experiment records."""
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+
+    def append(self, record: ExperimentRecord) -> None:
+        with self.path.open("a") as fh:
+            fh.write(record.to_json() + "\n")
+
+    def append_report(self, experiment: str, report: RunReport, **params) -> ExperimentRecord:
+        record = ExperimentRecord.from_report(experiment, report, time.time(), **params)
+        self.append(record)
+        return record
+
+    def __iter__(self) -> Iterator[ExperimentRecord]:
+        if not self.path.exists():
+            return iter(())
+        with self.path.open() as fh:
+            records = [ExperimentRecord.from_json(line) for line in fh if line.strip()]
+        return iter(records)
+
+    def by_experiment(self, name: str) -> List[ExperimentRecord]:
+        return [r for r in self if r.experiment == name]
+
+    def experiments(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for r in self:
+            seen.setdefault(r.experiment, None)
+        return list(seen)
+
+
+def to_markdown(records: Iterable[ExperimentRecord]) -> str:
+    """Render records as a compact table (one row per run)."""
+    rows = [
+        [
+            r.experiment,
+            r.algorithm,
+            f"{r.scheduler}@{r.backend}",
+            r.nodes,
+            r.cores if r.cores is not None else "-",
+            r.makespan,
+            f"{r.utilization:.0%}" if r.utilization else "-",
+        ]
+        for r in records
+    ]
+    return ascii_table(
+        ["experiment", "algorithm", "sched@backend", "X", "Y", "makespan (s)", "util"],
+        rows,
+    )
+
+
+def best_by(records: Iterable[ExperimentRecord], key: str = "makespan") -> ExperimentRecord:
+    """The record minimizing ``key`` (must be a numeric field)."""
+    records = list(records)
+    if not records:
+        raise ValueError("no records")
+    return min(records, key=lambda r: getattr(r, key))

@@ -1,0 +1,70 @@
+"""Figure-series containers and derived curves (speedup, ratios).
+
+Benchmarks build :class:`Series` objects — the exact (x, y) data a figure
+plots — and render them as text; EXPERIMENTS.md records them next to the
+paper's reported shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.analysis.tables import format_series
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted line: a label plus (x, y) points."""
+
+    label: str
+    xs: Tuple[float, ...]
+    ys: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError(f"xs and ys must align: {len(self.xs)} vs {len(self.ys)}")
+
+    @classmethod
+    def from_points(cls, label: str, points: Sequence[Tuple[float, float]]) -> "Series":
+        xs, ys = zip(*points) if points else ((), ())
+        return cls(label, tuple(xs), tuple(ys))
+
+    def ratio_to(self, other: "Series", label: str | None = None) -> "Series":
+        """Pointwise self/other over the common x values."""
+        common = sorted(set(self.xs) & set(other.xs))
+        mine = dict(zip(self.xs, self.ys))
+        theirs = dict(zip(other.xs, other.ys))
+        ys = tuple(mine[x] / theirs[x] for x in common)
+        return Series(label or f"{self.label}/{other.label}", tuple(common), ys)
+
+    def min_y(self) -> float:
+        return min(self.ys)
+
+    def max_y(self) -> float:
+        return max(self.ys)
+
+    def render(self) -> str:
+        return format_series(self.label, self.xs, self.ys)
+
+
+def speedup_series(elapsed: Series, baseline: float, label: str | None = None) -> Series:
+    """Speedup curve ``baseline / elapsed(x)``."""
+    ys = tuple(baseline / y for y in elapsed.ys)
+    return Series(label or f"{elapsed.label} speedup", elapsed.xs, ys)
+
+
+def crossover_points(a: Series, b: Series) -> List[float]:
+    """x positions where series ``a - b`` changes sign (shape checks)."""
+    common = sorted(set(a.xs) & set(b.xs))
+    da = dict(zip(a.xs, a.ys))
+    db = dict(zip(b.xs, b.ys))
+    out: List[float] = []
+    prev = None
+    for x in common:
+        diff = da[x] - db[x]
+        if prev is not None and diff * prev < 0:
+            out.append(x)
+        if diff != 0:
+            prev = diff
+    return out

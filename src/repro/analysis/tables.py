@@ -1,0 +1,34 @@
+"""Plain-text tables for benchmark output and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width table with a header rule."""
+    srows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(widths[i]) for i, c in enumerate(cells))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in srows)
+    return "\n".join(out)
+
+
+def format_series(label: str, xs: Sequence[float], ys: Sequence[float]) -> str:
+    """One series as 'label: (x, y) (x, y) ...' with compact numbers."""
+    pts = " ".join(f"({_fmt(x)}, {_fmt(y)})" for x, y in zip(xs, ys))
+    return f"{label}: {pts}"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,19 @@
+"""Execution backends.
+
+Four ways to run one and the same problem/partition/policy description:
+
+- ``serial``    — single-threaded reference executor (ground truth);
+- ``threads``   — real slave parts on threads (EasyPDP-style node);
+- ``processes`` — real slave parts on OS processes (the MPI stand-in);
+- ``simulated`` — discrete-event performance model (the Tianhe-1A
+  stand-in used by every figure reproduction).
+
+All return ``(final_state_or_None, RunReport)``; the facade finalizes.
+"""
+
+from repro.backends.serial import run_serial
+from repro.backends.threads import run_threads
+from repro.backends.processes import run_processes
+from repro.backends.simulated import run_simulated
+
+__all__ = ["run_serial", "run_threads", "run_processes", "run_simulated"]

@@ -1,0 +1,47 @@
+"""Serial reference backend.
+
+Drains the process-level DAG in topological order, computing each block's
+inner DAG serially too. This is the correctness oracle for the parallel
+backends and the wall-time baseline for measured speedups.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.algorithms.problem import DPProblem
+from repro.analysis.report import RunReport
+from repro.runtime.config import RunConfig
+
+
+def run_serial(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.ndarray], RunReport]:
+    """Execute ``problem`` serially under ``config``'s partition sizes."""
+    proc_size, thread_size = config.partitions_for(problem)
+    partition = problem.build_partition(proc_size)
+    state = problem.make_state()
+    started = time.perf_counter()
+    n_subtasks = 0
+    for bid in partition.abstract.topological_order():
+        inputs = problem.extract_inputs(state, partition, bid)
+        evaluator = problem.evaluator(partition, bid, inputs)
+        inner = partition.sub_partition(bid, thread_size)
+        n_subtasks += inner.n_blocks
+        outputs = evaluator.run_serial(inner)
+        problem.apply_result(state, partition, bid, outputs)
+    elapsed = time.perf_counter() - started
+    report = RunReport(
+        backend="serial",
+        scheduler="none",
+        algorithm=problem.name,
+        nodes=1,
+        threads_per_node=1,
+        makespan=elapsed,
+        wall_time=elapsed,
+        n_tasks=partition.n_blocks,
+        n_subtasks=n_subtasks,
+        total_flops=problem.total_flops(partition),
+    )
+    return state, report

@@ -1,0 +1,476 @@
+"""Simulated backend: the two-level EasyHPS schedule on a modeled cluster.
+
+This backend replays the paper's experiments without Tianhe-1A: it runs
+the *actual* scheduling machinery (DAG parser, policy objects, register /
+overtime bookkeeping) against a deterministic cost model —
+
+- a sub-task's compute time is the makespan of its thread-level DAG under
+  the node's computing threads (:func:`simulate_level`), charged from the
+  algorithm's ``region_flops`` and the node's contention-aware rate;
+- every master<->slave message occupies both endpoints' NICs for
+  ``latency + bytes/bandwidth``;
+- the master serializes a per-dispatch overhead, and each node handles
+  one sub-task at a time (the paper's slave loop).
+
+Determinism: all decisions depend only on event order, which the event
+queue makes reproducible. Inner makespans are memoized on (pattern,
+cost-signature, threads), which collapses the many identical blocks of a
+regular DP grid.
+
+Fault injection: a "crash" costs the node half the compute time and never
+answers; a "hang" occupies the node for twice the timeout. Both are
+recovered by the simulated overtime check, mirroring Fig 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.problem import DPProblem
+from repro.analysis.report import RunReport
+from repro.cluster.machine import NodeSpec
+from repro.cluster.simcore import EventQueue
+from repro.cluster.topology import ClusterSpec
+from repro.comm.messages import TaskId
+from repro.comm.serialization import MESSAGE_ENVELOPE_BYTES
+from repro.dag.parser import DAGParser
+from repro.dag.partition import Partition
+from repro.dag.pattern import DAGPattern
+from repro.runtime.config import RunConfig
+from repro.schedulers.policy import SchedulingPolicy, make_policy
+from repro.utils.errors import FaultToleranceExhausted, SchedulerError
+
+
+def simulate_level(
+    pattern: DAGPattern,
+    costs: Dict[TaskId, float],
+    n_workers: int,
+    policy: SchedulingPolicy,
+    overhead: float = 0.0,
+) -> Tuple[float, float, float]:
+    """Event-driven list schedule of one DAG level.
+
+    Returns ``(makespan, busy_time, idle_while_ready)``: total schedule
+    length, summed worker busy seconds, and summed worker-seconds spent
+    idle while at least one ready task existed that the worker's policy
+    forbade (zero under the dynamic policy by construction).
+    """
+    import heapq
+
+    parser = DAGParser(pattern)
+    ready: List[TaskId] = list(parser.computable())
+    idle_workers: List[int] = list(range(n_workers))
+    running: List[Tuple[float, int, TaskId]] = []  # (finish, worker, task)
+    now = 0.0
+    busy = 0.0
+    idle_while_ready = 0.0
+
+    def assign() -> None:
+        nonlocal busy
+        # Scan order is the policy's business: LIFO over the computable
+        # stack by default, cost-ordered for dynamic-lcf.
+        w = 0
+        while w < len(idle_workers):
+            worker = idle_workers[w]
+            idx = policy.select_index(worker, ready)
+            picked: Optional[TaskId] = None if idx is None else ready.pop(idx)
+            if picked is None:
+                w += 1
+                continue
+            idle_workers.pop(w)
+            duration = costs[picked] + overhead
+            busy += duration
+            heapq.heappush(running, (now + duration, worker, picked))
+
+    assign()
+    while running:
+        finish, worker, task = heapq.heappop(running)
+        if ready and idle_workers:
+            # Workers idling next to ready-but-ineligible tasks: the
+            # static schedulers' pathology, accounted per interval.
+            idle_while_ready += len(idle_workers) * (finish - now)
+        now = finish
+        idle_workers.append(worker)
+        idle_workers.sort()
+        ready.extend(parser.complete(task))
+        assign()
+    if not parser.is_done():
+        raise SchedulerError(
+            f"level schedule stalled with {parser.n_remaining} tasks left "
+            f"(policy {policy.name!r} starved a task)"
+        )
+    return now, busy, idle_while_ready
+
+
+@dataclass
+class _Node:
+    """Runtime state of one simulated computing node."""
+
+    spec: NodeSpec
+    nic_free: float = 0.0
+    busy_until: float = 0.0
+    parked_since: Optional[float] = None
+    tasks_done: int = 0
+    #: Prefetched-but-not-yet-computing task (prefetch mode):
+    #: (bid, epoch, transfer_start, transfer_done).
+    pending: Optional[Tuple[TaskId, int, float, float]] = None
+
+
+class _SimulatedRun:
+    """One end-to-end simulated schedule."""
+
+    def __init__(self, problem: DPProblem, config: RunConfig) -> None:
+        self.problem = problem
+        self.config = config
+        proc_size, thread_size = config.partitions_for(problem)
+        self.partition: Partition = problem.build_partition(proc_size)
+        self.thread_size = thread_size
+        self.cluster: ClusterSpec = config.cluster_spec()
+        #: Per-node sets of completed task ids (affinity + cache model).
+        self.node_done: List[set] = [set() for _ in self.cluster.compute_nodes]
+        if config.scheduler == "dynamic-affinity":
+            from repro.schedulers.policy import AffinityDynamicPolicy
+
+            self.policy: SchedulingPolicy = AffinityDynamicPolicy(
+                self.cluster.n_compute_nodes,
+                neighbor_fn=self.partition.abstract.predecessors,
+                history={k: s for k, s in enumerate(self.node_done)},
+            )
+        else:
+            self.policy = make_policy(
+                config.scheduler,
+                self.cluster.n_compute_nodes,
+                self.partition.grid.n_block_cols,
+                block_cols=config.bcw_block_cols,
+                cost_fn=lambda bid: problem.block_flops(self.partition, bid),
+            )
+        self.thread_policy_name = config.thread_scheduler
+
+        self.evq = EventQueue()
+        self.nodes = [_Node(spec=s) for s in self.cluster.compute_nodes]
+        self.master_nic_free = 0.0
+        self.master_cpu_free = 0.0
+
+        self.parser = DAGParser(self.partition.abstract)
+        self.ready: List[TaskId] = list(self.parser.computable())
+        self.attempts: Dict[TaskId, int] = {}
+        self.registered: Dict[TaskId, int] = {}  # live task -> epoch
+
+        self._inner_memo: Dict[tuple, Tuple[float, float]] = {}
+        self.makespan = 0.0
+        self.busy_thread_seconds = 0.0
+        self.n_subtasks = 0
+        self.messages = 0
+        self.bytes_to_slaves = 0
+        self.bytes_to_master = 0
+        self.faults = 0
+        self.idle_while_ready = 0.0
+        self._last_account = 0.0
+        self.failure: Optional[BaseException] = None
+        self._trace: List = []
+        self._pending_trace: Dict[Tuple[TaskId, int], Tuple[int, float, float, float]] = {}
+
+    # -- cost helpers ----------------------------------------------------------
+
+    def _inner(self, bid: TaskId, node: NodeSpec) -> Tuple[float, float, int]:
+        """(compute_seconds, busy_thread_seconds, n_subtasks) of one sub-task.
+
+        Memoized per (block cost class, node spec, thread policy): two
+        blocks with identical shape and per-cell cost profile schedule
+        identically, which collapses a regular grid's thousands of blocks
+        into a handful of thread-level simulations.
+        """
+        t = node.threads
+        key = (
+            self.problem.block_cost_class(self.partition, bid),
+            t,
+            node.flops_per_second,
+            node.contention,
+            round(node.task_overhead, 12),
+            self.thread_policy_name,
+        )
+        cached = self._inner_memo.get(key)
+        if cached is not None:
+            return cached
+        inner = self.partition.sub_partition(bid, self.thread_size)
+        costs: Dict[TaskId, float] = {}
+        # Conservative model: all t threads contend while the node works.
+        rate = node.flops_per_second * node.thread_efficiency(t)
+        for sub in inner.abstract.vertices():
+            lr, lc = inner.block_ranges(sub)
+            costs[sub] = self.problem.subblock_flops(self.partition, bid, lr, lc) / rate
+        policy = make_policy(self.thread_policy_name, t, inner.grid.n_block_cols)
+        makespan, busy, _ = simulate_level(
+            inner.abstract, costs, t, policy, overhead=node.task_overhead
+        )
+        result = (makespan, busy, inner.n_blocks)
+        self._inner_memo[key] = result
+        return result
+
+    # -- accounting ---------------------------------------------------------------
+
+    def _account(self) -> None:
+        """Accumulate parked-while-ready time since the previous event."""
+        now = self.evq.now
+        dt = now - self._last_account
+        if dt > 0 and self.ready:
+            parked = sum(1 for n in self.nodes if n.parked_since is not None)
+            self.idle_while_ready += parked * dt
+        self._last_account = now
+
+    # -- protocol events -----------------------------------------------------------
+
+    def _node_idle(self, k: int) -> None:
+        self._account()
+        node = self.nodes[k]
+        if node.pending is not None:
+            # Promote the prefetched task (its input already transferred).
+            bid, epoch, xfer_start, xfer_done = node.pending
+            node.pending = None
+            node.parked_since = None
+            if self.registered.get(bid) == epoch:
+                self._begin_compute(k, bid, epoch, xfer_start, max(self.evq.now, xfer_done))
+                self._try_prefetch(k)
+                return
+            # Cancelled (timed out) while waiting: fall through to fresh work.
+        idx = self.policy.select_index(k, self.ready)
+        picked: Optional[TaskId] = None if idx is None else self.ready.pop(idx)
+        if picked is None:
+            node.parked_since = self.evq.now
+            return
+        node.parked_since = None
+        self._dispatch(k, picked)
+        self._try_prefetch(k)
+
+    def _reserve_transfer(self, k: int, bid: TaskId) -> Tuple[int, float, float]:
+        """Register a dispatch and reserve its input transfer; returns
+        (epoch, transfer_start, transfer_done)."""
+        now = self.evq.now
+        node = self.nodes[k]
+        epoch = self.attempts.get(bid, 0)
+        self.attempts[bid] = epoch + 1
+        self.registered[bid] = epoch
+        if self.config.data_reuse:
+            in_bytes = self.problem.cached_input_bytes(self.partition, bid, self.node_done[k])
+        else:
+            in_bytes = self.problem.input_bytes(self.partition, bid)
+        in_bytes += MESSAGE_ENVELOPE_BYTES
+        self.master_cpu_free = max(self.master_cpu_free, now) + self.cluster.master_overhead
+        start = max(self.master_cpu_free, self.master_nic_free, node.nic_free)
+        xfer = self.cluster.link.transfer_time(in_bytes)
+        self.master_nic_free = start + xfer
+        node.nic_free = start + xfer
+        self.messages += 2  # idle signal + assignment
+        self.bytes_to_slaves += in_bytes
+        # Overtime watch (Fig 10): fires relative to dispatch time.
+        self.evq.at(
+            now + self.config.task_timeout,
+            lambda bid=bid, epoch=epoch: self._timeout(bid, epoch),
+        )
+        return epoch, start, start + xfer
+
+    def _dispatch(self, k: int, bid: TaskId) -> None:
+        epoch, start, xfer_done = self._reserve_transfer(k, bid)
+        self._begin_compute(k, bid, epoch, start, xfer_done)
+
+    def _try_prefetch(self, k: int) -> None:
+        """Overlap the next task's transfer with the running compute
+        (one-deep, prefetch mode only)."""
+        if not self.config.prefetch:
+            return
+        node = self.nodes[k]
+        if node.pending is not None or node.busy_until <= self.evq.now:
+            return
+        idx = self.policy.select_index(k, self.ready)
+        if idx is None:
+            return
+        bid = self.ready.pop(idx)
+        epoch, start, xfer_done = self._reserve_transfer(k, bid)
+        node.pending = (bid, epoch, start, xfer_done)
+
+    def _begin_compute(
+        self, k: int, bid: TaskId, epoch: int, xfer_start: float, compute_start: float
+    ) -> None:
+        node = self.nodes[k]
+        fault = self.config.fault_plan.lookup(bid, epoch)
+        compute, busy, nsub = self._inner(bid, node.spec)
+        compute += self.cluster.slave_overhead
+        if fault is not None and fault.kind == "crash":
+            crash_at = compute_start + 0.5 * compute
+            node.busy_until = crash_at
+            self.evq.at(crash_at, lambda k=k: self._node_idle(k))
+        elif fault is not None and fault.kind == "hang":
+            recover_at = compute_start + 2.0 * self.config.task_timeout
+            node.busy_until = recover_at
+            self.evq.at(recover_at, lambda k=k: self._node_idle(k))
+        else:
+            done = compute_start + compute
+            node.busy_until = done
+            if self.config.trace:
+                self._pending_trace[(bid, epoch)] = (k, xfer_start, compute_start, done)
+            self.busy_thread_seconds += busy
+            self.n_subtasks += nsub
+            # NIC reservation for the result transfer happens when compute
+            # finishes, not now — reserving a future slot at dispatch time
+            # would wrongly serialize every other node's input transfer
+            # behind this task.
+            self.evq.at(
+                done, lambda bid=bid, epoch=epoch, k=k: self._compute_done(bid, epoch, k)
+            )
+
+    def _compute_done(self, bid: TaskId, epoch: int, k: int) -> None:
+        """Compute finished on node ``k``: ship the result back (Fig 11 g/h)."""
+        self._account()
+        node = self.nodes[k]
+        out_bytes = self.problem.output_bytes(self.partition, bid) + MESSAGE_ENVELOPE_BYTES
+        send_start = max(self.evq.now, node.nic_free, self.master_nic_free)
+        out_xfer = self.cluster.link.transfer_time(out_bytes)
+        node.nic_free = send_start + out_xfer
+        self.master_nic_free = send_start + out_xfer
+        node.busy_until = send_start + out_xfer
+        self.messages += 1
+        self.bytes_to_master += out_bytes
+        arrive = send_start + out_xfer
+        self.evq.at(arrive, lambda: self._result(bid, epoch, k))
+
+    def _result(self, bid: TaskId, epoch: int, k: int) -> None:
+        self._account()
+        if self.registered.get(bid) != epoch:
+            self._node_idle(k)  # stale result dropped; node serves on
+            return
+        del self.registered[bid]
+        self.nodes[k].tasks_done += 1
+        self.node_done[k].add(bid)
+        self.makespan = max(self.makespan, self.evq.now)
+        if self.config.trace:
+            pending = self._pending_trace.pop((bid, epoch), None)
+            if pending is not None:
+                from repro.analysis.gantt import TraceEvent
+
+                node_id, xfer_start, comp_start, comp_end = pending
+                self._trace.append(
+                    TraceEvent(
+                        node=node_id,
+                        task_id=bid,
+                        transfer_start=xfer_start,
+                        compute_start=comp_start,
+                        compute_end=comp_end,
+                        result_at=self.evq.now,
+                    )
+                )
+        fresh = self.parser.complete(bid)
+        if fresh:
+            self.ready.extend(fresh)
+            for j, node in enumerate(self.nodes):
+                if node.parked_since is not None:
+                    self._node_idle(j)
+                else:
+                    self._try_prefetch(j)
+        self._node_idle(k)
+
+    def _timeout(self, bid: TaskId, epoch: int) -> None:
+        self._account()
+        if self.registered.get(bid) != epoch:
+            return  # completed in time
+        del self.registered[bid]
+        attempts = self.attempts[bid]
+        if attempts > self.config.max_retries + 1:
+            self.failure = FaultToleranceExhausted(
+                f"sub-task {bid} failed {attempts} dispatches (simulated)"
+            )
+            return
+        self.faults += 1
+        self.ready.append(bid)
+        for j, node in enumerate(self.nodes):
+            if node.parked_since is not None:
+                self._node_idle(j)
+            else:
+                self._try_prefetch(j)
+
+    # -- driver -------------------------------------------------------------------------
+
+    def execute(self) -> RunReport:
+        import time as _time
+
+        wall_start = _time.perf_counter()
+        for k in range(len(self.nodes)):
+            self.evq.at(0.0, lambda k=k: self._node_idle(k))
+        self.evq.run()
+        if self.failure is not None:
+            raise self.failure
+        if not self.parser.is_done():
+            raise SchedulerError(
+                f"simulation stalled with {self.parser.n_remaining} sub-tasks left"
+            )
+        wall = _time.perf_counter() - wall_start
+        total_threads = self.cluster.total_computing_threads
+        return RunReport(
+            backend="simulated",
+            scheduler=self.config.scheduler,
+            algorithm=self.problem.name,
+            nodes=self.cluster.total_nodes,
+            threads_per_node=max(s.threads for s in self.cluster.compute_nodes),
+            makespan=self.makespan,
+            wall_time=wall,
+            n_tasks=self.partition.n_blocks,
+            n_subtasks=self.n_subtasks,
+            messages=self.messages,
+            bytes_to_slaves=self.bytes_to_slaves,
+            bytes_to_master=self.bytes_to_master,
+            faults_recovered=self.faults,
+            tasks_per_worker={k: n.tasks_done for k, n in enumerate(self.nodes)},
+            idle_while_ready=self.idle_while_ready,
+            utilization=(
+                self.busy_thread_seconds / (self.makespan * total_threads)
+                if self.makespan > 0
+                else 0.0
+            ),
+            total_flops=self.problem.total_flops(self.partition),
+            total_cores=self.cluster.total_cores,
+            trace=tuple(self._trace) if self.config.trace else None,
+        )
+
+
+def run_simulated(problem: DPProblem, config: RunConfig) -> Tuple[None, RunReport]:
+    """Simulate ``problem`` on ``config``'s cluster; no values are computed."""
+    return None, _SimulatedRun(problem, config).execute()
+
+
+def simulated_serial_makespan(problem: DPProblem, config: RunConfig) -> float:
+    """Simulated single-thread makespan of the same instance — the paper's
+    speedup baseline (sequential program, no partitioning overheads)."""
+    spec = config.cluster_spec().compute_nodes[0]
+    pattern = problem.pattern()
+    shape = getattr(pattern, "shape", None)
+    if shape is not None:
+        rows, cols = range(shape[0]), range(shape[1])
+        flops = problem.region_flops(rows, cols)
+    else:
+        n = pattern.n  # triangular / chain
+        flops = problem.region_flops(range(n), range(n), diagonal=True)
+    return flops / spec.flops_per_second
+
+
+def experiment_series(
+    problem: DPProblem,
+    nodes: int,
+    cores: Sequence[int],
+    **config_overrides,
+) -> List[Tuple[int, RunReport]]:
+    """Run ``Experiment_<nodes>_<Y>`` for each Y in ``cores``; skip
+    infeasible Y (fewer computing threads than nodes)."""
+    out: List[Tuple[int, RunReport]] = []
+    for y in cores:
+        try:
+            config = RunConfig.experiment(nodes, y, **config_overrides)
+        except Exception:
+            continue
+        _, report = run_simulated(problem, config)
+        out.append((y, report))
+    return out
+
+
+def paper_core_range(nodes: int, max_ct: int = 11) -> List[int]:
+    """The paper's Y values for X nodes: Y = 2X - 1 + ct * (X - 1), ct = 1..max_ct."""
+    return [2 * nodes - 1 + ct * (nodes - 1) for ct in range(1, max_ct + 1)]

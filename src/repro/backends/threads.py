@@ -1,0 +1,105 @@
+"""Threads backend: real master/slave runtime inside one process.
+
+Slave parts run on threads and talk to the master over queue channels.
+This exercises every protocol and worker-pool code path with true
+concurrency; because of CPython's GIL it demonstrates *correctness* of the
+thread level rather than speedup (see DESIGN.md) — timing experiments use
+the simulated backend.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.algorithms.problem import DPProblem
+from repro.analysis.report import RunReport
+from repro.runtime.config import RunConfig
+from repro.runtime.master import MasterPart
+from repro.runtime.slave import SlavePart
+from repro.comm.transport import channel_pair
+from repro.schedulers.policy import make_policy
+
+
+def run_threads(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.ndarray], RunReport]:
+    """Execute ``problem`` with ``config.n_slaves`` slave threads."""
+    proc_size, thread_size = config.partitions_for(problem)
+    partition = problem.build_partition(proc_size)
+    policy = make_policy(
+        config.scheduler,
+        config.n_slaves,
+        partition.grid.n_block_cols,
+        block_cols=config.bcw_block_cols,
+    )
+
+    stop = threading.Event()
+    slaves = []
+    master_channels = []
+    for k in range(config.n_slaves):
+        master_end, slave_end = channel_pair()
+        master_channels.append(master_end)
+        slaves.append(
+            SlavePart(
+                slave_id=k,
+                channel=slave_end,
+                problem=problem,
+                partition=partition,
+                thread_partition=thread_size,
+                n_threads=config.threads_per_node,
+                thread_scheduler=config.thread_scheduler,
+                subtask_timeout=config.subtask_timeout,
+                max_retries=config.max_retries,
+                poll_interval=config.poll_interval,
+                fault_plan=config.fault_plan,
+                thread_fault_plan=config.thread_fault_plan,
+                hang_duration=config.hang_duration,
+                stop_event=stop,
+            )
+        )
+    master = MasterPart(
+        problem,
+        partition,
+        master_channels,
+        policy,
+        task_timeout=config.task_timeout,
+        max_retries=config.max_retries,
+        poll_interval=config.poll_interval,
+    )
+
+    slave_threads = [
+        threading.Thread(target=s.run, daemon=True, name=f"slave{s.slave_id}") for s in slaves
+    ]
+    started = time.perf_counter()
+    for t in slave_threads:
+        t.start()
+    try:
+        state = master.run()
+    finally:
+        stop.set()
+        for t in slave_threads:
+            t.join(timeout=10.0)
+    elapsed = time.perf_counter() - started
+
+    report = RunReport(
+        backend="threads",
+        scheduler=config.scheduler,
+        algorithm=problem.name,
+        nodes=config.nodes,
+        threads_per_node=config.threads_per_node,
+        makespan=elapsed,
+        wall_time=elapsed,
+        n_tasks=partition.n_blocks,
+        n_subtasks=sum(s.stats.subtasks for s in slaves),
+        messages=master.stats.messages,
+        bytes_to_slaves=master.stats.bytes_to_slaves,
+        bytes_to_master=master.stats.bytes_to_master,
+        faults_recovered=master.stats.faults_recovered,
+        thread_restarts=sum(s.stats.thread_restarts for s in slaves),
+        stale_results=master.stats.stale_results,
+        tasks_per_worker=dict(master.stats.tasks_per_worker),
+        total_flops=problem.total_flops(partition),
+    )
+    return state, report

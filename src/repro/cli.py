@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands:
+
+- ``info``      — version, pattern library, bundled algorithms, backends;
+- ``run``       — execute one algorithm on a real backend and print the
+                  result plus the run report;
+- ``simulate``  — replay an Experiment_X_Y on the simulated cluster,
+                  optionally rendering the schedule as a Gantt chart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro import EasyHPS, RunConfig, __version__
+from repro.algorithms.problem import DPProblem
+
+#: name -> factory(size, seed) for CLI-runnable algorithm instances.
+ALGORITHMS: Dict[str, Callable[[int, int], DPProblem]] = {}
+
+
+def _register_algorithms() -> None:
+    from repro.algorithms import (
+        CYKParsing,
+        EditDistance,
+        FloydWarshall,
+        Knapsack,
+        LongestCommonSubsequence,
+        MatrixChainOrder,
+        NeedlemanWunsch,
+        Nussinov,
+        OptimalBST,
+        SmithWatermanGG,
+        ViterbiDecoding,
+    )
+
+    ALGORITHMS.update(
+        {
+            "edit-distance": lambda size, seed: EditDistance.random(size, size, seed=seed),
+            "lcs": lambda size, seed: LongestCommonSubsequence.random(size, size, seed=seed),
+            "needleman-wunsch": lambda size, seed: NeedlemanWunsch.random(size, size, seed=seed),
+            "swgg": lambda size, seed: SmithWatermanGG.random(size, seed=seed),
+            "nussinov": lambda size, seed: Nussinov.random(size, seed=seed),
+            "matrix-chain": lambda size, seed: MatrixChainOrder.random(size, seed=seed),
+            "cyk": lambda size, seed: CYKParsing.random(size, seed=seed),
+            "viterbi": lambda size, seed: ViterbiDecoding.random(size, seed=seed),
+            "floyd-warshall": lambda size, seed: FloydWarshall.random(size, seed=seed),
+            "optimal-bst": lambda size, seed: OptimalBST.random(size, seed=seed),
+            "knapsack": lambda size, seed: Knapsack.random(size, seed=seed),
+        }
+    )
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    from repro.dag.library import PATTERN_LIBRARY
+    from repro.runtime.config import BACKENDS
+    from repro.schedulers.policy import POLICIES
+
+    _register_algorithms()
+    print(f"repro {__version__} — EasyHPS reproduction (IPPS 2013)")
+    print(f"  backends   : {', '.join(BACKENDS)}")
+    print(f"  schedulers : {', '.join(POLICIES)}")
+    print(f"  patterns   : {', '.join(sorted(PATTERN_LIBRARY))}")
+    print(f"  algorithms : {', '.join(sorted(ALGORITHMS))}")
+    return 0
+
+
+def _build_problem(args: argparse.Namespace) -> DPProblem:
+    _register_algorithms()
+    try:
+        factory = ALGORITHMS[args.algo]
+    except KeyError:
+        raise SystemExit(
+            f"unknown algorithm {args.algo!r}; choose from {', '.join(sorted(ALGORITHMS))}"
+        )
+    return factory(args.size, args.seed)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    problem = _build_problem(args)
+    config = RunConfig(
+        nodes=args.nodes,
+        threads_per_node=args.threads,
+        backend=args.backend,
+        scheduler=args.scheduler,
+    )
+    run = EasyHPS(config).run(problem)
+    print(run.report.summary())
+    print(f"result: {run.value!r}"[:500])
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    """Fit the simulator's node rate to this machine's real kernels."""
+    from repro.analysis.calibration import calibrate_node, calibration_report
+
+    problem = _build_problem(args)
+    proc, thread = problem.default_partition_sizes()
+    spec, samples = calibrate_node(problem, proc, thread, repeats=args.repeats)
+    print(calibration_report(samples))
+    print(f"calibrated NodeSpec: flops_per_second={spec.flops_per_second:.4g}")
+    print("use it via RunConfig(cluster=ClusterSpec(compute_nodes=(spec, ...)))")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    problem = _build_problem(args)
+    config = RunConfig.experiment(
+        args.nodes,
+        args.cores,
+        scheduler=args.scheduler,
+        trace=args.gantt,
+    )
+    run = EasyHPS(config).run(problem)
+    print(run.report.summary())
+    if args.gantt and run.report.trace:
+        from repro.analysis.gantt import render_gantt
+
+        print(render_gantt(run.report.trace, width=72, makespan=run.report.makespan))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="show what this build provides").set_defaults(fn=cmd_info)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--algo", default="edit-distance", help="algorithm name (see `info`)")
+        p.add_argument("--size", type=int, default=200, help="instance size")
+        p.add_argument("--seed", type=int, default=0, help="instance seed")
+        p.add_argument("--scheduler", default="dynamic", help="dynamic | dynamic-lcf | bcw | cw")
+
+    run_p = sub.add_parser("run", help="run on a real backend")
+    common(run_p)
+    run_p.add_argument("--backend", default="threads", help="serial | threads | processes")
+    run_p.add_argument("--nodes", type=int, default=3, help="total nodes incl. master")
+    run_p.add_argument("--threads", type=int, default=2, help="computing threads per node")
+    run_p.set_defaults(fn=cmd_run)
+
+    sim_p = sub.add_parser("simulate", help="replay Experiment_X_Y on the simulated cluster")
+    common(sim_p)
+    sim_p.add_argument("--nodes", type=int, default=4, help="X: total nodes")
+    sim_p.add_argument("--cores", type=int, default=22, help="Y: total cores")
+    sim_p.add_argument("--gantt", action="store_true", help="render the schedule")
+    sim_p.set_defaults(fn=cmd_simulate)
+
+    cal_p = sub.add_parser("calibrate", help="fit the simulator to this machine")
+    common(cal_p)
+    cal_p.add_argument("--repeats", type=int, default=2, help="timing repeats per block")
+    cal_p.set_defaults(fn=cmd_calibrate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""Fault injection for exercising the hierarchical fault tolerance.
+
+EasyHPS detects faults purely by timeout (Section V): a sub-task that does
+not finish within the configured duration is assumed dead, unregistered,
+and redistributed; a sub-sub-task timeout restarts the computing thread.
+The injector produces exactly the observable behaviours that mechanism
+reacts to:
+
+- ``crash`` — the computation dies immediately (the worker raises / the
+  simulated slave goes silent);
+- ``hang``  — the computation starts but never completes.
+
+Rules are keyed by dispatch attempt so recovery paths are testable: a rule
+with ``attempt=0`` fails only the first execution, and the retry succeeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.comm.messages import TaskId
+
+KINDS = ("crash", "hang")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injected failure.
+
+    ``task_id=None`` matches every task; ``attempt`` is the 0-based
+    dispatch count at which the fault fires.
+    """
+
+    kind: str
+    task_id: Optional[TaskId] = None
+    attempt: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"fault kind must be one of {KINDS}, got {self.kind!r}")
+        if self.attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {self.attempt}")
+
+    def matches(self, task_id: TaskId, attempt: int) -> bool:
+        return attempt == self.attempt and (self.task_id is None or self.task_id == task_id)
+
+
+class FaultPlan:
+    """A queryable collection of fault rules."""
+
+    def __init__(self, rules: Iterable[FaultRule] = ()) -> None:
+        self.rules = tuple(rules)
+        self._random_p = 0.0
+        self._rng: Optional[np.random.Generator] = None
+        self._random_decisions: Dict[Tuple[TaskId, int], Optional[FaultRule]] = {}
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """No injected faults (the default)."""
+        return cls(())
+
+    @classmethod
+    def random(cls, p: float, seed: int = 0, kind: str = "crash") -> "FaultPlan":
+        """Each first execution of a task crashes/hangs with probability ``p``.
+
+        Decisions are drawn lazily per task and memoized, so a plan is
+        deterministic for a given seed regardless of query order ties.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {p}")
+        plan = cls(())
+        plan._random_p = p
+        plan._rng = np.random.default_rng(seed)
+        plan._random_kind = kind
+        return plan
+
+    def lookup(self, task_id: TaskId, attempt: int) -> Optional[FaultRule]:
+        """The fault (if any) that execution ``attempt`` of ``task_id`` hits."""
+        for rule in self.rules:
+            if rule.matches(task_id, attempt):
+                return rule
+        if self._rng is not None and attempt == 0:
+            key = (task_id, attempt)
+            if key not in self._random_decisions:
+                hit = self._rng.random() < self._random_p
+                self._random_decisions[key] = (
+                    FaultRule(self._random_kind, task_id, attempt) if hit else None
+                )
+            return self._random_decisions[key]
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self.rules) or self._rng is not None
+
+    def __repr__(self) -> str:
+        if self._rng is not None:
+            return f"FaultPlan(random p={self._random_p})"
+        return f"FaultPlan({len(self.rules)} rules)"

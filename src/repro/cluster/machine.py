@@ -1,0 +1,52 @@
+"""Compute-node model: threads, speed, and memory-contention efficiency.
+
+A node runs ``threads`` computing threads at ``flops_per_second`` work
+units each, but threads sharing one node contend for memory bandwidth:
+with ``t`` active threads each runs at efficiency ``1 / (1 + contention *
+(t - 1))``. This sub-linear scaling is the physical effect behind the
+paper's Fig 15 crossover — at 20 total cores, packing threads onto fewer
+nodes wins (more computing cores left over after scheduling overhead); at
+40 cores the packed nodes saturate and spreading across more nodes wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validate import check_nonnegative, check_positive
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One multi-core computing node of the simulated cluster."""
+
+    #: Number of computing threads used on this node (the paper's ``ct``).
+    threads: int
+    #: Work units (≈ DP cell-update operations) per second per thread.
+    flops_per_second: float = 5.0e8
+    #: Memory-contention coefficient gamma in ``1 / (1 + gamma * (t - 1))``.
+    contention: float = 0.02
+    #: Fixed per-sub-sub-task scheduling overhead on the slave, seconds.
+    task_overhead: float = 20.0e-6
+
+    def __post_init__(self) -> None:
+        check_positive("threads", self.threads)
+        check_positive("flops_per_second", self.flops_per_second)
+        check_nonnegative("contention", self.contention)
+        check_nonnegative("task_overhead", self.task_overhead)
+
+    def thread_efficiency(self, active_threads: int) -> float:
+        """Per-thread efficiency when ``active_threads`` threads are busy."""
+        if active_threads <= 0:
+            raise ValueError(f"active_threads must be positive, got {active_threads}")
+        return 1.0 / (1.0 + self.contention * (active_threads - 1))
+
+    def effective_rate(self, active_threads: int) -> float:
+        """Aggregate node throughput (work units/s) at ``active_threads``."""
+        return active_threads * self.flops_per_second * self.thread_efficiency(active_threads)
+
+    def compute_time(self, flops: float, active_threads: int = 1) -> float:
+        """Seconds for one thread to process ``flops`` work units while
+        ``active_threads`` threads are busy on the node."""
+        check_nonnegative("flops", flops)
+        return flops / (self.flops_per_second * self.thread_efficiency(active_threads))

@@ -1,0 +1,42 @@
+"""Interconnect model: first-order latency/bandwidth links.
+
+A message of ``b`` bytes over a link costs ``latency + b / bandwidth``
+(the alpha-beta model). Endpoint NICs serialize: a node sends/receives
+one message at a time, which is what makes "few fat nodes vs many thin
+nodes" a real trade-off in the Fig 15 experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validate import check_nonnegative, check_positive
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Alpha-beta cost model of one network link."""
+
+    #: Per-message latency in seconds (alpha).
+    latency: float
+    #: Bandwidth in bytes/second (1/beta).
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        check_nonnegative("latency", self.latency)
+        check_positive("bandwidth", self.bandwidth)
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` over this link."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        return self.latency + nbytes / self.bandwidth
+
+
+#: Infiniband QDR effective point-to-point characteristics (the Tianhe-1A
+#: interconnect of the paper): ~2 microseconds latency, ~3.2 GB/s
+#: effective unidirectional bandwidth.
+INFINIBAND_QDR = LinkModel(latency=2.0e-6, bandwidth=3.2e9)
+
+#: A deliberately slow link for communication-bound ablations.
+GIGABIT_ETHERNET = LinkModel(latency=50.0e-6, bandwidth=1.25e8)

@@ -1,0 +1,78 @@
+"""Deterministic discrete-event core.
+
+A minimal event queue: callbacks scheduled at absolute simulated times,
+executed in time order with FIFO tie-breaking (a monotone sequence number
+makes runs bit-for-bit reproducible). Model code composes behaviour out
+of ``at``/``after`` plus plain Python state; there are no coroutine
+processes to keep the scheduler transparent and debuggable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.utils.errors import ReproError
+
+
+class SimulationError(ReproError):
+    """The simulation was driven into an invalid state."""
+
+
+class EventQueue:
+    """Time-ordered callback queue with a monotone clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._cancelled: set[int] = set()
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def at(self, when: float, fn: Callable[[], None]) -> int:
+        """Schedule ``fn`` at absolute time ``when``; returns a handle."""
+        if when < self._now:
+            raise SimulationError(f"cannot schedule at {when} < now {self._now}")
+        handle = next(self._seq)
+        heapq.heappush(self._heap, (when, handle, fn))
+        return handle
+
+    def after(self, delay: float, fn: Callable[[], None]) -> int:
+        """Schedule ``fn`` after ``delay`` seconds; returns a handle."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self._now + delay, fn)
+
+    def cancel(self, handle: int) -> None:
+        """Cancel a scheduled event by handle (idempotent, O(1))."""
+        self._cancelled.add(handle)
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
+        """Execute events in order until the queue drains (or ``until``).
+
+        ``max_events`` is a runaway guard: a model bug that reschedules
+        endlessly raises instead of hanging.
+        """
+        executed = 0
+        while self._heap:
+            when, handle, fn = self._heap[0]
+            if until is not None and when > until:
+                self._now = until
+                return
+            heapq.heappop(self._heap)
+            if handle in self._cancelled:
+                self._cancelled.discard(handle)
+                continue
+            self._now = when
+            fn()
+            executed += 1
+            if executed > max_events:
+                raise SimulationError(f"exceeded {max_events} events — runaway simulation?")
+
+    def empty(self) -> bool:
+        return not any(h not in self._cancelled for _, h, _ in self._heap)

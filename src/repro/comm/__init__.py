@@ -1,0 +1,44 @@
+"""Message passing between the master part and slave parts.
+
+The paper's processor level speaks MPI (MPICH 1.4.1); this environment has
+no MPI, so the same master/slave protocol runs over pluggable
+:class:`~repro.comm.transport.Channel` implementations — in-process queues
+(thread slaves), OS pipes (``multiprocessing`` slaves, the MPI stand-in),
+or the simulated cluster's modeled links. Protocol and messages are
+identical across all three; see DESIGN.md's substitution table.
+"""
+
+from repro.comm.messages import (
+    EndSignal,
+    IdleSignal,
+    Message,
+    TaskAssign,
+    TaskResult,
+)
+from repro.comm.transport import (
+    Channel,
+    ChannelClosed,
+    ChannelTimeout,
+    PipeChannel,
+    QueueChannel,
+    channel_pair,
+    pipe_channel_pair,
+)
+from repro.comm.serialization import payload_nbytes, message_nbytes
+
+__all__ = [
+    "Message",
+    "IdleSignal",
+    "TaskAssign",
+    "TaskResult",
+    "EndSignal",
+    "Channel",
+    "ChannelClosed",
+    "ChannelTimeout",
+    "QueueChannel",
+    "PipeChannel",
+    "channel_pair",
+    "pipe_channel_pair",
+    "payload_nbytes",
+    "message_nbytes",
+]

@@ -1,0 +1,63 @@
+"""Typed protocol messages of the EasyHPS master/slave loops.
+
+The protocol is exactly the paper's Figs 9 and 11:
+
+1. a slave announces itself idle (:class:`IdleSignal`, Fig 11 step a);
+2. the master answers with a computable sub-task and its necessary data
+   (:class:`TaskAssign`, Fig 9 step d) or with :class:`EndSignal`
+   (Fig 9 step i);
+3. the slave computes and replies (:class:`TaskResult`, Fig 11 / Fig 9
+   step e).
+
+``epoch`` implements the fault-tolerance bookkeeping of the sub-task
+register table: every (re)dispatch of a task bumps its epoch, and the
+master discards results whose epoch no longer matches the registration —
+that is how a timed-out task that eventually *does* answer cannot corrupt
+a rerun's result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+#: Sub-task identifier: a vertex of the abstract (process-level) DAG.
+TaskId = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for all protocol messages (picklable value objects)."""
+
+
+@dataclass(frozen=True)
+class IdleSignal(Message):
+    """Slave -> master: ready for work."""
+
+    slave_id: int
+
+
+@dataclass(frozen=True)
+class TaskAssign(Message):
+    """Master -> slave: one computable sub-task with its necessary data."""
+
+    task_id: TaskId
+    epoch: int
+    inputs: Dict[str, Any] = field(compare=False)
+
+
+@dataclass(frozen=True)
+class TaskResult(Message):
+    """Slave -> master: a finished sub-task's computed data."""
+
+    task_id: TaskId
+    epoch: int
+    slave_id: int
+    outputs: Dict[str, Any] = field(compare=False)
+    #: Slave-side wall-clock seconds spent computing (reporting only).
+    elapsed: float = 0.0
+
+
+@dataclass(frozen=True)
+class EndSignal(Message):
+    """Master -> slave: all sub-tasks finished; shut down (Fig 11 step k)."""

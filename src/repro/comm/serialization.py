@@ -1,0 +1,48 @@
+"""Payload size accounting for protocol messages.
+
+The simulated cluster charges ``latency + bytes / bandwidth`` per message,
+and reports also tally real-backend traffic, so both need a consistent
+"bytes on the wire" estimate. We count array/str/bytes payload plus a
+small fixed envelope per message rather than pickling (which would be
+slow and allocation-heavy on hot paths).
+"""
+
+from __future__ import annotations
+
+from numbers import Number
+from typing import Any
+
+import numpy as np
+
+from repro.comm.messages import Message, TaskAssign, TaskResult
+
+#: Fixed per-message envelope (headers, task id, epoch) in bytes.
+MESSAGE_ENVELOPE_BYTES = 64
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Recursively estimate the wire size of a message payload."""
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode())
+    if isinstance(obj, (bool, Number, np.generic)):
+        return 8
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return sum(payload_nbytes(v) for v in obj)
+    raise TypeError(f"cannot size payload of type {type(obj).__name__}")
+
+
+def message_nbytes(msg: Message) -> int:
+    """Wire size of a protocol message: envelope plus data payload."""
+    if isinstance(msg, TaskAssign):
+        return MESSAGE_ENVELOPE_BYTES + payload_nbytes(msg.inputs)
+    if isinstance(msg, TaskResult):
+        return MESSAGE_ENVELOPE_BYTES + payload_nbytes(msg.outputs)
+    return MESSAGE_ENVELOPE_BYTES

@@ -1,0 +1,135 @@
+"""Channel abstractions carrying protocol messages.
+
+A :class:`Channel` is one duplex endpoint of a master<->slave connection.
+Two concrete transports exist:
+
+- :class:`QueueChannel` — a pair of ``queue.Queue`` objects, used when
+  slaves are threads of the same process;
+- :class:`PipeChannel` — a ``multiprocessing`` pipe, used when slaves are
+  separate OS processes (the MPI stand-in; messages pickle across).
+
+Both count messages and payload bytes per direction so run reports can
+state communication volume regardless of transport.
+"""
+
+from __future__ import annotations
+
+import multiprocessing.connection
+import queue
+from typing import Optional, Tuple
+
+from repro.comm.messages import Message
+from repro.comm.serialization import message_nbytes
+from repro.utils.errors import TransportError
+
+
+class ChannelTimeout(TransportError):
+    """``recv`` timed out — the peer did not answer within the deadline."""
+
+
+class ChannelClosed(TransportError):
+    """The channel (or its peer) was closed."""
+
+
+class Channel:
+    """One duplex endpoint. Subclasses implement ``_send``/``_recv``/``close``."""
+
+    def __init__(self) -> None:
+        self.sent_messages = 0
+        self.sent_bytes = 0
+        self.received_messages = 0
+        self.received_bytes = 0
+        self._closed = False
+
+    # -- public API ----------------------------------------------------------
+
+    def send(self, msg: Message) -> None:
+        """Send a message; raises :class:`ChannelClosed` after close."""
+        if self._closed:
+            raise ChannelClosed("send on closed channel")
+        if not isinstance(msg, Message):
+            raise TransportError(f"can only send Message instances, got {type(msg).__name__}")
+        self._send(msg)
+        self.sent_messages += 1
+        self.sent_bytes += message_nbytes(msg)
+
+    def recv(self, timeout: Optional[float] = None) -> Message:
+        """Receive the next message, waiting at most ``timeout`` seconds."""
+        if self._closed:
+            raise ChannelClosed("recv on closed channel")
+        msg = self._recv(timeout)
+        self.received_messages += 1
+        self.received_bytes += message_nbytes(msg)
+        return msg
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- transport hooks ---------------------------------------------------------
+
+    def _send(self, msg: Message) -> None:
+        raise NotImplementedError
+
+    def _recv(self, timeout: Optional[float]) -> Message:
+        raise NotImplementedError
+
+
+class QueueChannel(Channel):
+    """In-process channel over a pair of thread-safe queues."""
+
+    def __init__(self, outbox: "queue.Queue[Message]", inbox: "queue.Queue[Message]") -> None:
+        super().__init__()
+        self._outbox = outbox
+        self._inbox = inbox
+
+    def _send(self, msg: Message) -> None:
+        self._outbox.put(msg)
+
+    def _recv(self, timeout: Optional[float]) -> Message:
+        try:
+            return self._inbox.get(timeout=timeout)
+        except queue.Empty:
+            raise ChannelTimeout(f"no message within {timeout}s") from None
+
+
+def channel_pair() -> Tuple[QueueChannel, QueueChannel]:
+    """Create the two connected endpoints of an in-process channel."""
+    a_to_b: "queue.Queue[Message]" = queue.Queue()
+    b_to_a: "queue.Queue[Message]" = queue.Queue()
+    return QueueChannel(a_to_b, b_to_a), QueueChannel(b_to_a, a_to_b)
+
+
+class PipeChannel(Channel):
+    """Cross-process channel over a ``multiprocessing`` duplex pipe."""
+
+    def __init__(self, conn: multiprocessing.connection.Connection) -> None:
+        super().__init__()
+        self._conn = conn
+
+    def _send(self, msg: Message) -> None:
+        try:
+            self._conn.send(msg)
+        except (BrokenPipeError, OSError) as exc:
+            raise ChannelClosed(f"peer gone: {exc}") from exc
+
+    def _recv(self, timeout: Optional[float]) -> Message:
+        try:
+            if not self._conn.poll(timeout):
+                raise ChannelTimeout(f"no message within {timeout}s")
+            return self._conn.recv()
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise ChannelClosed(f"peer gone: {exc}") from exc
+
+    def close(self) -> None:
+        super().close()
+        self._conn.close()
+
+
+def pipe_channel_pair() -> Tuple[PipeChannel, PipeChannel]:
+    """Create the two connected endpoints of a cross-process channel."""
+    a, b = multiprocessing.Pipe(duplex=True)
+    return PipeChannel(a), PipeChannel(b)

@@ -1,0 +1,44 @@
+"""DAG Data Driven Model — patterns, partition, runtime parsing (paper Section IV).
+
+The model has two levels (Fig 7): a *topological level* (reduced precedence
+edges used for scheduling) and a *data-communication level* (the full set of
+blocks whose data a sub-task must receive before executing). Both are
+exposed by every :class:`~repro.dag.pattern.DAGPattern`.
+"""
+
+from repro.dag.pattern import DAGPattern, DAGVertex, PatternType, VertexId
+from repro.dag.library import (
+    WavefrontPattern,
+    RowColPrefixPattern,
+    TriangularPattern,
+    Full2DPattern,
+    ChainPattern,
+    CustomPattern,
+    PATTERN_LIBRARY,
+    get_pattern,
+    register_pattern,
+)
+from repro.dag.partition import BlockGrid, Partition, partition_pattern
+from repro.dag.parser import DAGParser
+from repro.dag.model import DAGDataDrivenModel
+
+__all__ = [
+    "DAGPattern",
+    "DAGVertex",
+    "PatternType",
+    "VertexId",
+    "WavefrontPattern",
+    "RowColPrefixPattern",
+    "TriangularPattern",
+    "Full2DPattern",
+    "ChainPattern",
+    "CustomPattern",
+    "PATTERN_LIBRARY",
+    "get_pattern",
+    "register_pattern",
+    "BlockGrid",
+    "Partition",
+    "partition_pattern",
+    "DAGParser",
+    "DAGDataDrivenModel",
+]

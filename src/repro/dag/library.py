@@ -1,0 +1,443 @@
+"""DAG Pattern Model library — built-in patterns plus user registration.
+
+The paper classifies DP problems with the tD/eD taxonomy (Section IV-C) and
+ships "frequently used DAG Pattern Models" in a library; special problems
+use user-defined patterns. The built-ins here cover the paper's example
+algorithms:
+
+- :class:`WavefrontPattern` — 2D/0D (edit distance, LCS, Needleman-Wunsch);
+- :class:`RowColPrefixPattern` — 2D/1D with row/column prefix dependencies
+  (Smith-Waterman with a *general* gap function, paper Fig 5-style);
+- :class:`TriangularPattern` — 2D/1D on the upper triangle (Nussinov,
+  matrix chain / optimal BST);
+- :class:`Full2DPattern` — 2D/2D (Algorithm 4.3);
+- :class:`ChainPattern` — a 1D sequential chain;
+- :class:`CustomPattern` — explicit user-defined adjacency (Table I's
+  user-defined pattern path).
+
+Grid patterns support ``row_reversed`` orientation because the
+upper-triangular problems propagate *upwards* (cell ``(i, j)`` depends on
+``(i+1, j)``): the intra-block DAGs of a partitioned triangular pattern are
+reversed-row wavefronts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.dag.pattern import DAGPattern, PatternType, VertexId
+from repro.utils.errors import PatternError
+
+
+class _GridPattern(DAGPattern):
+    """Shared plumbing for patterns whose vertices are ``(row, col)`` cells."""
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows <= 0 or cols <= 0:
+            raise PatternError(f"grid shape must be positive, got {(rows, cols)}")
+        self.rows = int(rows)
+        self.cols = int(cols)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.rows, self.cols)
+
+    def vertices(self) -> Iterator[VertexId]:
+        for i in range(self.rows):
+            for j in range(self.cols):
+                yield (i, j)
+
+    def n_vertices(self) -> int:
+        return self.rows * self.cols
+
+    def contains(self, vid: VertexId) -> bool:
+        if len(vid) != 2:
+            return False
+        i, j = vid
+        return 0 <= i < self.rows and 0 <= j < self.cols
+
+    def _key(self) -> tuple:
+        return (type(self).__name__, self.rows, self.cols)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _GridPattern) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.rows}x{self.cols})"
+
+
+class WavefrontPattern(_GridPattern):
+    """2D/0D wavefront: cell ``(i, j)`` depends on its N, W (and NW) neighbors.
+
+    ``row_reversed=True`` flips the row direction so that ``(i, j)`` depends
+    on ``(i+1, j)`` instead — the orientation of intra-block DAGs in
+    upper-triangular problems.
+
+    ``diagonal_data_dep`` controls whether the NW corner neighbor appears at
+    the data-communication level (it is topologically redundant — covered
+    via N and W — but its *data* must still be shipped for recurrences such
+    as edit distance that read ``D[i-1, j-1]``).
+    """
+
+    pattern_type = PatternType.WAVEFRONT_2D0D
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        *,
+        row_reversed: bool = False,
+        diagonal_data_dep: bool = True,
+    ) -> None:
+        super().__init__(rows, cols)
+        self.row_reversed = bool(row_reversed)
+        self.diagonal_data_dep = bool(diagonal_data_dep)
+
+    def _key(self) -> tuple:
+        return super()._key() + (self.row_reversed, self.diagonal_data_dep)
+
+    def _up(self, i: int) -> int:
+        """Row index of the row-direction predecessor of row ``i``."""
+        return i + 1 if self.row_reversed else i - 1
+
+    def _down(self, i: int) -> int:
+        return i - 1 if self.row_reversed else i + 1
+
+    def predecessors(self, vid: VertexId) -> Tuple[VertexId, ...]:
+        i, j = vid
+        preds = []
+        if self.contains((self._up(i), j)):
+            preds.append((self._up(i), j))
+        if j - 1 >= 0:
+            preds.append((i, j - 1))
+        return tuple(preds)
+
+    def successors(self, vid: VertexId) -> Tuple[VertexId, ...]:
+        i, j = vid
+        succs = []
+        if self.contains((self._down(i), j)):
+            succs.append((self._down(i), j))
+        if j + 1 < self.cols:
+            succs.append((i, j + 1))
+        return tuple(succs)
+
+    def data_predecessors(self, vid: VertexId) -> Tuple[VertexId, ...]:
+        preds = list(self.predecessors(vid))
+        if self.diagonal_data_dep:
+            i, j = vid
+            diag = (self._up(i), j - 1)
+            if self.contains(diag):
+                preds.append(diag)
+        return tuple(preds)
+
+
+class RowColPrefixPattern(_GridPattern):
+    """2D/1D pattern: ``(i, j)`` needs the whole row prefix and column prefix.
+
+    This is the dependency structure of Smith-Waterman with a general gap
+    function: ``E[i, j] = max_k H[i, k] - w(j - k)`` scans the entire row to
+    the left and ``F[i, j]`` the entire column above. The *topological*
+    level reduces to wavefront edges (N and W cover everything
+    transitively); the *data-communication* level is the full prefix set
+    plus the NW diagonal cell.
+    """
+
+    pattern_type = PatternType.ROWCOL_PREFIX_2D1D
+
+    def __init__(self, rows: int, cols: int, *, row_reversed: bool = False) -> None:
+        super().__init__(rows, cols)
+        self.row_reversed = bool(row_reversed)
+        self._wave = WavefrontPattern(rows, cols, row_reversed=row_reversed)
+
+    def _key(self) -> tuple:
+        return super()._key() + (self.row_reversed,)
+
+    def predecessors(self, vid: VertexId) -> Tuple[VertexId, ...]:
+        return self._wave.predecessors(vid)
+
+    def successors(self, vid: VertexId) -> Tuple[VertexId, ...]:
+        return self._wave.successors(vid)
+
+    def data_predecessors(self, vid: VertexId) -> Tuple[VertexId, ...]:
+        i, j = vid
+        row_prefix = tuple((i, k) for k in range(j))
+        if self.row_reversed:
+            col_prefix = tuple((k, j) for k in range(self.rows - 1, i, -1))
+            diag = (i + 1, j - 1)
+        else:
+            col_prefix = tuple((k, j) for k in range(i))
+            diag = (i - 1, j - 1)
+        deps = row_prefix + col_prefix
+        if self.contains(diag):
+            deps = deps + (diag,)
+        return deps
+
+
+class TriangularPattern(DAGPattern):
+    """2D/1D upper-triangular pattern (Nussinov, matrix chain, optimal BST).
+
+    Vertices are cells ``(i, j)`` with ``0 <= i <= j < n``. Cell ``(i, j)``
+    combines solutions of every split ``(i, k) / (k+1, j)``, so its
+    data-communication dependencies are the whole row segment
+    ``(i, i..j-1)`` and column segment ``(i+1..j, j)``; the topological
+    level reduces to ``(i, j-1)`` and ``(i+1, j)``. The main diagonal
+    ``(i, i)`` is the source set (paper Fig 5).
+    """
+
+    pattern_type = PatternType.TRIANGULAR_2D1D
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise PatternError(f"triangular size must be positive, got {n}")
+        self.n = int(n)
+
+    def _key(self) -> tuple:
+        return (type(self).__name__, self.n)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TriangularPattern) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return f"TriangularPattern(n={self.n})"
+
+    def vertices(self) -> Iterator[VertexId]:
+        for i in range(self.n):
+            for j in range(i, self.n):
+                yield (i, j)
+
+    def n_vertices(self) -> int:
+        return self.n * (self.n + 1) // 2
+
+    def contains(self, vid: VertexId) -> bool:
+        if len(vid) != 2:
+            return False
+        i, j = vid
+        return 0 <= i <= j < self.n
+
+    def predecessors(self, vid: VertexId) -> Tuple[VertexId, ...]:
+        i, j = vid
+        preds = []
+        if j - 1 >= i:
+            preds.append((i, j - 1))
+        if i + 1 <= j:
+            preds.append((i + 1, j))
+        return tuple(preds)
+
+    def successors(self, vid: VertexId) -> Tuple[VertexId, ...]:
+        i, j = vid
+        succs = []
+        if j + 1 < self.n:
+            succs.append((i, j + 1))
+        if i - 1 >= 0:
+            succs.append((i - 1, j))
+        return tuple(succs)
+
+    def data_predecessors(self, vid: VertexId) -> Tuple[VertexId, ...]:
+        i, j = vid
+        row_segment = tuple((i, k) for k in range(i, j))
+        col_segment = tuple((k, j) for k in range(j, i, -1))
+        deps = row_segment + col_segment
+        # The paired term reads the inward-diagonal cell (i+1, j-1), which
+        # lies in neither the row nor the column segment.
+        if j - i >= 2:
+            deps = deps + ((i + 1, j - 1),)
+        return deps
+
+
+class Full2DPattern(_GridPattern):
+    """2D/2D pattern (Algorithm 4.3): ``(i, j)`` reads every strictly
+    dominated cell ``(i', j')`` with ``i' < i`` and ``j' < j``.
+
+    The topological level uses the N/W product-order cover (every strictly
+    dominated cell is an ancestor of a N/W neighbor); the data level is the
+    full dominance rectangle, which is quadratic per cell — use this
+    pattern at block granularity, as the paper does.
+    """
+
+    pattern_type = PatternType.FULL_2D2D
+
+    def predecessors(self, vid: VertexId) -> Tuple[VertexId, ...]:
+        i, j = vid
+        preds = []
+        if i - 1 >= 0:
+            preds.append((i - 1, j))
+        if j - 1 >= 0:
+            preds.append((i, j - 1))
+        return tuple(preds)
+
+    def successors(self, vid: VertexId) -> Tuple[VertexId, ...]:
+        i, j = vid
+        succs = []
+        if i + 1 < self.rows:
+            succs.append((i + 1, j))
+        if j + 1 < self.cols:
+            succs.append((i, j + 1))
+        return tuple(succs)
+
+    def data_predecessors(self, vid: VertexId) -> Tuple[VertexId, ...]:
+        i, j = vid
+        dominance = tuple((a, b) for a in range(i) for b in range(j))
+        # The N/W cover cells are topological preds but not strictly
+        # dominated; data deps must contain them (validate() invariant).
+        extra = tuple(p for p in self.predecessors(vid) if p not in dominance)
+        return dominance + extra
+
+
+class IndependentGridPattern(_GridPattern):
+    """A grid of mutually independent cells — no edges at all.
+
+    The degenerate-but-useful end of the taxonomy: embarrassingly parallel
+    stages such as the phase-3 blocks of blocked Floyd-Warshall, where
+    every cell of a stage depends only on *previous-stage* data that is
+    already in hand.
+    """
+
+    pattern_type = PatternType.CUSTOM
+
+    def predecessors(self, vid: VertexId) -> Tuple[VertexId, ...]:
+        return ()
+
+    def successors(self, vid: VertexId) -> Tuple[VertexId, ...]:
+        return ()
+
+
+class ChainPattern(DAGPattern):
+    """1D chain: vertex ``(i,)`` depends on ``(i-1,)`` — fully sequential."""
+
+    pattern_type = PatternType.CHAIN_1D
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise PatternError(f"chain length must be positive, got {n}")
+        self.n = int(n)
+
+    def _key(self) -> tuple:
+        return (type(self).__name__, self.n)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ChainPattern) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return f"ChainPattern(n={self.n})"
+
+    def vertices(self) -> Iterator[VertexId]:
+        for i in range(self.n):
+            yield (i,)
+
+    def n_vertices(self) -> int:
+        return self.n
+
+    def contains(self, vid: VertexId) -> bool:
+        return len(vid) == 1 and 0 <= vid[0] < self.n
+
+    def predecessors(self, vid: VertexId) -> Tuple[VertexId, ...]:
+        (i,) = vid
+        return ((i - 1,),) if i > 0 else ()
+
+    def successors(self, vid: VertexId) -> Tuple[VertexId, ...]:
+        (i,) = vid
+        return ((i + 1,),) if i + 1 < self.n else ()
+
+
+class CustomPattern(DAGPattern):
+    """User-defined DAG Pattern Model from an explicit adjacency mapping.
+
+    ``adjacency`` maps each vertex id to its topological predecessors;
+    ``data_deps`` optionally extends the data-communication level (it is
+    merged with the topological predecessors so the Fig 7 containment
+    invariant always holds). The pattern is validated on construction.
+    """
+
+    pattern_type = PatternType.CUSTOM
+
+    def __init__(
+        self,
+        adjacency: Mapping[VertexId, Sequence[VertexId]],
+        data_deps: Optional[Mapping[VertexId, Sequence[VertexId]]] = None,
+    ) -> None:
+        self._preds: Dict[VertexId, Tuple[VertexId, ...]] = {
+            tuple(v): tuple(tuple(p) for p in ps) for v, ps in adjacency.items()
+        }
+        self._succs: Dict[VertexId, list] = {v: [] for v in self._preds}
+        for v, ps in self._preds.items():
+            for p in ps:
+                if p not in self._preds:
+                    raise PatternError(f"predecessor {p!r} of {v!r} is not a declared vertex")
+                self._succs[p].append(v)
+        self._succs_frozen = {v: tuple(sorted(s)) for v, s in self._succs.items()}
+        self._data: Dict[VertexId, Tuple[VertexId, ...]] = {}
+        data_deps = data_deps or {}
+        for v in self._preds:
+            extra = tuple(tuple(d) for d in data_deps.get(v, ()))
+            merged = self._preds[v] + tuple(d for d in extra if d not in self._preds[v])
+            for d in merged:
+                if d not in self._preds:
+                    raise PatternError(f"data dependency {d!r} of {v!r} is not a declared vertex")
+            self._data[v] = merged
+        self._order = tuple(sorted(self._preds))
+        self.validate()
+
+    def vertices(self) -> Iterator[VertexId]:
+        return iter(self._order)
+
+    def n_vertices(self) -> int:
+        return len(self._order)
+
+    def contains(self, vid: VertexId) -> bool:
+        return tuple(vid) in self._preds
+
+    def predecessors(self, vid: VertexId) -> Tuple[VertexId, ...]:
+        return self._preds[tuple(vid)]
+
+    def successors(self, vid: VertexId) -> Tuple[VertexId, ...]:
+        return self._succs_frozen[tuple(vid)]
+
+    def data_predecessors(self, vid: VertexId) -> Tuple[VertexId, ...]:
+        return self._data[tuple(vid)]
+
+    def __repr__(self) -> str:
+        return f"CustomPattern({len(self._order)} vertices)"
+
+
+#: Name -> factory registry of the DAG Pattern Model library (Section IV-C).
+PATTERN_LIBRARY: Dict[str, type] = {
+    "wavefront": WavefrontPattern,
+    "rowcol-prefix": RowColPrefixPattern,
+    "triangular": TriangularPattern,
+    "full-2d": Full2DPattern,
+    "chain": ChainPattern,
+    "independent": IndependentGridPattern,
+}
+
+
+def get_pattern(name: str, *args, **kwargs) -> DAGPattern:
+    """Instantiate a library pattern by name, e.g. ``get_pattern("wavefront", 4, 4)``."""
+    try:
+        factory = PATTERN_LIBRARY[name]
+    except KeyError:
+        raise PatternError(
+            f"unknown pattern {name!r}; library has {sorted(PATTERN_LIBRARY)}"
+        ) from None
+    return factory(*args, **kwargs)
+
+
+def register_pattern(name: str, factory: type) -> None:
+    """Add a user-defined pattern factory to the library (Table I path).
+
+    Re-registering an existing name raises, matching the paper's intent
+    that library patterns are stable building blocks.
+    """
+    if name in PATTERN_LIBRARY:
+        raise PatternError(f"pattern name {name!r} already registered")
+    if not (isinstance(factory, type) and issubclass(factory, DAGPattern)):
+        raise PatternError("factory must be a DAGPattern subclass")
+    PATTERN_LIBRARY[name] = factory

@@ -1,0 +1,52 @@
+"""ASCII visualization of DAG patterns and parse states.
+
+Handy in examples and debugging: renders small grid patterns the way the
+paper draws them (Figs 2, 5, 8), with computable vertices as ``o``,
+finished as ``#``, blocked as ``.`` and absent cells blank.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dag.parser import DAGParser, VertexState
+from repro.dag.pattern import DAGPattern
+
+
+_GLYPH = {
+    VertexState.BLOCKED: ".",
+    VertexState.COMPUTABLE: "o",
+    VertexState.DONE: "#",
+}
+
+
+def render_grid(pattern: DAGPattern, parser: Optional[DAGParser] = None) -> str:
+    """Render a 2D pattern as a character grid.
+
+    Without a parser every vertex renders as ``.``; with one, the Fig 8
+    grey/black state shows as ``o``/``#``.
+    """
+    cells = {}
+    max_i = max_j = 0
+    for vid in pattern.vertices():
+        if len(vid) != 2:
+            raise ValueError("render_grid only supports 2D patterns")
+        i, j = vid
+        max_i, max_j = max(max_i, i), max(max_j, j)
+        cells[(i, j)] = _GLYPH[parser.state(vid)] if parser else "."
+    lines = []
+    for i in range(max_i + 1):
+        lines.append(" ".join(cells.get((i, j), " ") for j in range(max_j + 1)))
+    return "\n".join(lines)
+
+
+def describe(pattern: DAGPattern) -> str:
+    """One-paragraph structural summary of a pattern."""
+    n = pattern.n_vertices()
+    n_edges = sum(len(pattern.predecessors(v)) for v in pattern.vertices())
+    n_sources = sum(1 for _ in pattern.sources())
+    n_sinks = sum(1 for _ in pattern.sinks())
+    return (
+        f"{pattern!r}: type={pattern.pattern_type.value}, vertices={n}, "
+        f"edges={n_edges}, sources={n_sources}, sinks={n_sinks}"
+    )

@@ -1,0 +1,16 @@
+"""The EasyHPS runtime: master part, slave part, worker pools, facade.
+
+Maps one-to-one onto the paper's Section III framework: a master part
+doing processor-level scheduling over slave parts, each slave doing
+thread-level scheduling over computing threads, with the worker-pool
+components of Section V-A (computable sub-task stack, finished sub-task
+stack, overtime queue, sub-task register table) and timeout-based
+hierarchical fault tolerance.
+"""
+
+from repro.runtime.config import RunConfig
+from repro.runtime.system import EasyHPS, RunResult
+from repro.runtime.api import DagPatternSpec
+from repro.runtime.easypdp import run_easypdp
+
+__all__ = ["RunConfig", "EasyHPS", "RunResult", "DagPatternSpec", "run_easypdp"]

@@ -1,0 +1,127 @@
+"""Run configuration for the EasyHPS facade.
+
+Mirrors the paper's experiment knobs: node count (``X``), computing
+threads per node (``ct``), the two partition sizes, the scheduling policy
+per level, fault-tolerance timeouts, and — for the simulated backend — a
+cluster spec. ``RunConfig.experiment(X, Y)`` reproduces the paper's
+``Experiment_X_Y`` core accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.cluster.faults import FaultPlan
+from repro.cluster.topology import ClusterSpec, experiment_layout
+from repro.dag.partition import BlockShape, _as_pair
+from repro.schedulers.policy import POLICIES
+from repro.utils.errors import ConfigError
+from repro.utils.validate import check_in, check_positive
+
+BACKENDS = ("serial", "threads", "processes", "simulated")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything the runtime needs besides the problem itself."""
+
+    #: Total nodes including the master (the paper's ``X``). Real backends
+    #: spawn ``nodes - 1`` slave parts.
+    nodes: int = 2
+    #: Computing threads per slave node (the paper's ``ct``).
+    threads_per_node: int = 2
+    #: Execution backend: "serial", "threads", "processes" or "simulated".
+    backend: str = "threads"
+    #: Processor-level scheduling policy: "dynamic" (EasyHPS), "bcw", "cw".
+    scheduler: str = "dynamic"
+    #: Thread-level scheduling policy.
+    thread_scheduler: str = "dynamic"
+    #: Process-level partition size (cells per sub-task side); None picks
+    #: the problem's default.
+    process_partition: Optional[BlockShape] = None
+    #: Thread-level partition size; None picks the problem's default.
+    thread_partition: Optional[BlockShape] = None
+    #: Seconds before a dispatched sub-task is declared failed (Fig 10).
+    task_timeout: float = 30.0
+    #: Seconds before a sub-sub-task restarts its computing thread (Fig 12).
+    subtask_timeout: float = 10.0
+    #: Re-dispatches allowed per sub-task before the run aborts.
+    max_retries: int = 3
+    #: Poll interval of the real backends' service loops, seconds.
+    poll_interval: float = 0.02
+    #: Injected processor-level faults (testing / ablation).
+    fault_plan: FaultPlan = field(default_factory=FaultPlan.none)
+    #: Injected thread-level faults.
+    thread_fault_plan: FaultPlan = field(default_factory=FaultPlan.none)
+    #: How long a "hang" fault sleeps before replying late, seconds.
+    hang_duration: float = 1.0
+    #: Simulated-cluster description; None derives one from nodes/threads.
+    cluster: Optional[ClusterSpec] = None
+    #: BCW column grouping (the baseline's ``block_col`` argument).
+    bcw_block_cols: int = 1
+    #: Record a per-sub-task schedule trace (simulated backend only); the
+    #: report's ``trace`` then feeds :mod:`repro.analysis.gantt`.
+    trace: bool = False
+    #: Model slave-side input caching (simulated backend): re-dispatching
+    #: near a node's previous blocks skips re-shipping the data it already
+    #: holds. Off by default — the paper's master re-sends per task.
+    data_reuse: bool = False
+    #: Overlap the next sub-task's input transfer with the current
+    #: compute (one-deep prefetch, simulated backend). Off by default —
+    #: the paper's slave loop is strictly transfer -> compute -> reply.
+    prefetch: bool = False
+
+    def __post_init__(self) -> None:
+        check_in("backend", self.backend, BACKENDS)
+        check_in("scheduler", self.scheduler, POLICIES)
+        check_in("thread_scheduler", self.thread_scheduler, POLICIES)
+        if self.nodes < 2 and self.backend != "serial":
+            raise ConfigError(f"need >= 2 nodes (master + slave), got {self.nodes}")
+        check_positive("threads_per_node", self.threads_per_node)
+        check_positive("task_timeout", self.task_timeout)
+        check_positive("subtask_timeout", self.subtask_timeout)
+        check_positive("poll_interval", self.poll_interval)
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def n_slaves(self) -> int:
+        return self.nodes - 1
+
+    def partitions_for(self, problem) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+        """Resolve the (process, thread) partition sizes for a problem."""
+        proc, thread = problem.default_partition_sizes()
+        p = self.process_partition if self.process_partition is not None else proc
+        t = self.thread_partition if self.thread_partition is not None else thread
+        return _as_pair(p), _as_pair(t)
+
+    def cluster_spec(self) -> ClusterSpec:
+        """The simulated cluster: explicit spec, or one derived from
+        ``nodes``/``threads_per_node``."""
+        if self.cluster is not None:
+            return self.cluster
+        from repro.cluster.machine import NodeSpec
+
+        return ClusterSpec(
+            compute_nodes=tuple(NodeSpec(threads=self.threads_per_node) for _ in range(self.n_slaves))
+        )
+
+    @classmethod
+    def experiment(cls, nodes: int, cores: int, **overrides) -> "RunConfig":
+        """The paper's ``Experiment_X_Y``: ``cores`` total on ``nodes`` nodes.
+
+        Builds the matching simulated cluster (uneven thread splits
+        round-robin) and defaults the backend to "simulated".
+        """
+        spec = experiment_layout(nodes, cores)
+        threads = spec.compute_nodes[0].threads
+        base = cls(
+            nodes=nodes,
+            threads_per_node=threads,
+            backend="simulated",
+            cluster=spec,
+        )
+        return replace(base, **overrides) if overrides else base

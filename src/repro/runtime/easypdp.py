@@ -1,0 +1,81 @@
+"""EasyPDP compatibility layer — the authors' prior shared-memory runtime.
+
+EasyPDP (Tang et al., TPDS 2012) is, by the EasyHPS paper's own framing,
+exactly the thread-level half of EasyHPS running on one node: a DAG Data
+Driven Model plus a dynamic thread worker pool with timeout-based thread
+restart. :func:`run_easypdp` exposes that as a one-call API, implemented
+by driving a single slave part over the whole (un-split) problem — no
+master node, no message passing, one partition level.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional, Tuple
+
+from repro.algorithms.problem import DPProblem
+from repro.analysis.report import RunReport
+from repro.cluster.faults import FaultPlan
+from repro.dag.partition import BlockShape, partition_pattern
+from repro.runtime.slave import SlavePart
+from repro.comm.messages import TaskAssign
+from repro.comm.transport import channel_pair
+
+
+def run_easypdp(
+    problem: DPProblem,
+    n_threads: int,
+    partition_size: Optional[BlockShape] = None,
+    *,
+    scheduler: str = "dynamic",
+    subtask_timeout: float = 10.0,
+    fault_plan: Optional[FaultPlan] = None,
+) -> Tuple[Any, RunReport]:
+    """Run one DP problem on a single shared-memory node, EasyPDP-style.
+
+    ``partition_size`` is the (single) task partition size — EasyPDP has
+    one level. Returns ``(finalized_result, report)``.
+    """
+    if partition_size is None:
+        partition_size = problem.default_partition_sizes()[1]
+    shape = getattr(problem.pattern(), "shape", None)
+    whole = shape if shape is not None else (problem.pattern().n,) * 2
+    # One "process-level block" covering everything; the thread level does
+    # all the real partitioning — that *is* EasyPDP.
+    partition = partition_pattern(problem.pattern(), whole)
+    (root_bid,) = partition.block_ids()
+
+    slave_end, _driver_end = channel_pair()
+    part = SlavePart(
+        slave_id=0,
+        channel=slave_end,
+        problem=problem,
+        partition=partition,
+        thread_partition=partition_size,
+        n_threads=n_threads,
+        thread_scheduler=scheduler,
+        subtask_timeout=subtask_timeout,
+        thread_fault_plan=fault_plan or FaultPlan.none(),
+    )
+
+    state = problem.make_state()
+    started = time.perf_counter()
+    inputs = problem.extract_inputs(state, partition, root_bid)
+    outputs = part._compute(TaskAssign(task_id=root_bid, epoch=0, inputs=inputs))
+    problem.apply_result(state, partition, root_bid, outputs)
+    elapsed = time.perf_counter() - started
+
+    report = RunReport(
+        backend="easypdp",
+        scheduler=scheduler,
+        algorithm=problem.name,
+        nodes=1,
+        threads_per_node=n_threads,
+        makespan=elapsed,
+        wall_time=elapsed,
+        n_tasks=1,
+        n_subtasks=part.stats.subtasks,
+        thread_restarts=part.stats.thread_restarts,
+        total_flops=problem.total_flops(partition),
+    )
+    return problem.finalize(state), report

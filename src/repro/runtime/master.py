@@ -1,0 +1,219 @@
+"""Master part: processor-level scheduling and fault tolerance (Figs 9, 10).
+
+Thread layout follows the paper:
+
+- one *worker thread per slave node* services that slave's channel —
+  answering idle signals with computable sub-tasks (or the end signal)
+  and collecting results onto the finished sub-task stack;
+- the *master scheduling thread* (the caller of :meth:`MasterPart.run`)
+  drains the finished stack, updates the master DAG pattern, and pushes
+  newly computable sub-tasks onto the computable stack;
+- the *fault-tolerance thread* watches the master overtime queue: a
+  sub-task that misses its deadline while still registered is
+  unregistered and redistributed (Fig 10); a sub-task that exhausts its
+  retry budget aborts the run with :class:`FaultToleranceExhausted`.
+
+Results that arrive after their registration was cancelled carry a stale
+epoch and are dropped — the register-table check of Fig 9 step h.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.algorithms.problem import DPProblem
+from repro.comm.messages import EndSignal, IdleSignal, TaskAssign, TaskResult
+from repro.comm.transport import Channel, ChannelClosed, ChannelTimeout
+from repro.dag.parser import DAGParser
+from repro.dag.partition import Partition
+from repro.runtime.worker_pool import (
+    ComputableStack,
+    FinishedStack,
+    OvertimeEntry,
+    OvertimeQueue,
+    RegisterTable,
+)
+from repro.schedulers.policy import SchedulingPolicy
+from repro.utils.errors import FaultToleranceExhausted, SchedulerError
+
+
+@dataclass
+class MasterStats:
+    """Counters gathered while the master ran."""
+
+    faults_recovered: int = 0
+    stale_results: int = 0
+    tasks_per_worker: Dict[int, int] = field(default_factory=dict)
+    messages: int = 0
+    bytes_to_slaves: int = 0
+    bytes_to_master: int = 0
+
+
+class MasterPart:
+    """Processor-level scheduler over a set of slave channels."""
+
+    def __init__(
+        self,
+        problem: DPProblem,
+        partition: Partition,
+        channels: Sequence[Channel],
+        policy: SchedulingPolicy,
+        *,
+        task_timeout: float = 30.0,
+        max_retries: int = 3,
+        poll_interval: float = 0.02,
+    ) -> None:
+        if not channels:
+            raise SchedulerError("master needs at least one slave channel")
+        if policy.n_workers != len(channels):
+            raise SchedulerError(
+                f"policy sized for {policy.n_workers} workers but {len(channels)} slaves given"
+            )
+        self.problem = problem
+        self.partition = partition
+        self.channels = list(channels)
+        self.policy = policy
+        self.task_timeout = task_timeout
+        self.max_retries = max_retries
+        self.poll_interval = poll_interval
+
+        self.state: Dict[str, np.ndarray] = {}
+        self.stats = MasterStats()
+        self._state_lock = threading.Lock()
+        self._results_lock = threading.Lock()
+        self._result_buffer: Dict[tuple, Dict[str, object]] = {}
+        self._stack = ComputableStack()
+        self._finished = FinishedStack()
+        self._overtime = OvertimeQueue()
+        self._register = RegisterTable()
+        self._end = threading.Event()
+        self._failure: List[BaseException] = []
+
+    # -- public entry ----------------------------------------------------------
+
+    def run(self) -> Dict[str, np.ndarray]:
+        """Execute the whole schedule; returns the completed global state."""
+        self.state = self.problem.make_state()
+        parser = DAGParser(self.partition.abstract)
+        self._stack.push_many(parser.computable())
+
+        workers = [
+            threading.Thread(
+                target=self._serve_slave, args=(k,), daemon=True, name=f"master-worker{k}"
+            )
+            for k in range(len(self.channels))
+        ]
+        ft = threading.Thread(target=self._fault_tolerance, daemon=True, name="master-ft")
+        for t in workers:
+            t.start()
+        ft.start()
+
+        try:
+            # Master scheduling thread (Fig 9 steps c & h).
+            while not parser.is_done():
+                if self._failure:
+                    break
+                task_id = self._finished.pop(timeout=self.poll_interval)
+                if task_id is None:
+                    continue
+                with self._results_lock:
+                    outputs = self._result_buffer.pop(task_id)
+                with self._state_lock:
+                    self.problem.apply_result(self.state, self.partition, task_id, outputs)
+                self._stack.push_many(parser.complete(task_id))
+        finally:
+            # Fig 9 step i: tear down pools and signal every slave to end.
+            self._end.set()
+            self._stack.close()
+            self._finished.close()
+            for t in workers:
+                t.join(timeout=10.0)
+            ft.join(timeout=10.0)
+            for ch in self.channels:
+                self.stats.messages += ch.sent_messages + ch.received_messages
+                self.stats.bytes_to_slaves += ch.sent_bytes
+                self.stats.bytes_to_master += ch.received_bytes
+        if self._failure:
+            raise self._failure[0]
+        return self.state
+
+    # -- per-slave worker thread (Fig 9 steps d-f) ------------------------------------
+
+    def _serve_slave(self, worker_id: int) -> None:
+        channel = self.channels[worker_id]
+        ended = False
+        while not (self._end.is_set() and ended):
+            try:
+                msg = channel.recv(timeout=self.poll_interval)
+            except ChannelTimeout:
+                if self._end.is_set():
+                    # The slave is quiet (possibly hung); deliver the end
+                    # signal on our way out so a live slave can exit.
+                    self._try_send_end(channel)
+                    return
+                continue
+            except ChannelClosed:
+                return
+            if isinstance(msg, IdleSignal):
+                task_id = self._stack.pop_eligible(worker_id, self.policy)
+                if task_id is None:
+                    self._try_send_end(channel)
+                    ended = True
+                    continue
+                epoch = self._register.register(task_id, worker_id)
+                with self._state_lock:
+                    inputs = self.problem.extract_inputs(self.state, self.partition, task_id)
+                self._overtime.push(
+                    OvertimeEntry(
+                        deadline=time.monotonic() + self.task_timeout,
+                        task_id=task_id,
+                        epoch=epoch,
+                    )
+                )
+                try:
+                    channel.send(TaskAssign(task_id=task_id, epoch=epoch, inputs=inputs))
+                except ChannelClosed:
+                    return
+            elif isinstance(msg, TaskResult):
+                if self._register.finish(msg.task_id, msg.epoch):
+                    with self._results_lock:
+                        self._result_buffer[msg.task_id] = msg.outputs
+                    self._finished.push(msg.task_id)
+                    self.stats.tasks_per_worker[worker_id] = (
+                        self.stats.tasks_per_worker.get(worker_id, 0) + 1
+                    )
+                else:
+                    self.stats.stale_results += 1
+
+    def _try_send_end(self, channel: Channel) -> None:
+        try:
+            channel.send(EndSignal())
+        except ChannelClosed:
+            pass
+
+    # -- fault-tolerance thread (Fig 10) ------------------------------------------------
+
+    def _fault_tolerance(self) -> None:
+        while not self._end.is_set():
+            for entry in self._overtime.due(time.monotonic()):
+                if not self._register.cancel(entry.task_id, entry.epoch):
+                    continue  # completed in time; lazy removal
+                attempts = self._register.attempts(entry.task_id)
+                if attempts > self.max_retries + 1:
+                    self._failure.append(
+                        FaultToleranceExhausted(
+                            f"sub-task {entry.task_id} failed {attempts} dispatches"
+                        )
+                    )
+                    self._end.set()
+                    self._stack.close()
+                    self._finished.close()
+                    return
+                self.stats.faults_recovered += 1
+                self._stack.push(entry.task_id)
+            time.sleep(self.poll_interval)

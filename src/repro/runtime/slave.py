@@ -1,0 +1,264 @@
+"""Slave part: thread-level scheduling over one sub-task (Figs 11 and 12).
+
+A slave part loops: announce idle, receive a sub-task with its data,
+initialize the slave DAG Data Driven Model for it (the thread-level
+partition), drain the inner DAG with a pool of computing threads, return
+the result, repeat until the end signal. Thread-level fault tolerance
+watches the slave overtime queue and *restarts the computing thread* on a
+sub-sub-task timeout (Fig 12), re-pushing the lost sub-sub-task.
+
+The same class serves the threads backend (slaves are threads of the
+master process) and the processes backend (slaves are ``multiprocessing``
+workers started on :func:`slave_process_main`) — only the channel differs.
+
+Standing in for EasyPDP: run with ``n_threads`` workers on a single
+sub-task covering the whole matrix and this *is* the shared-memory
+runtime the authors published previously.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.algorithms.problem import DPProblem
+from repro.cluster.faults import FaultPlan
+from repro.comm.messages import EndSignal, IdleSignal, TaskAssign, TaskResult
+from repro.comm.transport import Channel, ChannelClosed, ChannelTimeout
+from repro.dag.parser import DAGParser
+from repro.dag.partition import BlockShape, Partition
+from repro.runtime.worker_pool import (
+    ComputableStack,
+    FinishedStack,
+    OvertimeEntry,
+    OvertimeQueue,
+    RegisterTable,
+)
+from repro.schedulers.policy import make_policy
+from repro.utils.errors import FaultToleranceExhausted
+
+
+@dataclass
+class SlaveStats:
+    """Counters a slave reports back for the run report."""
+
+    tasks: int = 0
+    subtasks: int = 0
+    thread_restarts: int = 0
+    compute_seconds: float = 0.0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+
+class SlavePart:
+    """One slave node: protocol loop plus the slave worker pool."""
+
+    def __init__(
+        self,
+        slave_id: int,
+        channel: Channel,
+        problem: DPProblem,
+        partition: Partition,
+        thread_partition: BlockShape,
+        n_threads: int,
+        *,
+        thread_scheduler: str = "dynamic",
+        subtask_timeout: float = 10.0,
+        max_retries: int = 3,
+        poll_interval: float = 0.02,
+        fault_plan: Optional[FaultPlan] = None,
+        thread_fault_plan: Optional[FaultPlan] = None,
+        hang_duration: float = 1.0,
+        stop_event: Optional[threading.Event] = None,
+    ) -> None:
+        self.slave_id = slave_id
+        self.channel = channel
+        self.problem = problem
+        self.partition = partition
+        self.thread_partition = thread_partition
+        self.n_threads = max(1, int(n_threads))
+        self.thread_scheduler = thread_scheduler
+        self.subtask_timeout = subtask_timeout
+        self.max_retries = max_retries
+        self.poll_interval = poll_interval
+        self.fault_plan = fault_plan or FaultPlan.none()
+        self.thread_fault_plan = thread_fault_plan or FaultPlan.none()
+        self.hang_duration = hang_duration
+        self.stop_event = stop_event or threading.Event()
+        self.stats = SlaveStats()
+
+    # -- protocol loop --------------------------------------------------------
+
+    def run(self) -> SlaveStats:
+        """Serve sub-tasks until the end signal (or stop event)."""
+        while not self.stop_event.is_set():
+            try:
+                self.channel.send(IdleSignal(self.slave_id))
+                msg = self._recv()
+            except ChannelClosed:
+                break
+            if msg is None:
+                break
+            if isinstance(msg, EndSignal):
+                break
+            assert isinstance(msg, TaskAssign), f"unexpected message {msg!r}"
+            fault = self.fault_plan.lookup(msg.task_id, msg.epoch)
+            if fault is not None and fault.kind == "crash":
+                # The process "dies" without replying; the master's
+                # overtime check will redistribute. We come back up on the
+                # next loop iteration, like a restarted worker.
+                continue
+            if fault is not None and fault.kind == "hang":
+                # Stall past the master's deadline, then answer late — the
+                # epoch check must discard this result.
+                time.sleep(self.hang_duration)
+            started = time.perf_counter()
+            outputs = self._compute(msg)
+            elapsed = time.perf_counter() - started
+            self.stats.tasks += 1
+            self.stats.compute_seconds += elapsed
+            try:
+                self.channel.send(
+                    TaskResult(
+                        task_id=msg.task_id,
+                        epoch=msg.epoch,
+                        slave_id=self.slave_id,
+                        outputs=outputs,
+                        elapsed=elapsed,
+                    )
+                )
+            except ChannelClosed:
+                break
+        return self.stats
+
+    def _recv(self):
+        """Poll the channel so the stop event can interrupt a quiet wait."""
+        while not self.stop_event.is_set():
+            try:
+                return self.channel.recv(timeout=self.poll_interval)
+            except ChannelTimeout:
+                continue
+        return None
+
+    # -- slave worker pool (Fig 11 steps c-j) ---------------------------------------
+
+    def _compute(self, assign: TaskAssign) -> Dict[str, object]:
+        evaluator = self.problem.evaluator(self.partition, assign.task_id, assign.inputs)
+        inner = self.partition.sub_partition(assign.task_id, self.thread_partition)
+        self.stats.subtasks += inner.n_blocks
+        if self.n_threads == 1 and not self.thread_fault_plan:
+            return evaluator.run_serial(inner)
+        return self._run_pool(evaluator, inner)
+
+    def _run_pool(self, evaluator, inner: Partition) -> Dict[str, object]:
+        parser = DAGParser(inner.abstract)
+        stack = ComputableStack()
+        finished = FinishedStack()
+        overtime = OvertimeQueue()
+        register = RegisterTable()
+        policy = make_policy(
+            self.thread_scheduler, self.n_threads, inner.grid.n_block_cols
+        )
+        stack.push_many(parser.computable())
+        failure: list[BaseException] = []
+
+        def compute_worker(worker_id: int) -> None:
+            while True:
+                sub = stack.pop_eligible(worker_id, policy)
+                if sub is None:
+                    return
+                epoch = register.register(sub, worker_id)
+                overtime.push(
+                    OvertimeEntry(
+                        deadline=time.monotonic() + self.subtask_timeout,
+                        task_id=sub,
+                        epoch=epoch,
+                    )
+                )
+                injected = self.thread_fault_plan.lookup(sub, epoch)
+                if injected is not None:
+                    # The computing thread dies mid-task (Fig 12's fault):
+                    # exit without reporting; the FT check restarts us.
+                    return
+                rows, cols = inner.block_ranges(sub)
+                evaluator.run_subblock(rows, cols)
+                if register.finish(sub, epoch):
+                    finished.push(sub)
+
+        threads = [
+            threading.Thread(target=compute_worker, args=(k,), daemon=True, name=f"slave{self.slave_id}-ct{k}")
+            for k in range(self.n_threads)
+        ]
+        for t in threads:
+            t.start()
+
+        # Slave scheduling thread (this thread): drain finished sub-sub-tasks,
+        # update the slave DAG pattern, and watch the overtime queue.
+        while not parser.is_done():
+            sub = finished.pop(timeout=self.poll_interval)
+            if sub is not None:
+                stack.push_many(parser.complete(sub))
+            for entry in overtime.due(time.monotonic()):
+                if not register.cancel(entry.task_id, entry.epoch):
+                    continue  # finished in time; lazy removal
+                attempts = register.attempts(entry.task_id)
+                if attempts > self.max_retries + 1:
+                    failure.append(
+                        FaultToleranceExhausted(
+                            f"sub-sub-task {entry.task_id} failed {attempts} times"
+                        )
+                    )
+                    break
+                self.stats.thread_restarts += 1
+                stack.push(entry.task_id)
+                replacement = threading.Thread(
+                    target=compute_worker,
+                    args=(len(threads) % self.n_threads,),
+                    daemon=True,
+                    name=f"slave{self.slave_id}-ct-restart{self.stats.thread_restarts}",
+                )
+                threads.append(replacement)
+                replacement.start()
+            if failure or self.stop_event.is_set():
+                break
+        stack.close()
+        for t in threads:
+            t.join(timeout=5.0)
+        if failure:
+            raise failure[0]
+        return evaluator.outputs()
+
+
+def slave_process_main(
+    slave_id: int,
+    conn,
+    problem: DPProblem,
+    process_partition: BlockShape,
+    thread_partition: BlockShape,
+    n_threads: int,
+    options: dict,
+) -> None:
+    """Entry point of a slave running as a separate OS process.
+
+    Rebuilds the partition locally (patterns are cheap value objects) so
+    only the problem and scalars cross the process boundary.
+    """
+    from repro.comm.transport import PipeChannel
+    from repro.dag.partition import partition_pattern
+
+    channel = PipeChannel(conn)
+    partition = problem.build_partition(process_partition)
+    part = SlavePart(
+        slave_id=slave_id,
+        channel=channel,
+        problem=problem,
+        partition=partition,
+        thread_partition=thread_partition,
+        n_threads=n_threads,
+        **options,
+    )
+    try:
+        part.run()
+    finally:
+        channel.close()

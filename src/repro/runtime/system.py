@@ -1,0 +1,76 @@
+"""The EasyHPS facade — the one entry point users call.
+
+>>> from repro import EasyHPS, RunConfig
+>>> from repro.algorithms import Nussinov
+>>> system = EasyHPS(RunConfig(nodes=3, threads_per_node=2, backend="threads"))
+>>> run = system.run(Nussinov.random(120, seed=1))
+>>> run.value.score, run.report.makespan  # doctest: +SKIP
+
+The facade resolves partition sizes, picks the backend, runs the
+master/slave machinery (or the simulator), and finalizes the problem
+state into the user-facing answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.algorithms.problem import DPProblem
+from repro.analysis.report import RunReport
+from repro.runtime.config import RunConfig
+from repro.utils.errors import ConfigError
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`EasyHPS.run` call.
+
+    ``value`` is the algorithm's finalized answer (None for the simulated
+    backend, which models time but does not compute cells); ``state``
+    holds the completed DP matrices when available.
+    """
+
+    value: Any
+    state: Optional[Dict[str, np.ndarray]]
+    report: RunReport
+
+
+class EasyHPS:
+    """Multilevel hybrid parallel runtime for dynamic programming."""
+
+    def __init__(self, config: Optional[RunConfig] = None) -> None:
+        self.config = config or RunConfig()
+
+    def run(self, problem: DPProblem, config: Optional[RunConfig] = None) -> RunResult:
+        """Execute one DP problem; ``config`` overrides the instance default."""
+        cfg = config or self.config
+        if not isinstance(problem, DPProblem):
+            raise ConfigError(
+                f"problem must be a DPProblem, got {type(problem).__name__}"
+            )
+        if cfg.backend == "serial":
+            from repro.backends.serial import run_serial
+
+            state, report = run_serial(problem, cfg)
+        elif cfg.backend == "threads":
+            from repro.backends.threads import run_threads
+
+            state, report = run_threads(problem, cfg)
+        elif cfg.backend == "processes":
+            from repro.backends.processes import run_processes
+
+            state, report = run_processes(problem, cfg)
+        elif cfg.backend == "simulated":
+            from repro.backends.simulated import run_simulated
+
+            state, report = run_simulated(problem, cfg)
+        else:  # pragma: no cover - RunConfig already validates
+            raise ConfigError(f"unknown backend {cfg.backend!r}")
+        value = problem.finalize(state) if state is not None else None
+        return RunResult(value=value, state=state, report=report)
+
+    def __repr__(self) -> str:
+        return f"EasyHPS({self.config!r})"

@@ -1,0 +1,224 @@
+"""Worker-pool components (paper Section V-A), thread-safe.
+
+Four structures make up a master or slave worker pool:
+
+- :class:`ComputableStack` — LIFO of computable sub-task ids; idle workers
+  pop the first entry their scheduling policy lets them take;
+- :class:`FinishedStack` — LIFO of finished sub-task ids drained by the
+  scheduling thread to update the DAG pattern;
+- :class:`OvertimeQueue` — deadline-ordered record of executing sub-tasks,
+  scanned by the fault-tolerance thread;
+- :class:`RegisterTable` — which worker is executing which sub-task at
+  which epoch; results from stale epochs are discarded.
+
+All four are safe for concurrent access from the scheduling thread, the
+per-slave worker threads, and the fault-tolerance thread.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.comm.messages import TaskId
+from repro.schedulers.policy import SchedulingPolicy
+from repro.utils.errors import SchedulerError
+
+
+class ComputableStack:
+    """Blocking LIFO of computable sub-tasks with policy-aware pops."""
+
+    def __init__(self) -> None:
+        self._items: List[TaskId] = []
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def push(self, task_id: TaskId) -> None:
+        with self._cond:
+            self._items.append(task_id)
+            self._cond.notify_all()
+
+    def push_many(self, task_ids: Iterable[TaskId]) -> None:
+        with self._cond:
+            self._items.extend(task_ids)
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Wake every blocked popper with a None (end of schedule)."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def pop_eligible(
+        self,
+        worker_id: int,
+        policy: SchedulingPolicy,
+        timeout: Optional[float] = None,
+    ) -> Optional[TaskId]:
+        """Pop the newest task ``worker_id`` may take (LIFO scan).
+
+        Blocks until an eligible task appears, the pool closes (returns
+        None), or ``timeout`` elapses (returns None). Static policies can
+        therefore leave a worker waiting here while other tasks sit on the
+        stack — exactly the BCW pathology the evaluation measures.
+        """
+        with self._cond:
+            while True:
+                for idx in range(len(self._items) - 1, -1, -1):
+                    if policy.eligible(worker_id, self._items[idx]):
+                        return self._items.pop(idx)
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+
+    def snapshot(self) -> Tuple[TaskId, ...]:
+        with self._cond:
+            return tuple(self._items)
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+
+class FinishedStack:
+    """Blocking LIFO of finished sub-task ids."""
+
+    def __init__(self) -> None:
+        self._items: List[TaskId] = []
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def push(self, task_id: TaskId) -> None:
+        with self._cond:
+            self._items.append(task_id)
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[TaskId]:
+        """Pop the newest finished id; None on close or timeout."""
+        with self._cond:
+            while True:
+                if self._items:
+                    return self._items.pop()
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+
+@dataclass(frozen=True)
+class OvertimeEntry:
+    """One executing sub-task being watched for timeout."""
+
+    deadline: float
+    task_id: TaskId
+    epoch: int
+
+
+class OvertimeQueue:
+    """Deadline-ordered queue of executing sub-tasks.
+
+    Entries are removed lazily: finishing a task simply bumps its epoch in
+    the register table, and :meth:`due` skips entries whose epoch no
+    longer matches. That keeps push/finish O(log n) without a delete.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, OvertimeEntry]] = []
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    def push(self, entry: OvertimeEntry) -> None:
+        with self._lock:
+            self._seq += 1
+            heapq.heappush(self._heap, (entry.deadline, self._seq, entry))
+
+    def due(self, now: float) -> List[OvertimeEntry]:
+        """Pop and return every entry whose deadline has passed."""
+        out: List[OvertimeEntry] = []
+        with self._lock:
+            while self._heap and self._heap[0][0] <= now:
+                out.append(heapq.heappop(self._heap)[2])
+        return out
+
+    def next_deadline(self) -> Optional[float]:
+        with self._lock:
+            return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+
+@dataclass
+class Registration:
+    """Current execution record of one sub-task."""
+
+    worker_id: int
+    epoch: int
+    attempts: int
+
+
+class RegisterTable:
+    """The sub-task registered table (Section V-A.4).
+
+    A task registers when dispatched; its ``epoch`` counts dispatches.
+    ``finish`` succeeds only when the reported epoch matches the live
+    registration, which is how stale results from timed-out workers are
+    rejected (Fig 9 step h's "if the sub-task is registered" check).
+    """
+
+    def __init__(self) -> None:
+        self._live: Dict[TaskId, Registration] = {}
+        self._attempts: Dict[TaskId, int] = {}
+        self._lock = threading.Lock()
+
+    def register(self, task_id: TaskId, worker_id: int) -> int:
+        """Record a dispatch; returns the new epoch (== attempt index)."""
+        with self._lock:
+            if task_id in self._live:
+                raise SchedulerError(f"task {task_id} already registered")
+            epoch = self._attempts.get(task_id, 0)
+            self._attempts[task_id] = epoch + 1
+            self._live[task_id] = Registration(worker_id=worker_id, epoch=epoch, attempts=epoch + 1)
+            return epoch
+
+    def finish(self, task_id: TaskId, epoch: int) -> bool:
+        """Deregister on success; False if the epoch is stale/unknown."""
+        with self._lock:
+            reg = self._live.get(task_id)
+            if reg is None or reg.epoch != epoch:
+                return False
+            del self._live[task_id]
+            return True
+
+    def cancel(self, task_id: TaskId, epoch: int) -> bool:
+        """Deregister after a detected fault; False if already gone/stale."""
+        return self.finish(task_id, epoch)
+
+    def is_registered(self, task_id: TaskId, epoch: Optional[int] = None) -> bool:
+        with self._lock:
+            reg = self._live.get(task_id)
+            if reg is None:
+                return False
+            return epoch is None or reg.epoch == epoch
+
+    def attempts(self, task_id: TaskId) -> int:
+        """Total dispatch count of ``task_id`` so far."""
+        with self._lock:
+            return self._attempts.get(task_id, 0)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._live)

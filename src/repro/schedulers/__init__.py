@@ -1,0 +1,28 @@
+"""Task-to-worker scheduling policies.
+
+EasyHPS's contribution is the *dynamic worker pool*: any idle worker takes
+any computable sub-task, so no worker idles while work is ready. The
+baselines are the static wavefront schedulers the paper compares against
+(Section VI): block-cyclic wavefront (BCW) pins block columns to workers
+cyclically, and column wavefront (CW) is BCW with one contiguous band per
+worker. Both can leave idle workers next to computable tasks — the
+"fatal situation" of Fig 17.
+"""
+
+from repro.schedulers.policy import (
+    BlockCyclicWavefrontPolicy,
+    ColumnWavefrontPolicy,
+    DynamicPolicy,
+    SchedulingPolicy,
+    make_policy,
+    POLICIES,
+)
+
+__all__ = [
+    "SchedulingPolicy",
+    "DynamicPolicy",
+    "BlockCyclicWavefrontPolicy",
+    "ColumnWavefrontPolicy",
+    "make_policy",
+    "POLICIES",
+]

@@ -1,0 +1,201 @@
+"""Scheduling policy objects shared by the real runtime and the simulator.
+
+A policy answers one question: *may idle worker ``w`` execute ready task
+``t``, and which ready task should it take first?* The dynamic policy
+(EasyHPS) says yes to everything; the static wavefront policies partition
+tasks by block column up front, so a worker whose next owned block is
+still blocked sits idle — measurably so, which is what the Fig 17
+BCW/EasyHPS ratio quantifies.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+from repro.comm.messages import TaskId
+from repro.utils.errors import ConfigError, SchedulerError
+
+
+class SchedulingPolicy(ABC):
+    """Assignment rule for one level (processor or thread) of the runtime."""
+
+    name: str = "abstract"
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers <= 0:
+            raise ConfigError(f"n_workers must be positive, got {n_workers}")
+        self.n_workers = n_workers
+
+    @abstractmethod
+    def owner(self, task_id: TaskId) -> Optional[int]:
+        """Static owner of ``task_id``, or None if any worker may run it."""
+
+    def eligible(self, worker_id: int, task_id: TaskId) -> bool:
+        """Whether ``worker_id`` may execute ``task_id``."""
+        if not 0 <= worker_id < self.n_workers:
+            raise SchedulerError(f"worker {worker_id} out of range 0..{self.n_workers - 1}")
+        o = self.owner(task_id)
+        return o is None or o == worker_id
+
+    def select(self, worker_id: int, ready: Sequence[TaskId]) -> Optional[TaskId]:
+        """First task in ``ready`` (schedule order) this worker may take."""
+        for task_id in ready:
+            if self.eligible(worker_id, task_id):
+                return task_id
+        return None
+
+    def select_index(self, worker_id: int, ready: Sequence[TaskId]) -> Optional[int]:
+        """Index into ``ready`` of the task this worker should take next.
+
+        The default scans from the end — LIFO over the computable stack,
+        matching the real worker pool. Cost-aware policies override.
+        """
+        for idx in range(len(ready) - 1, -1, -1):
+            if self.eligible(worker_id, ready[idx]):
+                return idx
+        return None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.n_workers})"
+
+
+class DynamicPolicy(SchedulingPolicy):
+    """EasyHPS's dynamic worker pool: any worker takes any ready task."""
+
+    name = "dynamic"
+
+    def owner(self, task_id: TaskId) -> Optional[int]:
+        return None
+
+
+class CostAwareDynamicPolicy(DynamicPolicy):
+    """Largest-cost-first dynamic pool — an extension beyond the paper.
+
+    Same eligibility as the dynamic pool, but an idle worker takes the
+    *heaviest* ready task instead of the newest. Classic LPT-style
+    heuristic: starting long tasks early shortens the end-game tail when
+    block costs vary (SWGG, Nussinov). Only the simulated backend honors
+    the ordering; the real pools pop LIFO (ordering needs costs the
+    slave-side stack does not carry).
+    """
+
+    name = "dynamic-lcf"
+
+    def __init__(self, n_workers: int, cost_fn) -> None:
+        super().__init__(n_workers)
+        if not callable(cost_fn):
+            raise ConfigError("dynamic-lcf needs a callable cost_fn(task_id)")
+        self.cost_fn = cost_fn
+
+    def select_index(self, worker_id: int, ready: Sequence[TaskId]) -> Optional[int]:
+        if not ready:
+            return None
+        return max(range(len(ready)), key=lambda i: self.cost_fn(ready[i]))
+
+
+class AffinityDynamicPolicy(DynamicPolicy):
+    """Locality-preferring dynamic pool — an extension beyond the paper.
+
+    Same eligibility as the dynamic pool, but an idle worker first looks
+    for a ready task one of whose precedence neighbors it executed
+    itself: the big prefix/strip inputs of that task are then already in
+    the worker's memory and need not be re-shipped (the simulator models
+    the saving via :meth:`DPProblem.cached_input_bytes`). Falls back to
+    LIFO when nothing local is ready, so it never idles while work exists.
+    """
+
+    name = "dynamic-affinity"
+
+    def __init__(self, n_workers: int, neighbor_fn, history) -> None:
+        super().__init__(n_workers)
+        if not callable(neighbor_fn):
+            raise ConfigError("dynamic-affinity needs a callable neighbor_fn(task_id)")
+        self.neighbor_fn = neighbor_fn
+        #: worker id -> set of task ids that worker completed (shared,
+        #: mutated by the executing backend).
+        self.history = history
+
+    def select_index(self, worker_id: int, ready: Sequence[TaskId]) -> Optional[int]:
+        done = self.history.get(worker_id, ())
+        if done:
+            for idx in range(len(ready) - 1, -1, -1):
+                if any(nb in done for nb in self.neighbor_fn(ready[idx])):
+                    return idx
+        return super().select_index(worker_id, ready)
+
+
+class BlockCyclicWavefrontPolicy(SchedulingPolicy):
+    """Block-cyclic wavefront (BCW, Liu & Schmidt): block column ``J`` is
+    owned by worker ``(J // block_cols) % n_workers``.
+
+    ``block_cols`` groups adjacent block columns before the cyclic deal
+    (the BCW ``block_col`` argument); 1 is the classic cyclic layout.
+    """
+
+    name = "bcw"
+
+    def __init__(self, n_workers: int, block_cols: int = 1) -> None:
+        super().__init__(n_workers)
+        if block_cols <= 0:
+            raise ConfigError(f"block_cols must be positive, got {block_cols}")
+        self.block_cols = block_cols
+
+    def owner(self, task_id: TaskId) -> Optional[int]:
+        col = task_id[-1]
+        return (col // self.block_cols) % self.n_workers
+
+
+class ColumnWavefrontPolicy(SchedulingPolicy):
+    """Column wavefront (CW): one contiguous band of block columns per worker.
+
+    The paper notes CW is the special case of BCW with ``block_col =
+    data_col / n_workers``; we implement it directly from the total number
+    of block columns.
+    """
+
+    name = "cw"
+
+    def __init__(self, n_workers: int, n_columns: int) -> None:
+        super().__init__(n_workers)
+        if n_columns <= 0:
+            raise ConfigError(f"n_columns must be positive, got {n_columns}")
+        self.n_columns = n_columns
+        self._band = math.ceil(n_columns / n_workers)
+
+    def owner(self, task_id: TaskId) -> Optional[int]:
+        col = task_id[-1]
+        if col >= self.n_columns:
+            raise SchedulerError(f"column {col} outside declared range {self.n_columns}")
+        return min(col // self._band, self.n_workers - 1)
+
+
+POLICIES = ("dynamic", "dynamic-lcf", "dynamic-affinity", "bcw", "cw")
+
+
+def make_policy(
+    name: str,
+    n_workers: int,
+    n_columns: int,
+    block_cols: int = 1,
+    cost_fn=None,
+) -> SchedulingPolicy:
+    """Instantiate a policy by name (``n_columns`` feeds CW, ``cost_fn``
+    feeds dynamic-lcf; without a cost function lcf degrades to dynamic)."""
+    if name == "dynamic":
+        return DynamicPolicy(n_workers)
+    if name == "dynamic-lcf":
+        if cost_fn is None:
+            return DynamicPolicy(n_workers)
+        return CostAwareDynamicPolicy(n_workers, cost_fn)
+    if name == "dynamic-affinity":
+        # Needs execution history the factory cannot supply; backends that
+        # track it construct AffinityDynamicPolicy directly, everything
+        # else degrades to the plain dynamic pool.
+        return DynamicPolicy(n_workers)
+    if name == "bcw":
+        return BlockCyclicWavefrontPolicy(n_workers, block_cols=block_cols)
+    if name == "cw":
+        return ColumnWavefrontPolicy(n_workers, n_columns)
+    raise ConfigError(f"unknown scheduler {name!r}; choose from {POLICIES}")

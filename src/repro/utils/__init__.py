@@ -1,0 +1,25 @@
+"""Small shared utilities: error types, deterministic ids, validation helpers."""
+
+from repro.utils.errors import (
+    ReproError,
+    PatternError,
+    PartitionError,
+    SchedulerError,
+    TransportError,
+    FaultToleranceExhausted,
+    ConfigError,
+)
+from repro.utils.validate import check_positive, check_nonnegative, check_in
+
+__all__ = [
+    "ReproError",
+    "PatternError",
+    "PartitionError",
+    "SchedulerError",
+    "TransportError",
+    "FaultToleranceExhausted",
+    "ConfigError",
+    "check_positive",
+    "check_nonnegative",
+    "check_in",
+]

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the EasyHPS reproduction.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything the runtime may raise with a single ``except`` clause
+while still being able to discriminate by subsystem.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class PatternError(ReproError):
+    """A DAG pattern is malformed (cycle, bad vertex, inconsistent degrees)."""
+
+
+class PartitionError(ReproError):
+    """Task partition parameters do not fit the problem (bad block shape)."""
+
+
+class SchedulerError(ReproError):
+    """A scheduler was driven into an invalid state (double completion, ...)."""
+
+
+class TransportError(ReproError):
+    """A message transport failed or was used after closing."""
+
+
+class FaultToleranceExhausted(ReproError):
+    """A sub-task kept failing beyond the configured retry budget."""
+
+
+class ConfigError(ReproError):
+    """A run configuration is invalid or inconsistent."""

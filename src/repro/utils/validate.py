@@ -1,0 +1,30 @@
+"""Tiny argument-validation helpers used across the package.
+
+They raise :class:`~repro.utils.errors.ConfigError` with a uniform message
+format so configuration mistakes surface early and readably instead of as
+deep ``IndexError``/``KeyError`` stacks inside the scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Collection
+
+from repro.utils.errors import ConfigError
+
+
+def check_positive(name: str, value: float) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ConfigError(f"{name} must be > 0, got {value!r}")
+
+
+def check_nonnegative(name: str, value: float) -> None:
+    """Require ``value >= 0``."""
+    if value < 0:
+        raise ConfigError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_in(name: str, value: Any, allowed: Collection[Any]) -> None:
+    """Require ``value`` to be one of ``allowed``."""
+    if value not in allowed:
+        raise ConfigError(f"{name} must be one of {sorted(map(str, allowed))}, got {value!r}")

@@ -1,0 +1,60 @@
+"""Shared fixtures: small problem instances and fast run configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import (
+    EditDistance,
+    LongestCommonSubsequence,
+    MatrixChainOrder,
+    Nussinov,
+    SmithWatermanGG,
+)
+from repro.runtime.config import RunConfig
+
+
+@pytest.fixture
+def edit_distance_small() -> EditDistance:
+    return EditDistance.random(37, 53, seed=7)
+
+
+@pytest.fixture
+def lcs_small() -> LongestCommonSubsequence:
+    return LongestCommonSubsequence.random(41, 29, seed=3)
+
+
+@pytest.fixture
+def swgg_small() -> SmithWatermanGG:
+    return SmithWatermanGG.random(23, 31, seed=11)
+
+
+@pytest.fixture
+def nussinov_small() -> Nussinov:
+    return Nussinov.random(40, seed=5)
+
+
+@pytest.fixture
+def matrix_chain_small() -> MatrixChainOrder:
+    return MatrixChainOrder.random(25, seed=9)
+
+
+@pytest.fixture
+def threads_config() -> RunConfig:
+    """A quick threads-backend configuration for integration tests."""
+    return RunConfig(
+        nodes=3,
+        threads_per_node=2,
+        backend="threads",
+        process_partition=16,
+        thread_partition=4,
+        task_timeout=20.0,
+        subtask_timeout=10.0,
+        poll_interval=0.005,
+    )
+
+
+@pytest.fixture
+def sim_config() -> RunConfig:
+    """A small simulated-backend configuration."""
+    return RunConfig.experiment(3, 11, process_partition=64, thread_partition=16)

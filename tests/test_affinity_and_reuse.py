@@ -1,0 +1,101 @@
+"""Tests for affinity scheduling and the data-reuse (input cache) model."""
+
+import pytest
+
+from repro import RunConfig
+from repro.algorithms import Nussinov, SmithWatermanGG
+from repro.backends.simulated import run_simulated
+from repro.dag.partition import partition_pattern
+from repro.schedulers.policy import AffinityDynamicPolicy, DynamicPolicy, make_policy
+from repro.utils.errors import ConfigError
+
+
+class TestAffinityPolicyUnit:
+    def test_prefers_task_with_local_neighbor(self):
+        history = {0: {(0, 0)}, 1: set()}
+        p = AffinityDynamicPolicy(
+            2, neighbor_fn=lambda t: [(t[0], t[1] - 1)], history=history
+        )
+        ready = [(0, 1), (5, 5)]
+        # Worker 0 computed (0,0): (0,1)'s neighbor — prefer it over the
+        # LIFO head (5,5).
+        assert p.select_index(0, ready) == 0
+        # Worker 1 has no history: plain LIFO.
+        assert p.select_index(1, ready) == 1
+
+    def test_falls_back_to_lifo_without_local_work(self):
+        p = AffinityDynamicPolicy(
+            1, neighbor_fn=lambda t: [], history={0: {(9, 9)}}
+        )
+        assert p.select_index(0, [(0, 0), (0, 1)]) == 1
+
+    def test_requires_callable_neighbor_fn(self):
+        with pytest.raises(ConfigError):
+            AffinityDynamicPolicy(1, neighbor_fn=None, history={})
+
+    def test_factory_degrades_without_history(self):
+        assert type(make_policy("dynamic-affinity", 2, 10)) is DynamicPolicy
+
+
+class TestCachedInputBytes:
+    def test_swgg_row_prefix_reuse(self):
+        sw = SmithWatermanGG.random(400, seed=1)
+        part = partition_pattern(sw.pattern(), 100)
+        bid = (2, 2)
+        full = sw.input_bytes(part, bid)
+        with_left = sw.cached_input_bytes(part, bid, {(2, 1)})
+        with_up = sw.cached_input_bytes(part, bid, {(1, 2)})
+        with_both = sw.cached_input_bytes(part, bid, {(2, 1), (1, 2)})
+        assert with_left < full
+        assert with_up < full
+        assert with_both < min(with_left, with_up)
+        assert sw.cached_input_bytes(part, bid, set()) == full
+
+    def test_triangular_strip_reuse(self):
+        nu = Nussinov.random(300, seed=2)
+        part = partition_pattern(nu.pattern(), 100)
+        bid = (0, 2)
+        full = nu.input_bytes(part, bid)
+        assert nu.cached_input_bytes(part, bid, {(0, 1)}) < full  # W neighbor
+        assert nu.cached_input_bytes(part, bid, {(1, 2)}) < full  # S neighbor
+        assert nu.cached_input_bytes(part, bid, {(5, 5)}) == full  # stranger
+
+    def test_default_is_no_reuse(self):
+        from repro.algorithms import EditDistance
+
+        ed = EditDistance.random(50, 50, seed=1)
+        part = partition_pattern(ed.pattern(), 25)
+        assert ed.cached_input_bytes(part, (1, 1), {(1, 0), (0, 1)}) == ed.input_bytes(
+            part, (1, 1)
+        )
+
+
+class TestSimulatedReuse:
+    def test_reuse_off_by_default(self):
+        sw = SmithWatermanGG.random(2000, seed=1)
+        cfg = RunConfig.experiment(4, 16, process_partition=200, thread_partition=25)
+        _, plain = run_simulated(sw, cfg)
+        cfg_reuse = RunConfig.experiment(4, 16, process_partition=200, thread_partition=25,
+                                         data_reuse=True)
+        _, reused = run_simulated(sw, cfg_reuse)
+        assert reused.bytes_to_slaves < plain.bytes_to_slaves * 0.75
+        assert reused.makespan <= plain.makespan + 1e-9
+
+    def test_affinity_scheduler_runs_end_to_end(self):
+        nu = Nussinov.random(2000, seed=2)
+        cfg = RunConfig.experiment(4, 16, scheduler="dynamic-affinity",
+                                   process_partition=200, thread_partition=25,
+                                   data_reuse=True)
+        _, rep = run_simulated(nu, cfg)
+        assert rep.scheduler == "dynamic-affinity"
+        assert rep.idle_while_ready == 0.0  # still a dynamic pool
+        assert sum(rep.tasks_per_worker.values()) == rep.n_tasks
+
+    def test_reuse_does_not_change_schedule_correctness(self):
+        """Reuse only shrinks transfers; every task still runs once."""
+        sw = SmithWatermanGG.random(1500, seed=3)
+        cfg = RunConfig.experiment(3, 11, process_partition=300, thread_partition=50,
+                                   data_reuse=True, scheduler="dynamic-affinity")
+        _, rep = run_simulated(sw, cfg)
+        assert rep.n_tasks == 25
+        assert rep.faults_recovered == 0

@@ -1,0 +1,102 @@
+"""Property-based tests: blocked execution == serial reference for random
+instances under random partitions — the core correctness contract that lets
+the runtime schedule blocks in any legal order.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    EditDistance,
+    LongestCommonSubsequence,
+    MatrixChainOrder,
+    Nussinov,
+    SmithWatermanGG,
+)
+from repro.dag.partition import partition_pattern
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=24)
+rna = st.text(alphabet="ACGU", min_size=2, max_size=20)
+
+
+def run_blocked(problem, proc, thread):
+    part = partition_pattern(problem.pattern(), proc)
+    state = problem.make_state()
+    for bid in part.abstract.topological_order():
+        inputs = problem.extract_inputs(state, part, bid)
+        ev = problem.evaluator(part, bid, inputs)
+        outputs = ev.run_serial(part.sub_partition(bid, thread))
+        problem.apply_result(state, part, bid, outputs)
+    return problem.finalize(state), state
+
+
+@given(a=dna, b=dna, proc=st.integers(1, 9), thread=st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_edit_distance_blocked_equals_reference(a, b, proc, thread):
+    thread = min(thread, proc)
+    ed = EditDistance(a, b)
+    res, _ = run_blocked(ed, proc, thread)
+    assert res.distance == ed.reference()
+
+
+@given(a=dna, b=dna, proc=st.integers(1, 9), thread=st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_lcs_blocked_equals_reference(a, b, proc, thread):
+    thread = min(thread, proc)
+    lcs = LongestCommonSubsequence(a, b)
+    res, _ = run_blocked(lcs, proc, thread)
+    assert res.length == lcs.reference()
+
+
+@given(
+    a=st.text(alphabet="ACGT", min_size=1, max_size=14),
+    b=st.text(alphabet="ACGT", min_size=1, max_size=14),
+    proc=st.integers(1, 6),
+)
+@settings(max_examples=25, deadline=None)
+def test_swgg_blocked_equals_reference_matrix(a, b, proc):
+    sw = SmithWatermanGG(a, b)
+    _, state = run_blocked(sw, proc, max(1, proc // 2))
+    assert np.allclose(state["H"], sw.reference_matrix())
+
+
+@given(seq=rna, proc=st.integers(1, 7), min_sep=st.integers(0, 3))
+@settings(max_examples=30, deadline=None)
+def test_nussinov_blocked_equals_reference(seq, proc, min_sep):
+    nu = Nussinov(seq, min_sep=min_sep)
+    res, _ = run_blocked(nu, proc, max(1, proc // 2))
+    assert res.score == nu.reference()
+
+
+@given(
+    dims=st.lists(st.integers(1, 20), min_size=2, max_size=12),
+    proc=st.integers(1, 5),
+)
+@settings(max_examples=30, deadline=None)
+def test_matrix_chain_blocked_equals_reference(dims, proc):
+    mc = MatrixChainOrder(dims)
+    res, _ = run_blocked(mc, proc, max(1, proc // 2))
+    assert np.isclose(res.cost, mc.reference())
+
+
+@given(seq=rna, proc=st.integers(1, 6))
+@settings(max_examples=25, deadline=None)
+def test_nussinov_traceback_always_valid(seq, proc):
+    """The recovered structure is well-formed for arbitrary instances."""
+    nu = Nussinov(seq)
+    res, _ = run_blocked(nu, proc, 1)
+    used = set()
+    for i, j in res.pairs:
+        assert nu.can_pair(i, j)
+        assert not {i, j} & used
+        used |= {i, j}
+    assert len(res.pairs) == res.score
+
+
+@given(a=dna, b=dna)
+@settings(max_examples=30, deadline=None)
+def test_edit_distance_metric_properties(a, b):
+    """Identity and symmetry of the distance (metric sanity)."""
+    assert EditDistance(a, a).reference() == 0
+    assert EditDistance(a, b).reference() == EditDistance(b, a).reference()

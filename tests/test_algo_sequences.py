@@ -1,0 +1,83 @@
+"""Unit tests for synthetic sequence generation and scoring helpers."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.sequences import (
+    DNA_ALPHABET,
+    RNA_ALPHABET,
+    encode,
+    encode_pair,
+    match_score_matrix,
+    pair_matrix,
+    random_dna,
+    random_protein,
+    random_rna,
+    random_sequence,
+)
+
+
+class TestGenerators:
+    def test_length_and_alphabet(self):
+        s = random_dna(500, seed=1)
+        assert len(s) == 500
+        assert set(s) <= set(DNA_ALPHABET)
+
+    def test_seed_reproducibility(self):
+        assert random_rna(100, seed=42) == random_rna(100, seed=42)
+        assert random_rna(100, seed=42) != random_rna(100, seed=43)
+
+    def test_zero_length(self):
+        assert random_dna(0, seed=1) == ""
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            random_sequence(-1, "AC")
+
+    def test_protein_alphabet(self):
+        s = random_protein(200, seed=0)
+        assert len(set(s)) > 4  # uses more than a nucleotide alphabet
+
+    def test_roughly_uniform(self):
+        s = random_dna(40_000, seed=7)
+        counts = {c: s.count(c) for c in DNA_ALPHABET}
+        for c, n in counts.items():
+            assert 0.22 < n / 40_000 < 0.28, (c, n)
+
+
+class TestEncoding:
+    def test_encode_round_trip(self):
+        s = "ACGUACGU"
+        codes = encode(s, RNA_ALPHABET)
+        assert codes.dtype == np.int8
+        assert "".join(RNA_ALPHABET[c] for c in codes) == s
+
+    def test_encode_rejects_foreign_chars(self):
+        with pytest.raises(ValueError, match="not in alphabet"):
+            encode("ACGT", RNA_ALPHABET)  # T is DNA, not RNA
+
+    def test_encode_pair(self):
+        a, b = encode_pair("ACG", "TGC")
+        assert a.tolist() == [0, 1, 2]
+        assert b.tolist() == [3, 2, 1]
+
+
+class TestScoring:
+    def test_pair_matrix_watson_crick_and_wobble(self):
+        P = pair_matrix()
+        idx = {c: i for i, c in enumerate(RNA_ALPHABET)}
+        assert P[idx["A"], idx["U"]] and P[idx["U"], idx["A"]]
+        assert P[idx["G"], idx["C"]] and P[idx["C"], idx["G"]]
+        assert P[idx["G"], idx["U"]] and P[idx["U"], idx["G"]]
+        assert not P[idx["A"], idx["G"]]
+        assert not P[idx["A"], idx["A"]]
+
+    def test_pair_matrix_symmetric(self):
+        P = pair_matrix()
+        assert np.array_equal(P, P.T)
+
+    def test_match_score_matrix(self):
+        M = match_score_matrix("ACGT", match=5.0, mismatch=-2.0)
+        assert M[0, 0] == 5.0
+        assert M[0, 1] == -2.0
+        assert M.shape == (4, 4)

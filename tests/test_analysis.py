@@ -1,0 +1,105 @@
+"""Unit tests for reports, tables, and figure-series helpers."""
+
+import pytest
+
+from repro.analysis.figures import Series, crossover_points, speedup_series
+from repro.analysis.report import RunReport, _human_bytes
+from repro.analysis.tables import ascii_table, format_series
+
+
+def make_report(**kw):
+    base = dict(
+        backend="simulated",
+        scheduler="dynamic",
+        algorithm="swgg",
+        nodes=4,
+        threads_per_node=5,
+        makespan=10.0,
+        wall_time=0.1,
+        n_tasks=100,
+    )
+    base.update(kw)
+    return RunReport(**base)
+
+
+class TestRunReport:
+    def test_speedup(self):
+        assert make_report().speedup_vs(100.0) == 10.0
+
+    def test_speedup_needs_positive_makespan(self):
+        with pytest.raises(ValueError):
+            make_report(makespan=0.0).speedup_vs(1.0)
+
+    def test_summary_mentions_key_facts(self):
+        text = make_report(faults_recovered=2, utilization=0.5).summary()
+        assert "swgg" in text
+        assert "2 redistributed" in text
+        assert "50.0%" in text
+
+    def test_summary_omits_empty_sections(self):
+        text = make_report().summary()
+        assert "faults" not in text
+        assert "utilization" not in text
+
+    def test_human_bytes(self):
+        assert _human_bytes(512) == "512.0 B"
+        assert _human_bytes(2048) == "2.0 KiB"
+        assert _human_bytes(3 * 1024**2) == "3.0 MiB"
+
+
+class TestAsciiTable:
+    def test_renders_aligned(self):
+        out = ascii_table(["name", "value"], [["x", 1], ["longer", 2.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(map(len, lines))) == 1  # all rows same width
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [["only-one"]])
+
+    def test_float_formatting(self):
+        out = ascii_table(["v"], [[3.14159265]])
+        assert "3.142" in out
+
+    def test_format_series(self):
+        out = format_series("t", [1, 2], [0.5, 0.25])
+        assert out == "t: (1, 0.5) (2, 0.25)"
+
+
+class TestSeries:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            Series("x", (1, 2), (1,))
+
+    def test_from_points(self):
+        s = Series.from_points("x", [(1, 10.0), (2, 5.0)])
+        assert s.xs == (1, 2)
+        assert s.min_y() == 5.0
+        assert s.max_y() == 10.0
+
+    def test_ratio_over_common_x(self):
+        a = Series("a", (1, 2, 3), (2.0, 4.0, 8.0))
+        b = Series("b", (2, 3, 4), (2.0, 2.0, 2.0))
+        r = a.ratio_to(b)
+        assert r.xs == (2, 3)
+        assert r.ys == (2.0, 4.0)
+        assert r.label == "a/b"
+
+    def test_speedup_series(self):
+        s = Series("elapsed", (1, 2), (10.0, 5.0))
+        sp = speedup_series(s, baseline=20.0)
+        assert sp.ys == (2.0, 4.0)
+
+    def test_crossover_points(self):
+        a = Series("a", (1, 2, 3, 4), (1.0, 2.0, 3.0, 4.0))
+        b = Series("b", (1, 2, 3, 4), (4.0, 3.0, 2.0, 1.0))
+        assert crossover_points(a, b) == [3]
+
+    def test_no_crossover(self):
+        a = Series("a", (1, 2), (1.0, 1.0))
+        b = Series("b", (1, 2), (2.0, 2.0))
+        assert crossover_points(a, b) == []
+
+    def test_render(self):
+        assert Series("s", (1,), (2.0,)).render() == "s: (1, 2)"

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ALGORITHMS, _register_algorithms, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.algo == "edit-distance"
+        assert args.backend == "threads"
+        assert args.nodes == 3
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "--cores", "30"])
+        assert args.cores == 30
+        assert not args.gantt
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "backends" in out
+        assert "swgg" in out
+        assert "floyd-warshall" in out
+
+    def test_run_serial(self, capsys):
+        assert main(["run", "--algo", "lcs", "--size", "40", "--backend", "serial",
+                     "--nodes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "lcs via serial" in out
+        assert "result:" in out
+
+    def test_run_threads(self, capsys):
+        assert main(["run", "--algo", "edit-distance", "--size", "50"]) == 0
+        assert "edit-distance via threads" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--algo", "nussinov", "--size", "400",
+                     "--nodes", "3", "--cores", "11"]) == 0
+        assert "simulated" in capsys.readouterr().out
+
+    def test_simulate_with_gantt(self, capsys):
+        assert main(["simulate", "--algo", "swgg", "--size", "400",
+                     "--nodes", "3", "--cores", "11", "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "node  0 |" in out
+
+    def test_calibrate(self, capsys):
+        assert main(["calibrate", "--algo", "edit-distance", "--size", "80",
+                     "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fitted rate" in out
+        assert "calibrated NodeSpec" in out
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(SystemExit, match="unknown algorithm"):
+            main(["run", "--algo", "quicksort"])
+
+    def test_registry_factories_produce_problems(self):
+        from repro.algorithms.problem import DPProblem
+
+        _register_algorithms()
+        for name, factory in ALGORITHMS.items():
+            problem = factory(12, 0)
+            assert isinstance(problem, DPProblem), name

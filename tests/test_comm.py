@@ -1,0 +1,144 @@
+"""Unit tests for protocol messages, serialization accounting, transports."""
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.comm.messages import EndSignal, IdleSignal, TaskAssign, TaskResult
+from repro.comm.serialization import MESSAGE_ENVELOPE_BYTES, message_nbytes, payload_nbytes
+from repro.comm.transport import (
+    ChannelClosed,
+    ChannelTimeout,
+    channel_pair,
+    pipe_channel_pair,
+)
+from repro.utils.errors import TransportError
+
+
+class TestMessages:
+    def test_all_messages_pickle(self):
+        msgs = [
+            IdleSignal(3),
+            TaskAssign((1, 2), 0, {"x": np.arange(5)}),
+            TaskResult((1, 2), 0, 3, {"block": np.eye(2)}, elapsed=0.5),
+            EndSignal(),
+        ]
+        for m in msgs:
+            clone = pickle.loads(pickle.dumps(m))
+            assert type(clone) is type(m)
+
+    def test_task_assign_equality_ignores_payload(self):
+        a = TaskAssign((0, 0), 1, {"x": np.arange(3)})
+        b = TaskAssign((0, 0), 1, {"x": np.arange(9)})
+        assert a == b  # identity is (task_id, epoch); payload is data
+
+
+class TestPayloadAccounting:
+    def test_ndarray(self):
+        assert payload_nbytes(np.zeros((10, 10))) == 800
+
+    def test_nested_dict(self):
+        p = {"a": np.zeros(4), "b": [np.zeros(2), "xyz"], "n": 7}
+        # arrays (32 + 16) + "xyz" (3) + int (8) + keys "a","b","n" (3)
+        assert payload_nbytes(p) == 32 + 16 + 3 + 8 + 3
+
+    def test_scalars_and_none(self):
+        assert payload_nbytes(None) == 0
+        assert payload_nbytes(3.14) == 8
+        assert payload_nbytes(True) == 8
+        assert payload_nbytes(b"abcd") == 4
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            payload_nbytes(object())
+
+    def test_message_nbytes(self):
+        idle = IdleSignal(0)
+        assert message_nbytes(idle) == MESSAGE_ENVELOPE_BYTES
+        assign = TaskAssign((0, 0), 0, {"x": np.zeros(100)})
+        assert message_nbytes(assign) == MESSAGE_ENVELOPE_BYTES + 800 + 1
+
+
+class TestQueueChannel:
+    def test_round_trip(self):
+        a, b = channel_pair()
+        a.send(IdleSignal(1))
+        msg = b.recv(timeout=1.0)
+        assert msg == IdleSignal(1)
+
+    def test_duplex(self):
+        a, b = channel_pair()
+        a.send(IdleSignal(1))
+        b.send(EndSignal())
+        assert isinstance(a.recv(timeout=1.0), EndSignal)
+        assert isinstance(b.recv(timeout=1.0), IdleSignal)
+
+    def test_timeout(self):
+        a, _ = channel_pair()
+        with pytest.raises(ChannelTimeout):
+            a.recv(timeout=0.01)
+
+    def test_closed_channel_rejects(self):
+        a, _ = channel_pair()
+        a.close()
+        with pytest.raises(ChannelClosed):
+            a.send(IdleSignal(0))
+        with pytest.raises(ChannelClosed):
+            a.recv(timeout=0.01)
+
+    def test_only_messages_allowed(self):
+        a, _ = channel_pair()
+        with pytest.raises(TransportError):
+            a.send("not a message")
+
+    def test_byte_counters(self):
+        a, b = channel_pair()
+        a.send(TaskAssign((0, 0), 0, {"x": np.zeros(10)}))
+        b.recv(timeout=1.0)
+        assert a.sent_messages == 1
+        assert a.sent_bytes == MESSAGE_ENVELOPE_BYTES + 80 + 1
+        assert b.received_messages == 1
+        assert b.received_bytes == a.sent_bytes
+
+    def test_concurrent_producers(self):
+        a, b = channel_pair()
+
+        def produce(k):
+            for _ in range(50):
+                b.send(IdleSignal(k))
+
+        threads = [threading.Thread(target=produce, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        got = [a.recv(timeout=1.0) for _ in range(200)]
+        for t in threads:
+            t.join()
+        assert len(got) == 200
+
+
+class TestPipeChannel:
+    def test_round_trip_across_endpoints(self):
+        a, b = pipe_channel_pair()
+        payload = {"block": np.arange(12).reshape(3, 4)}
+        a.send(TaskResult((1, 1), 0, 2, payload))
+        msg = b.recv(timeout=2.0)
+        assert isinstance(msg, TaskResult)
+        assert np.array_equal(msg.outputs["block"], payload["block"])
+        a.close()
+        b.close()
+
+    def test_timeout(self):
+        a, b = pipe_channel_pair()
+        with pytest.raises(ChannelTimeout):
+            a.recv(timeout=0.01)
+        a.close()
+        b.close()
+
+    def test_peer_close_detected(self):
+        a, b = pipe_channel_pair()
+        b.close()
+        with pytest.raises((ChannelClosed, ChannelTimeout)):
+            a.recv(timeout=0.2)
+        a.close()

@@ -1,0 +1,176 @@
+"""Unit tests for the built-in DAG Pattern Model library."""
+
+import pytest
+
+from repro.dag.library import (
+    PATTERN_LIBRARY,
+    ChainPattern,
+    CustomPattern,
+    Full2DPattern,
+    RowColPrefixPattern,
+    TriangularPattern,
+    WavefrontPattern,
+    get_pattern,
+    register_pattern,
+)
+from repro.utils.errors import PatternError
+
+
+class TestWavefront:
+    def test_interior_dependencies(self):
+        p = WavefrontPattern(4, 4)
+        assert set(p.predecessors((2, 2))) == {(1, 2), (2, 1)}
+        assert set(p.successors((2, 2))) == {(3, 2), (2, 3)}
+
+    def test_boundary_dependencies(self):
+        p = WavefrontPattern(3, 3)
+        assert p.predecessors((0, 2)) == ((0, 1),)
+        assert p.predecessors((2, 0)) == ((1, 0),)
+        assert p.predecessors((0, 0)) == ()
+
+    def test_diagonal_data_dep_toggle(self):
+        with_diag = WavefrontPattern(3, 3, diagonal_data_dep=True)
+        without = WavefrontPattern(3, 3, diagonal_data_dep=False)
+        assert (0, 0) in with_diag.data_predecessors((1, 1))
+        assert (0, 0) not in without.data_predecessors((1, 1))
+
+    def test_row_reversed_flips_row_direction(self):
+        p = WavefrontPattern(3, 3, row_reversed=True)
+        assert set(p.predecessors((1, 1))) == {(2, 1), (1, 0)}
+        assert set(p.successors((1, 1))) == {(0, 1), (1, 2)}
+        assert list(p.sources()) == [(2, 0)]
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(PatternError):
+            WavefrontPattern(0, 3)
+
+
+class TestRowColPrefix:
+    def test_topological_reduces_to_wavefront(self):
+        p = RowColPrefixPattern(4, 4)
+        w = WavefrontPattern(4, 4)
+        for v in p.vertices():
+            assert p.predecessors(v) == w.predecessors(v)
+
+    def test_data_deps_are_full_prefixes(self):
+        p = RowColPrefixPattern(5, 5)
+        deps = set(p.data_predecessors((2, 3)))
+        expected_row = {(2, k) for k in range(3)}
+        expected_col = {(k, 3) for k in range(2)}
+        assert expected_row <= deps
+        assert expected_col <= deps
+        assert (1, 2) in deps  # NW diagonal
+
+    def test_reversed_data_deps_point_down(self):
+        p = RowColPrefixPattern(4, 4, row_reversed=True)
+        deps = set(p.data_predecessors((1, 2)))
+        assert (3, 2) in deps and (2, 2) in deps  # column below
+        assert (1, 0) in deps and (1, 1) in deps  # row to the left
+        assert (2, 1) in deps  # reversed diagonal
+
+
+class TestTriangular:
+    def test_vertex_count(self):
+        assert TriangularPattern(6).n_vertices() == 21
+
+    def test_contains_only_upper_triangle(self):
+        p = TriangularPattern(4)
+        assert (1, 3) in p and (2, 2) in p
+        assert not p.contains((3, 1))
+
+    def test_topological_dependencies(self):
+        p = TriangularPattern(5)
+        assert set(p.predecessors((1, 3))) == {(1, 2), (2, 3)}
+        assert p.predecessors((2, 2)) == ()
+
+    def test_data_deps_are_segments_plus_inward_diagonal(self):
+        p = TriangularPattern(6)
+        deps = set(p.data_predecessors((1, 4)))
+        assert deps == {(1, 1), (1, 2), (1, 3), (2, 4), (3, 4), (4, 4), (2, 3)}
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(PatternError):
+            TriangularPattern(0)
+
+
+class TestFull2D:
+    def test_data_deps_are_strict_dominance(self):
+        p = Full2DPattern(4, 4)
+        deps = set(p.data_predecessors((2, 2)))
+        assert {(0, 0), (0, 1), (1, 0), (1, 1)} <= deps
+        # N/W cover cells are included for the containment invariant.
+        assert (1, 2) in deps and (2, 1) in deps
+
+    def test_source_is_origin_row_and_column(self):
+        p = Full2DPattern(3, 3)
+        assert list(p.sources()) == [(0, 0)]
+
+
+class TestChain:
+    def test_structure(self):
+        p = ChainPattern(4)
+        assert list(p.vertices()) == [(0,), (1,), (2,), (3,)]
+        assert p.predecessors((0,)) == ()
+        assert p.predecessors((3,)) == ((2,),)
+        assert p.successors((3,)) == ()
+
+
+class TestCustomPattern:
+    def test_round_trip(self):
+        adj = {(0,): [], (1,): [(0,)], (2,): [(0,)], (3,): [(1,), (2,)]}
+        p = CustomPattern(adj)
+        assert p.n_vertices() == 4
+        assert set(p.successors((0,))) == {(1,), (2,)}
+        assert p.predecessors((3,)) == ((1,), (2,))
+
+    def test_extra_data_deps_merged(self):
+        p = CustomPattern(
+            {(0,): [], (1,): [(0,)], (2,): [(1,)]},
+            data_deps={(2,): [(0,)]},
+        )
+        assert set(p.data_predecessors((2,))) == {(1,), (0,)}
+
+    def test_unknown_predecessor_rejected(self):
+        with pytest.raises(PatternError):
+            CustomPattern({(0,): [(9,)]})
+
+    def test_unknown_data_dep_rejected(self):
+        with pytest.raises(PatternError):
+            CustomPattern({(0,): [], (1,): [(0,)]}, data_deps={(1,): [(9,)]})
+
+    def test_cycle_rejected_on_construction(self):
+        with pytest.raises(PatternError):
+            CustomPattern({(0,): [(1,)], (1,): [(0,)]})
+
+
+class TestLibraryRegistry:
+    def test_builtin_names(self):
+        assert {"wavefront", "rowcol-prefix", "triangular", "full-2d", "chain"} <= set(
+            PATTERN_LIBRARY
+        )
+
+    def test_get_pattern(self):
+        p = get_pattern("wavefront", 3, 4)
+        assert isinstance(p, WavefrontPattern)
+        assert p.shape == (3, 4)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(PatternError, match="unknown pattern"):
+            get_pattern("nope", 3)
+
+    def test_register_pattern_and_reject_duplicates(self):
+        class MyPattern(ChainPattern):
+            pass
+
+        name = "test-only-pattern"
+        try:
+            register_pattern(name, MyPattern)
+            assert isinstance(get_pattern(name, 3), MyPattern)
+            with pytest.raises(PatternError, match="already registered"):
+                register_pattern(name, MyPattern)
+        finally:
+            PATTERN_LIBRARY.pop(name, None)
+
+    def test_register_rejects_non_pattern(self):
+        with pytest.raises(PatternError, match="DAGPattern subclass"):
+            register_pattern("not-a-pattern", int)

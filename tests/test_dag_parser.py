@@ -1,0 +1,94 @@
+"""Unit tests for runtime DAG parsing (Fig 8)."""
+
+import pytest
+
+from repro.dag.library import ChainPattern, TriangularPattern, WavefrontPattern
+from repro.dag.parser import DAGParser, VertexState, critical_path
+from repro.utils.errors import SchedulerError
+
+
+class TestParserLifecycle:
+    def test_initial_computable_set(self):
+        p = DAGParser(WavefrontPattern(3, 3))
+        assert p.computable() == [(0, 0)]
+        assert p.n_total == 9
+        assert p.n_done == 0
+        assert not p.is_done()
+
+    def test_triangular_initial_frontier_is_diagonal(self):
+        p = DAGParser(TriangularPattern(4))
+        assert set(p.computable()) == {(i, i) for i in range(4)}
+
+    def test_complete_unlocks_successors(self):
+        p = DAGParser(WavefrontPattern(3, 3))
+        fresh = p.complete((0, 0))
+        assert fresh == [(0, 1), (1, 0)]
+        assert p.state((0, 0)) is VertexState.DONE
+        assert p.state((0, 1)) is VertexState.COMPUTABLE
+        assert p.state((1, 1)) is VertexState.BLOCKED
+
+    def test_partial_indegree_not_yet_ready(self):
+        p = DAGParser(WavefrontPattern(2, 2))
+        p.complete((0, 0))
+        assert p.complete((0, 1)) == []  # (1,1) still waits on (1,0)
+        assert p.complete((1, 0)) == [(1, 1)]
+
+    def test_run_all_drains_everything(self):
+        p = DAGParser(WavefrontPattern(4, 5))
+        order = p.run_all()
+        assert len(order) == 20
+        assert p.is_done()
+        pos = {v: i for i, v in enumerate(order)}
+        for v in WavefrontPattern(4, 5).vertices():
+            for pred in WavefrontPattern(4, 5).predecessors(v):
+                assert pos[pred] < pos[v]
+
+    def test_reset(self):
+        p = DAGParser(ChainPattern(3))
+        p.run_all()
+        assert p.is_done()
+        p.reset()
+        assert not p.is_done()
+        assert p.computable() == [(0,)]
+
+
+class TestParserStrictness:
+    def test_double_complete_rejected(self):
+        p = DAGParser(ChainPattern(3))
+        p.complete((0,))
+        with pytest.raises(SchedulerError, match="twice"):
+            p.complete((0,))
+
+    def test_blocked_complete_rejected(self):
+        p = DAGParser(ChainPattern(3))
+        with pytest.raises(SchedulerError, match="blocked"):
+            p.complete((2,))
+
+    def test_unknown_vertex_rejected(self):
+        p = DAGParser(ChainPattern(3))
+        with pytest.raises(SchedulerError, match="not a vertex"):
+            p.complete((99,))
+
+    def test_custom_order_key(self):
+        p = DAGParser(TriangularPattern(3), order_key=lambda v: (-v[0], v[1]))
+        assert p.computable() == [(2, 2), (1, 1), (0, 0)]
+
+
+class TestCriticalPath:
+    def test_unit_costs_wavefront(self):
+        length, path = critical_path(WavefrontPattern(3, 4), lambda v: 1.0)
+        assert length == 6.0  # 3 + 4 - 1 vertices on the longest chain
+        assert path[0] == (0, 0) and path[-1] == (2, 3)
+
+    def test_weighted_path_prefers_heavy_vertices(self):
+        costs = {(0,): 1.0, (1,): 1.0, (2,): 1.0}
+        length, path = critical_path(ChainPattern(3), lambda v: costs[v])
+        assert length == 3.0
+        assert path == [(0,), (1,), (2,)]
+
+    def test_triangular_path_spans_full_range(self):
+        # Paths move up/right monotonically, so the longest chain from any
+        # diagonal source (i, i) to the sink (0, n-1) has exactly n cells.
+        length, path = critical_path(TriangularPattern(5), lambda v: 1.0)
+        assert length == 5.0
+        assert path[-1] == (0, 4)

@@ -1,0 +1,114 @@
+"""Property-based tests (hypothesis) for DAG invariants.
+
+These pin the structural contracts every other layer builds on: topological
+consistency of pred/succ views, partition closure (the abstract DAG is a
+valid DAG of the same family and covers all cells exactly once), and the
+parser's equivalence to a full topological sort under any completion order.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag.library import (
+    RowColPrefixPattern,
+    TriangularPattern,
+    WavefrontPattern,
+)
+from repro.dag.parser import DAGParser
+from repro.dag.partition import partition_pattern
+
+grid_shapes = st.tuples(st.integers(1, 12), st.integers(1, 12))
+block_shapes = st.tuples(st.integers(1, 6), st.integers(1, 6))
+
+
+@given(shape=grid_shapes, reversed_=st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_wavefront_views_are_mutually_consistent(shape, reversed_):
+    p = WavefrontPattern(*shape, row_reversed=reversed_)
+    for v in p.vertices():
+        for pred in p.predecessors(v):
+            assert v in p.successors(pred)
+        for succ in p.successors(v):
+            assert v in p.predecessors(succ)
+        assert set(p.predecessors(v)) <= set(p.data_predecessors(v))
+
+
+@given(n=st.integers(1, 14))
+@settings(max_examples=30, deadline=None)
+def test_triangular_data_deps_count(n):
+    p = TriangularPattern(n)
+    for i, j in p.vertices():
+        # Row segment (i..j-1), column segment (i+1..j), plus the inward
+        # diagonal (i+1, j-1) once the span admits one.
+        expected = 2 * (j - i) + (1 if j - i >= 2 else 0)
+        assert len(p.data_predecessors((i, j))) == expected
+
+
+@given(shape=grid_shapes, block=block_shapes)
+@settings(max_examples=40, deadline=None)
+def test_wavefront_partition_covers_cells_exactly_once(shape, block):
+    part = partition_pattern(WavefrontPattern(*shape), block)
+    seen = {}
+    for bid in part.block_ids():
+        rows, cols = part.block_ranges(bid)
+        for i in rows:
+            for j in cols:
+                assert (i, j) not in seen, f"cell ({i},{j}) in two blocks"
+                seen[(i, j)] = bid
+    assert len(seen) == shape[0] * shape[1]
+    assert part.total_cells() == shape[0] * shape[1]
+
+
+@given(n=st.integers(1, 20), b=st.integers(1, 8))
+@settings(max_examples=40, deadline=None)
+def test_triangular_partition_covers_cells_exactly_once(n, b):
+    part = partition_pattern(TriangularPattern(n), b)
+    total = 0
+    for bid in part.block_ids():
+        rows, cols = part.block_ranges(bid)
+        cells = [(i, j) for i in rows for j in cols if i <= j]
+        assert len(cells) == part.cell_count(bid)
+        total += len(cells)
+    assert total == n * (n + 1) // 2
+
+
+@given(shape=grid_shapes, block=block_shapes)
+@settings(max_examples=30, deadline=None)
+def test_abstract_pattern_validates_after_partition(shape, block):
+    part = partition_pattern(RowColPrefixPattern(*shape), block)
+    part.abstract.validate()
+
+
+@given(
+    shape=st.tuples(st.integers(1, 6), st.integers(1, 6)),
+    data=st.data(),
+)
+@settings(max_examples=30, deadline=None)
+def test_parser_completes_under_any_ready_order(shape, data):
+    """Whatever order we drain the computable set in, everything completes
+    exactly once and predecessor constraints hold at each step."""
+    p = WavefrontPattern(*shape)
+    parser = DAGParser(p)
+    done = set()
+    ready = list(parser.computable())
+    while ready:
+        idx = data.draw(st.integers(0, len(ready) - 1))
+        v = ready.pop(idx)
+        for pred in p.predecessors(v):
+            assert pred in done
+        done.add(v)
+        ready.extend(parser.complete(v))
+    assert parser.is_done()
+    assert len(done) == p.n_vertices()
+
+
+@given(n=st.integers(2, 16), b=st.integers(1, 6), t=st.integers(1, 6))
+@settings(max_examples=30, deadline=None)
+def test_two_level_partition_cell_conservation(n, b, t):
+    """Process-level then thread-level partition conserves cells."""
+    if t > b:
+        t = b
+    part = partition_pattern(TriangularPattern(n), b)
+    for bid in part.block_ids():
+        sub = part.sub_partition(bid, t)
+        assert sub.total_cells() == part.cell_count(bid)

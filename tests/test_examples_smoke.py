@@ -1,0 +1,36 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are user-facing documentation; a broken one is a broken doc.
+Each main() runs in-process (imported, not subprocessed) so failures
+surface with real tracebacks. Marked slow: the set takes tens of seconds.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.fixture(autouse=True)
+def _examples_on_path():
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    yield
+    sys.path.remove(str(EXAMPLES_DIR))
+
+
+def test_examples_discovered():
+    assert "quickstart" in EXAMPLES
+    assert len(EXAMPLES) >= 9
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = importlib.import_module(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} printed nothing"

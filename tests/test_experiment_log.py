@@ -1,0 +1,68 @@
+"""Tests for the experiment-record persistence layer."""
+
+import pytest
+
+from repro import RunConfig
+from repro.algorithms import SmithWatermanGG
+from repro.analysis.experiments import (
+    ExperimentLog,
+    ExperimentRecord,
+    best_by,
+    to_markdown,
+)
+from repro.backends.simulated import run_simulated
+
+
+@pytest.fixture
+def report():
+    sw = SmithWatermanGG.random(400, seed=1)
+    cfg = RunConfig.experiment(3, 11, process_partition=100, thread_partition=25)
+    return run_simulated(sw, cfg)[1]
+
+
+class TestRecord:
+    def test_from_report(self, report):
+        rec = ExperimentRecord.from_report("fig13", report, timestamp=123.0, seq_len=400)
+        assert rec.experiment == "fig13"
+        assert rec.algorithm == "swgg"
+        assert rec.cores == 11
+        assert rec.params == {"seq_len": 400}
+        assert rec.timestamp == 123.0
+
+    def test_json_round_trip(self, report):
+        rec = ExperimentRecord.from_report("fig13", report, timestamp=1.0, k=2)
+        clone = ExperimentRecord.from_json(rec.to_json())
+        assert clone == rec
+
+    def test_markdown_renders(self, report):
+        rec = ExperimentRecord.from_report("fig13", report, timestamp=1.0)
+        md = to_markdown([rec])
+        assert "fig13" in md
+        assert "swgg" in md
+
+
+class TestLog:
+    def test_append_and_iterate(self, report, tmp_path):
+        log = ExperimentLog(tmp_path / "runs.jsonl")
+        log.append_report("fig13", report, seq_len=400)
+        log.append_report("fig17", report)
+        records = list(log)
+        assert len(records) == 2
+        assert log.experiments() == ["fig13", "fig17"]
+        assert len(log.by_experiment("fig13")) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        log = ExperimentLog(tmp_path / "nope.jsonl")
+        assert list(log) == []
+        assert log.experiments() == []
+
+    def test_best_by(self, report, tmp_path):
+        recs = [
+            ExperimentRecord.from_report("e", report, timestamp=1.0),
+        ]
+        fast = ExperimentRecord(
+            **{**recs[0].__dict__, "makespan": recs[0].makespan / 2, "params": {}}
+        )
+        assert best_by([recs[0], fast]).makespan == fast.makespan
+        with pytest.raises(ValueError):
+            best_by([])

@@ -1,0 +1,73 @@
+"""Heterogeneous-cluster tests: mixed node speeds on the simulator.
+
+The dynamic worker pool's core advantage is adapting to whatever the
+hardware gives it; a static column deal cannot. These tests pin that with
+explicitly mixed NodeSpecs (one node 3x slower), which also covers the
+ClusterSpec-with-custom-nodes configuration path.
+"""
+
+import pytest
+
+from repro import RunConfig
+from repro.algorithms import SmithWatermanGG
+from repro.backends.simulated import run_simulated
+from repro.cluster.machine import NodeSpec
+from repro.cluster.topology import ClusterSpec
+
+
+def mixed_cluster(slow_factor: float = 3.0) -> ClusterSpec:
+    fast = NodeSpec(threads=4, flops_per_second=5.0e8)
+    slow = NodeSpec(threads=4, flops_per_second=5.0e8 / slow_factor)
+    return ClusterSpec(compute_nodes=(fast, fast, slow))
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return SmithWatermanGG.random(4000, seed=1)
+
+
+def run(problem, cluster, scheduler):
+    cfg = RunConfig(
+        nodes=cluster.total_nodes,
+        threads_per_node=4,
+        backend="simulated",
+        cluster=cluster,
+        scheduler=scheduler,
+        thread_scheduler="dynamic",
+        process_partition=200,
+        thread_partition=10,
+    )
+    return run_simulated(problem, cfg)[1]
+
+
+class TestDynamicAdapts:
+    def test_fast_nodes_do_more_work(self, problem):
+        rep = run(problem, mixed_cluster(), "dynamic")
+        tasks = rep.tasks_per_worker
+        assert tasks[0] > tasks[2] and tasks[1] > tasks[2]
+        # The slow node still contributes — no starvation.
+        assert tasks[2] > 0
+
+    def test_dynamic_beats_bcw_under_heterogeneity(self, problem):
+        dyn = run(problem, mixed_cluster(), "dynamic")
+        bcw = run(problem, mixed_cluster(), "bcw")
+        assert bcw.makespan > dyn.makespan * 1.1, (
+            f"BCW should pay for static ownership on mixed nodes: "
+            f"{bcw.makespan:.1f} vs {dyn.makespan:.1f}"
+        )
+        assert bcw.idle_while_ready > 0.0
+        assert dyn.idle_while_ready == 0.0
+
+    def test_penalty_grows_with_skew(self, problem):
+        ratios = []
+        for slow_factor in (1.0, 2.0, 4.0):
+            dyn = run(problem, mixed_cluster(slow_factor), "dynamic")
+            bcw = run(problem, mixed_cluster(slow_factor), "bcw")
+            ratios.append(bcw.makespan / dyn.makespan)
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_uniform_cluster_sanity(self, problem):
+        """With equal nodes the BCW penalty collapses back to ~1."""
+        dyn = run(problem, mixed_cluster(1.0), "dynamic")
+        bcw = run(problem, mixed_cluster(1.0), "bcw")
+        assert bcw.makespan <= dyn.makespan * 1.05

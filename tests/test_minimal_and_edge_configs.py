@@ -1,0 +1,114 @@
+"""Edge-configuration tests: the smallest and oddest setups must work.
+
+The paper notes EasyHPS needs at least 4 cores; these tests pin the
+minimal deployments and a collection of degenerate shapes across
+backends that are easy to break in refactors.
+"""
+
+import numpy as np
+import pytest
+
+from repro import EasyHPS, RunConfig
+from repro.algorithms import (
+    EditDistance,
+    Knapsack,
+    Nussinov,
+    SmithWatermanGG,
+    ViterbiDecoding,
+)
+from repro.backends.simulated import run_simulated
+
+
+class TestMinimalDeployments:
+    def test_experiment_2_4_smallest_paper_config(self):
+        """One computing thread on one computing node — the 4-core minimum."""
+        sw = SmithWatermanGG.random(500, seed=1)
+        cfg = RunConfig.experiment(2, 4, process_partition=100, thread_partition=25)
+        _, rep = run_simulated(sw, cfg)
+        assert rep.nodes == 2
+        assert rep.threads_per_node == 1
+        assert rep.total_cores == 4
+
+    def test_single_slave_threads_backend(self):
+        ed = EditDistance.random(40, 40, seed=2)
+        run = EasyHPS(RunConfig(nodes=2, threads_per_node=1, backend="threads",
+                                process_partition=10, thread_partition=5)).run(ed)
+        assert run.value.distance == ed.reference()
+
+    def test_more_slaves_than_blocks(self):
+        """Five slaves, four blocks: someone never gets work — fine."""
+        ed = EditDistance.random(20, 20, seed=3)
+        run = EasyHPS(RunConfig(nodes=6, threads_per_node=1, backend="threads",
+                                process_partition=10, thread_partition=5)).run(ed)
+        assert run.value.distance == ed.reference()
+        assert sum(run.report.tasks_per_worker.values()) == 4
+
+    def test_more_threads_than_subblocks(self):
+        ed = EditDistance.random(16, 16, seed=4)
+        run = EasyHPS(RunConfig(nodes=2, threads_per_node=8, backend="threads",
+                                process_partition=8, thread_partition=8)).run(ed)
+        assert run.value.distance == ed.reference()
+
+
+class TestDegenerateShapes:
+    def test_one_character_sequences(self):
+        ed = EditDistance("A", "G")
+        run = EasyHPS(RunConfig(nodes=2, backend="threads",
+                                process_partition=1, thread_partition=1)).run(ed)
+        assert run.value.distance == 1
+
+    def test_wildly_asymmetric_matrix(self):
+        ed = EditDistance.random(3, 90, seed=5)
+        run = EasyHPS(RunConfig(nodes=3, backend="threads",
+                                process_partition=(3, 10), thread_partition=(1, 5))).run(ed)
+        assert run.value.distance == ed.reference()
+
+    def test_two_base_rna(self):
+        nu = Nussinov("GC")
+        run = EasyHPS(RunConfig(nodes=2, backend="threads",
+                                process_partition=1, thread_partition=1)).run(nu)
+        assert run.value.score == nu.reference()
+
+    def test_single_item_knapsack(self):
+        ks = Knapsack([3], [10.0], capacity=5)
+        run = EasyHPS(RunConfig(nodes=2, backend="threads",
+                                process_partition=1, thread_partition=1)).run(ks)
+        assert run.value.value == 10.0
+
+    def test_single_step_viterbi_simulated(self):
+        vi = ViterbiDecoding.random(1, seed=6)
+        cfg = RunConfig.experiment(2, 4, process_partition=1, thread_partition=1)
+        _, rep = run_simulated(vi, cfg)
+        assert rep.n_tasks == 1
+
+    def test_partition_larger_than_problem(self):
+        ed = EditDistance.random(5, 5, seed=7)
+        run = EasyHPS(RunConfig(nodes=2, backend="threads",
+                                process_partition=100, thread_partition=100)).run(ed)
+        assert run.value.distance == ed.reference()
+        assert run.report.n_tasks == 1
+
+
+class TestReportEdges:
+    def test_sim_report_on_single_block(self):
+        ed = EditDistance.random(30, 30, seed=8)
+        cfg = RunConfig.experiment(2, 4, process_partition=30, thread_partition=10)
+        _, rep = run_simulated(ed, cfg)
+        assert rep.n_tasks == 1
+        assert rep.messages == 3
+        assert rep.utilization > 0
+
+    def test_speedup_against_itself_is_one(self):
+        sw = SmithWatermanGG.random(300, seed=9)
+        cfg = RunConfig.experiment(3, 9, process_partition=100, thread_partition=25)
+        _, rep = run_simulated(sw, cfg)
+        assert rep.speedup_vs(rep.makespan) == pytest.approx(1.0)
+
+    def test_state_returned_for_real_backends_only(self):
+        ed = EditDistance.random(30, 30, seed=10)
+        real = EasyHPS(RunConfig(nodes=2, backend="threads",
+                                 process_partition=10, thread_partition=5)).run(ed)
+        assert isinstance(real.state["D"], np.ndarray)
+        sim = EasyHPS(RunConfig.experiment(2, 4, process_partition=10,
+                                           thread_partition=5)).run(ed)
+        assert sim.state is None and sim.value is None

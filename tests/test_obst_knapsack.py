@@ -1,0 +1,141 @@
+"""Tests for the optimal-BST and knapsack extension algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import EasyHPS, RunConfig
+from repro.algorithms import Knapsack, OptimalBST
+from repro.dag.library import ChainPattern, TriangularPattern
+
+
+def run_blocked(problem, proc, thread):
+    part = problem.build_partition(proc)
+    state = problem.make_state()
+    for bid in part.abstract.topological_order():
+        inputs = problem.extract_inputs(state, part, bid)
+        ev = problem.evaluator(part, bid, inputs)
+        outputs = ev.run_serial(part.sub_partition(bid, thread))
+        problem.apply_result(state, part, bid, outputs)
+    return problem.finalize(state), state
+
+
+class TestOptimalBST:
+    def test_blocked_equals_reference(self):
+        obst = OptimalBST.random(25, seed=1)
+        res, _ = run_blocked(obst, 7, 3)
+        assert np.isclose(res.cost, obst.reference())
+
+    def test_clrs_style_example(self):
+        # Keys with frequencies; hand-checkable small case.
+        obst = OptimalBST([34, 8, 50])
+        res, _ = run_blocked(obst, 2, 1)
+        # Best tree: root key0? cost = w(0,2) + min over roots.
+        assert np.isclose(res.cost, obst.reference())
+        # Heaviest key (index 2, freq 50) should sit at depth <= 2.
+        assert res.depth_of(2) <= 2
+
+    def test_tree_is_valid_bst_covering_all_keys(self):
+        obst = OptimalBST.random(15, seed=2)
+        res, _ = run_blocked(obst, 5, 2)
+        seen = []
+
+        def walk(node, lo, hi):
+            if node is None:
+                return
+            root, left, right = node
+            assert lo <= root <= hi
+            seen.append(root)
+            walk(left, lo, root - 1)
+            walk(right, root + 1, hi)
+
+        walk(res.tree, 0, 14)
+        assert sorted(seen) == list(range(15))
+
+    def test_tree_cost_reproduces_reported_cost(self):
+        obst = OptimalBST.random(12, seed=3)
+        res, _ = run_blocked(obst, 4, 2)
+        total = sum(obst.freq[k] * res.depth_of(k) for k in range(12))
+        assert np.isclose(total, res.cost)
+
+    def test_single_key(self):
+        res, _ = run_blocked(OptimalBST([7.0]), 1, 1)
+        assert res.cost == 7.0
+        assert res.tree == (0, None, None)
+
+    def test_uniform_frequencies_give_balanced_depth(self):
+        obst = OptimalBST([1.0] * 15)
+        res, _ = run_blocked(obst, 5, 2)
+        max_depth = max(res.depth_of(k) for k in range(15))
+        assert max_depth <= 4  # perfectly balanced over 15 keys
+
+    def test_pattern(self):
+        assert isinstance(OptimalBST.random(8, seed=0).pattern(), TriangularPattern)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OptimalBST([])
+        with pytest.raises(ValueError):
+            OptimalBST([1.0, -2.0])
+
+    @given(n=st.integers(1, 16), proc=st.integers(1, 6), seed=st.integers(0, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_property_blocked_equals_reference(self, n, proc, seed):
+        obst = OptimalBST.random(n, seed=seed)
+        res, _ = run_blocked(obst, proc, max(1, proc // 2))
+        assert np.isclose(res.cost, obst.reference())
+
+
+class TestKnapsack:
+    def test_blocked_equals_reference(self):
+        ks = Knapsack.random(30, seed=1)
+        res, _ = run_blocked(ks, 8, 3)
+        assert np.isclose(res.value, ks.reference())
+
+    def test_chosen_set_is_feasible_and_rescoreable(self):
+        ks = Knapsack.random(25, seed=2)
+        res, _ = run_blocked(ks, 6, 2)
+        assert res.total_weight(ks.weights) <= ks.capacity
+        assert np.isclose(sum(ks.values[i] for i in res.chosen), res.value)
+
+    def test_known_case(self):
+        ks = Knapsack(weights=[1, 3, 4, 5], values=[1, 4, 5, 7], capacity=7)
+        res, _ = run_blocked(ks, 2, 1)
+        assert res.value == 9  # items {3kg, 4kg}
+        assert set(res.chosen) == {1, 2}
+
+    def test_zero_capacity(self):
+        ks = Knapsack([2, 3], [10, 10], capacity=0)
+        res, _ = run_blocked(ks, 1, 1)
+        assert res.value == 0
+        assert res.chosen == ()
+
+    def test_oversized_items_skipped(self):
+        ks = Knapsack([100, 2], [999, 5], capacity=10)
+        res, _ = run_blocked(ks, 1, 1)
+        assert res.value == 5
+
+    def test_pattern_is_chain(self):
+        assert isinstance(Knapsack.random(10, seed=0).pattern(), ChainPattern)
+
+    def test_through_threads_backend(self):
+        ks = Knapsack.random(40, seed=3)
+        run = EasyHPS(RunConfig(nodes=3, threads_per_node=2, backend="threads",
+                                process_partition=8, thread_partition=2)).run(ks)
+        assert np.isclose(run.value.value, ks.reference())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Knapsack([], [], 5)
+        with pytest.raises(ValueError):
+            Knapsack([0], [1.0], 5)
+        with pytest.raises(ValueError):
+            Knapsack([1], [1.0], -1)
+
+    @given(n=st.integers(1, 20), proc=st.integers(1, 8), seed=st.integers(0, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_property_blocked_equals_reference(self, n, proc, seed):
+        ks = Knapsack.random(n, seed=seed)
+        res, _ = run_blocked(ks, proc, max(1, proc // 2))
+        assert np.isclose(res.value, ks.reference())

@@ -1,0 +1,130 @@
+"""Scaled-down reproductions of the paper's experimental findings, as tests.
+
+Each test asserts the *shape* of a figure at reduced problem size so the
+suite stays fast; the full-scale series live in ``benchmarks/``. Shapes
+pinned here:
+
+- Figs 13/14: elapsed time falls monotonically(ish) as cores grow;
+- Fig 15: fewer nodes win at low core counts, more nodes at high ones;
+- Fig 16: substantial speedup at 50 cores, SWGG scaling beyond Nussinov;
+- Fig 17: BCW/EasyHPS ratio >= ~1 everywhere, > 1 somewhere.
+"""
+
+import pytest
+
+from repro import RunConfig
+from repro.algorithms import Nussinov, SmithWatermanGG
+from repro.analysis.figures import Series, crossover_points
+from repro.backends.simulated import (
+    experiment_series,
+    paper_core_range,
+    run_simulated,
+    simulated_serial_makespan,
+)
+
+SEQ_LEN = 4000
+PART = dict(process_partition=200, thread_partition=10)
+
+
+@pytest.fixture(scope="module")
+def swgg():
+    return SmithWatermanGG.random(SEQ_LEN, seed=1)
+
+
+@pytest.fixture(scope="module")
+def nussinov():
+    return Nussinov.random(SEQ_LEN, seed=2)
+
+
+class TestFig13Fig14TimeReduction:
+    @pytest.mark.parametrize("nodes", [2, 3, 4, 5])
+    def test_swgg_elapsed_time_decreases(self, swgg, nodes):
+        cores = paper_core_range(nodes)[::3]  # thin the sweep for speed
+        results = experiment_series(swgg, nodes, cores, **PART)
+        times = [r.makespan for _, r in results]
+        assert len(times) >= 3
+        assert times[-1] < times[0]
+        # Allow small non-monotone wiggles (the paper's curves have them),
+        # but the trend must dominate.
+        assert all(b < a * 1.05 for a, b in zip(times, times[1:]))
+
+    def test_nussinov_elapsed_time_decreases(self, nussinov):
+        results = experiment_series(nussinov, 3, paper_core_range(3)[::3], **PART)
+        times = [r.makespan for _, r in results]
+        assert times[-1] < times[0]
+
+
+class TestFig15NodeCountCrossover:
+    def test_crossover_between_4_and_5_nodes(self, swgg):
+        """Few cores: 4 nodes beat 5 (more compute cores left after
+        scheduling overhead). Many cores: 5 nodes win (less per-node
+        contention). The paper reports this at 20 vs 40 cores."""
+        t4 = {y: r.makespan for y, r in experiment_series(swgg, 4, [20, 40], **PART)}
+        t5 = {y: r.makespan for y, r in experiment_series(swgg, 5, [20, 40], **PART)}
+        assert t4[20] < t5[20], "4 nodes should win at 20 cores"
+        assert t5[40] < t4[40], "5 nodes should win at 40 cores"
+
+    def test_crossover_detectable_in_series(self, swgg):
+        ys = [20, 25, 30, 35, 40]
+        s4 = Series.from_points("4 nodes", [(y, r.makespan) for y, r in
+                                            experiment_series(swgg, 4, ys, **PART)])
+        s5 = Series.from_points("5 nodes", [(y, r.makespan) for y, r in
+                                            experiment_series(swgg, 5, ys, **PART)])
+        assert crossover_points(s4, s5), "series should cross between 20 and 40 cores"
+
+    def test_nussinov_same_direction(self, nussinov):
+        t4 = {y: r.makespan for y, r in experiment_series(nussinov, 4, [20, 40], **PART)}
+        t5 = {y: r.makespan for y, r in experiment_series(nussinov, 5, [20, 40], **PART)}
+        assert t4[20] < t5[20]
+        assert t5[40] < t4[40]
+
+
+class TestFig16Speedup:
+    def test_speedup_magnitudes(self, swgg, nussinov):
+        """Paper: ~30x (SWGG) and ~20x (Nussinov) at 50 cores. Our
+        simulated substrate reproduces the ordering and the order of
+        magnitude; exact constants depend on testbed specifics."""
+        cfg = RunConfig.experiment(5, 50, **PART)
+        sw_speed = simulated_serial_makespan(swgg, cfg) / run_simulated(swgg, cfg)[1].makespan
+        nu_speed = (
+            simulated_serial_makespan(nussinov, cfg) / run_simulated(nussinov, cfg)[1].makespan
+        )
+        assert 15 <= sw_speed <= 40
+        assert 10 <= nu_speed <= 35
+        assert sw_speed > nu_speed  # SWGG scales better, as in the paper
+
+    def test_minimum_deployment_is_4_cores(self):
+        """The paper notes EasyHPS needs >= 4 cores (master scheduler +
+        slave scheduler + compute)."""
+        from repro.utils.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            RunConfig.experiment(2, 3)
+        RunConfig.experiment(2, 4)  # the paper's smallest configuration
+
+
+class TestFig17BCWRatio:
+    def test_ratio_at_least_one_and_sometimes_above(self, swgg):
+        ratios = []
+        for y in [8, 9, 10, 12, 14]:
+            dyn = RunConfig.experiment(3, y, **PART)
+            bcw = RunConfig.experiment(3, y, scheduler="bcw", thread_scheduler="bcw", **PART)
+            ratios.append(run_simulated(swgg, bcw)[1].makespan / run_simulated(swgg, dyn)[1].makespan)
+        assert all(r >= 0.999 for r in ratios), ratios
+        assert max(ratios) > 1.05, f"BCW should lose somewhere: {ratios}"
+
+    def test_nussinov_ratio_above_one(self, nussinov):
+        dyn = RunConfig.experiment(5, 33, **PART)
+        bcw = RunConfig.experiment(5, 33, scheduler="bcw", thread_scheduler="bcw", **PART)
+        ratio = run_simulated(nussinov, bcw)[1].makespan / run_simulated(nussinov, dyn)[1].makespan
+        assert ratio > 1.02
+
+    def test_dynamic_has_zero_idle_while_ready(self, swgg):
+        """The paper's claim verbatim: the fatal BCW situation (computable
+        nodes + idle workers) never happens under the dynamic pool."""
+        _, rep = run_simulated(swgg, RunConfig.experiment(4, 22, **PART))
+        assert rep.idle_while_ready == 0.0
+        _, rep_bcw = run_simulated(
+            swgg, RunConfig.experiment(4, 22, scheduler="bcw", **PART)
+        )
+        assert rep_bcw.idle_while_ready > 0.0

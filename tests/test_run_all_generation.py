@@ -1,0 +1,54 @@
+"""Tests for the EXPERIMENTS.md generation pipeline (benchmarks/run_all.py)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(autouse=True)
+def _repo_on_path():
+    sys.path.insert(0, str(REPO_ROOT))
+    yield
+    sys.path.remove(str(REPO_ROOT))
+
+
+@pytest.mark.slow
+def test_run_all_writes_complete_record(tmp_path, capsys):
+    from benchmarks.run_all import main
+
+    out = tmp_path / "EXPERIMENTS.md"
+    main(["--seq-len", "800", "--out", str(out)])
+    text = out.read_text()
+    # Every table and figure of the paper's evaluation is present...
+    for marker in ("Table I", "Fig 13", "Fig 14", "Fig 15", "Fig 16", "Fig 17"):
+        assert marker in text, marker
+    # ...plus the claim table and the extension studies.
+    assert "Paper's claim" in text
+    assert "Ablations" in text
+    assert "Extensions" in text
+    assert "seq_len = 800" in text
+    # The generated series contain actual numbers for each node count.
+    assert "swgg X=2" in text
+    assert "nussinov X=5" in text
+    assert "BCW/EasyHPS" in text
+
+
+def test_series_table_helper():
+    from benchmarks.common import series_table
+    from repro.analysis.figures import Series
+
+    a = Series("a", (1, 2), (10.0, 20.0))
+    b = Series("b", (2, 3), (5.0, 6.0))
+    out = series_table("demo", [a, b])
+    assert "## demo" in out
+    assert "nan" in out  # non-overlapping x values render as nan
+
+
+def test_paper_partition_constants():
+    from benchmarks.common import PAPER_PARTITION, PAPER_SEQ_LEN
+
+    assert PAPER_SEQ_LEN == 10000
+    assert PAPER_PARTITION == {"process_partition": 200, "thread_partition": 10}

@@ -1,0 +1,79 @@
+"""Unit tests for RunConfig and the Experiment_X_Y accounting."""
+
+import pytest
+
+from repro.algorithms import EditDistance
+from repro.runtime.config import RunConfig
+from repro.utils.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = RunConfig()
+        assert cfg.n_slaves == 1
+
+    def test_bad_backend(self):
+        with pytest.raises(ConfigError):
+            RunConfig(backend="mpi")
+
+    def test_bad_scheduler(self):
+        with pytest.raises(ConfigError):
+            RunConfig(scheduler="lottery")
+        with pytest.raises(ConfigError):
+            RunConfig(thread_scheduler="lottery")
+
+    def test_nodes_minimum(self):
+        with pytest.raises(ConfigError):
+            RunConfig(nodes=1, backend="threads")
+        RunConfig(nodes=1, backend="serial")  # serial runs need no slave
+
+    def test_positive_scalars(self):
+        with pytest.raises(ConfigError):
+            RunConfig(threads_per_node=0)
+        with pytest.raises(ConfigError):
+            RunConfig(task_timeout=0)
+        with pytest.raises(ConfigError):
+            RunConfig(max_retries=-1)
+
+
+class TestPartitionsResolution:
+    def test_explicit_sizes(self):
+        cfg = RunConfig(process_partition=(20, 10), thread_partition=5)
+        proc, thread = cfg.partitions_for(EditDistance("ACGT" * 20, "ACGT" * 20))
+        assert proc == (20, 10)
+        assert thread == (5, 5)
+
+    def test_problem_defaults_used(self):
+        ed = EditDistance("A" * 80, "C" * 80)
+        proc, thread = RunConfig().partitions_for(ed)
+        assert proc[0] >= 1 and thread[0] >= 1
+        assert thread[0] <= proc[0]
+
+
+class TestExperimentFactory:
+    def test_paper_accounting(self):
+        cfg = RunConfig.experiment(4, 22)
+        spec = cfg.cluster_spec()
+        assert spec.total_nodes == 4
+        assert spec.total_cores == 22
+        assert cfg.backend == "simulated"
+
+    def test_uneven_threads(self):
+        cfg = RunConfig.experiment(3, 10)
+        assert [n.threads for n in cfg.cluster_spec().compute_nodes] == [3, 2]
+        assert cfg.threads_per_node == 3
+
+    def test_overrides(self):
+        cfg = RunConfig.experiment(3, 11, scheduler="bcw", process_partition=50)
+        assert cfg.scheduler == "bcw"
+        assert cfg.process_partition == 50
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(ConfigError):
+            RunConfig.experiment(4, 9)
+
+    def test_derived_cluster_without_experiment(self):
+        cfg = RunConfig(nodes=4, threads_per_node=3)
+        spec = cfg.cluster_spec()
+        assert spec.n_compute_nodes == 3
+        assert all(n.threads == 3 for n in spec.compute_nodes)

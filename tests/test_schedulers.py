@@ -1,0 +1,100 @@
+"""Unit tests for the scheduling policies (dynamic, BCW, CW)."""
+
+import pytest
+
+from repro.schedulers.policy import (
+    BlockCyclicWavefrontPolicy,
+    ColumnWavefrontPolicy,
+    DynamicPolicy,
+    make_policy,
+)
+from repro.utils.errors import ConfigError, SchedulerError
+
+
+class TestDynamic:
+    def test_everything_eligible(self):
+        p = DynamicPolicy(3)
+        for w in range(3):
+            for t in [(0, 0), (5, 9), (2, 1)]:
+                assert p.eligible(w, t)
+                assert p.owner(t) is None
+
+    def test_select_takes_first(self):
+        p = DynamicPolicy(2)
+        assert p.select(0, [(1, 1), (0, 2)]) == (1, 1)
+        assert p.select(0, []) is None
+
+    def test_worker_range_checked(self):
+        p = DynamicPolicy(2)
+        with pytest.raises(SchedulerError):
+            p.eligible(2, (0, 0))
+
+
+class TestBCW:
+    def test_cyclic_ownership(self):
+        p = BlockCyclicWavefrontPolicy(3)
+        assert p.owner((0, 0)) == 0
+        assert p.owner((5, 1)) == 1
+        assert p.owner((9, 2)) == 2
+        assert p.owner((0, 3)) == 0
+
+    def test_block_cols_grouping(self):
+        p = BlockCyclicWavefrontPolicy(2, block_cols=2)
+        assert [p.owner((0, j)) for j in range(8)] == [0, 0, 1, 1, 0, 0, 1, 1]
+
+    def test_select_respects_ownership(self):
+        p = BlockCyclicWavefrontPolicy(2)
+        ready = [(0, 0), (0, 1), (0, 2)]
+        assert p.select(0, ready) == (0, 0)
+        assert p.select(1, ready) == (0, 1)
+
+    def test_worker_with_nothing_eligible_idles(self):
+        p = BlockCyclicWavefrontPolicy(3)
+        assert p.select(2, [(0, 0), (0, 1)]) is None  # owns column 2 only
+
+    def test_invalid_block_cols(self):
+        with pytest.raises(ConfigError):
+            BlockCyclicWavefrontPolicy(2, block_cols=0)
+
+
+class TestCW:
+    def test_contiguous_bands(self):
+        p = ColumnWavefrontPolicy(2, n_columns=8)
+        assert [p.owner((0, j)) for j in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_uneven_bands_clip_to_last_worker(self):
+        p = ColumnWavefrontPolicy(3, n_columns=7)  # band = 3
+        assert [p.owner((0, j)) for j in range(7)] == [0, 0, 0, 1, 1, 1, 2]
+
+    def test_more_workers_than_columns(self):
+        p = ColumnWavefrontPolicy(5, n_columns=3)
+        owners = {p.owner((0, j)) for j in range(3)}
+        assert owners <= {0, 1, 2, 3, 4}
+
+    def test_column_out_of_range(self):
+        p = ColumnWavefrontPolicy(2, n_columns=4)
+        with pytest.raises(SchedulerError):
+            p.owner((0, 4))
+
+
+class TestFactory:
+    def test_make_each(self):
+        assert isinstance(make_policy("dynamic", 2, 10), DynamicPolicy)
+        assert isinstance(make_policy("bcw", 2, 10), BlockCyclicWavefrontPolicy)
+        assert isinstance(make_policy("cw", 2, 10), ColumnWavefrontPolicy)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            make_policy("random", 2, 10)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ConfigError):
+            make_policy("dynamic", 0, 10)
+
+    def test_cw_is_bcw_with_band_grouping(self):
+        """The paper's note: CW == BCW with block_col = data_col / workers."""
+        n_cols, workers = 12, 3
+        cw = ColumnWavefrontPolicy(workers, n_columns=n_cols)
+        bcw = BlockCyclicWavefrontPolicy(workers, block_cols=n_cols // workers)
+        for j in range(n_cols):
+            assert cw.owner((0, j)) == bcw.owner((0, j))

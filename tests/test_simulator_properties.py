@@ -1,0 +1,111 @@
+"""Property-based tests of scheduling-theory invariants in the simulator.
+
+Any list schedule of a DAG on ``p`` workers obeys classic bounds:
+
+- makespan >= critical path length (chain bound);
+- makespan >= total work / p (area bound);
+- makespan <= work/p + critical path (Graham bound for greedy schedules);
+- adding workers never hurts a greedy (dynamic) schedule... within the
+  family of list schedules this can wiggle, so we assert the weaker,
+  always-true monotonicity against the p = 1 serialization.
+
+These hold for arbitrary random costs on the grid patterns the runtime
+schedules, which pins the simulator to real scheduling theory rather
+than to itself.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends.simulated import simulate_level
+from repro.dag.library import TriangularPattern, WavefrontPattern
+from repro.dag.parser import critical_path
+from repro.schedulers.policy import make_policy
+
+shapes = st.tuples(st.integers(1, 8), st.integers(1, 8))
+workers = st.integers(1, 6)
+
+
+def _random_costs(pattern, data):
+    return {
+        v: data.draw(st.floats(0.1, 10.0, allow_nan=False, allow_infinity=False))
+        for v in pattern.vertices()
+    }
+
+
+@given(shape=shapes, p=workers, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_dynamic_schedule_obeys_lower_bounds(shape, p, data):
+    pattern = WavefrontPattern(*shape)
+    costs = _random_costs(pattern, data)
+    makespan, busy, idle = simulate_level(pattern, costs, p, make_policy("dynamic", p, shape[1]))
+    work = sum(costs.values())
+    cp, _ = critical_path(pattern, lambda v: costs[v])
+    assert makespan >= cp - 1e-9
+    assert makespan >= work / p - 1e-9
+    assert math.isclose(busy, work, rel_tol=1e-12)
+    assert idle == 0.0  # dynamic never idles while ready
+
+
+@given(shape=shapes, p=workers, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_dynamic_schedule_obeys_graham_bound(shape, p, data):
+    pattern = WavefrontPattern(*shape)
+    costs = _random_costs(pattern, data)
+    makespan, _, _ = simulate_level(pattern, costs, p, make_policy("dynamic", p, shape[1]))
+    work = sum(costs.values())
+    cp, _ = critical_path(pattern, lambda v: costs[v])
+    # Greedy list scheduling: T <= work/p + (1 - 1/p) * cp.
+    assert makespan <= work / p + (1 - 1 / p) * cp + 1e-9
+
+
+@given(n=st.integers(1, 10), p=workers, data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_triangular_schedules_respect_bounds(n, p, data):
+    pattern = TriangularPattern(n)
+    costs = _random_costs(pattern, data)
+    makespan, _, _ = simulate_level(pattern, costs, p, make_policy("dynamic", p, n))
+    work = sum(costs.values())
+    cp, _ = critical_path(pattern, lambda v: costs[v])
+    assert cp - 1e-9 <= makespan <= work + 1e-9
+
+
+@given(shape=shapes, data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_single_worker_serializes_exactly(shape, data):
+    pattern = WavefrontPattern(*shape)
+    costs = _random_costs(pattern, data)
+    makespan, _, _ = simulate_level(pattern, costs, 1, make_policy("dynamic", 1, shape[1]))
+    assert math.isclose(makespan, sum(costs.values()))
+
+
+@given(shape=shapes, p=st.integers(2, 6), data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_parallel_never_slower_than_serial(shape, p, data):
+    pattern = WavefrontPattern(*shape)
+    costs = _random_costs(pattern, data)
+    serial, _, _ = simulate_level(pattern, costs, 1, make_policy("dynamic", 1, shape[1]))
+    parallel, _, _ = simulate_level(pattern, costs, p, make_policy("dynamic", p, shape[1]))
+    assert parallel <= serial + 1e-9
+
+
+@given(shape=shapes, p=workers, data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_static_policies_complete_and_respect_bounds(shape, p, data):
+    """Static schedules finish all work and obey the same lower bounds.
+
+    (Pointwise dominance of dynamic over static is *typical* but not a
+    theorem — Graham anomalies exist — so it is asserted on fixed
+    instances in the paper-shape tests, not property-wide here.)
+    """
+    pattern = WavefrontPattern(*shape)
+    costs = _random_costs(pattern, data)
+    work = sum(costs.values())
+    cp, _ = critical_path(pattern, lambda v: costs[v])
+    for name in ("bcw", "cw"):
+        static, busy, _ = simulate_level(pattern, costs, p, make_policy(name, p, shape[1]))
+        assert static >= max(cp, work / p) - 1e-9
+        assert static <= work + 1e-9
+        assert math.isclose(busy, work, rel_tol=1e-12)

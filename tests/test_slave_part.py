@@ -1,0 +1,155 @@
+"""Direct tests of SlavePart: protocol behavior and the slave worker pool.
+
+The master side is scripted over a raw channel, so slave-local behavior
+(idle cadence, end handling, stop event, injected process-level faults,
+thread-pool scheduling variants) is pinned without the real master's
+timing in the way.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.algorithms import EditDistance
+from repro.cluster.faults import FaultPlan, FaultRule
+from repro.comm.messages import EndSignal, IdleSignal, TaskAssign, TaskResult
+from repro.comm.transport import channel_pair
+from repro.dag.partition import partition_pattern
+from repro.runtime.slave import SlavePart
+
+
+@pytest.fixture
+def setup():
+    problem = EditDistance.random(24, 24, seed=1)
+    partition = partition_pattern(problem.pattern(), 12)  # 2x2 blocks
+    master_end, slave_end = channel_pair()
+    return problem, partition, master_end, slave_end
+
+
+def make_slave(problem, partition, channel, **kw):
+    base = dict(
+        slave_id=0,
+        channel=channel,
+        problem=problem,
+        partition=partition,
+        thread_partition=6,
+        n_threads=2,
+        poll_interval=0.005,
+    )
+    base.update(kw)
+    return SlavePart(**base)
+
+
+def run_slave_async(slave):
+    thread = threading.Thread(target=slave.run, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestProtocolSide:
+    def test_announces_idle_then_computes_then_idles_again(self, setup):
+        problem, partition, master, slave_end = setup
+        slave = make_slave(problem, partition, slave_end)
+        thread = run_slave_async(slave)
+
+        assert isinstance(master.recv(timeout=5.0), IdleSignal)
+        state = problem.make_state()
+        inputs = problem.extract_inputs(state, partition, (0, 0))
+        master.send(TaskAssign((0, 0), 0, inputs))
+        result = master.recv(timeout=5.0)
+        assert isinstance(result, TaskResult)
+        assert result.task_id == (0, 0)
+        assert result.epoch == 0
+        assert result.elapsed > 0
+        assert isinstance(master.recv(timeout=5.0), IdleSignal)
+        master.send(EndSignal())
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert slave.stats.tasks == 1
+
+    def test_result_matches_serial_computation(self, setup):
+        problem, partition, master, slave_end = setup
+        slave = make_slave(problem, partition, slave_end)
+        thread = run_slave_async(slave)
+
+        master.recv(timeout=5.0)
+        state = problem.make_state()
+        inputs = problem.extract_inputs(state, partition, (0, 0))
+        master.send(TaskAssign((0, 0), 0, inputs))
+        result = master.recv(timeout=5.0)
+        expected = problem.evaluator(partition, (0, 0), inputs).run_serial(
+            partition.sub_partition((0, 0), 6)
+        )
+        assert np.array_equal(result.outputs["block"], expected["block"])
+        master.recv(timeout=5.0)
+        master.send(EndSignal())
+        thread.join(timeout=5.0)
+
+    def test_stop_event_interrupts_quiet_wait(self, setup):
+        problem, partition, master, slave_end = setup
+        stop = threading.Event()
+        slave = make_slave(problem, partition, slave_end, stop_event=stop)
+        thread = run_slave_async(slave)
+        master.recv(timeout=5.0)  # idle; now stay silent
+        stop.set()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+
+    def test_crash_fault_drops_task_but_keeps_serving(self, setup):
+        problem, partition, master, slave_end = setup
+        plan = FaultPlan([FaultRule("crash", (0, 0), 0)])
+        slave = make_slave(problem, partition, slave_end, fault_plan=plan)
+        thread = run_slave_async(slave)
+
+        master.recv(timeout=5.0)
+        state = problem.make_state()
+        inputs = problem.extract_inputs(state, partition, (0, 0))
+        master.send(TaskAssign((0, 0), 0, inputs))
+        # No result: the next message is the fresh idle signal.
+        msg = master.recv(timeout=5.0)
+        assert isinstance(msg, IdleSignal)
+        # Re-dispatch (epoch 1) succeeds: the rule only matched attempt 0.
+        master.send(TaskAssign((0, 0), 1, inputs))
+        result = master.recv(timeout=5.0)
+        assert isinstance(result, TaskResult)
+        assert result.epoch == 1
+        master.recv(timeout=5.0)
+        master.send(EndSignal())
+        thread.join(timeout=5.0)
+
+
+class TestSlaveWorkerPool:
+    def _compute_direct(self, problem, partition, bid, **kw):
+        _, slave_end = channel_pair()
+        slave = make_slave(problem, partition, slave_end, **kw)
+        state = problem.make_state()
+        inputs = problem.extract_inputs(state, partition, bid)
+        outputs = slave._compute(TaskAssign(bid, 0, inputs))
+        expected = problem.evaluator(partition, bid, inputs).run_serial(
+            partition.sub_partition(bid, slave.thread_partition)
+        )
+        assert np.array_equal(outputs["block"], expected["block"])
+        return slave
+
+    @pytest.mark.parametrize("n_threads", [1, 2, 4])
+    def test_pool_sizes(self, setup, n_threads):
+        problem, partition, _, _ = setup
+        self._compute_direct(problem, partition, (0, 0), n_threads=n_threads)
+
+    @pytest.mark.parametrize("thread_scheduler", ["dynamic", "bcw", "cw"])
+    def test_pool_schedulers(self, setup, thread_scheduler):
+        problem, partition, _, _ = setup
+        slave = self._compute_direct(
+            problem, partition, (0, 0), thread_scheduler=thread_scheduler, n_threads=2
+        )
+        assert slave.stats.subtasks == 4  # 12x12 block over 6 -> 2x2
+
+    def test_pool_thread_fault_restart(self, setup):
+        problem, partition, _, _ = setup
+        plan = FaultPlan([FaultRule("crash", (1, 1), 0)])
+        slave = self._compute_direct(
+            problem, partition, (0, 0),
+            thread_fault_plan=plan, subtask_timeout=0.2, n_threads=2,
+        )
+        assert slave.stats.thread_restarts >= 1

@@ -1,0 +1,51 @@
+"""Heavy soak tests: both fault levels at once, many workers, randomized.
+
+Marked slow. These are the "leave it running" confidence tests: larger
+worker counts than any other test, simultaneous process-level and
+thread-level fault storms, and repeated runs checking determinism of the
+*results* (schedules may differ; answers may not).
+"""
+
+import pytest
+
+from repro import EasyHPS, RunConfig
+from repro.algorithms import EditDistance, Nussinov
+from repro.cluster.faults import FaultPlan
+
+
+@pytest.mark.slow
+class TestCombinedFaultSoak:
+    def test_both_levels_random_storm(self):
+        problem = EditDistance.random(70, 70, seed=11)
+        config = RunConfig(
+            nodes=5,
+            threads_per_node=2,
+            backend="threads",
+            process_partition=14,
+            thread_partition=7,
+            task_timeout=0.6,
+            subtask_timeout=0.3,
+            poll_interval=0.005,
+            fault_plan=FaultPlan.random(0.2, seed=1),
+            thread_fault_plan=FaultPlan.random(0.05, seed=2),
+            max_retries=5,
+        )
+        run = EasyHPS(config).run(problem)
+        assert run.value.distance == problem.reference()
+        assert run.report.faults_recovered + run.report.thread_restarts > 0
+
+    def test_many_workers_no_faults(self):
+        problem = Nussinov.random(80, seed=12)
+        run = EasyHPS(RunConfig(nodes=7, threads_per_node=3, backend="threads",
+                                process_partition=10, thread_partition=5,
+                                poll_interval=0.005)).run(problem)
+        assert run.value.score == problem.reference()
+        assert sum(run.report.tasks_per_worker.values()) == run.report.n_tasks
+
+    def test_repeated_runs_agree(self):
+        problem = EditDistance.random(60, 60, seed=13)
+        config = RunConfig(nodes=4, threads_per_node=2, backend="threads",
+                           process_partition=15, thread_partition=5,
+                           poll_interval=0.005)
+        values = {EasyHPS(config).run(problem).value.distance for _ in range(3)}
+        assert values == {problem.reference()}

@@ -1,0 +1,85 @@
+"""Unit tests for ASCII visualization and small utilities."""
+
+import pytest
+
+from repro.dag.library import TriangularPattern, WavefrontPattern
+from repro.dag.parser import DAGParser
+from repro.dag.visualize import describe, render_grid
+from repro.utils.errors import ConfigError, ReproError, SchedulerError
+from repro.utils.validate import check_in, check_nonnegative, check_positive
+
+
+class TestRenderGrid:
+    def test_initial_state(self):
+        p = WavefrontPattern(2, 3)
+        out = render_grid(p, DAGParser(p))
+        assert out == "o . .\n. . ."
+
+    def test_after_completions(self):
+        p = WavefrontPattern(2, 2)
+        parser = DAGParser(p)
+        parser.complete((0, 0))
+        out = render_grid(p, parser)
+        assert out == "# o\no ."
+
+    def test_triangular_leaves_blanks(self):
+        p = TriangularPattern(3)
+        out = render_grid(p)
+        assert out.splitlines()[1].startswith(" ")
+
+    def test_without_parser_all_dots(self):
+        assert set(render_grid(WavefrontPattern(2, 2))) <= {".", " ", "\n"}
+
+    def test_rejects_non_2d(self):
+        from repro.dag.library import ChainPattern
+
+        with pytest.raises(ValueError):
+            render_grid(ChainPattern(3))
+
+
+class TestDescribe:
+    def test_mentions_counts(self):
+        text = describe(WavefrontPattern(3, 3))
+        assert "vertices=9" in text
+        assert "edges=12" in text
+        assert "sources=1" in text
+
+
+class TestValidators:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ConfigError, match="x must be > 0"):
+            check_positive("x", 0)
+
+    def test_check_nonnegative(self):
+        check_nonnegative("x", 0)
+        with pytest.raises(ConfigError):
+            check_nonnegative("x", -1)
+
+    def test_check_in(self):
+        check_in("mode", "a", ("a", "b"))
+        with pytest.raises(ConfigError, match="mode must be one of"):
+            check_in("mode", "c", ("a", "b"))
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        from repro.utils.errors import (
+            FaultToleranceExhausted,
+            PartitionError,
+            PatternError,
+            TransportError,
+        )
+
+        for exc in (PatternError, PartitionError, SchedulerError, TransportError,
+                    FaultToleranceExhausted, ConfigError):
+            assert issubclass(exc, ReproError)
+
+    def test_lazy_top_level_exports(self):
+        import repro
+
+        assert repro.RunConfig is not None
+        assert repro.EasyHPS is not None
+        assert repro.__version__
+        with pytest.raises(AttributeError):
+            repro.nonexistent_attribute

@@ -1,0 +1,159 @@
+"""Unit tests for the worker-pool data structures (Section V-A)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime.worker_pool import (
+    ComputableStack,
+    FinishedStack,
+    OvertimeEntry,
+    OvertimeQueue,
+    RegisterTable,
+)
+from repro.schedulers.policy import BlockCyclicWavefrontPolicy, DynamicPolicy
+from repro.utils.errors import SchedulerError
+
+
+class TestComputableStack:
+    def test_lifo_pop(self):
+        s = ComputableStack()
+        s.push_many([(0, 0), (0, 1), (1, 0)])
+        p = DynamicPolicy(1)
+        assert s.pop_eligible(0, p) == (1, 0)
+        assert s.pop_eligible(0, p) == (0, 1)
+        assert len(s) == 1
+
+    def test_policy_filtered_pop(self):
+        s = ComputableStack()
+        s.push_many([(0, 0), (0, 1)])
+        p = BlockCyclicWavefrontPolicy(2)
+        assert s.pop_eligible(1, p) == (0, 1)
+        assert s.pop_eligible(1, p, timeout=0.01) is None  # nothing owned left
+        assert s.snapshot() == ((0, 0),)
+
+    def test_close_unblocks_waiters(self):
+        s = ComputableStack()
+        result = []
+
+        def waiter():
+            result.append(s.pop_eligible(0, DynamicPolicy(1)))
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.05)
+        s.close()
+        t.join(timeout=2.0)
+        assert result == [None]
+
+    def test_push_wakes_blocked_popper(self):
+        s = ComputableStack()
+        result = []
+
+        def waiter():
+            result.append(s.pop_eligible(0, DynamicPolicy(1)))
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.05)
+        s.push((3, 3))
+        t.join(timeout=2.0)
+        assert result == [(3, 3)]
+
+    def test_concurrent_poppers_unique_items(self):
+        s = ComputableStack()
+        items = [(i, 0) for i in range(200)]
+        s.push_many(items)
+        got = []
+        lock = threading.Lock()
+
+        def popper():
+            while True:
+                item = s.pop_eligible(0, DynamicPolicy(1), timeout=0.05)
+                if item is None:
+                    return
+                with lock:
+                    got.append(item)
+
+        threads = [threading.Thread(target=popper) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(got) == items  # every item exactly once
+
+
+class TestFinishedStack:
+    def test_lifo_and_close(self):
+        f = FinishedStack()
+        f.push((0, 0))
+        f.push((1, 1))
+        assert f.pop() == (1, 1)
+        assert f.pop() == (0, 0)
+        f.close()
+        assert f.pop() is None
+
+    def test_timeout(self):
+        f = FinishedStack()
+        assert f.pop(timeout=0.01) is None
+
+
+class TestOvertimeQueue:
+    def test_due_respects_deadlines(self):
+        q = OvertimeQueue()
+        q.push(OvertimeEntry(deadline=10.0, task_id=(0, 0), epoch=0))
+        q.push(OvertimeEntry(deadline=5.0, task_id=(1, 1), epoch=0))
+        assert q.due(4.0) == []
+        due = q.due(7.0)
+        assert [e.task_id for e in due] == [(1, 1)]
+        assert len(q) == 1
+        assert q.next_deadline() == 10.0
+
+    def test_due_pops_in_deadline_order(self):
+        q = OvertimeQueue()
+        for d in (3.0, 1.0, 2.0):
+            q.push(OvertimeEntry(deadline=d, task_id=(int(d), 0), epoch=0))
+        assert [e.deadline for e in q.due(5.0)] == [1.0, 2.0, 3.0]
+
+    def test_empty(self):
+        q = OvertimeQueue()
+        assert q.next_deadline() is None
+        assert q.due(100.0) == []
+
+
+class TestRegisterTable:
+    def test_register_finish_cycle(self):
+        r = RegisterTable()
+        epoch = r.register((0, 0), worker_id=2)
+        assert epoch == 0
+        assert r.is_registered((0, 0))
+        assert r.is_registered((0, 0), epoch=0)
+        assert r.finish((0, 0), 0)
+        assert not r.is_registered((0, 0))
+
+    def test_epochs_count_dispatches(self):
+        r = RegisterTable()
+        assert r.register((0, 0), 0) == 0
+        r.cancel((0, 0), 0)
+        assert r.register((0, 0), 1) == 1
+        assert r.attempts((0, 0)) == 2
+
+    def test_stale_epoch_rejected(self):
+        r = RegisterTable()
+        r.register((0, 0), 0)
+        r.cancel((0, 0), 0)
+        r.register((0, 0), 1)
+        assert not r.finish((0, 0), 0)  # the timed-out worker's late result
+        assert r.finish((0, 0), 1)
+
+    def test_double_register_rejected(self):
+        r = RegisterTable()
+        r.register((0, 0), 0)
+        with pytest.raises(SchedulerError):
+            r.register((0, 0), 1)
+
+    def test_unknown_finish_rejected(self):
+        r = RegisterTable()
+        assert not r.finish((9, 9), 0)
+        assert r.attempts((9, 9)) == 0
