@@ -49,6 +49,7 @@ def run_processes(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.n
         fault_plan=config.fault_plan,
         thread_fault_plan=config.thread_fault_plan,
         hang_duration=config.hang_duration,
+        verify=config.verify,
     )
     for k in range(config.n_slaves):
         parent_conn, child_conn = ctx.Pipe(duplex=True)
@@ -71,6 +72,7 @@ def run_processes(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.n
         task_timeout=config.task_timeout,
         max_retries=config.max_retries,
         poll_interval=config.poll_interval,
+        verify=config.verify,
     )
 
     started = time.perf_counter()

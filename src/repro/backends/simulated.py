@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.algorithms.problem import DPProblem
 from repro.analysis.report import RunReport
+from repro.check.trace_check import TraceRecorder, check_trace
 from repro.cluster.machine import NodeSpec
 from repro.cluster.simcore import EventQueue
 from repro.cluster.topology import ClusterSpec
@@ -168,6 +169,8 @@ class _SimulatedRun:
         self.idle_while_ready = 0.0
         self._last_account = 0.0
         self.failure: Optional[BaseException] = None
+        #: Happens-before event log, validated after the run (``verify``).
+        self.recorder: Optional[TraceRecorder] = TraceRecorder() if config.verify else None
         self._trace: List = []
         self._pending_trace: Dict[Tuple[TaskId, int], Tuple[int, float, float, float]] = {}
 
@@ -251,6 +254,8 @@ class _SimulatedRun:
         epoch = self.attempts.get(bid, 0)
         self.attempts[bid] = epoch + 1
         self.registered[bid] = epoch
+        if self.recorder is not None:
+            self.recorder.record("assign", bid, epoch, k, now)
         if self.config.data_reuse:
             in_bytes = self.problem.cached_input_bytes(self.partition, bid, self.node_done[k])
         else:
@@ -337,9 +342,15 @@ class _SimulatedRun:
     def _result(self, bid: TaskId, epoch: int, k: int) -> None:
         self._account()
         if self.registered.get(bid) != epoch:
+            if self.recorder is not None:
+                self.recorder.record("stale-drop", bid, epoch, k, self.evq.now)
             self._node_idle(k)  # stale result dropped; node serves on
             return
         del self.registered[bid]
+        if self.recorder is not None:
+            # Before parser.complete so successors' assigns serialize
+            # after this commit in the event log.
+            self.recorder.record("commit", bid, epoch, k, self.evq.now)
         self.nodes[k].tasks_done += 1
         self.node_done[k].add(bid)
         self.makespan = max(self.makespan, self.evq.now)
@@ -381,6 +392,8 @@ class _SimulatedRun:
             )
             return
         self.faults += 1
+        if self.recorder is not None:
+            self.recorder.record("redistribute", bid, epoch, time=self.evq.now)
         self.ready.append(bid)
         for j, node in enumerate(self.nodes):
             if node.parked_since is not None:
@@ -403,6 +416,12 @@ class _SimulatedRun:
             raise SchedulerError(
                 f"simulation stalled with {self.parser.n_remaining} sub-tasks left"
             )
+        if self.recorder is not None:
+            check_trace(
+                self.recorder.events(),
+                self.partition.abstract,
+                title=f"simulated-trace({self.problem.name})",
+            ).raise_if_failed()
         wall = _time.perf_counter() - wall_start
         total_threads = self.cluster.total_computing_threads
         return RunReport(

@@ -57,6 +57,7 @@ def run_threads(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.nda
                 thread_fault_plan=config.thread_fault_plan,
                 hang_duration=config.hang_duration,
                 stop_event=stop,
+                verify=config.verify,
             )
         )
     master = MasterPart(
@@ -67,6 +68,7 @@ def run_threads(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.nda
         task_timeout=config.task_timeout,
         max_retries=config.max_retries,
         poll_interval=config.poll_interval,
+        verify=config.verify,
     )
 
     slave_threads = [

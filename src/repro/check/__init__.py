@@ -1,0 +1,41 @@
+"""Static and dynamic verification of the DAG Data Driven Model.
+
+The runtime's correctness contract — a sub-task runs only after every
+dependency's data landed (paper Section IV) — is *assumed* everywhere
+else in this package. ``repro.check`` is the layer that verifies it:
+
+- :mod:`repro.check.pattern_check` — static verification of DAG Pattern
+  Models and partitions (acyclicity, in-bounds dependencies, view
+  consistency, the Fig-7 data ⊇ topological invariant, coarse-DAG edge
+  preservation);
+- :mod:`repro.check.trace_check` — a happens-before validator over
+  runtime/simulator scheduling traces (early commits, duplicate commits
+  from fault-tolerance races, lost updates);
+- :mod:`repro.check.lock_lint` — an instrumented lock layer that records
+  the acquisition-order graph across runtime threads and reports cycles
+  and blocking channel calls made under a lock.
+
+Run everything from the command line with ``python -m repro check`` (see
+``docs/static_analysis.md``), or enable the trace validator for any run
+by setting ``REPRO_VERIFY=1`` / ``RunConfig(verify=True)``.
+"""
+
+from repro.check.diagnostics import CheckReport, Diagnostic
+from repro.check.lock_lint import LockLint, lock_lint_session, make_condition, make_lock, note_blocking
+from repro.check.pattern_check import check_partition, check_pattern
+from repro.check.trace_check import SchedEvent, TraceRecorder, check_trace
+
+__all__ = [
+    "CheckReport",
+    "Diagnostic",
+    "LockLint",
+    "SchedEvent",
+    "TraceRecorder",
+    "check_partition",
+    "check_pattern",
+    "check_trace",
+    "lock_lint_session",
+    "make_condition",
+    "make_lock",
+    "note_blocking",
+]

@@ -1,0 +1,167 @@
+"""Seeded defect fixtures — known-bad inputs every check pass must catch.
+
+Six fixtures, one per diagnostic family the verifier exists for:
+
+1. a cyclic "pattern"                          -> ``pattern-cycle``
+2. a pattern with an out-of-bounds dependency  -> ``dep-out-of-bounds``
+3. a pattern whose data deps drop a topo dep   -> ``data-superset-violation``
+4. a trace committing a block too early        -> ``early-commit``
+5. a trace committing a block twice            -> ``duplicate-commit``
+6. a deliberate ABBA lock inversion            -> ``lock-cycle``
+
+They serve two purposes: negative-path tests (each must be *rejected*,
+with the named diagnostic), and the ``repro check --selftest`` CLI verb,
+which proves in CI that the verifier still has teeth. The broken
+patterns subclass :class:`DAGPattern` directly because the public
+constructors (by design) refuse to build them.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, List, Tuple
+
+from repro.check import diagnostics as D
+from repro.check.diagnostics import CheckReport
+from repro.check.lock_lint import lock_lint_session, make_lock
+from repro.check.pattern_check import check_pattern
+from repro.check.trace_check import SchedEvent, check_trace
+from repro.dag.library import WavefrontPattern
+from repro.dag.pattern import DAGPattern, VertexId
+
+
+class _ListPattern(DAGPattern):
+    """Minimal adjacency-backed pattern that skips all validation."""
+
+    def __init__(self, preds: dict) -> None:
+        self._preds = {k: tuple(v) for k, v in preds.items()}
+        self._succs: dict = {k: [] for k in self._preds}
+        for v, ps in self._preds.items():
+            for p in ps:
+                if p in self._succs:
+                    self._succs[p].append(v)
+
+    def vertices(self) -> Iterator[VertexId]:
+        return iter(sorted(self._preds))
+
+    def n_vertices(self) -> int:
+        return len(self._preds)
+
+    def contains(self, vid: VertexId) -> bool:
+        return tuple(vid) in self._preds
+
+    def predecessors(self, vid: VertexId) -> Tuple[VertexId, ...]:
+        return self._preds[tuple(vid)]
+
+    def successors(self, vid: VertexId) -> Tuple[VertexId, ...]:
+        return tuple(self._succs[tuple(vid)])
+
+
+def cyclic_pattern() -> DAGPattern:
+    """Three vertices chasing each other: (0,) -> (1,) -> (2,) -> (0,)."""
+    return _ListPattern({(0,): [(2,)], (1,): [(0,)], (2,): [(1,)]})
+
+
+def out_of_bounds_pattern() -> DAGPattern:
+    """A 2-chain whose head also 'depends' on a vertex that does not exist."""
+    return _ListPattern({(0,): [(9, 9)], (1,): [(0,)]})
+
+
+class _DataGapPattern(_ListPattern):
+    """Chain whose data-communication level forgets the topological edge."""
+
+    def __init__(self) -> None:
+        super().__init__({(0,): [], (1,): [(0,)]})
+
+    def data_predecessors(self, vid: VertexId) -> Tuple[VertexId, ...]:
+        return ()  # violates the Fig 7 containment invariant
+
+
+def data_gap_pattern() -> DAGPattern:
+    return _DataGapPattern()
+
+
+def early_commit_trace() -> Tuple[List[SchedEvent], DAGPattern]:
+    """A 2x2 wavefront trace where (1, 1) commits before (0, 1)/(1, 0)."""
+    pattern = WavefrontPattern(2, 2)
+
+    def ev(seq: int, kind: str, task: Tuple[int, int]) -> SchedEvent:
+        return SchedEvent(kind=kind, task_id=task, epoch=0, worker=0, seq=seq)
+
+    events = [
+        ev(0, "assign", (0, 0)),
+        ev(1, "commit", (0, 0)),
+        ev(2, "assign", (0, 1)),
+        ev(3, "assign", (1, 0)),
+        ev(4, "commit", (1, 1)),  # neither (0, 1) nor (1, 0) landed yet
+        ev(5, "commit", (0, 1)),
+        ev(6, "commit", (1, 0)),
+    ]
+    return events, pattern
+
+
+def duplicate_commit_trace() -> Tuple[List[SchedEvent], DAGPattern]:
+    """A fault-tolerance race: both epochs of (0, 1) commit."""
+    pattern = WavefrontPattern(1, 2)
+    events = [
+        SchedEvent(kind="assign", task_id=(0, 0), epoch=0, worker=0, seq=0),
+        SchedEvent(kind="commit", task_id=(0, 0), epoch=0, worker=0, seq=1),
+        SchedEvent(kind="assign", task_id=(0, 1), epoch=0, worker=0, seq=2),
+        SchedEvent(kind="redistribute", task_id=(0, 1), epoch=0, seq=3),
+        SchedEvent(kind="assign", task_id=(0, 1), epoch=1, worker=1, seq=4),
+        SchedEvent(kind="commit", task_id=(0, 1), epoch=1, worker=1, seq=5),
+        # The timed-out epoch-0 result lands anyway and is wrongly merged:
+        SchedEvent(kind="commit", task_id=(0, 1), epoch=0, worker=0, seq=6),
+    ]
+    return events, pattern
+
+
+def abba_lock_report() -> CheckReport:
+    """Two threads acquiring the same pair of locks in opposite orders."""
+    with lock_lint_session() as lint:
+        lock_a = make_lock("fixture.A")
+        lock_b = make_lock("fixture.B")
+
+        def a_then_b() -> None:
+            with lock_a:
+                with lock_b:
+                    pass
+
+        def b_then_a() -> None:
+            with lock_b:
+                with lock_a:
+                    pass
+
+        # Run sequentially on two threads: the *order* graph still records
+        # the inversion, without risking an actual deadlock in the fixture.
+        for fn in (a_then_b, b_then_a):
+            t = threading.Thread(target=fn, name=f"fixture-{fn.__name__}")
+            t.start()
+            t.join()
+        return lint.report()
+
+
+#: name -> (expected diagnostic code, runner returning the CheckReport).
+SELFTEST: dict = {
+    "cyclic-pattern": (D.PATTERN_CYCLE, lambda: check_pattern(cyclic_pattern())),
+    "out-of-bounds-dep": (D.DEP_OUT_OF_BOUNDS, lambda: check_pattern(out_of_bounds_pattern())),
+    "data-deps-gap": (D.DATA_SUPERSET_VIOLATION, lambda: check_pattern(data_gap_pattern())),
+    "early-commit-trace": (
+        D.EARLY_COMMIT,
+        lambda: check_trace(*early_commit_trace(), require_complete=False),
+    ),
+    "duplicate-commit-trace": (
+        D.DUPLICATE_COMMIT,
+        lambda: check_trace(*duplicate_commit_trace(), require_complete=False),
+    ),
+    "abba-lock-cycle": (D.LOCK_CYCLE, abba_lock_report),
+}
+
+
+def run_selftest() -> List[Tuple[str, str, bool]]:
+    """Run every seeded defect; returns (name, expected code, detected)."""
+    results: List[Tuple[str, str, bool]] = []
+    for name, (code, runner) in SELFTEST.items():
+        report = runner()
+        results.append((name, code, report.has(code)))
+    return results

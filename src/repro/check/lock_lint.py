@@ -1,0 +1,230 @@
+"""Lock-order lint: deadlock-potential detection for the runtime's threads.
+
+The real runtime runs at least three thread roles concurrently — the
+master scheduling thread, one worker thread per slave channel, and the
+fault-tolerance thread — sharing the worker-pool structures and the
+master state lock. A cycle in the lock *acquisition-order* graph across
+those roles is a potential deadlock even if no run has hung yet; a
+blocking channel call made while holding a lock is a latency (and, with
+an unlucky peer, liveness) hazard.
+
+Instrumentation is opt-in and zero-cost when off: the runtime creates
+all its locks through :func:`make_lock` / :func:`make_condition`, which
+return plain ``threading`` primitives unless a :func:`lock_lint_session`
+is active. Inside a session, locks are wrapped so every acquisition
+records held-before edges into the session's graph, and
+:func:`note_blocking` (called by the channel layer) flags blocking calls
+made under a lock. ``LockLint.report()`` then lints the recorded graph.
+
+Lock *names* identify roles, not instances: every ``ComputableStack``
+shares one node in the graph, which is exactly the granularity at which
+an ABBA inversion between two code paths is a bug.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.check import diagnostics as D
+from repro.check.diagnostics import CheckReport
+
+_ACTIVE: Optional["LockLint"] = None
+
+
+class LockLint:
+    """One lint session: the acquisition graph plus blocking-call records."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: (held_name, acquired_name) -> witness thread name.
+        self._edges: Dict[Tuple[str, str], str] = {}
+        #: (call description, held locks, thread name) per flagged call.
+        self._blocking: List[Tuple[str, Tuple[str, ...], str]] = []
+        self._held = threading.local()
+        self._acquisitions = 0
+
+    # -- instrumentation callbacks (called by _TracedLock) ----------------------
+
+    def _held_stack(self) -> List[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def on_acquire_attempt(self, name: str) -> None:
+        held = self._held_stack()
+        if held:
+            thread = threading.current_thread().name
+            with self._lock:
+                for h in held:
+                    if h != name:
+                        self._edges.setdefault((h, name), thread)
+
+    def on_acquired(self, name: str) -> None:
+        self._held_stack().append(name)
+        with self._lock:
+            self._acquisitions += 1
+
+    def on_released(self, name: str) -> None:
+        held = self._held_stack()
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] == name:
+                del held[i]
+                return
+
+    def note_blocking(self, description: str) -> None:
+        """Record a potentially blocking call if made while holding a lock."""
+        held = self._held_stack()
+        if held:
+            with self._lock:
+                self._blocking.append(
+                    (description, tuple(held), threading.current_thread().name)
+                )
+
+    # -- lint ------------------------------------------------------------------
+
+    def edges(self) -> Dict[Tuple[str, str], str]:
+        with self._lock:
+            return dict(self._edges)
+
+    def report(self) -> CheckReport:
+        """Lint the recorded graph: cycles and blocking-under-lock calls."""
+        report = CheckReport(title="lock-lint")
+        with self._lock:
+            edges = dict(self._edges)
+            blocking = list(self._blocking)
+            report.checked = self._acquisitions
+        adjacency: Dict[str, Set[str]] = {}
+        for (a, b) in edges:
+            adjacency.setdefault(a, set()).add(b)
+            adjacency.setdefault(b, set())
+        for cycle in _find_cycles(adjacency):
+            witness = " -> ".join(cycle + [cycle[0]])
+            threads = sorted(
+                {edges[e] for e in zip(cycle, cycle[1:] + [cycle[0]]) if e in edges}
+            )
+            report.add(
+                D.LOCK_CYCLE,
+                f"lock acquisition order contains a cycle: {witness} "
+                f"(witness threads: {', '.join(threads)})",
+                cycle[0],
+            )
+        for description, held, thread in blocking:
+            report.add(
+                D.BLOCKING_WHILE_LOCKED,
+                f"{description} called while holding {list(held)} (thread {thread})",
+                description,
+            )
+        return report
+
+
+def _find_cycles(adjacency: Dict[str, Set[str]]) -> List[List[str]]:
+    """Elementary cycles of a small digraph, deduplicated by node set."""
+    cycles: List[List[str]] = []
+    seen_sets: Set[frozenset] = set()
+    for start in sorted(adjacency):
+        stack: List[Tuple[str, Iterator[str]]] = [(start, iter(sorted(adjacency[start])))]
+        path = [start]
+        on_path = {start}
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt == start and len(path) > 0:
+                    key = frozenset(path)
+                    if key not in seen_sets:
+                        seen_sets.add(key)
+                        cycles.append(list(path))
+                elif nxt not in on_path and nxt > start:
+                    # Only explore nodes > start so each cycle is found once,
+                    # rooted at its smallest node.
+                    stack.append((nxt, iter(sorted(adjacency[nxt]))))
+                    path.append(nxt)
+                    on_path.add(nxt)
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                on_path.discard(path.pop())
+    return cycles
+
+
+class _TracedLock:
+    """A ``threading.Lock`` wrapper feeding a :class:`LockLint` session."""
+
+    def __init__(self, name: str, lint: LockLint) -> None:
+        self.name = name
+        self._lint = lint
+        self._inner = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if blocking:
+            self._lint.on_acquire_attempt(self.name)
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._lint.on_acquired(self.name)
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        self._lint.on_released(self.name)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"_TracedLock({self.name!r})"
+
+
+@contextmanager
+def lock_lint_session() -> Iterator[LockLint]:
+    """Activate lock instrumentation for the dynamic extent of the block.
+
+    Locks created by :func:`make_lock` / :func:`make_condition` while the
+    session is active are instrumented; locks created outside stay plain.
+    Sessions nest (the innermost wins).
+    """
+    global _ACTIVE
+    lint = LockLint()
+    previous = _ACTIVE
+    _ACTIVE = lint
+    try:
+        yield lint
+    finally:
+        _ACTIVE = previous
+
+
+def active_session() -> Optional[LockLint]:
+    return _ACTIVE
+
+
+def make_lock(name: str):
+    """A lock for role ``name``: plain, or instrumented inside a session."""
+    lint = _ACTIVE
+    if lint is None:
+        return threading.Lock()
+    return _TracedLock(name, lint)
+
+
+def make_condition(name: str) -> threading.Condition:
+    """A condition variable whose underlying lock is role-named."""
+    lint = _ACTIVE
+    if lint is None:
+        return threading.Condition()
+    return threading.Condition(_TracedLock(name, lint))
+
+
+def note_blocking(description: str) -> None:
+    """Hook for blocking calls (channel send/recv); no-op outside a session."""
+    lint = _ACTIVE
+    if lint is not None:
+        lint.note_blocking(description)

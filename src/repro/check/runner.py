@@ -1,0 +1,83 @@
+"""Batch verification of everything this package ships.
+
+``run_builtin_checks`` sweeps the whole built-in surface — every library
+pattern at several shapes (including the reversed-row and diagonal
+variants the triangular partition relies on), every bundled algorithm's
+cell-level pattern, its process-level partition, and one thread-level
+sub-partition — through the static verifier. This is what
+``repro check --all-builtin`` and the parametrized test suite run; a new
+pattern or algorithm is covered automatically once registered.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.check.diagnostics import CheckReport, merge_reports
+from repro.check.pattern_check import check_partition, check_pattern
+from repro.dag.partition import Partition
+from repro.dag.pattern import DAGPattern
+
+#: name -> zero-arg factory for every built-in pattern variant checked.
+def builtin_pattern_cases() -> Dict[str, Callable[[], DAGPattern]]:
+    from repro.algorithms.floyd_warshall import FloydWarshallPattern
+    from repro.dag.library import (
+        ChainPattern,
+        Full2DPattern,
+        IndependentGridPattern,
+        RowColPrefixPattern,
+        TriangularPattern,
+        WavefrontPattern,
+    )
+
+    return {
+        "wavefront-6x9": lambda: WavefrontPattern(6, 9),
+        "wavefront-1x1": lambda: WavefrontPattern(1, 1),
+        "wavefront-reversed-7x5": lambda: WavefrontPattern(7, 5, row_reversed=True),
+        "wavefront-no-diag-5x5": lambda: WavefrontPattern(5, 5, diagonal_data_dep=False),
+        "rowcol-prefix-6x8": lambda: RowColPrefixPattern(6, 8),
+        "rowcol-prefix-reversed-8x6": lambda: RowColPrefixPattern(8, 6, row_reversed=True),
+        "triangular-9": lambda: TriangularPattern(9),
+        "triangular-1": lambda: TriangularPattern(1),
+        "full-2d-5x7": lambda: Full2DPattern(5, 7),
+        "independent-4x6": lambda: IndependentGridPattern(4, 6),
+        "chain-12": lambda: ChainPattern(12),
+        "floyd-warshall-4": lambda: FloydWarshallPattern(4),
+        # Large enough to exercise the sampled (non-exhaustive) path.
+        "wavefront-large-600x600": lambda: WavefrontPattern(600, 600),
+    }
+
+
+def builtin_algorithm_cases(size: int = 24, seed: int = 0) -> Dict[str, Callable[[], object]]:
+    """name -> factory for a small instance of every bundled algorithm."""
+    from repro.cli import ALGORITHMS, _register_algorithms
+
+    _register_algorithms()
+    return {
+        name: (lambda factory=factory: factory(size, seed))
+        for name, factory in sorted(ALGORITHMS.items())
+    }
+
+
+def check_algorithm(problem, *, block: int = 7, thread_block: int = 3) -> CheckReport:
+    """Verify one algorithm's pattern, partition, and a sub-partition."""
+    reports: List[CheckReport] = []
+    pattern = problem.pattern()
+    reports.append(check_pattern(pattern))
+    partition: Partition = problem.build_partition(block)
+    reports.append(check_partition(partition))
+    # One thread-level sub-partition: the first schedulable block.
+    first = next(iter(partition.block_ids()))
+    reports.append(check_partition(partition.sub_partition(first, thread_block)))
+    merged = merge_reports(f"algorithm-check({problem.name})", reports)
+    return merged
+
+
+def run_builtin_checks(*, algo_size: int = 24, seed: int = 0) -> List[Tuple[str, CheckReport]]:
+    """Verify every built-in pattern and algorithm; returns (name, report)."""
+    results: List[Tuple[str, CheckReport]] = []
+    for name, factory in builtin_pattern_cases().items():
+        results.append((f"pattern:{name}", check_pattern(factory(), samples=128)))
+    for name, factory in builtin_algorithm_cases(algo_size, seed).items():
+        results.append((f"algorithm:{name}", check_algorithm(factory())))
+    return results

@@ -1,0 +1,188 @@
+"""Happens-before validation of runtime scheduling traces.
+
+The master/slave protocol promises (paper Figs 9-10): a sub-task is
+*assigned* only after every data dependency's result was *committed* to
+master state; each sub-task's result is committed exactly once; results
+from cancelled (timed-out) dispatches are dropped, never committed. This
+module checks those promises against an event trace.
+
+Event schema (``SchedEvent``): ``kind`` is one of
+
+- ``assign``       — a sub-task dispatch (register-table registration);
+- ``commit``       — the master merged the sub-task's result into state;
+- ``redistribute`` — fault tolerance cancelled an epoch and re-queued;
+- ``stale-drop``   — a result from a cancelled epoch arrived and was dropped.
+
+Events carry ``(task_id, epoch, worker, seq, time)``. ``seq`` is a
+per-recorder monotone counter assigned under the recorder's lock; because
+every producer records *inside* the runtime's own critical sections, the
+``seq`` order is a linearization consistent with the real happens-before
+order established by the runtime's locks — which is what makes the
+single-log vector-clock check below sound.
+
+:class:`TraceRecorder` is the cheap thread-safe collector the runtime and
+the simulator both feed; :func:`check_trace` is the validator. Enable end
+to end with ``RunConfig(verify=True)`` or ``REPRO_VERIFY=1``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.check import diagnostics as D
+from repro.check.diagnostics import CheckReport
+from repro.comm.messages import TaskId
+from repro.dag.pattern import DAGPattern
+
+EVENT_KINDS = ("assign", "commit", "redistribute", "stale-drop")
+
+
+@dataclass(frozen=True)
+class SchedEvent:
+    """One scheduling event observed by a :class:`TraceRecorder`."""
+
+    kind: str
+    task_id: TaskId
+    epoch: int
+    worker: int = -1
+    seq: int = 0
+    time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"event kind must be one of {EVENT_KINDS}, got {self.kind!r}")
+
+    def __str__(self) -> str:
+        return (
+            f"#{self.seq} {self.kind} task={self.task_id} epoch={self.epoch} "
+            f"worker={self.worker} t={self.time:.6f}"
+        )
+
+
+class TraceRecorder:
+    """Thread-safe append-only scheduling trace.
+
+    Recording happens inside the runtime's own critical sections, so the
+    sequence numbers this class assigns form a linearization of the run.
+    The recorder is cheap enough to leave on in tests: one lock
+    acquisition and a tuple append per scheduling event.
+    """
+
+    def __init__(self) -> None:
+        self._events: List[SchedEvent] = []
+        self._lock = threading.Lock()
+
+    def record(
+        self, kind: str, task_id: TaskId, epoch: int, worker: int = -1, time: float = 0.0
+    ) -> SchedEvent:
+        with self._lock:
+            ev = SchedEvent(
+                kind=kind, task_id=task_id, epoch=epoch, worker=worker,
+                seq=len(self._events), time=time,
+            )
+            self._events.append(ev)
+            return ev
+
+    def events(self) -> Tuple[SchedEvent, ...]:
+        with self._lock:
+            return tuple(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+def check_trace(
+    events: Iterable[SchedEvent],
+    pattern: DAGPattern,
+    *,
+    require_complete: bool = True,
+    title: str = "trace-check",
+) -> CheckReport:
+    """Validate a scheduling trace against the DAG it claims to execute.
+
+    Violations reported (all ``error`` severity):
+
+    - ``early-assign``     — a task dispatched before some *data*
+      dependency's result was committed (the race that corrupts cells);
+    - ``early-commit``     — a result committed before a topological
+      predecessor's commit;
+    - ``duplicate-commit`` — a second commit for the same task
+      (fault-tolerance race: two epochs both landed);
+    - ``stale-commit``     — a commit from an epoch that fault tolerance
+      had already cancelled;
+    - ``lost-update``      — with ``require_complete``, a task of the
+      pattern that was never committed (or never even assigned);
+    - ``unknown-task``     — an event naming a vertex outside the pattern.
+    """
+    report = CheckReport(title=title)
+    committed: Dict[TaskId, int] = {}  # task -> seq of first commit
+    assigned: Set[Tuple[TaskId, int]] = set()
+    cancelled: Set[Tuple[TaskId, int]] = set()
+    data_deps: Dict[TaskId, Tuple[TaskId, ...]] = {}
+    topo_deps: Dict[TaskId, Tuple[TaskId, ...]] = {}
+
+    def deps(task: TaskId) -> Optional[Tuple[Tuple[TaskId, ...], Tuple[TaskId, ...]]]:
+        if task not in data_deps:
+            if not pattern.contains(task):
+                return None
+            data_deps[task] = tuple(pattern.data_predecessors(task))
+            topo_deps[task] = tuple(pattern.predecessors(task))
+        return data_deps[task], topo_deps[task]
+
+    for ev in events:
+        report.checked += 1
+        resolved = deps(ev.task_id)
+        if resolved is None:
+            report.add(D.UNKNOWN_TASK, f"event names a vertex outside the pattern: {ev}")
+            continue
+        dd, td = resolved
+        if ev.kind == "assign":
+            assigned.add((ev.task_id, ev.epoch))
+            missing = [p for p in dd if p not in committed]
+            if missing:
+                report.add(
+                    D.EARLY_ASSIGN,
+                    f"assigned before data dependencies committed: {ev} "
+                    f"(missing {missing[:4]}{'...' if len(missing) > 4 else ''})",
+                    repr(ev.task_id),
+                )
+        elif ev.kind == "commit":
+            if ev.task_id in committed:
+                report.add(
+                    D.DUPLICATE_COMMIT,
+                    f"second commit for an already-committed task: {ev}",
+                    repr(ev.task_id),
+                )
+                continue
+            if (ev.task_id, ev.epoch) in cancelled:
+                report.add(
+                    D.STALE_COMMIT,
+                    f"commit from an epoch fault tolerance cancelled: {ev}",
+                    repr(ev.task_id),
+                )
+            missing = [p for p in td if p not in committed]
+            if missing:
+                report.add(
+                    D.EARLY_COMMIT,
+                    f"committed before predecessors committed: {ev} "
+                    f"(missing {missing[:4]}{'...' if len(missing) > 4 else ''})",
+                    repr(ev.task_id),
+                )
+            committed[ev.task_id] = ev.seq
+        elif ev.kind == "redistribute":
+            cancelled.add((ev.task_id, ev.epoch))
+        elif ev.kind == "stale-drop":
+            pass  # informational: a drop is the *correct* outcome
+
+    if require_complete:
+        for vid in pattern.vertices():
+            if vid not in committed:
+                ever_assigned = any(t == vid for t, _ in assigned)
+                detail = "assigned but its result never committed" if ever_assigned else (
+                    "never assigned at all"
+                )
+                report.add(D.LOST_UPDATE, f"task {vid!r} {detail}", repr(vid))
+    return report

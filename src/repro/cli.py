@@ -1,12 +1,16 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands:
+Commands:
 
 - ``info``      — version, pattern library, bundled algorithms, backends;
 - ``run``       — execute one algorithm on a real backend and print the
                   result plus the run report;
 - ``simulate``  — replay an Experiment_X_Y on the simulated cluster,
-                  optionally rendering the schedule as a Gantt chart.
+                  optionally rendering the schedule as a Gantt chart;
+- ``check``     — run the static verifier (:mod:`repro.check`) over
+                  built-in patterns/algorithms, one pattern, or one
+                  algorithm; ``--selftest`` proves the checkers catch
+                  seeded defects. Exit code 1 on any diagnostic.
 """
 
 from __future__ import annotations
@@ -86,6 +90,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         threads_per_node=args.threads,
         backend=args.backend,
         scheduler=args.scheduler,
+        verify=args.verify,
     )
     run = EasyHPS(config).run(problem)
     print(run.report.summary())
@@ -113,6 +118,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         args.cores,
         scheduler=args.scheduler,
         trace=args.gantt,
+        verify=args.verify,
     )
     run = EasyHPS(config).run(problem)
     print(run.report.summary())
@@ -121,6 +127,69 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
         print(render_gantt(run.report.trace, width=72, makespan=run.report.makespan))
     return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Static verification; exit 0 iff everything checked out clean."""
+    from repro.check.runner import (
+        builtin_algorithm_cases,
+        check_algorithm,
+        run_builtin_checks,
+    )
+
+    failed = 0
+    checked = 0
+
+    def show(name: str, report) -> None:
+        nonlocal failed, checked
+        checked += 1
+        status = "ok" if report.ok else "FAIL"
+        print(f"  {status:4s} {name}  ({report.checked} checks)")
+        if not report.ok:
+            failed += 1
+            for d in report.diagnostics:
+                print(f"       [{d.code}] {d.subject}: {d.message}"[:200])
+
+    if args.selftest:
+        from repro.check.fixtures import run_selftest
+
+        print("checker self-test (seeded defects must be detected):")
+        for name, code, detected in run_selftest():
+            checked += 1
+            status = "ok" if detected else "MISS"
+            print(f"  {status:4s} {name}  (expects [{code}])")
+            if not detected:
+                failed += 1
+    elif args.pattern is not None:
+        from repro.dag.library import PATTERN_LIBRARY, get_pattern
+
+        from repro.utils.errors import PatternError
+
+        if args.pattern not in PATTERN_LIBRARY:
+            raise SystemExit(
+                f"unknown pattern {args.pattern!r}; library has {sorted(PATTERN_LIBRARY)}"
+            )
+        try:
+            if args.pattern in ("triangular", "chain"):
+                pattern = get_pattern(args.pattern, args.size)
+            else:
+                pattern = get_pattern(args.pattern, args.size, args.size)
+        except PatternError as exc:
+            raise SystemExit(f"cannot build pattern {args.pattern!r}: {exc}") from exc
+        show(f"pattern:{args.pattern}-{args.size}", pattern.check())
+    elif args.algo is not None:
+        cases = builtin_algorithm_cases(args.size, args.seed)
+        if args.algo not in cases:
+            raise SystemExit(
+                f"unknown algorithm {args.algo!r}; choose from {', '.join(sorted(cases))}"
+            )
+        show(f"algorithm:{args.algo}", check_algorithm(cases[args.algo]()))
+    else:  # --all-builtin (the default)
+        for name, report in run_builtin_checks(algo_size=args.size, seed=args.seed):
+            show(name, report)
+
+    print(f"{checked} targets checked, {failed} failed")
+    return 0 if failed == 0 else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -140,6 +209,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--backend", default="threads", help="serial | threads | processes")
     run_p.add_argument("--nodes", type=int, default=3, help="total nodes incl. master")
     run_p.add_argument("--threads", type=int, default=2, help="computing threads per node")
+    run_p.add_argument(
+        "--verify", action="store_true", help="validate the schedule with the trace checker"
+    )
     run_p.set_defaults(fn=cmd_run)
 
     sim_p = sub.add_parser("simulate", help="replay Experiment_X_Y on the simulated cluster")
@@ -147,7 +219,28 @@ def build_parser() -> argparse.ArgumentParser:
     sim_p.add_argument("--nodes", type=int, default=4, help="X: total nodes")
     sim_p.add_argument("--cores", type=int, default=22, help="Y: total cores")
     sim_p.add_argument("--gantt", action="store_true", help="render the schedule")
+    sim_p.add_argument(
+        "--verify", action="store_true", help="validate the schedule with the trace checker"
+    )
     sim_p.set_defaults(fn=cmd_simulate)
+
+    chk_p = sub.add_parser("check", help="statically verify patterns/partitions")
+    target = chk_p.add_mutually_exclusive_group()
+    target.add_argument(
+        "--all-builtin",
+        action="store_true",
+        help="verify every built-in pattern and algorithm (the default)",
+    )
+    target.add_argument("--pattern", help="verify one library pattern by name")
+    target.add_argument("--algo", help="verify one bundled algorithm by name")
+    target.add_argument(
+        "--selftest",
+        action="store_true",
+        help="prove the checkers catch seeded defects",
+    )
+    chk_p.add_argument("--size", type=int, default=24, help="instance / pattern size")
+    chk_p.add_argument("--seed", type=int, default=0, help="instance seed")
+    chk_p.set_defaults(fn=cmd_check)
 
     cal_p = sub.add_parser("calibrate", help="fit the simulator to this machine")
     common(cal_p)

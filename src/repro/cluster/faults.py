@@ -22,6 +22,7 @@ from typing import Dict, Iterable, Optional, Tuple
 import numpy as np
 
 from repro.comm.messages import TaskId
+from repro.utils.validate import check_in, check_nonnegative, check_probability
 
 KINDS = ("crash", "hang")
 
@@ -39,10 +40,8 @@ class FaultRule:
     attempt: int = 0
 
     def __post_init__(self) -> None:
-        if self.kind not in KINDS:
-            raise ValueError(f"fault kind must be one of {KINDS}, got {self.kind!r}")
-        if self.attempt < 0:
-            raise ValueError(f"attempt must be >= 0, got {self.attempt}")
+        check_in("fault kind", self.kind, KINDS)
+        check_nonnegative("attempt", self.attempt)
 
     def matches(self, task_id: TaskId, attempt: int) -> bool:
         return attempt == self.attempt and (self.task_id is None or self.task_id == task_id)
@@ -69,8 +68,7 @@ class FaultPlan:
         Decisions are drawn lazily per task and memoized, so a plan is
         deterministic for a given seed regardless of query order ties.
         """
-        if not 0.0 <= p <= 1.0:
-            raise ValueError(f"probability must be in [0, 1], got {p}")
+        check_probability("p", p)
         plan = cls(())
         plan._random_p = p
         plan._rng = np.random.default_rng(seed)

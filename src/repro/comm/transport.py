@@ -18,6 +18,7 @@ import multiprocessing.connection
 import queue
 from typing import Optional, Tuple
 
+from repro.check.lock_lint import note_blocking
 from repro.comm.messages import Message
 from repro.comm.serialization import message_nbytes
 from repro.utils.errors import TransportError
@@ -49,6 +50,7 @@ class Channel:
             raise ChannelClosed("send on closed channel")
         if not isinstance(msg, Message):
             raise TransportError(f"can only send Message instances, got {type(msg).__name__}")
+        note_blocking("channel.send")  # lock-lint hook, no-op unless linting
         self._send(msg)
         self.sent_messages += 1
         self.sent_bytes += message_nbytes(msg)
@@ -57,6 +59,7 @@ class Channel:
         """Receive the next message, waiting at most ``timeout`` seconds."""
         if self._closed:
             raise ChannelClosed("recv on closed channel")
+        note_blocking("channel.recv")  # lock-lint hook, no-op unless linting
         msg = self._recv(timeout)
         self.received_messages += 1
         self.received_bytes += message_nbytes(msg)

@@ -188,6 +188,17 @@ class Partition:
         """Partition one sub-task for the thread level (paper step e)."""
         return partition_pattern(self.block_pattern(bid), thread_block_shape)
 
+    def check(self, **kwargs):
+        """Run the :mod:`repro.check` partition verifier over this partition.
+
+        Returns a :class:`~repro.check.diagnostics.CheckReport` covering the
+        abstract pattern's invariants, block sizing, and preservation of
+        every cell-level dependency by the coarse DAG.
+        """
+        from repro.check.pattern_check import check_partition
+
+        return check_partition(self, **kwargs)
+
     def __repr__(self) -> str:
         return (
             f"Partition(kind={self.kind!r}, base={self.base!r}, "

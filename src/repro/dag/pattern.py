@@ -187,6 +187,18 @@ class DAGPattern:
                 f"pattern has a cycle: only {seen} of {self.n_vertices()} vertices sortable"
             )
 
+    def check(self, **kwargs):
+        """Run the :mod:`repro.check` pattern verifier over this pattern.
+
+        Unlike :meth:`validate` this returns a
+        :class:`~repro.check.diagnostics.CheckReport` instead of raising on
+        the first defect, and it scales to huge cell-level patterns by
+        sampling (``samples``/``seed`` keywords).
+        """
+        from repro.check.pattern_check import check_pattern
+
+        return check_pattern(self, **kwargs)
+
     def topological_order(self) -> Iterator[VertexId]:
         """Yield vertices in one valid topological order (deterministic)."""
         indegree = {vid: len(self.predecessors(vid)) for vid in self.vertices()}

@@ -9,6 +9,7 @@ cluster spec. ``RunConfig.experiment(X, Y)`` reproduces the paper's
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
@@ -17,9 +18,19 @@ from repro.cluster.topology import ClusterSpec, experiment_layout
 from repro.dag.partition import BlockShape, _as_pair
 from repro.schedulers.policy import POLICIES
 from repro.utils.errors import ConfigError
-from repro.utils.validate import check_in, check_positive
+from repro.utils.validate import check_in, check_positive, check_type
 
 BACKENDS = ("serial", "threads", "processes", "simulated")
+
+
+def _verify_default() -> bool:
+    """Default of :attr:`RunConfig.verify`: the ``REPRO_VERIFY`` env var.
+
+    Lets an entire test suite (or CI job) run with the happens-before
+    trace validator on — ``REPRO_VERIFY=1 pytest`` — without touching any
+    call site.
+    """
+    return os.environ.get("REPRO_VERIFY", "").strip().lower() in ("1", "true", "yes", "on")
 
 
 @dataclass(frozen=True)
@@ -71,11 +82,23 @@ class RunConfig:
     #: compute (one-deep prefetch, simulated backend). Off by default —
     #: the paper's slave loop is strictly transfer -> compute -> reply.
     prefetch: bool = False
+    #: Run the happens-before trace validator (:mod:`repro.check`) over
+    #: every schedule: master and slave levels on the real backends, the
+    #: event log on the simulated one. A violation raises
+    #: :class:`~repro.utils.errors.CheckError` instead of returning wrong
+    #: cells. Defaults from the ``REPRO_VERIFY`` environment variable so a
+    #: whole test run can opt in at once.
+    verify: bool = field(default_factory=_verify_default)
 
     def __post_init__(self) -> None:
         check_in("backend", self.backend, BACKENDS)
         check_in("scheduler", self.scheduler, POLICIES)
         check_in("thread_scheduler", self.thread_scheduler, POLICIES)
+        check_type("fault_plan", self.fault_plan, FaultPlan)
+        check_type("thread_fault_plan", self.thread_fault_plan, FaultPlan)
+        check_type("verify", self.verify, bool)
+        if self.cluster is not None:
+            check_type("cluster", self.cluster, ClusterSpec)
         if self.nodes < 2 and self.backend != "serial":
             raise ConfigError(f"need >= 2 nodes (master + slave), got {self.nodes}")
         check_positive("threads_per_node", self.threads_per_node)

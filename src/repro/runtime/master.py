@@ -22,11 +22,13 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.algorithms.problem import DPProblem
+from repro.check.lock_lint import make_lock
+from repro.check.trace_check import TraceRecorder, check_trace
 from repro.comm.messages import EndSignal, IdleSignal, TaskAssign, TaskResult
 from repro.comm.transport import Channel, ChannelClosed, ChannelTimeout
 from repro.dag.parser import DAGParser
@@ -67,6 +69,8 @@ class MasterPart:
         task_timeout: float = 30.0,
         max_retries: int = 3,
         poll_interval: float = 0.02,
+        verify: bool = False,
+        tracer: Optional[TraceRecorder] = None,
     ) -> None:
         if not channels:
             raise SchedulerError("master needs at least one slave channel")
@@ -82,10 +86,16 @@ class MasterPart:
         self.max_retries = max_retries
         self.poll_interval = poll_interval
 
+        self.verify = verify
+        #: Scheduling-event trace (see :mod:`repro.check.trace_check`).
+        #: Always populated when ``verify`` is on; callers may also inject
+        #: a shared recorder to merge traces across components.
+        self.tracer = tracer if tracer is not None else (TraceRecorder() if verify else None)
+
         self.state: Dict[str, np.ndarray] = {}
         self.stats = MasterStats()
-        self._state_lock = threading.Lock()
-        self._results_lock = threading.Lock()
+        self._state_lock = make_lock("master.state")
+        self._results_lock = make_lock("master.results")
         self._result_buffer: Dict[tuple, Dict[str, object]] = {}
         self._stack = ComputableStack()
         self._finished = FinishedStack()
@@ -122,9 +132,13 @@ class MasterPart:
                 if task_id is None:
                     continue
                 with self._results_lock:
-                    outputs = self._result_buffer.pop(task_id)
+                    outputs, epoch = self._result_buffer.pop(task_id)
                 with self._state_lock:
                     self.problem.apply_result(self.state, self.partition, task_id, outputs)
+                if self.tracer is not None:
+                    # Recorded before push_many so a successor's "assign"
+                    # always serializes after its dependencies' commits.
+                    self.tracer.record("commit", task_id, epoch, time=time.monotonic())
                 self._stack.push_many(parser.complete(task_id))
         finally:
             # Fig 9 step i: tear down pools and signal every slave to end.
@@ -140,6 +154,12 @@ class MasterPart:
                 self.stats.bytes_to_master += ch.received_bytes
         if self._failure:
             raise self._failure[0]
+        if self.verify and self.tracer is not None:
+            check_trace(
+                self.tracer.events(),
+                self.partition.abstract,
+                title=f"master-trace({self.problem.name})",
+            ).raise_if_failed()
         return self.state
 
     # -- per-slave worker thread (Fig 9 steps d-f) ------------------------------------
@@ -166,6 +186,8 @@ class MasterPart:
                     ended = True
                     continue
                 epoch = self._register.register(task_id, worker_id)
+                if self.tracer is not None:
+                    self.tracer.record("assign", task_id, epoch, worker_id, time.monotonic())
                 with self._state_lock:
                     inputs = self.problem.extract_inputs(self.state, self.partition, task_id)
                 self._overtime.push(
@@ -182,13 +204,17 @@ class MasterPart:
             elif isinstance(msg, TaskResult):
                 if self._register.finish(msg.task_id, msg.epoch):
                     with self._results_lock:
-                        self._result_buffer[msg.task_id] = msg.outputs
+                        self._result_buffer[msg.task_id] = (msg.outputs, msg.epoch)
                     self._finished.push(msg.task_id)
                     self.stats.tasks_per_worker[worker_id] = (
                         self.stats.tasks_per_worker.get(worker_id, 0) + 1
                     )
                 else:
                     self.stats.stale_results += 1
+                    if self.tracer is not None:
+                        self.tracer.record(
+                            "stale-drop", msg.task_id, msg.epoch, worker_id, time.monotonic()
+                        )
 
     def _try_send_end(self, channel: Channel) -> None:
         try:
@@ -215,5 +241,9 @@ class MasterPart:
                     self._finished.close()
                     return
                 self.stats.faults_recovered += 1
+                if self.tracer is not None:
+                    self.tracer.record(
+                        "redistribute", entry.task_id, entry.epoch, time=time.monotonic()
+                    )
                 self._stack.push(entry.task_id)
             time.sleep(self.poll_interval)

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.algorithms.problem import DPProblem
+from repro.check.trace_check import TraceRecorder, check_trace
 from repro.cluster.faults import FaultPlan
 from repro.comm.messages import EndSignal, IdleSignal, TaskAssign, TaskResult
 from repro.comm.transport import Channel, ChannelClosed, ChannelTimeout
@@ -71,6 +72,7 @@ class SlavePart:
         thread_fault_plan: Optional[FaultPlan] = None,
         hang_duration: float = 1.0,
         stop_event: Optional[threading.Event] = None,
+        verify: bool = False,
     ) -> None:
         self.slave_id = slave_id
         self.channel = channel
@@ -86,6 +88,9 @@ class SlavePart:
         self.thread_fault_plan = thread_fault_plan or FaultPlan.none()
         self.hang_duration = hang_duration
         self.stop_event = stop_event or threading.Event()
+        #: Validate each sub-task's thread-level schedule against the inner
+        #: DAG with the happens-before checker (``RunConfig.verify``).
+        self.verify = verify
         self.stats = SlaveStats()
 
     # -- protocol loop --------------------------------------------------------
@@ -162,6 +167,7 @@ class SlavePart:
         )
         stack.push_many(parser.computable())
         failure: list[BaseException] = []
+        tracer = TraceRecorder() if self.verify else None
 
         def compute_worker(worker_id: int) -> None:
             while True:
@@ -169,6 +175,8 @@ class SlavePart:
                 if sub is None:
                     return
                 epoch = register.register(sub, worker_id)
+                if tracer is not None:
+                    tracer.record("assign", sub, epoch, worker_id, time.monotonic())
                 overtime.push(
                     OvertimeEntry(
                         deadline=time.monotonic() + self.subtask_timeout,
@@ -184,6 +192,10 @@ class SlavePart:
                 rows, cols = inner.block_ranges(sub)
                 evaluator.run_subblock(rows, cols)
                 if register.finish(sub, epoch):
+                    if tracer is not None:
+                        # Before finished.push so successors' assigns
+                        # serialize after this commit in the trace.
+                        tracer.record("commit", sub, epoch, worker_id, time.monotonic())
                     finished.push(sub)
 
         threads = [
@@ -211,6 +223,8 @@ class SlavePart:
                     )
                     break
                 self.stats.thread_restarts += 1
+                if tracer is not None:
+                    tracer.record("redistribute", entry.task_id, entry.epoch, time=time.monotonic())
                 stack.push(entry.task_id)
                 replacement = threading.Thread(
                     target=compute_worker,
@@ -227,6 +241,12 @@ class SlavePart:
             t.join(timeout=5.0)
         if failure:
             raise failure[0]
+        if tracer is not None and parser.is_done() and not self.stop_event.is_set():
+            check_trace(
+                tracer.events(),
+                inner.abstract,
+                title=f"slave{self.slave_id}-trace",
+            ).raise_if_failed()
         return evaluator.outputs()
 
 
@@ -245,7 +265,6 @@ def slave_process_main(
     only the problem and scalars cross the process boundary.
     """
     from repro.comm.transport import PipeChannel
-    from repro.dag.partition import partition_pattern
 
     channel = PipeChannel(conn)
     partition = problem.build_partition(process_partition)

@@ -18,10 +18,10 @@ per-slave worker threads, and the fault-tolerance thread.
 from __future__ import annotations
 
 import heapq
-import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.check.lock_lint import make_condition, make_lock
 from repro.comm.messages import TaskId
 from repro.schedulers.policy import SchedulingPolicy
 from repro.utils.errors import SchedulerError
@@ -32,7 +32,7 @@ class ComputableStack:
 
     def __init__(self) -> None:
         self._items: List[TaskId] = []
-        self._cond = threading.Condition()
+        self._cond = make_condition("pool.computable-stack")
         self._closed = False
 
     def push(self, task_id: TaskId) -> None:
@@ -88,7 +88,7 @@ class FinishedStack:
 
     def __init__(self) -> None:
         self._items: List[TaskId] = []
-        self._cond = threading.Condition()
+        self._cond = make_condition("pool.finished-stack")
         self._closed = False
 
     def push(self, task_id: TaskId) -> None:
@@ -136,7 +136,7 @@ class OvertimeQueue:
 
     def __init__(self) -> None:
         self._heap: List[Tuple[float, int, OvertimeEntry]] = []
-        self._lock = threading.Lock()
+        self._lock = make_lock("pool.overtime-queue")
         self._seq = 0
 
     def push(self, entry: OvertimeEntry) -> None:
@@ -182,7 +182,7 @@ class RegisterTable:
     def __init__(self) -> None:
         self._live: Dict[TaskId, Registration] = {}
         self._attempts: Dict[TaskId, int] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("pool.register-table")
 
     def register(self, task_id: TaskId, worker_id: int) -> int:
         """Record a dispatch; returns the new epoch (== attempt index)."""

@@ -30,5 +30,15 @@ class FaultToleranceExhausted(ReproError):
     """A sub-task kept failing beyond the configured retry budget."""
 
 
-class ConfigError(ReproError):
-    """A run configuration is invalid or inconsistent."""
+class ConfigError(ReproError, ValueError):
+    """A run configuration is invalid or inconsistent.
+
+    Also a :class:`ValueError` so call sites that historically raised bare
+    ``ValueError`` for bad arguments could migrate here without breaking
+    callers that catch the built-in type.
+    """
+
+
+class CheckError(ReproError):
+    """A :mod:`repro.check` pass found violations (see the message for the
+    per-diagnostic listing)."""

@@ -28,3 +28,24 @@ def check_in(name: str, value: Any, allowed: Collection[Any]) -> None:
     """Require ``value`` to be one of ``allowed``."""
     if value not in allowed:
         raise ConfigError(f"{name} must be one of {sorted(map(str, allowed))}, got {value!r}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Require ``0 <= value <= 1`` (and that it is a real number at all)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigError(f"{name} must be a probability in [0, 1], got {value!r}")
+    if not 0.0 <= value <= 1.0:
+        raise ConfigError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_type(name: str, value: Any, expected: type | tuple[type, ...]) -> None:
+    """Require ``isinstance(value, expected)`` with a readable message."""
+    if not isinstance(value, expected):
+        names = (
+            expected.__name__
+            if isinstance(expected, type)
+            else " | ".join(t.__name__ for t in expected)
+        )
+        raise ConfigError(
+            f"{name} must be {names}, got {type(value).__name__} ({value!r})"
+        )

@@ -1,0 +1,64 @@
+"""The ``repro check`` CLI verb."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCheckCommand:
+    def test_all_builtin_exits_zero(self, capsys):
+        assert main(["check", "--all-builtin"]) == 0
+        out = capsys.readouterr().out
+        assert "0 failed" in out
+        assert "pattern:wavefront-6x9" in out
+        assert "algorithm:lcs" in out
+
+    def test_default_is_all_builtin(self, capsys):
+        assert main(["check", "--size", "12"]) == 0
+        assert "0 failed" in capsys.readouterr().out
+
+    def test_selftest_exits_zero(self, capsys):
+        assert main(["check", "--selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "[pattern-cycle]" in out
+        assert "[lock-cycle]" in out
+        assert "MISS" not in out
+
+    def test_single_pattern(self, capsys):
+        assert main(["check", "--pattern", "wavefront", "--size", "8"]) == 0
+        assert "pattern:wavefront-8" in capsys.readouterr().out
+
+    def test_single_triangular_pattern(self, capsys):
+        assert main(["check", "--pattern", "triangular", "--size", "7"]) == 0
+
+    def test_single_algorithm(self, capsys):
+        assert main(["check", "--algo", "lcs", "--size", "16"]) == 0
+        assert "algorithm:lcs" in capsys.readouterr().out
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["check", "--pattern", "moebius"])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["check", "--algo", "bogosort"])
+
+    def test_exclusive_targets(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["check", "--selftest", "--pattern", "wavefront"])
+        capsys.readouterr()
+
+
+class TestVerifyFlag:
+    def test_run_verify(self, capsys):
+        assert main([
+            "run", "--algo", "lcs", "--size", "24", "--verify",
+            "--nodes", "3", "--threads", "2",
+        ]) == 0
+        assert "result:" in capsys.readouterr().out
+
+    def test_simulate_verify(self, capsys):
+        assert main([
+            "simulate", "--algo", "nussinov", "--size", "30",
+            "--nodes", "3", "--cores", "9", "--verify",
+        ]) == 0

@@ -1,0 +1,123 @@
+"""Lock-order lint (repro.check.lock_lint).
+
+The instrumentation must be invisible when no session is active, record
+acquisition-order inversions (ABBA) even when the deadlock never fires,
+and flag blocking channel calls made under a lock.
+"""
+
+import threading
+
+from repro.check import diagnostics as D
+from repro.check.fixtures import abba_lock_report
+from repro.check.lock_lint import (
+    active_session,
+    lock_lint_session,
+    make_condition,
+    make_lock,
+    note_blocking,
+)
+
+
+class TestInactiveIsPlain:
+    def test_make_lock_returns_plain_primitive(self):
+        assert active_session() is None
+        lock = make_lock("test.plain")
+        assert isinstance(lock, type(threading.Lock()))
+
+    def test_make_condition_returns_plain_condition(self):
+        cond = make_condition("test.plain-cond")
+        assert isinstance(cond, threading.Condition)
+        with cond:
+            cond.notify_all()
+
+    def test_note_blocking_is_noop(self):
+        note_blocking("nothing listens")  # must not raise
+
+
+class TestSessions:
+    def test_abba_cycle_detected(self):
+        report = abba_lock_report()
+        assert report.has(D.LOCK_CYCLE), report.summary()
+
+    def test_consistent_order_is_clean(self):
+        with lock_lint_session() as lint:
+            a = make_lock("ordered.A")
+            b = make_lock("ordered.B")
+
+            def worker():
+                with a:
+                    with b:
+                        pass
+
+            threads = [threading.Thread(target=worker) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            report = lint.report()
+        assert report.ok, report.summary()
+        assert ("ordered.A", "ordered.B") in lint.edges()
+
+    def test_blocking_call_under_lock_flagged(self):
+        with lock_lint_session() as lint:
+            lock = make_lock("holder")
+            with lock:
+                note_blocking("channel.recv")
+            report = lint.report()
+        assert report.has(D.BLOCKING_WHILE_LOCKED), report.summary()
+
+    def test_blocking_call_without_lock_is_clean(self):
+        with lock_lint_session() as lint:
+            make_lock("unused")
+            note_blocking("channel.recv")
+            report = lint.report()
+        assert report.ok, report.summary()
+
+    def test_condition_wait_does_not_invent_edges(self):
+        # Condition.wait/notify exercise the traced lock's acquire/release
+        # around the internal waiter probe; a single condition used alone
+        # must never produce an order edge, let alone a cycle.
+        with lock_lint_session() as lint:
+            cond = make_condition("solo.cond")
+
+            def waiter():
+                with cond:
+                    cond.wait(timeout=0.2)
+
+            t = threading.Thread(target=waiter)
+            t.start()
+            with cond:
+                cond.notify_all()
+            t.join()
+            report = lint.report()
+        assert report.ok, report.summary()
+
+    def test_sessions_nest_and_restore(self):
+        with lock_lint_session() as outer:
+            with lock_lint_session() as inner:
+                assert active_session() is inner
+            assert active_session() is outer
+        assert active_session() is None
+
+
+class TestRuntimeUnderLint:
+    def test_threads_backend_run_is_lint_clean(self):
+        from repro import EasyHPS, RunConfig
+        from repro.algorithms import EditDistance
+
+        problem = EditDistance.random(30, 30, seed=2)
+        config = RunConfig(
+            nodes=3,
+            threads_per_node=2,
+            backend="threads",
+            process_partition=10,
+            thread_partition=5,
+            poll_interval=0.005,
+        )
+        with lock_lint_session() as lint:
+            run = EasyHPS(config).run(problem)
+            report = lint.report()
+        assert run.value.distance == problem.reference()
+        assert not report.has(D.LOCK_CYCLE), report.summary()
+        assert not report.has(D.BLOCKING_WHILE_LOCKED), report.summary()
+        assert lint.edges() is not None
