@@ -56,9 +56,17 @@ class RunReport:
     total_flops: float = 0.0
     #: Total cores in the paper's accounting (Y), when derivable.
     total_cores: Optional[int] = None
-    #: Per-sub-task schedule trace (simulated backend with trace=True);
-    #: a tuple of :class:`repro.analysis.gantt.TraceEvent`.
+    #: Per-sub-task schedule trace (any backend with trace=True); a
+    #: tuple of :class:`repro.analysis.gantt.TraceEvent` derived from the
+    #: telemetry event stream.
     trace: Optional[tuple] = None
+    #: Raw telemetry stream (``RunConfig.observe``/``trace``): a tuple of
+    #: :class:`repro.obs.recorder.ObsEvent` covering the sub-task
+    #: lifecycle; export with :func:`repro.obs.export.write_trace`.
+    events: Optional[tuple] = None
+    #: Metrics snapshot (``RunConfig.observe``): the plain-dict view of
+    #: the run's :class:`repro.obs.metrics.MetricsRegistry`.
+    metrics: Optional[Dict[str, object]] = None
 
     def speedup_vs(self, serial_makespan: float) -> float:
         """Speedup relative to a serial makespan of the same instance."""
@@ -86,6 +94,8 @@ class RunReport:
                 f"  utilization   : {self.utilization:.1%}"
                 + (f", idle-while-ready {self.idle_while_ready:.4g} s" if self.idle_while_ready else "")
             )
+        if self.events is not None:
+            lines.append(f"  telemetry     : {len(self.events)} events recorded")
         return "\n".join(lines)
 
 

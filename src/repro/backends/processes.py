@@ -19,6 +19,7 @@ import numpy as np
 from repro.algorithms.problem import DPProblem
 from repro.analysis.report import RunReport
 from repro.comm.transport import PipeChannel
+from repro.obs import EventRecorder, MetricsRegistry, to_gantt_trace
 from repro.runtime.config import RunConfig
 from repro.runtime.master import MasterPart
 from repro.runtime.slave import slave_process_main
@@ -35,6 +36,13 @@ def run_processes(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.n
         partition.grid.n_block_cols,
         block_cols=config.bcw_block_cols,
     )
+
+    # Telemetry lives master-side only: the recorder holds a lock and
+    # cannot pickle into slave processes. Task-scope compute spans are
+    # synthesized at the master from TaskResult.elapsed, so the lifecycle
+    # stream matches the in-process backends anyway.
+    recorder = EventRecorder() if config.observing else None
+    metrics = MetricsRegistry() if config.observing else None
 
     # fork is faster and keeps the problem object shared copy-on-write;
     # fall back to spawn where fork is unavailable (macOS default, Windows).
@@ -53,7 +61,10 @@ def run_processes(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.n
     )
     for k in range(config.n_slaves):
         parent_conn, child_conn = ctx.Pipe(duplex=True)
-        master_channels.append(PipeChannel(parent_conn))
+        channel = PipeChannel(parent_conn)
+        if recorder is not None:
+            channel.instrument(recorder, endpoint=f"slave{k}")
+        master_channels.append(channel)
         procs.append(
             ctx.Process(
                 target=slave_process_main,
@@ -73,6 +84,8 @@ def run_processes(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.n
         max_retries=config.max_retries,
         poll_interval=config.poll_interval,
         verify=config.verify,
+        obs=recorder,
+        metrics=metrics,
     )
 
     started = time.perf_counter()
@@ -108,4 +121,10 @@ def run_processes(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.n
         tasks_per_worker=dict(master.stats.tasks_per_worker),
         total_flops=problem.total_flops(partition),
     )
+    if recorder is not None:
+        report.events = recorder.events()
+        if metrics is not None:
+            report.metrics = metrics.snapshot()
+        if config.trace:
+            report.trace = to_gantt_trace(report.events)
     return state, report

@@ -14,6 +14,8 @@ import numpy as np
 
 from repro.algorithms.problem import DPProblem
 from repro.analysis.report import RunReport
+from repro.comm.serialization import MESSAGE_ENVELOPE_BYTES, payload_nbytes
+from repro.obs import EventRecorder, MetricsRegistry, to_gantt_trace
 from repro.runtime.config import RunConfig
 
 
@@ -22,14 +24,36 @@ def run_serial(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.ndar
     proc_size, thread_size = config.partitions_for(problem)
     partition = problem.build_partition(proc_size)
     state = problem.make_state()
+    # The oracle emits the same task lifecycle as the parallel backends
+    # (one virtual worker, node 0) so traces are structurally comparable.
+    recorder = EventRecorder() if config.observing else None
+    metrics = MetricsRegistry() if config.observing else None
     started = time.perf_counter()
     n_subtasks = 0
     for bid in partition.abstract.topological_order():
         inputs = problem.extract_inputs(state, partition, bid)
+        if recorder is not None:
+            recorder.emit("assign", bid, epoch=0, node=0, worker=0)
+            recorder.emit(
+                "send", bid, epoch=0, node=0, worker=0,
+                nbytes=MESSAGE_ENVELOPE_BYTES + payload_nbytes(inputs),
+            )
         evaluator = problem.evaluator(partition, bid, inputs)
         inner = partition.sub_partition(bid, thread_size)
         n_subtasks += inner.n_blocks
+        t0 = recorder.clock.now() if recorder is not None else 0.0
         outputs = evaluator.run_serial(inner)
+        if recorder is not None:
+            t1 = recorder.clock.now()
+            recorder.emit("compute", bid, epoch=0, node=0, worker=0, t0=t0, t1=t1)
+            recorder.emit(
+                "result", bid, epoch=0, node=0, worker=0,
+                nbytes=MESSAGE_ENVELOPE_BYTES + payload_nbytes(outputs),
+                elapsed=t1 - t0,
+            )
+            recorder.emit("commit", bid, epoch=0, node=0, worker=0)
+            if metrics is not None:
+                metrics.counter("serial.tasks_completed").inc()
         problem.apply_result(state, partition, bid, outputs)
     elapsed = time.perf_counter() - started
     report = RunReport(
@@ -44,4 +68,10 @@ def run_serial(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.ndar
         n_subtasks=n_subtasks,
         total_flops=problem.total_flops(partition),
     )
+    if recorder is not None:
+        report.events = recorder.events()
+        if metrics is not None:
+            report.metrics = metrics.snapshot()
+        if config.trace:
+            report.trace = to_gantt_trace(report.events)
     return state, report

@@ -29,7 +29,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.algorithms.problem import DPProblem
 from repro.analysis.report import RunReport
-from repro.check.trace_check import TraceRecorder, check_trace
 from repro.cluster.machine import NodeSpec
 from repro.cluster.simcore import EventQueue
 from repro.cluster.topology import ClusterSpec
@@ -38,6 +37,7 @@ from repro.comm.serialization import MESSAGE_ENVELOPE_BYTES
 from repro.dag.parser import DAGParser
 from repro.dag.partition import Partition
 from repro.dag.pattern import DAGPattern
+from repro.obs import EventRecorder, MetricsRegistry, ScheduleTracer, to_gantt_trace
 from repro.runtime.config import RunConfig
 from repro.schedulers.policy import SchedulingPolicy, make_policy
 from repro.utils.errors import FaultToleranceExhausted, SchedulerError
@@ -169,10 +169,23 @@ class _SimulatedRun:
         self.idle_while_ready = 0.0
         self._last_account = 0.0
         self.failure: Optional[BaseException] = None
-        #: Happens-before event log, validated after the run (``verify``).
-        self.recorder: Optional[TraceRecorder] = TraceRecorder() if config.verify else None
-        self._trace: List = []
-        self._pending_trace: Dict[Tuple[TaskId, int], Tuple[int, float, float, float]] = {}
+        #: Telemetry stream stamped with *sim-time* (the event queue's
+        #: clock) so exported traces draw the modeled schedule, and the
+        #: happens-before log validated after the run (``verify``) — both
+        #: behind the shared :class:`ScheduleTracer`.
+        self.obs: Optional[EventRecorder] = (
+            EventRecorder(self.evq.clock()) if config.observing else None
+        )
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry() if config.observing else None
+        )
+        self.sched = ScheduleTracer(
+            clock=self.evq.clock(),
+            verify=config.verify,
+            obs=self.obs,
+            node=-1,
+            scope="task",
+        )
 
     # -- cost helpers ----------------------------------------------------------
 
@@ -254,8 +267,8 @@ class _SimulatedRun:
         epoch = self.attempts.get(bid, 0)
         self.attempts[bid] = epoch + 1
         self.registered[bid] = epoch
-        if self.recorder is not None:
-            self.recorder.record("assign", bid, epoch, k, now)
+        if self.sched.enabled:
+            self.sched.record("assign", bid, epoch, k, ts=now)
         if self.config.data_reuse:
             in_bytes = self.problem.cached_input_bytes(self.partition, bid, self.node_done[k])
         else:
@@ -268,6 +281,13 @@ class _SimulatedRun:
         node.nic_free = start + xfer
         self.messages += 2  # idle signal + assignment
         self.bytes_to_slaves += in_bytes
+        if self.sched.observing:
+            # The input transfer occupies [start, start + xfer) on the
+            # link — recorded as a reserved span in sim-time.
+            self.sched.record(
+                "send", bid, epoch, k, node=k, ts=start,
+                t0=start, t1=start + xfer, nbytes=in_bytes,
+            )
         # Overtime watch (Fig 10): fires relative to dispatch time.
         self.evq.at(
             now + self.config.task_timeout,
@@ -312,8 +332,11 @@ class _SimulatedRun:
         else:
             done = compute_start + compute
             node.busy_until = done
-            if self.config.trace:
-                self._pending_trace[(bid, epoch)] = (k, xfer_start, compute_start, done)
+            if self.sched.observing:
+                self.sched.record(
+                    "compute", bid, epoch, k, node=k, ts=done,
+                    t0=compute_start, t1=done,
+                )
             self.busy_thread_seconds += busy
             self.n_subtasks += nsub
             # NIC reservation for the result transfer happens when compute
@@ -342,34 +365,23 @@ class _SimulatedRun:
     def _result(self, bid: TaskId, epoch: int, k: int) -> None:
         self._account()
         if self.registered.get(bid) != epoch:
-            if self.recorder is not None:
-                self.recorder.record("stale-drop", bid, epoch, k, self.evq.now)
+            if self.sched.enabled:
+                self.sched.record("stale-drop", bid, epoch, k, node=k)
             self._node_idle(k)  # stale result dropped; node serves on
             return
         del self.registered[bid]
-        if self.recorder is not None:
+        if self.sched.enabled:
+            if self.sched.observing:
+                out_bytes = (
+                    self.problem.output_bytes(self.partition, bid) + MESSAGE_ENVELOPE_BYTES
+                )
+                self.sched.record("result", bid, epoch, k, node=k, nbytes=out_bytes)
             # Before parser.complete so successors' assigns serialize
             # after this commit in the event log.
-            self.recorder.record("commit", bid, epoch, k, self.evq.now)
+            self.sched.record("commit", bid, epoch, k)
         self.nodes[k].tasks_done += 1
         self.node_done[k].add(bid)
         self.makespan = max(self.makespan, self.evq.now)
-        if self.config.trace:
-            pending = self._pending_trace.pop((bid, epoch), None)
-            if pending is not None:
-                from repro.analysis.gantt import TraceEvent
-
-                node_id, xfer_start, comp_start, comp_end = pending
-                self._trace.append(
-                    TraceEvent(
-                        node=node_id,
-                        task_id=bid,
-                        transfer_start=xfer_start,
-                        compute_start=comp_start,
-                        compute_end=comp_end,
-                        result_at=self.evq.now,
-                    )
-                )
         fresh = self.parser.complete(bid)
         if fresh:
             self.ready.extend(fresh)
@@ -392,8 +404,8 @@ class _SimulatedRun:
             )
             return
         self.faults += 1
-        if self.recorder is not None:
-            self.recorder.record("redistribute", bid, epoch, time=self.evq.now)
+        if self.sched.enabled:
+            self.sched.record("redistribute", bid, epoch)
         self.ready.append(bid)
         for j, node in enumerate(self.nodes):
             if node.parked_since is not None:
@@ -416,14 +428,18 @@ class _SimulatedRun:
             raise SchedulerError(
                 f"simulation stalled with {self.parser.n_remaining} sub-tasks left"
             )
-        if self.recorder is not None:
-            check_trace(
-                self.recorder.events(),
-                self.partition.abstract,
-                title=f"simulated-trace({self.problem.name})",
-            ).raise_if_failed()
+        self.sched.check(self.partition.abstract, title=f"simulated-trace({self.problem.name})")
+        if self.metrics is not None:
+            self.metrics.counter("sim.messages").inc(self.messages)
+            self.metrics.counter("sim.bytes_to_slaves").inc(self.bytes_to_slaves)
+            self.metrics.counter("sim.bytes_to_master").inc(self.bytes_to_master)
+            self.metrics.counter("sim.faults_recovered").inc(self.faults)
+            for k, n in enumerate(self.nodes):
+                self.metrics.counter("sim.tasks_completed", node=k).inc(n.tasks_done)
+            self.metrics.gauge("sim.idle_while_ready").set(self.idle_while_ready)
         wall = _time.perf_counter() - wall_start
         total_threads = self.cluster.total_computing_threads
+        events = self.obs.events() if self.obs is not None else None
         return RunReport(
             backend="simulated",
             scheduler=self.config.scheduler,
@@ -447,7 +463,9 @@ class _SimulatedRun:
             ),
             total_flops=self.problem.total_flops(self.partition),
             total_cores=self.cluster.total_cores,
-            trace=tuple(self._trace) if self.config.trace else None,
+            trace=to_gantt_trace(events) if self.config.trace and events is not None else None,
+            events=events,
+            metrics=self.metrics.snapshot() if self.metrics is not None else None,
         )
 
 

@@ -17,10 +17,11 @@ import numpy as np
 
 from repro.algorithms.problem import DPProblem
 from repro.analysis.report import RunReport
+from repro.comm.transport import channel_pair
+from repro.obs import EventRecorder, MetricsRegistry, to_gantt_trace
 from repro.runtime.config import RunConfig
 from repro.runtime.master import MasterPart
 from repro.runtime.slave import SlavePart
-from repro.comm.transport import channel_pair
 from repro.schedulers.policy import make_policy
 
 
@@ -35,11 +36,18 @@ def run_threads(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.nda
         block_cols=config.bcw_block_cols,
     )
 
+    # One shared recorder/registry spans the master, the in-process
+    # slaves, and the channel endpoints (wall-clock domain).
+    recorder = EventRecorder() if config.observing else None
+    metrics = MetricsRegistry() if config.observing else None
+
     stop = threading.Event()
     slaves = []
     master_channels = []
     for k in range(config.n_slaves):
         master_end, slave_end = channel_pair()
+        if recorder is not None:
+            master_end.instrument(recorder, endpoint=f"slave{k}")
         master_channels.append(master_end)
         slaves.append(
             SlavePart(
@@ -58,6 +66,7 @@ def run_threads(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.nda
                 hang_duration=config.hang_duration,
                 stop_event=stop,
                 verify=config.verify,
+                obs=recorder,
             )
         )
     master = MasterPart(
@@ -69,6 +78,8 @@ def run_threads(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.nda
         max_retries=config.max_retries,
         poll_interval=config.poll_interval,
         verify=config.verify,
+        obs=recorder,
+        metrics=metrics,
     )
 
     slave_threads = [
@@ -104,4 +115,10 @@ def run_threads(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.nda
         tasks_per_worker=dict(master.stats.tasks_per_worker),
         total_flops=problem.total_flops(partition),
     )
+    if recorder is not None:
+        report.events = recorder.events()
+        if metrics is not None:
+            report.metrics = metrics.snapshot()
+        if config.trace:
+            report.trace = to_gantt_trace(report.events)
     return state, report

@@ -7,10 +7,17 @@ Commands:
                   result plus the run report;
 - ``simulate``  — replay an Experiment_X_Y on the simulated cluster,
                   optionally rendering the schedule as a Gantt chart;
+- ``stats``     — digest a telemetry trace file (``--trace-out``):
+                  per-worker busy/idle, bytes on wire, fault counts;
 - ``check``     — run the static verifier (:mod:`repro.check`) over
                   built-in patterns/algorithms, one pattern, or one
                   algorithm; ``--selftest`` proves the checkers catch
                   seeded defects. Exit code 1 on any diagnostic.
+
+``run`` and ``simulate`` accept ``--trace-out out.json``: the run records
+the full task-lifecycle telemetry (:mod:`repro.obs`) and exports it as
+Chrome/Perfetto trace-event JSON — open https://ui.perfetto.dev and drop
+the file in, or feed it back to ``repro stats``.
 """
 
 from __future__ import annotations
@@ -83,6 +90,30 @@ def _build_problem(args: argparse.Namespace) -> DPProblem:
     return factory(args.size, args.seed)
 
 
+def _export_trace(report, trace_out: str | None) -> None:
+    """Write the report's telemetry to a Perfetto-loadable trace file."""
+    if not trace_out:
+        return
+    if report.events is None:
+        print("no telemetry recorded; nothing written", file=sys.stderr)
+        return
+    from repro.obs import write_trace
+
+    write_trace(
+        trace_out,
+        report.events,
+        metrics=report.metrics,
+        meta={
+            "backend": report.backend,
+            "algorithm": report.algorithm,
+            "scheduler": report.scheduler,
+            "nodes": report.nodes,
+        },
+    )
+    print(f"trace written: {trace_out} ({len(report.events)} events; "
+          f"open at https://ui.perfetto.dev or `repro stats {trace_out}`)")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     problem = _build_problem(args)
     config = RunConfig(
@@ -91,10 +122,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         backend=args.backend,
         scheduler=args.scheduler,
         verify=args.verify,
+        observe=args.observe or bool(args.trace_out),
     )
     run = EasyHPS(config).run(problem)
     print(run.report.summary())
     print(f"result: {run.value!r}"[:500])
+    _export_trace(run.report, args.trace_out)
     return 0
 
 
@@ -119,6 +152,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         scheduler=args.scheduler,
         trace=args.gantt,
         verify=args.verify,
+        observe=args.observe or bool(args.trace_out),
     )
     run = EasyHPS(config).run(problem)
     print(run.report.summary())
@@ -126,6 +160,24 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         from repro.analysis.gantt import render_gantt
 
         print(render_gantt(run.report.trace, width=72, makespan=run.report.makespan))
+    _export_trace(run.report, args.trace_out)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Digest a saved telemetry trace: ``repro stats trace.json``."""
+    from repro.obs import read_trace, text_summary
+
+    try:
+        events, metrics, meta = read_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read trace {args.trace!r}: {exc}") from exc
+    title = "run stats"
+    if meta:
+        bits = [str(meta.get(k)) for k in ("algorithm", "backend", "scheduler") if meta.get(k)]
+        if bits:
+            title = "/".join(bits)
+    print(text_summary(events, metrics, title=title))
     return 0
 
 
@@ -204,6 +256,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0, help="instance seed")
         p.add_argument("--scheduler", default="dynamic", help="dynamic | dynamic-lcf | bcw | cw")
 
+    def _add_obs_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--observe", action="store_true",
+            help="record task-lifecycle telemetry (repro.obs) into the report",
+        )
+        p.add_argument(
+            "--trace-out", metavar="PATH", default=None,
+            help="write the telemetry as Perfetto trace JSON (implies --observe)",
+        )
+
     run_p = sub.add_parser("run", help="run on a real backend")
     common(run_p)
     run_p.add_argument("--backend", default="threads", help="serial | threads | processes")
@@ -212,6 +274,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--verify", action="store_true", help="validate the schedule with the trace checker"
     )
+    _add_obs_args(run_p)
     run_p.set_defaults(fn=cmd_run)
 
     sim_p = sub.add_parser("simulate", help="replay Experiment_X_Y on the simulated cluster")
@@ -222,7 +285,12 @@ def build_parser() -> argparse.ArgumentParser:
     sim_p.add_argument(
         "--verify", action="store_true", help="validate the schedule with the trace checker"
     )
+    _add_obs_args(sim_p)
     sim_p.set_defaults(fn=cmd_simulate)
+
+    stats_p = sub.add_parser("stats", help="digest a telemetry trace file")
+    stats_p.add_argument("trace", help="trace JSON written by --trace-out")
+    stats_p.set_defaults(fn=cmd_stats)
 
     chk_p = sub.add_parser("check", help="statically verify patterns/partitions")
     target = chk_p.add_mutually_exclusive_group()

@@ -34,6 +34,13 @@ class EventQueue:
         """Current simulated time in seconds."""
         return self._now
 
+    def clock(self):
+        """A :class:`~repro.obs.clock.SimClock` reading this queue's time,
+        so runtime instrumentation can be injected with sim-time."""
+        from repro.obs.clock import SimClock
+
+        return SimClock(self)
+
     def at(self, when: float, fn: Callable[[], None]) -> int:
         """Schedule ``fn`` at absolute time ``when``; returns a handle."""
         if when < self._now:

@@ -9,7 +9,11 @@ Two concrete transports exist:
   separate OS processes (the MPI stand-in; messages pickle across).
 
 Both count messages and payload bytes per direction so run reports can
-state communication volume regardless of transport.
+state communication volume regardless of transport. An endpoint can
+additionally be :meth:`~Channel.instrument`-ed with a
+:class:`~repro.obs.recorder.EventRecorder` to emit per-message telemetry
+events, and :meth:`~Channel.publish_metrics` folds its counters into a
+metrics registry per endpoint.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from typing import Optional, Tuple
 from repro.check.lock_lint import note_blocking
 from repro.comm.messages import Message
 from repro.comm.serialization import message_nbytes
+from repro.obs.recorder import NULL_RECORDER
 from repro.utils.errors import TransportError
 
 
@@ -41,6 +46,19 @@ class Channel:
         self.received_messages = 0
         self.received_bytes = 0
         self._closed = False
+        #: Telemetry sink for per-message events; the shared null
+        #: recorder keeps the disabled hot path to one truthiness check.
+        self._obs = NULL_RECORDER
+        #: Human-readable endpoint label ("slave0" as seen from the
+        #: master), used in message events and metric labels.
+        self.endpoint = ""
+
+    def instrument(self, recorder, endpoint: str = "", node: int = -1) -> "Channel":
+        """Attach a telemetry recorder; returns self for chaining."""
+        self._obs = recorder if recorder is not None else NULL_RECORDER
+        self.endpoint = endpoint
+        self._obs_node = node
+        return self
 
     # -- public API ----------------------------------------------------------
 
@@ -52,8 +70,20 @@ class Channel:
             raise TransportError(f"can only send Message instances, got {type(msg).__name__}")
         note_blocking("channel.send")  # lock-lint hook, no-op unless linting
         self._send(msg)
+        nbytes = message_nbytes(msg)
         self.sent_messages += 1
-        self.sent_bytes += message_nbytes(msg)
+        self.sent_bytes += nbytes
+        if self._obs.enabled:
+            self._obs.emit(
+                "msg-send",
+                getattr(msg, "task_id", None),
+                epoch=getattr(msg, "epoch", -1),
+                node=getattr(self, "_obs_node", -1),
+                scope="message",
+                nbytes=nbytes,
+                type=type(msg).__name__,
+                endpoint=self.endpoint,
+            )
 
     def recv(self, timeout: Optional[float] = None) -> Message:
         """Receive the next message, waiting at most ``timeout`` seconds."""
@@ -61,9 +91,31 @@ class Channel:
             raise ChannelClosed("recv on closed channel")
         note_blocking("channel.recv")  # lock-lint hook, no-op unless linting
         msg = self._recv(timeout)
+        nbytes = message_nbytes(msg)
         self.received_messages += 1
-        self.received_bytes += message_nbytes(msg)
+        self.received_bytes += nbytes
+        if self._obs.enabled:
+            self._obs.emit(
+                "msg-recv",
+                getattr(msg, "task_id", None),
+                epoch=getattr(msg, "epoch", -1),
+                node=getattr(self, "_obs_node", -1),
+                scope="message",
+                nbytes=nbytes,
+                type=type(msg).__name__,
+                endpoint=self.endpoint,
+            )
         return msg
+
+    def publish_metrics(self, registry) -> None:
+        """Fold this endpoint's traffic counters into a
+        :class:`~repro.obs.metrics.MetricsRegistry` (labelled by
+        endpoint), at zero per-message cost."""
+        label = self.endpoint or "channel"
+        registry.counter("comm.messages_sent", endpoint=label).inc(self.sent_messages)
+        registry.counter("comm.messages_received", endpoint=label).inc(self.received_messages)
+        registry.counter("comm.bytes_sent", endpoint=label).inc(self.sent_bytes)
+        registry.counter("comm.bytes_received", endpoint=label).inc(self.received_bytes)
 
     def close(self) -> None:
         self._closed = True

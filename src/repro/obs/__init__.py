@@ -1,0 +1,71 @@
+"""``repro.obs`` — runtime-wide observability.
+
+One subsystem, four pieces (see ``docs/observability.md``):
+
+- **clocks** (:mod:`repro.obs.clock`) — the same instrumentation records
+  sim-time on the simulated backend and ``time.monotonic()`` elsewhere;
+- **events** (:mod:`repro.obs.recorder`) — the task-lifecycle stream
+  (``assign → send → compute → result → commit`` plus the fault path),
+  with a zero-cost null recorder for disabled runs;
+- **metrics** (:mod:`repro.obs.metrics`) — counters/gauges/histograms
+  snapshot into the run report;
+- **exporters** (:mod:`repro.obs.export`, :mod:`repro.obs.stats`) —
+  Perfetto/Chrome JSON, the ``repro stats`` digest, and bridges feeding
+  :mod:`repro.analysis.gantt` and :mod:`repro.check.trace_check` from
+  the same stream.
+
+Enable end to end with ``RunConfig(observe=True)`` (or ``trace=True``,
+which implies event recording) and export with
+``repro run ... --trace-out trace.json`` / ``repro stats trace.json``.
+"""
+
+from repro.obs.clock import MONOTONIC, Clock, ManualClock, MonotonicClock, SimClock
+from repro.obs.export import (
+    read_trace,
+    to_chrome_trace,
+    to_gantt_trace,
+    to_sched_events,
+    write_trace,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.recorder import (
+    LIFECYCLE_KINDS,
+    MESSAGE_KINDS,
+    NULL_RECORDER,
+    SCOPES,
+    EventRecorder,
+    NullRecorder,
+    ObsEvent,
+)
+from repro.obs.schedule import ScheduleTracer
+from repro.obs.stats import NodeStats, RunStats, compute_stats, format_stats, text_summary
+
+__all__ = [
+    "MONOTONIC",
+    "Clock",
+    "ManualClock",
+    "MonotonicClock",
+    "SimClock",
+    "read_trace",
+    "to_chrome_trace",
+    "to_gantt_trace",
+    "to_sched_events",
+    "write_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "LIFECYCLE_KINDS",
+    "MESSAGE_KINDS",
+    "NULL_RECORDER",
+    "SCOPES",
+    "EventRecorder",
+    "NullRecorder",
+    "ObsEvent",
+    "ScheduleTracer",
+    "NodeStats",
+    "RunStats",
+    "compute_stats",
+    "format_stats",
+    "text_summary",
+]

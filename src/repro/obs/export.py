@@ -1,0 +1,277 @@
+"""Trace exporters and event-stream bridges.
+
+One event stream (:mod:`repro.obs.recorder`), several consumers:
+
+- :func:`to_chrome_trace` / :func:`write_trace` — Chrome/Perfetto
+  trace-event JSON (open ``ui.perfetto.dev`` and drop the file in).
+  The file also embeds the raw event list and the metrics snapshot
+  under ``reproEvents`` / ``reproMetrics`` (Perfetto ignores unknown
+  top-level keys), so :func:`read_trace` round-trips losslessly;
+- :func:`to_sched_events` — feeds the happens-before validator
+  (:func:`repro.check.trace_check.check_trace`) from the same stream;
+- :func:`to_gantt_trace` — feeds :mod:`repro.analysis.gantt`, which is
+  how ``RunConfig.trace`` now works on *every* backend, not just the
+  simulated one.
+
+Timestamps: Chrome wants microseconds; event ``ts`` values are seconds
+in the recorder's clock domain (sim-time or ``time.monotonic``), so the
+exporter rebases onto the earliest timestamp in the stream.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.check.trace_check import EVENT_KINDS, SchedEvent
+from repro.comm.messages import TaskId
+from repro.obs.recorder import ObsEvent
+
+#: Format version stamped into exported files.
+TRACE_FORMAT = "repro-obs-1"
+
+
+def _pid(node: int) -> int:
+    """Chrome pid for a node id: master (-1) -> 0, node k -> k + 1."""
+    return node + 1
+
+
+def _task_name(task_id: Optional[TaskId]) -> str:
+    return "" if task_id is None else str(tuple(task_id))
+
+
+def _event_args(ev: ObsEvent) -> Dict[str, object]:
+    args: Dict[str, object] = {"seq": ev.seq, "scope": ev.scope}
+    if ev.task_id is not None:
+        args["task"] = _task_name(ev.task_id)
+        args["epoch"] = ev.epoch
+    if ev.data:
+        args.update({k: v for k, v in ev.data.items() if k not in ("t0", "t1")})
+    return args
+
+
+def to_chrome_trace(
+    events: Sequence[ObsEvent],
+    *,
+    metrics: Optional[Dict[str, object]] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Render the event stream as a Chrome/Perfetto trace-event object.
+
+    Span-carrying events (``compute``; the simulator's ``send``) become
+    complete ("X") slices on their node's track; everything else becomes
+    an instant ("i"). Process-name metadata labels the master and each
+    node.
+    """
+    origin = 0.0
+    starts = [ev.span()[0] if ev.span() else ev.ts for ev in events]
+    if starts:
+        origin = min(starts)
+
+    def us(t: float) -> float:
+        return (t - origin) * 1e6
+
+    trace_events: List[Dict[str, object]] = []
+    pids_seen: Dict[int, int] = {}
+    for ev in events:
+        pid = _pid(ev.node)
+        tid = max(ev.worker, -1) + 1
+        pids_seen.setdefault(pid, 0)
+        span = ev.span()
+        name = f"{ev.kind} {_task_name(ev.task_id)}".strip()
+        if span is not None:
+            t0, t1 = span
+            trace_events.append(
+                {
+                    "name": name,
+                    "cat": ev.scope,
+                    "ph": "X",
+                    "ts": us(t0),
+                    "dur": max(0.0, us(t1) - us(t0)),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": _event_args(ev),
+                }
+            )
+        else:
+            trace_events.append(
+                {
+                    "name": name,
+                    "cat": ev.scope,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": us(ev.ts),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": _event_args(ev),
+                }
+            )
+    for pid in sorted(pids_seen):
+        label = "master" if pid == 0 else f"node {pid - 1}"
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+        trace_events.append(
+            {"name": "process_sort_index", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"sort_index": pid}}
+        )
+
+    doc: Dict[str, object] = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(meta or {}, format=TRACE_FORMAT),
+        "reproEvents": [event_to_json(ev) for ev in events],
+    }
+    if metrics is not None:
+        doc["reproMetrics"] = metrics
+    return doc
+
+
+# -- lossless event (de)serialization ---------------------------------------------
+
+
+def event_to_json(ev: ObsEvent) -> Dict[str, object]:
+    out: Dict[str, object] = {
+        "kind": ev.kind,
+        "ts": ev.ts,
+        "epoch": ev.epoch,
+        "node": ev.node,
+        "worker": ev.worker,
+        "scope": ev.scope,
+        "seq": ev.seq,
+    }
+    if ev.task_id is not None:
+        out["task_id"] = list(ev.task_id)
+    if ev.data:
+        out["data"] = ev.data
+    return out
+
+
+def event_from_json(obj: Dict[str, object]) -> ObsEvent:
+    raw_task = obj.get("task_id")
+    task_id = tuple(raw_task) if raw_task is not None else None  # type: ignore[arg-type]
+    data = obj.get("data")
+    return ObsEvent(
+        kind=str(obj["kind"]),
+        ts=float(obj["ts"]),  # type: ignore[arg-type]
+        task_id=task_id,
+        epoch=int(obj.get("epoch", -1)),  # type: ignore[arg-type]
+        node=int(obj.get("node", -1)),  # type: ignore[arg-type]
+        worker=int(obj.get("worker", -1)),  # type: ignore[arg-type]
+        scope=str(obj.get("scope", "task")),
+        seq=int(obj.get("seq", 0)),  # type: ignore[arg-type]
+        data=dict(data) if data else None,  # type: ignore[arg-type]
+    )
+
+
+def write_trace(
+    path: str,
+    events: Sequence[ObsEvent],
+    *,
+    metrics: Optional[Dict[str, object]] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write a Perfetto-loadable trace file embedding the raw events."""
+    doc = to_chrome_trace(events, metrics=metrics, meta=meta)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=None, separators=(",", ":"))
+
+
+def read_trace(path: str) -> Tuple[Tuple[ObsEvent, ...], Optional[Dict], Dict]:
+    """Load ``(events, metrics, meta)`` from a file written by
+    :func:`write_trace` (exact round-trip via the embedded raw events)."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    raw = doc.get("reproEvents")
+    if raw is None:
+        raise ValueError(
+            f"{path} has no embedded repro events (otherData.format should be "
+            f"{TRACE_FORMAT!r}); was it written by repro's write_trace?"
+        )
+    events = tuple(event_from_json(o) for o in raw)
+    return events, doc.get("reproMetrics"), doc.get("otherData", {})
+
+
+# -- bridges -----------------------------------------------------------------------
+
+
+def to_sched_events(events: Iterable[ObsEvent], scope: str = "task") -> List[SchedEvent]:
+    """Project the stream onto the happens-before validator's schema.
+
+    Only lifecycle kinds the validator understands survive; ordering (by
+    ``seq``) is preserved, so a stream recorded inside the runtime's
+    critical sections stays a sound linearization.
+    """
+    out: List[SchedEvent] = []
+    for ev in sorted(events, key=lambda e: e.seq):
+        if ev.scope != scope or ev.kind not in EVENT_KINDS or ev.task_id is None:
+            continue
+        out.append(
+            SchedEvent(
+                kind=ev.kind,
+                task_id=ev.task_id,
+                epoch=ev.epoch,
+                worker=ev.worker,
+                seq=len(out),
+                time=ev.ts,
+            )
+        )
+    return out
+
+
+def to_gantt_trace(events: Iterable[ObsEvent]) -> Tuple:
+    """Build :class:`repro.analysis.gantt.TraceEvent` rows from the stream.
+
+    One row per *committed* (task, epoch): crashed or timed-out epochs
+    never commit and are therefore not drawn, matching the simulated
+    backend's historical trace semantics. Real-backend timestamps are
+    clamped into monotone order (the compute span is synthesized from the
+    slave-reported duration, whose clock differs from the master's).
+    """
+    from repro.analysis.gantt import TraceEvent
+
+    sends: Dict[Tuple[TaskId, int], ObsEvent] = {}
+    computes: Dict[Tuple[TaskId, int], ObsEvent] = {}
+    rows: List[TraceEvent] = []
+    for ev in sorted(events, key=lambda e: e.seq):
+        if ev.scope != "task" or ev.task_id is None:
+            continue
+        key = (ev.task_id, ev.epoch)
+        if ev.kind == "send":
+            sends[key] = ev
+        elif ev.kind == "compute":
+            computes[key] = ev
+        elif ev.kind == "commit":
+            compute = computes.get(key)
+            if compute is None:
+                continue
+            span = compute.span()
+            t0, t1 = span if span is not None else (compute.ts, compute.ts)
+            send = sends.get(key)
+            if send is not None:
+                send_span = send.span()
+                transfer_start = send_span[0] if send_span is not None else send.ts
+            else:
+                transfer_start = t0
+            transfer_start = min(transfer_start, t0)
+            compute_start = max(t0, transfer_start)
+            compute_end = max(t1, compute_start)
+            result_at = max(ev.ts, compute_end)
+            node = compute.node if compute.node >= 0 else max(ev.worker, 0)
+            rows.append(
+                TraceEvent(
+                    node=node,
+                    task_id=ev.task_id,
+                    transfer_start=transfer_start,
+                    compute_start=compute_start,
+                    compute_end=compute_end,
+                    result_at=result_at,
+                )
+            )
+    return tuple(rows)

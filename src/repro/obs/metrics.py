@@ -1,0 +1,171 @@
+"""A small labelled metrics registry (counters, gauges, histograms).
+
+Shaped after Prometheus/Parsl-style monitoring but dependency-free: a
+:class:`MetricsRegistry` hands out get-or-create instruments keyed by
+``(name, labels)``, and ``snapshot()`` folds everything into one plain
+dict that rides on the run report (and into the exported trace JSON).
+
+Instruments lock individually, so concurrent updates from the master's
+service threads are exact, and creating an instrument once up front keeps
+the hot path to one lock + one add.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _format_name(name: str, labels: LabelKey) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Last-written value (queue depth, in-flight tasks, ...)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Streaming summary: count / total / min / max / mean.
+
+    Full bucketing is overkill for run reports; the moments cover the
+    paper's questions (how long do sub-tasks run, how deep does the
+    computable stack get) without per-observation allocation.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_lock")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += v
+            self.min = v if self.min is None or v < self.min else self.min
+            self.max = v if self.max is None or v > self.max else self.max
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        with self._lock:
+            mean = self.total / self.count if self.count else 0.0
+            return {
+                "count": float(self.count),
+                "total": self.total,
+                "min": self.min if self.min is not None else 0.0,
+                "max": self.max if self.max is not None else 0.0,
+                "mean": mean,
+            }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named, labelled instruments."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get(self._counters, Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get(self._gauges, Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        return self._get(self._histograms, Histogram, name, labels)
+
+    def _get(self, table, factory, name: str, labels: Dict[str, object]):
+        key = (name, _label_key(labels))
+        with self._lock:
+            inst = table.get(key)
+            if inst is None:
+                inst = table[key] = factory()
+            return inst
+
+    # -- snapshot --------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-dict view for reports and trace files (JSON-safe)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {
+                _format_name(n, k): c.value for (n, k), c in sorted(counters.items())
+            },
+            "gauges": {_format_name(n, k): g.value for (n, k), g in sorted(gauges.items())},
+            "histograms": {
+                _format_name(n, k): h.summary() for (n, k), h in sorted(histograms.items())
+            },
+        }
+
+    def names(self) -> List[str]:
+        snap = self.snapshot()
+        return sorted(
+            list(snap["counters"]) + list(snap["gauges"]) + list(snap["histograms"])
+        )
+
+    def __repr__(self) -> str:
+        with self._lock:
+            n = len(self._counters) + len(self._gauges) + len(self._histograms)
+        return f"MetricsRegistry({n} instruments)"

@@ -1,0 +1,171 @@
+"""Post-hoc statistics over a recorded event stream (``repro stats``).
+
+Answers the questions the paper's figures ask of a schedule — who was
+busy, who idled, how much data crossed the wire, how often fault
+tolerance fired — from a saved trace file alone, with no re-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.obs.recorder import ObsEvent
+
+
+@dataclass
+class NodeStats:
+    """Per-compute-node digest."""
+
+    tasks: int = 0
+    busy_seconds: float = 0.0
+    idle_seconds: float = 0.0
+
+    @property
+    def busy_fraction(self) -> float:
+        total = self.busy_seconds + self.idle_seconds
+        return self.busy_seconds / total if total > 0 else 0.0
+
+
+@dataclass
+class RunStats:
+    """Digest of one run's telemetry stream."""
+
+    #: Trace extent in seconds (first to last task-scope timestamp).
+    extent: float = 0.0
+    nodes: Dict[int, NodeStats] = field(default_factory=dict)
+    tasks_committed: int = 0
+    redistributes: int = 0
+    stale_drops: int = 0
+    #: Payload bytes master -> slaves / slaves -> master.
+    bytes_to_slaves: int = 0
+    bytes_to_master: int = 0
+    #: Individual protocol messages seen by instrumented endpoints.
+    messages_sent: int = 0
+    messages_received: int = 0
+    subtask_events: int = 0
+
+    @property
+    def tasks_per_second(self) -> float:
+        return self.tasks_committed / self.extent if self.extent > 0 else 0.0
+
+
+def compute_stats(events: Iterable[ObsEvent]) -> RunStats:
+    """Fold an event stream into a :class:`RunStats`.
+
+    Busy time per node comes from ``compute`` span extents; idle time is
+    the remainder of the trace extent. Bytes on the wire prefer
+    message-scope events (exact, per endpoint) and fall back to the
+    task-scope ``send``/``result`` payload accounting when channels were
+    not instrumented (e.g. the simulated backend).
+    """
+    stats = RunStats()
+    t_min: Optional[float] = None
+    t_max: Optional[float] = None
+    msg_sent_bytes = 0
+    msg_recv_bytes = 0
+    task_send_bytes = 0
+    task_result_bytes = 0
+
+    for ev in events:
+        if ev.scope == "message":
+            nbytes = int(ev.data.get("nbytes", 0)) if ev.data else 0
+            if ev.kind == "msg-send":
+                stats.messages_sent += 1
+                msg_sent_bytes += nbytes
+            elif ev.kind == "msg-recv":
+                stats.messages_received += 1
+                msg_recv_bytes += nbytes
+            continue
+        if ev.scope == "subtask":
+            stats.subtask_events += 1
+            continue
+        if ev.scope != "task":
+            continue
+        span = ev.span()
+        lo = span[0] if span is not None else ev.ts
+        hi = span[1] if span is not None else ev.ts
+        t_min = lo if t_min is None or lo < t_min else t_min
+        t_max = hi if t_max is None or hi > t_max else t_max
+        if ev.kind == "compute":
+            node = stats.nodes.setdefault(max(ev.node, 0), NodeStats())
+            node.tasks += 1
+            if span is not None:
+                node.busy_seconds += span[1] - span[0]
+        elif ev.kind == "commit":
+            stats.tasks_committed += 1
+        elif ev.kind == "redistribute":
+            stats.redistributes += 1
+        elif ev.kind == "stale-drop":
+            stats.stale_drops += 1
+        elif ev.kind == "send" and ev.data:
+            task_send_bytes += int(ev.data.get("nbytes", 0))
+        elif ev.kind == "result" and ev.data:
+            task_result_bytes += int(ev.data.get("nbytes", 0))
+
+    if t_min is not None and t_max is not None:
+        stats.extent = t_max - t_min
+    for node in stats.nodes.values():
+        node.idle_seconds = max(0.0, stats.extent - node.busy_seconds)
+    if stats.messages_sent or stats.messages_received:
+        stats.bytes_to_slaves = msg_sent_bytes
+        stats.bytes_to_master = msg_recv_bytes
+    else:
+        stats.bytes_to_slaves = task_send_bytes
+        stats.bytes_to_master = task_result_bytes
+    return stats
+
+
+def format_stats(stats: RunStats, *, title: str = "run stats") -> str:
+    """Human-readable multi-line digest (the ``repro stats`` output)."""
+    lines = [
+        f"{title}: {stats.tasks_committed} tasks committed over {stats.extent:.6g} s "
+        f"({stats.tasks_per_second:.4g} tasks/s)",
+        f"  faults        : {stats.redistributes} redistributed, "
+        f"{stats.stale_drops} stale dropped",
+        f"  bytes on wire : {_human_bytes(stats.bytes_to_slaves)} to slaves, "
+        f"{_human_bytes(stats.bytes_to_master)} to master",
+    ]
+    if stats.messages_sent or stats.messages_received:
+        lines.append(
+            f"  messages      : {stats.messages_sent} sent, "
+            f"{stats.messages_received} received"
+        )
+    if stats.subtask_events:
+        lines.append(f"  subtask events: {stats.subtask_events}")
+    if stats.nodes:
+        lines.append("  per-worker busy/idle:")
+        for k in sorted(stats.nodes):
+            n = stats.nodes[k]
+            lines.append(
+                f"    node {k:2d} : busy {n.busy_seconds:.6g} s, "
+                f"idle {n.idle_seconds:.6g} s ({n.busy_fraction:.1%} busy, "
+                f"{n.tasks} tasks)"
+            )
+    return "\n".join(lines)
+
+
+def _human_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024.0:
+            return f"{n:.1f} {unit}"
+        n /= 1024.0
+    return f"{n:.1f} TiB"
+
+
+def text_summary(
+    events: Sequence[ObsEvent],
+    metrics: Optional[Dict[str, object]] = None,
+    *,
+    title: str = "run stats",
+) -> str:
+    """Stats digest plus a metrics-snapshot appendix."""
+    out = [format_stats(compute_stats(events), title=title)]
+    if metrics:
+        counters = metrics.get("counters") or {}
+        gauges = metrics.get("gauges") or {}
+        if counters or gauges:
+            out.append("  metrics:")
+            for name, value in sorted({**counters, **gauges}.items()):  # type: ignore[dict-item]
+                out.append(f"    {name} = {value:g}")
+    return "\n".join(out)

@@ -71,9 +71,16 @@ class RunConfig:
     cluster: Optional[ClusterSpec] = None
     #: BCW column grouping (the baseline's ``block_col`` argument).
     bcw_block_cols: int = 1
-    #: Record a per-sub-task schedule trace (simulated backend only); the
-    #: report's ``trace`` then feeds :mod:`repro.analysis.gantt`.
+    #: Record a per-sub-task schedule trace on any backend; the report's
+    #: ``trace`` then feeds :mod:`repro.analysis.gantt`. Implies
+    #: ``observe`` (the trace is derived from the telemetry stream).
     trace: bool = False
+    #: Record runtime telemetry (:mod:`repro.obs`): the task-lifecycle
+    #: event stream and the metrics snapshot land on the report's
+    #: ``events`` / ``metrics`` and can be exported to Perfetto JSON via
+    #: ``repro run --trace-out``. Off by default — the disabled path is
+    #: a shared no-op recorder with no per-task cost.
+    observe: bool = False
     #: Model slave-side input caching (simulated backend): re-dispatching
     #: near a node's previous blocks skips re-shipping the data it already
     #: holds. Off by default — the paper's master re-sends per task.
@@ -97,6 +104,8 @@ class RunConfig:
         check_type("fault_plan", self.fault_plan, FaultPlan)
         check_type("thread_fault_plan", self.thread_fault_plan, FaultPlan)
         check_type("verify", self.verify, bool)
+        check_type("trace", self.trace, bool)
+        check_type("observe", self.observe, bool)
         if self.cluster is not None:
             check_type("cluster", self.cluster, ClusterSpec)
         if self.nodes < 2 and self.backend != "serial":
@@ -113,6 +122,12 @@ class RunConfig:
     @property
     def n_slaves(self) -> int:
         return self.nodes - 1
+
+    @property
+    def observing(self) -> bool:
+        """True when any telemetry consumer is on (``observe`` or the
+        derived-from-telemetry schedule ``trace``)."""
+        return self.observe or self.trace
 
     def partitions_for(self, problem) -> Tuple[Tuple[int, int], Tuple[int, int]]:
         """Resolve the (process, thread) partition sizes for a problem."""

@@ -28,11 +28,16 @@ import numpy as np
 
 from repro.algorithms.problem import DPProblem
 from repro.check.lock_lint import make_lock
-from repro.check.trace_check import TraceRecorder, check_trace
+from repro.check.trace_check import TraceRecorder
 from repro.comm.messages import EndSignal, IdleSignal, TaskAssign, TaskResult
+from repro.comm.serialization import message_nbytes
 from repro.comm.transport import Channel, ChannelClosed, ChannelTimeout
 from repro.dag.parser import DAGParser
 from repro.dag.partition import Partition
+from repro.obs.clock import Clock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import EventRecorder
+from repro.obs.schedule import ScheduleTracer
 from repro.runtime.worker_pool import (
     ComputableStack,
     FinishedStack,
@@ -71,6 +76,9 @@ class MasterPart:
         poll_interval: float = 0.02,
         verify: bool = False,
         tracer: Optional[TraceRecorder] = None,
+        clock: Optional[Clock] = None,
+        obs: Optional[EventRecorder] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if not channels:
             raise SchedulerError("master needs at least one slave channel")
@@ -87,22 +95,46 @@ class MasterPart:
         self.poll_interval = poll_interval
 
         self.verify = verify
-        #: Scheduling-event trace (see :mod:`repro.check.trace_check`).
-        #: Always populated when ``verify`` is on; callers may also inject
-        #: a shared recorder to merge traces across components.
-        self.tracer = tracer if tracer is not None else (TraceRecorder() if verify else None)
+        #: Unified scheduling instrumentation: the happens-before trace
+        #: (``verify``), the telemetry event stream (``obs``), and the
+        #: injected clock — see :mod:`repro.obs.schedule`.
+        self.sched = ScheduleTracer(
+            clock=clock, verify=verify, trace=tracer, obs=obs, node=-1, scope="task"
+        )
+        self.clock = self.sched.clock
+        self.metrics = metrics
 
         self.state: Dict[str, np.ndarray] = {}
         self.stats = MasterStats()
         self._state_lock = make_lock("master.state")
         self._results_lock = make_lock("master.results")
         self._result_buffer: Dict[tuple, Dict[str, object]] = {}
-        self._stack = ComputableStack()
+        self._stack = ComputableStack(depth_observer=self._make_depth_observer())
         self._finished = FinishedStack()
         self._overtime = OvertimeQueue()
         self._register = RegisterTable()
         self._end = threading.Event()
         self._failure: List[BaseException] = []
+
+    @property
+    def tracer(self) -> Optional[TraceRecorder]:
+        """The happens-before trace recorder (None unless verifying or
+        injected) — kept for callers of the pre-obs API."""
+        return self.sched.trace
+
+    def _make_depth_observer(self):
+        """Queue-depth instrumentation for the computable stack (None —
+        hence zero per-push cost — unless metrics are on)."""
+        if self.metrics is None:
+            return None
+        gauge = self.metrics.gauge("master.queue_depth")
+        hist = self.metrics.histogram("master.queue_depth_hist")
+
+        def observe(depth: int) -> None:
+            gauge.set(depth)
+            hist.observe(depth)
+
+        return observe
 
     # -- public entry ----------------------------------------------------------
 
@@ -135,10 +167,10 @@ class MasterPart:
                     outputs, epoch = self._result_buffer.pop(task_id)
                 with self._state_lock:
                     self.problem.apply_result(self.state, self.partition, task_id, outputs)
-                if self.tracer is not None:
+                if self.sched.enabled:
                     # Recorded before push_many so a successor's "assign"
                     # always serializes after its dependencies' commits.
-                    self.tracer.record("commit", task_id, epoch, time=time.monotonic())
+                    self.sched.record("commit", task_id, epoch)
                 self._stack.push_many(parser.complete(task_id))
         finally:
             # Fig 9 step i: tear down pools and signal every slave to end.
@@ -152,15 +184,24 @@ class MasterPart:
                 self.stats.messages += ch.sent_messages + ch.received_messages
                 self.stats.bytes_to_slaves += ch.sent_bytes
                 self.stats.bytes_to_master += ch.received_bytes
+            if self.metrics is not None:
+                self._publish_metrics()
         if self._failure:
             raise self._failure[0]
-        if self.verify and self.tracer is not None:
-            check_trace(
-                self.tracer.events(),
-                self.partition.abstract,
-                title=f"master-trace({self.problem.name})",
-            ).raise_if_failed()
+        self.sched.check(
+            self.partition.abstract, title=f"master-trace({self.problem.name})"
+        )
         return self.state
+
+    def _publish_metrics(self) -> None:
+        """Fold end-of-run counters into the metrics registry."""
+        assert self.metrics is not None
+        for ch in self.channels:
+            ch.publish_metrics(self.metrics)
+        self.metrics.counter("master.faults_recovered").inc(self.stats.faults_recovered)
+        self.metrics.counter("master.stale_results").inc(self.stats.stale_results)
+        for worker_id, n in sorted(self.stats.tasks_per_worker.items()):
+            self.metrics.counter("master.tasks_completed", worker=worker_id).inc(n)
 
     # -- per-slave worker thread (Fig 9 steps d-f) ------------------------------------
 
@@ -186,23 +227,51 @@ class MasterPart:
                     ended = True
                     continue
                 epoch = self._register.register(task_id, worker_id)
-                if self.tracer is not None:
-                    self.tracer.record("assign", task_id, epoch, worker_id, time.monotonic())
+                if self.sched.enabled:
+                    self.sched.record("assign", task_id, epoch, worker_id)
                 with self._state_lock:
                     inputs = self.problem.extract_inputs(self.state, self.partition, task_id)
                 self._overtime.push(
                     OvertimeEntry(
-                        deadline=time.monotonic() + self.task_timeout,
+                        deadline=self.clock.now() + self.task_timeout,
                         task_id=task_id,
                         epoch=epoch,
                     )
                 )
+                assign = TaskAssign(task_id=task_id, epoch=epoch, inputs=inputs)
                 try:
-                    channel.send(TaskAssign(task_id=task_id, epoch=epoch, inputs=inputs))
+                    channel.send(assign)
                 except ChannelClosed:
                     return
+                if self.sched.observing:
+                    self.sched.record(
+                        "send", task_id, epoch, worker_id, nbytes=message_nbytes(assign)
+                    )
             elif isinstance(msg, TaskResult):
                 if self._register.finish(msg.task_id, msg.epoch):
+                    if self.sched.observing:
+                        # The compute span is synthesized on the master's
+                        # clock from the slave-reported duration, so the
+                        # same events exist whether the slave was a thread
+                        # or a separate OS process.
+                        now = self.sched.now()
+                        self.sched.record(
+                            "compute",
+                            msg.task_id,
+                            msg.epoch,
+                            node=worker_id,
+                            ts=now,
+                            t0=now - max(0.0, msg.elapsed),
+                            t1=now,
+                        )
+                        self.sched.record(
+                            "result",
+                            msg.task_id,
+                            msg.epoch,
+                            worker_id,
+                            nbytes=message_nbytes(msg),
+                            elapsed=msg.elapsed,
+                        )
                     with self._results_lock:
                         self._result_buffer[msg.task_id] = (msg.outputs, msg.epoch)
                     self._finished.push(msg.task_id)
@@ -211,10 +280,8 @@ class MasterPart:
                     )
                 else:
                     self.stats.stale_results += 1
-                    if self.tracer is not None:
-                        self.tracer.record(
-                            "stale-drop", msg.task_id, msg.epoch, worker_id, time.monotonic()
-                        )
+                    if self.sched.enabled:
+                        self.sched.record("stale-drop", msg.task_id, msg.epoch, worker_id)
 
     def _try_send_end(self, channel: Channel) -> None:
         try:
@@ -226,7 +293,7 @@ class MasterPart:
 
     def _fault_tolerance(self) -> None:
         while not self._end.is_set():
-            for entry in self._overtime.due(time.monotonic()):
+            for entry in self._overtime.due(self.clock.now()):
                 if not self._register.cancel(entry.task_id, entry.epoch):
                     continue  # completed in time; lazy removal
                 attempts = self._register.attempts(entry.task_id)
@@ -241,9 +308,7 @@ class MasterPart:
                     self._finished.close()
                     return
                 self.stats.faults_recovered += 1
-                if self.tracer is not None:
-                    self.tracer.record(
-                        "redistribute", entry.task_id, entry.epoch, time=time.monotonic()
-                    )
+                if self.sched.enabled:
+                    self.sched.record("redistribute", entry.task_id, entry.epoch)
                 self._stack.push(entry.task_id)
             time.sleep(self.poll_interval)

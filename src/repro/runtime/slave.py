@@ -24,12 +24,14 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.algorithms.problem import DPProblem
-from repro.check.trace_check import TraceRecorder, check_trace
 from repro.cluster.faults import FaultPlan
 from repro.comm.messages import EndSignal, IdleSignal, TaskAssign, TaskResult
 from repro.comm.transport import Channel, ChannelClosed, ChannelTimeout
 from repro.dag.parser import DAGParser
 from repro.dag.partition import BlockShape, Partition
+from repro.obs.clock import Clock, ensure_clock
+from repro.obs.recorder import EventRecorder
+from repro.obs.schedule import ScheduleTracer
 from repro.runtime.worker_pool import (
     ComputableStack,
     FinishedStack,
@@ -73,6 +75,8 @@ class SlavePart:
         hang_duration: float = 1.0,
         stop_event: Optional[threading.Event] = None,
         verify: bool = False,
+        clock: Optional[Clock] = None,
+        obs: Optional[EventRecorder] = None,
     ) -> None:
         self.slave_id = slave_id
         self.channel = channel
@@ -91,6 +95,12 @@ class SlavePart:
         #: Validate each sub-task's thread-level schedule against the inner
         #: DAG with the happens-before checker (``RunConfig.verify``).
         self.verify = verify
+        #: Clock for deadlines and subtask-scope telemetry (injected so
+        #: the instrumentation is clock-domain agnostic).
+        self.clock = ensure_clock(clock)
+        #: Telemetry stream for thread-level events; only wired when the
+        #: slave shares the recorder's process (threads backend).
+        self.obs = obs
         self.stats = SlaveStats()
 
     # -- protocol loop --------------------------------------------------------
@@ -167,7 +177,13 @@ class SlavePart:
         )
         stack.push_many(parser.computable())
         failure: list[BaseException] = []
-        tracer = TraceRecorder() if self.verify else None
+        sched = ScheduleTracer(
+            clock=self.clock,
+            verify=self.verify,
+            obs=self.obs,
+            node=self.slave_id,
+            scope="subtask",
+        )
 
         def compute_worker(worker_id: int) -> None:
             while True:
@@ -175,11 +191,11 @@ class SlavePart:
                 if sub is None:
                     return
                 epoch = register.register(sub, worker_id)
-                if tracer is not None:
-                    tracer.record("assign", sub, epoch, worker_id, time.monotonic())
+                if sched.enabled:
+                    sched.record("assign", sub, epoch, worker_id)
                 overtime.push(
                     OvertimeEntry(
-                        deadline=time.monotonic() + self.subtask_timeout,
+                        deadline=self.clock.now() + self.subtask_timeout,
                         task_id=sub,
                         epoch=epoch,
                     )
@@ -189,17 +205,26 @@ class SlavePart:
                     # The computing thread dies mid-task (Fig 12's fault):
                     # exit without reporting; the FT check restarts us.
                     return
+                started = sched.now() if sched.observing else 0.0
                 rows, cols = inner.block_ranges(sub)
                 evaluator.run_subblock(rows, cols)
                 if register.finish(sub, epoch):
-                    if tracer is not None:
+                    if sched.enabled:
+                        if sched.observing:
+                            sched.record(
+                                "compute", sub, epoch, worker_id,
+                                t0=started, t1=sched.now(),
+                            )
                         # Before finished.push so successors' assigns
                         # serialize after this commit in the trace.
-                        tracer.record("commit", sub, epoch, worker_id, time.monotonic())
+                        sched.record("commit", sub, epoch, worker_id)
                     finished.push(sub)
 
         threads = [
-            threading.Thread(target=compute_worker, args=(k,), daemon=True, name=f"slave{self.slave_id}-ct{k}")
+            threading.Thread(
+                target=compute_worker, args=(k,), daemon=True,
+                name=f"slave{self.slave_id}-ct{k}",
+            )
             for k in range(self.n_threads)
         ]
         for t in threads:
@@ -211,7 +236,7 @@ class SlavePart:
             sub = finished.pop(timeout=self.poll_interval)
             if sub is not None:
                 stack.push_many(parser.complete(sub))
-            for entry in overtime.due(time.monotonic()):
+            for entry in overtime.due(self.clock.now()):
                 if not register.cancel(entry.task_id, entry.epoch):
                     continue  # finished in time; lazy removal
                 attempts = register.attempts(entry.task_id)
@@ -223,8 +248,8 @@ class SlavePart:
                     )
                     break
                 self.stats.thread_restarts += 1
-                if tracer is not None:
-                    tracer.record("redistribute", entry.task_id, entry.epoch, time=time.monotonic())
+                if sched.enabled:
+                    sched.record("redistribute", entry.task_id, entry.epoch)
                 stack.push(entry.task_id)
                 replacement = threading.Thread(
                     target=compute_worker,
@@ -241,12 +266,8 @@ class SlavePart:
             t.join(timeout=5.0)
         if failure:
             raise failure[0]
-        if tracer is not None and parser.is_done() and not self.stop_event.is_set():
-            check_trace(
-                tracer.events(),
-                inner.abstract,
-                title=f"slave{self.slave_id}-trace",
-            ).raise_if_failed()
+        if parser.is_done() and not self.stop_event.is_set():
+            sched.check(inner.abstract, title=f"slave{self.slave_id}-trace")
         return evaluator.outputs()
 
 

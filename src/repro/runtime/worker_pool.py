@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.check.lock_lint import make_condition, make_lock
 from repro.comm.messages import TaskId
@@ -28,21 +28,34 @@ from repro.utils.errors import SchedulerError
 
 
 class ComputableStack:
-    """Blocking LIFO of computable sub-tasks with policy-aware pops."""
+    """Blocking LIFO of computable sub-tasks with policy-aware pops.
 
-    def __init__(self) -> None:
+    ``depth_observer`` (optional) is called with the new depth after
+    every mutation — the observability layer wires it to a queue-depth
+    gauge/histogram. It runs under the stack's condition, so observers
+    must be cheap and must not touch runtime locks.
+    """
+
+    def __init__(
+        self, depth_observer: Optional[Callable[[int], None]] = None
+    ) -> None:
         self._items: List[TaskId] = []
         self._cond = make_condition("pool.computable-stack")
         self._closed = False
+        self._depth_observer = depth_observer
 
     def push(self, task_id: TaskId) -> None:
         with self._cond:
             self._items.append(task_id)
+            if self._depth_observer is not None:
+                self._depth_observer(len(self._items))
             self._cond.notify_all()
 
     def push_many(self, task_ids: Iterable[TaskId]) -> None:
         with self._cond:
             self._items.extend(task_ids)
+            if self._depth_observer is not None:
+                self._depth_observer(len(self._items))
             self._cond.notify_all()
 
     def close(self) -> None:
@@ -68,7 +81,10 @@ class ComputableStack:
             while True:
                 for idx in range(len(self._items) - 1, -1, -1):
                     if policy.eligible(worker_id, self._items[idx]):
-                        return self._items.pop(idx)
+                        picked = self._items.pop(idx)
+                        if self._depth_observer is not None:
+                            self._depth_observer(len(self._items))
+                        return picked
                 if self._closed:
                     return None
                 if not self._cond.wait(timeout=timeout):

@@ -118,6 +118,75 @@ class TestQueueChannel:
         assert len(got) == 200
 
 
+class TestChannelInstrumentation:
+    def test_uninstrumented_channel_uses_shared_null_recorder(self):
+        from repro.obs.recorder import NULL_RECORDER
+
+        a, b = channel_pair()
+        assert a._obs is NULL_RECORDER
+        assert b._obs is NULL_RECORDER
+
+    def test_send_recv_emit_message_events(self):
+        from repro.obs.recorder import EventRecorder
+
+        rec = EventRecorder()
+        a, b = channel_pair()
+        a.instrument(rec, endpoint="slave0", node=0)
+        b.instrument(rec, endpoint="master", node=0)
+
+        assign = TaskAssign((2, 3), 1, {"x": np.zeros(10)})
+        a.send(assign)
+        b.recv(timeout=1.0)
+        b.send(IdleSignal(0))
+        a.recv(timeout=1.0)
+
+        events = rec.events()
+        assert [e.kind for e in events] == ["msg-send", "msg-recv", "msg-send", "msg-recv"]
+        assert all(e.scope == "message" for e in events)
+        sent = events[0]
+        assert sent.task_id == (2, 3) and sent.epoch == 1
+        assert sent.data["endpoint"] == "slave0"
+        assert sent.data["type"] == "TaskAssign"
+        assert sent.data["nbytes"] == message_nbytes(assign)
+        # The receiving endpoint sees the same wire size.
+        assert events[1].data["nbytes"] == sent.data["nbytes"]
+        assert events[1].data["endpoint"] == "master"
+
+    def test_publish_metrics_per_endpoint(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        a, b = channel_pair()
+        a.endpoint = "slave0"
+        assign = TaskAssign((0, 0), 0, {"x": np.zeros(10)})
+        a.send(assign)
+        b.recv(timeout=1.0)
+        b.send(IdleSignal(0))
+        a.recv(timeout=1.0)
+
+        registry = MetricsRegistry()
+        a.publish_metrics(registry)
+        snap = registry.snapshot()["counters"]
+        assert snap["comm.messages_sent{endpoint=slave0}"] == 1
+        assert snap["comm.messages_received{endpoint=slave0}"] == 1
+        assert snap["comm.bytes_sent{endpoint=slave0}"] == message_nbytes(assign)
+        assert snap["comm.bytes_received{endpoint=slave0}"] == message_nbytes(IdleSignal(0))
+
+    def test_counters_match_event_stream_totals(self):
+        from repro.obs.recorder import EventRecorder
+
+        rec = EventRecorder()
+        a, b = channel_pair()
+        a.instrument(rec, endpoint="slave0")
+        for k in range(5):
+            a.send(IdleSignal(k))
+            b.recv(timeout=1.0)
+        sent_nbytes = sum(
+            e.data["nbytes"] for e in rec.events() if e.kind == "msg-send"
+        )
+        assert a.sent_messages == 5
+        assert a.sent_bytes == sent_nbytes
+
+
 class TestPipeChannel:
     def test_round_trip_across_endpoints(self):
         a, b = pipe_channel_pair()

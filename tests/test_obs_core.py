@@ -1,0 +1,169 @@
+"""Unit tests for the observability core: clocks, recorder, metrics."""
+
+import threading
+
+import pytest
+
+from repro.cluster.simcore import EventQueue
+from repro.obs.clock import MONOTONIC, Clock, ManualClock, MonotonicClock, SimClock, ensure_clock
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.recorder import (
+    LIFECYCLE_KINDS,
+    MESSAGE_KINDS,
+    NULL_RECORDER,
+    SCOPES,
+    EventRecorder,
+    NullRecorder,
+    ObsEvent,
+)
+
+
+class TestClocks:
+    def test_monotonic_clock_advances(self):
+        clk = MonotonicClock()
+        a = clk.now()
+        b = clk.now()
+        assert b >= a
+
+    def test_manual_clock(self):
+        clk = ManualClock()
+        assert clk.now() == 0.0
+        clk.advance(1.5)
+        assert clk.now() == 1.5
+        clk.set(10.0)
+        assert clk.now() == 10.0
+
+    def test_sim_clock_reads_event_queue(self):
+        evq = EventQueue()
+        clk = evq.clock()
+        assert isinstance(clk, SimClock)
+        assert clk.now() == 0.0
+        seen = []
+        evq.at(3.0, lambda: seen.append(clk.now()))
+        evq.run()
+        assert seen == [3.0]
+
+    def test_ensure_clock(self):
+        assert ensure_clock(None) is MONOTONIC
+        clk = ManualClock()
+        assert ensure_clock(clk) is clk
+        assert isinstance(MONOTONIC, Clock)
+
+
+class TestEventRecorder:
+    def test_emit_stamps_with_injected_clock(self):
+        clk = ManualClock()
+        rec = EventRecorder(clk)
+        clk.set(2.0)
+        ev = rec.emit("assign", (0, 0), epoch=0, node=1, worker=3)
+        assert ev.ts == 2.0
+        assert ev.node == 1 and ev.worker == 3
+        assert ev.scope == "task"
+
+    def test_explicit_ts_overrides_clock(self):
+        rec = EventRecorder(ManualClock())
+        ev = rec.emit("send", (0, 0), ts=7.5, nbytes=128)
+        assert ev.ts == 7.5
+        assert ev.data == {"nbytes": 128}
+
+    def test_seq_is_a_linearization(self):
+        rec = EventRecorder(ManualClock())
+        for k in range(5):
+            rec.emit("assign", (0, k))
+        assert [e.seq for e in rec.events()] == [0, 1, 2, 3, 4]
+        assert len(rec) == 5
+
+    def test_span_extraction(self):
+        rec = EventRecorder(ManualClock())
+        plain = rec.emit("commit", (0, 0))
+        span = rec.emit("compute", (0, 0), t0=1.0, t1=2.5)
+        assert plain.span() is None
+        assert span.span() == (1.0, 2.5)
+
+    def test_thread_safety(self):
+        rec = EventRecorder()
+
+        def emit_many(k):
+            for _ in range(200):
+                rec.emit("assign", (k, 0))
+
+        threads = [threading.Thread(target=emit_many, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        events = rec.events()
+        assert len(events) == 800
+        assert sorted(e.seq for e in events) == list(range(800))
+
+    def test_taxonomy_constants(self):
+        assert "assign" in LIFECYCLE_KINDS and "commit" in LIFECYCLE_KINDS
+        assert set(MESSAGE_KINDS) == {"msg-send", "msg-recv"}
+        assert set(SCOPES) == {"task", "subtask", "message"}
+
+
+class TestNullRecorder:
+    def test_disabled_and_empty(self):
+        assert NULL_RECORDER.enabled is False
+        assert NULL_RECORDER.emit("assign", (0, 0), nbytes=1) is None
+        assert NULL_RECORDER.events() == ()
+        assert len(NULL_RECORDER) == 0
+
+    def test_shared_singleton_is_stateless(self):
+        # __slots__ = () — the null recorder cannot accumulate storage.
+        assert NullRecorder.__slots__ == ()
+        with pytest.raises(AttributeError):
+            NULL_RECORDER.anything = 1
+
+
+class TestMetrics:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge(self):
+        g = Gauge()
+        g.set(4)
+        g.add(-1.5)
+        assert g.value == 2.5
+
+    def test_histogram_moments(self):
+        h = Histogram()
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3
+        assert s["min"] == 1.0 and s["max"] == 3.0
+        assert s["mean"] == pytest.approx(2.0)
+
+    def test_registry_get_or_create(self):
+        reg = MetricsRegistry()
+        a = reg.counter("tasks", node=0)
+        b = reg.counter("tasks", node=0)
+        other = reg.counter("tasks", node=1)
+        assert a is b and a is not other
+
+    def test_snapshot_label_formatting(self):
+        reg = MetricsRegistry()
+        reg.counter("tasks", node=0).inc(3)
+        reg.counter("plain").inc()
+        reg.gauge("depth").set(7)
+        reg.histogram("dur").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"]["tasks{node=0}"] == 3
+        assert snap["counters"]["plain"] == 1
+        assert snap["gauges"]["depth"] == 7
+        assert snap["histograms"]["dur"]["count"] == 1
+        assert "tasks{node=0}" in reg.names()
+
+
+class TestObsEvent:
+    def test_defaults(self):
+        ev = ObsEvent(kind="assign", ts=0.0)
+        assert ev.task_id is None and ev.epoch == -1
+        assert ev.node == -1 and ev.worker == -1
+        assert ev.scope == "task" and ev.data is None
