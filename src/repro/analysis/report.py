@@ -9,7 +9,7 @@ recoveries, and (simulated backend) utilization and idle-while-ready time
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 
 @dataclass
@@ -45,6 +45,15 @@ class RunReport:
     thread_restarts: int = 0
     #: Stale results discarded via the register-table epoch check.
     stale_results: int = 0
+    #: Straggler dispatches cancelled early and re-queued (``speculate``).
+    speculative_redispatches: int = 0
+    #: Workers retired for exceeding ``blacklist_threshold`` failures.
+    blacklisted_workers: Tuple[int, ...] = ()
+    #: Service/computing threads that outlived their join timeout (each
+    #: also produced a :class:`~repro.utils.errors.WorkerLeakWarning`).
+    worker_leaks: int = 0
+    #: Message/worker faults injected by a chaos plan during the run.
+    faults_injected: int = 0
     #: Sub-tasks executed per slave id.
     tasks_per_worker: Dict[int, int] = field(default_factory=dict)
     #: Worker-seconds spent idle while the computable stack was non-empty
@@ -88,6 +97,14 @@ class RunReport:
             lines.append(
                 f"  faults        : {self.faults_recovered} redistributed, "
                 f"{self.thread_restarts} thread restarts, {self.stale_results} stale dropped"
+            )
+        if self.faults_injected:
+            lines.append(f"  chaos         : {self.faults_injected} faults injected")
+        if self.speculative_redispatches or self.blacklisted_workers or self.worker_leaks:
+            lines.append(
+                f"  recovery      : {self.speculative_redispatches} speculative, "
+                f"blacklisted {list(self.blacklisted_workers)}, "
+                f"{self.worker_leaks} leaked threads"
             )
         if self.utilization:
             lines.append(

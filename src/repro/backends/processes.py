@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.algorithms.problem import DPProblem
 from repro.analysis.report import RunReport
+from repro.chaos.channel import ChaosChannel
 from repro.comm.transport import PipeChannel
 from repro.obs import EventRecorder, MetricsRegistry, to_gantt_trace
 from repro.runtime.config import RunConfig
@@ -56,12 +57,19 @@ def run_processes(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.n
         poll_interval=config.poll_interval,
         fault_plan=config.fault_plan,
         thread_fault_plan=config.thread_fault_plan,
+        worker_fault_plan=config.worker_fault_plan,
         hang_duration=config.hang_duration,
         verify=config.verify,
     )
     for k in range(config.n_slaves):
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         channel = PipeChannel(parent_conn)
+        if config.message_fault_plan:
+            # Chaos wraps the master-side endpoint only — the plan never
+            # crosses the pipe, and both directions are still covered.
+            channel = ChaosChannel(
+                channel, config.message_fault_plan, endpoint_index=k
+            )
         if recorder is not None:
             channel.instrument(recorder, endpoint=f"slave{k}")
         master_channels.append(channel)
@@ -83,6 +91,13 @@ def run_processes(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.n
         task_timeout=config.task_timeout,
         max_retries=config.max_retries,
         poll_interval=config.poll_interval,
+        retry_backoff=config.retry_backoff,
+        retry_backoff_max=config.retry_backoff_max,
+        speculate=config.speculate,
+        speculative_factor=config.speculative_factor,
+        speculative_quantile=config.speculative_quantile,
+        blacklist_threshold=config.blacklist_threshold,
+        stall_timeout=config.effective_stall_timeout,
         verify=config.verify,
         obs=recorder,
         metrics=metrics,
@@ -120,6 +135,12 @@ def run_processes(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.n
         stale_results=master.stats.stale_results,
         tasks_per_worker=dict(master.stats.tasks_per_worker),
         total_flops=problem.total_flops(partition),
+        speculative_redispatches=master.stats.speculative_redispatches,
+        blacklisted_workers=tuple(master.stats.blacklisted_workers),
+        worker_leaks=master.stats.worker_leaks,
+        faults_injected=sum(
+            getattr(ch, "faults_injected", 0) for ch in master_channels
+        ),
     )
     if recorder is not None:
         report.events = recorder.events()

@@ -20,6 +20,18 @@ regular DP grid.
 Fault injection: a "crash" costs the node half the compute time and never
 answers; a "hang" occupies the node for twice the timeout. Both are
 recovered by the simulated overtime check, mirroring Fig 10.
+
+Chaos (:mod:`repro.chaos`) is modeled too: message faults hit the
+simulated TaskAssign/TaskResult transfers (a dropped assignment leaves
+the node free and the registration to time out; a dropped result leaves
+the registration to time out while the node serves on), worker faults
+kill or slow whole nodes, timeouts are attributed to nodes for
+blacklisting, and re-dispatches honor the exponential backoff. A run
+that can no longer finish (every node dead) ends in a clean
+:class:`FaultToleranceExhausted` — the simulator cannot hang by
+construction (the event queue drains), so the abort path is the whole
+guarantee. Speculation is a no-op here: stragglers are deterministic and
+the plain timeout recovers them.
 """
 
 from __future__ import annotations
@@ -116,6 +128,13 @@ class _Node:
     #: Prefetched-but-not-yet-computing task (prefetch mode):
     #: (bid, epoch, transfer_start, transfer_done).
     pending: Optional[Tuple[TaskId, int, float, float]] = None
+    #: Permanently out of service (worker-death fault or blacklisted).
+    dead: bool = False
+    #: Per-node message counters keying the message-fault plan.
+    sent_index: int = 0
+    recv_index: int = 0
+    #: Whether the slow-node fault was already reported for this node.
+    slow_noted: bool = False
 
 
 class _SimulatedRun:
@@ -169,6 +188,13 @@ class _SimulatedRun:
         self.idle_while_ready = 0.0
         self._last_account = 0.0
         self.failure: Optional[BaseException] = None
+        #: Chaos bookkeeping: injected fault count, which node each live
+        #: task was dispatched to (timeout attribution), per-node timeout
+        #: failures, and nodes retired by death/blacklist.
+        self.faults_injected = 0
+        self.dispatched_to: Dict[TaskId, int] = {}
+        self.node_failures: Dict[int, int] = {}
+        self.blacklisted: List[int] = []
         #: Telemetry stream stamped with *sim-time* (the event queue's
         #: clock) so exported traces draw the modeled schedule, and the
         #: happens-before log validated after the run (``verify``) — both
@@ -237,9 +263,37 @@ class _SimulatedRun:
 
     # -- protocol events -----------------------------------------------------------
 
+    def _note_msg_fault(
+        self, kind: str, bid: TaskId, epoch: int, k: int, mtype: str
+    ) -> None:
+        self.faults_injected += 1
+        if self.obs is not None:
+            self.obs.emit(
+                f"msg-{kind}", bid, epoch=epoch, node=k, scope="message",
+                type=mtype, endpoint=f"node{k}",
+            )
+
+    def _retire_node(self, k: int, kind: str, **data: object) -> None:
+        """Take node ``k`` permanently out of service (death/blacklist)."""
+        node = self.nodes[k]
+        node.dead = True
+        node.parked_since = None
+        if self.obs is not None:
+            self.obs.emit(kind, None, node=k, worker=k, scope="task", **data)
+
     def _node_idle(self, k: int) -> None:
         self._account()
         node = self.nodes[k]
+        if node.dead:
+            return
+        death_point = self.config.worker_fault_plan.death_point(k)
+        if death_point is not None and node.tasks_done >= death_point:
+            # Worker-level fault: the node goes permanently silent between
+            # tasks. Its live registrations (if any) time out and
+            # redistribute; all nodes dead ends in a clean abort.
+            self.faults_injected += 1
+            self._retire_node(k, "worker-death", after_tasks=death_point)
+            return
         if node.pending is not None:
             # Promote the prefetched task (its input already transferred).
             bid, epoch, xfer_start, xfer_done = node.pending
@@ -267,6 +321,7 @@ class _SimulatedRun:
         epoch = self.attempts.get(bid, 0)
         self.attempts[bid] = epoch + 1
         self.registered[bid] = epoch
+        self.dispatched_to[bid] = k
         if self.sched.enabled:
             self.sched.record("assign", bid, epoch, k, ts=now)
         if self.config.data_reuse:
@@ -297,6 +352,27 @@ class _SimulatedRun:
 
     def _dispatch(self, k: int, bid: TaskId) -> None:
         epoch, start, xfer_done = self._reserve_transfer(k, bid)
+        node = self.nodes[k]
+        rule = None
+        if self.config.message_fault_plan:
+            rule = self.config.message_fault_plan.decide(
+                "send", "TaskAssign", bid, node.sent_index, endpoint=k
+            )
+            node.sent_index += 1
+        if rule is not None:
+            self._note_msg_fault(rule.kind, bid, epoch, k, "TaskAssign")
+            if rule.kind in ("drop", "corrupt"):
+                # The assignment never arrives: the node stays free (idle
+                # again once the wasted transfer slot passes) and the
+                # registration rides the overtime check to redistribution.
+                self.evq.at(xfer_done, lambda k=k: self._node_idle(k))
+                return
+            if rule.kind == "delay":
+                xfer_done += rule.delay
+            elif rule.kind == "duplicate":
+                # The slave computes the copy too, but its second result
+                # is epoch-stale; one extra message models it.
+                self.messages += 1
         self._begin_compute(k, bid, epoch, start, xfer_done)
 
     def _try_prefetch(self, k: int) -> None:
@@ -321,6 +397,17 @@ class _SimulatedRun:
         fault = self.config.fault_plan.lookup(bid, epoch)
         compute, busy, nsub = self._inner(bid, node.spec)
         compute += self.cluster.slave_overhead
+        slow = self.config.worker_fault_plan.slow_factor(k)
+        if slow > 1.0:
+            compute *= slow
+            if not node.slow_noted:
+                node.slow_noted = True
+                self.faults_injected += 1
+                if self.obs is not None:
+                    self.obs.emit(
+                        "worker-slow", bid, epoch=epoch, node=k, worker=k,
+                        scope="task", factor=slow,
+                    )
         if fault is not None and fault.kind == "crash":
             crash_at = compute_start + 0.5 * compute
             node.busy_until = crash_at
@@ -360,7 +447,31 @@ class _SimulatedRun:
         self.messages += 1
         self.bytes_to_master += out_bytes
         arrive = send_start + out_xfer
+        rule = None
+        if self.config.message_fault_plan:
+            rule = self.config.message_fault_plan.decide(
+                "recv", "TaskResult", bid, node.recv_index, endpoint=k
+            )
+            node.recv_index += 1
+        if rule is not None:
+            self._note_msg_fault(rule.kind, bid, epoch, k, "TaskResult")
+            if rule.kind in ("drop", "corrupt"):
+                # The result never reaches the master: the registration
+                # rides the overtime check; the node itself serves on.
+                self.evq.at(arrive, lambda k=k: self._node_idle(k))
+                return
+            if rule.kind == "delay":
+                arrive += rule.delay
+            elif rule.kind == "duplicate":
+                self.messages += 1
+                self.evq.at(arrive, lambda: self._result_echo(bid, epoch, k))
         self.evq.at(arrive, lambda: self._result(bid, epoch, k))
+
+    def _result_echo(self, bid: TaskId, epoch: int, k: int) -> None:
+        """The second copy of a duplicated result: always epoch-stale by
+        the time it lands (the first copy deregistered the task)."""
+        if self.registered.get(bid) != epoch and self.sched.enabled:
+            self.sched.record("stale-drop", bid, epoch, k, node=k)
 
     def _result(self, bid: TaskId, epoch: int, k: int) -> None:
         self._account()
@@ -397,6 +508,7 @@ class _SimulatedRun:
         if self.registered.get(bid) != epoch:
             return  # completed in time
         del self.registered[bid]
+        self._note_node_failure(self.dispatched_to.get(bid, -1))
         attempts = self.attempts[bid]
         if attempts > self.config.max_retries + 1:
             self.failure = FaultToleranceExhausted(
@@ -406,12 +518,51 @@ class _SimulatedRun:
         self.faults += 1
         if self.sched.enabled:
             self.sched.record("redistribute", bid, epoch)
+        delay = 0.0
+        if self.config.retry_backoff > 0:
+            delay = min(
+                self.config.retry_backoff * (2.0 ** max(0, attempts - 1)),
+                self.config.retry_backoff_max,
+            )
+        if delay > 0:
+            if self.obs is not None:
+                self.obs.emit(
+                    "backoff", bid, epoch=epoch, scope="task", delay=delay
+                )
+            self.evq.at(self.evq.now + delay, lambda bid=bid: self._requeue(bid))
+        else:
+            self._requeue(bid)
+
+    def _requeue(self, bid: TaskId) -> None:
+        """Put a recovered sub-task back on offer and wake parked nodes."""
         self.ready.append(bid)
         for j, node in enumerate(self.nodes):
             if node.parked_since is not None:
                 self._node_idle(j)
             else:
                 self._try_prefetch(j)
+
+    def _note_node_failure(self, k: int) -> None:
+        """Blacklist node ``k`` past the failure threshold (never the last
+        surviving node); its live dispatches re-queue immediately."""
+        if self.config.blacklist_threshold is None or k < 0:
+            return
+        n = self.node_failures.get(k, 0) + 1
+        self.node_failures[k] = n
+        if n < self.config.blacklist_threshold or self.nodes[k].dead:
+            return
+        if sum(1 for nd in self.nodes if not nd.dead) <= 1:
+            return  # degradation floor
+        self.blacklisted.append(k)
+        self._retire_node(k, "blacklist", failures=n)
+        for bid, ep in list(self.registered.items()):
+            if self.dispatched_to.get(bid) != k:
+                continue
+            del self.registered[bid]
+            self.faults += 1
+            if self.sched.enabled:
+                self.sched.record("redistribute", bid, ep)
+            self._requeue(bid)
 
     # -- driver -------------------------------------------------------------------------
 
@@ -425,6 +576,15 @@ class _SimulatedRun:
         if self.failure is not None:
             raise self.failure
         if not self.parser.is_done():
+            if any(n.dead for n in self.nodes):
+                # Every path forward died with the nodes; the event queue
+                # drained, which is the simulator's version of "no
+                # progress" — abort cleanly, never silently stall.
+                raise FaultToleranceExhausted(
+                    f"simulation out of workers with {self.parser.n_remaining} "
+                    f"sub-tasks left ({sum(1 for n in self.nodes if n.dead)} "
+                    f"of {len(self.nodes)} nodes lost)"
+                )
             raise SchedulerError(
                 f"simulation stalled with {self.parser.n_remaining} sub-tasks left"
             )
@@ -463,6 +623,8 @@ class _SimulatedRun:
             ),
             total_flops=self.problem.total_flops(self.partition),
             total_cores=self.cluster.total_cores,
+            blacklisted_workers=tuple(self.blacklisted),
+            faults_injected=self.faults_injected,
             trace=to_gantt_trace(events) if self.config.trace and events is not None else None,
             events=events,
             metrics=self.metrics.snapshot() if self.metrics is not None else None,

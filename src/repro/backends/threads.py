@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.algorithms.problem import DPProblem
 from repro.analysis.report import RunReport
+from repro.chaos.channel import ChaosChannel
 from repro.comm.transport import channel_pair
 from repro.obs import EventRecorder, MetricsRegistry, to_gantt_trace
 from repro.runtime.config import RunConfig
@@ -46,6 +47,12 @@ def run_threads(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.nda
     master_channels = []
     for k in range(config.n_slaves):
         master_end, slave_end = channel_pair()
+        if config.message_fault_plan:
+            # The chaos wrapper becomes the master-side endpoint, so both
+            # directions of this slave's traffic pass through it.
+            master_end = ChaosChannel(
+                master_end, config.message_fault_plan, endpoint_index=k
+            )
         if recorder is not None:
             master_end.instrument(recorder, endpoint=f"slave{k}")
         master_channels.append(master_end)
@@ -63,6 +70,7 @@ def run_threads(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.nda
                 poll_interval=config.poll_interval,
                 fault_plan=config.fault_plan,
                 thread_fault_plan=config.thread_fault_plan,
+                worker_fault_plan=config.worker_fault_plan,
                 hang_duration=config.hang_duration,
                 stop_event=stop,
                 verify=config.verify,
@@ -77,6 +85,13 @@ def run_threads(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.nda
         task_timeout=config.task_timeout,
         max_retries=config.max_retries,
         poll_interval=config.poll_interval,
+        retry_backoff=config.retry_backoff,
+        retry_backoff_max=config.retry_backoff_max,
+        speculate=config.speculate,
+        speculative_factor=config.speculative_factor,
+        speculative_quantile=config.speculative_quantile,
+        blacklist_threshold=config.blacklist_threshold,
+        stall_timeout=config.effective_stall_timeout,
         verify=config.verify,
         obs=recorder,
         metrics=metrics,
@@ -114,6 +129,13 @@ def run_threads(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.nda
         stale_results=master.stats.stale_results,
         tasks_per_worker=dict(master.stats.tasks_per_worker),
         total_flops=problem.total_flops(partition),
+        speculative_redispatches=master.stats.speculative_redispatches,
+        blacklisted_workers=tuple(master.stats.blacklisted_workers),
+        worker_leaks=master.stats.worker_leaks
+        + int(sum(s.stats.extras.get("worker_leaks", 0) for s in slaves)),
+        faults_injected=sum(
+            getattr(ch, "faults_injected", 0) for ch in master_channels
+        ),
     )
     if recorder is not None:
         report.events = recorder.events()

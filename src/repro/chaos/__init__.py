@@ -1,0 +1,51 @@
+"""``repro.chaos`` — deterministic fault campaigns for the runtime.
+
+Three pieces (see ``docs/fault_tolerance.md``):
+
+- **fault plans** (:mod:`repro.cluster.faults`) — seeded, order-independent
+  task / message / worker fault models;
+- **channel injection** (:mod:`repro.chaos.channel`) — a
+  :class:`ChaosChannel` wrapping any transport endpoint to drop,
+  duplicate, delay, or corrupt protocol messages;
+- **campaigns** (:mod:`repro.chaos.campaign`) — N seeded runs per backend,
+  each asserting the core invariant: *the DP result equals the serial
+  oracle, or the run ends in a clean*
+  :class:`~repro.utils.errors.FaultToleranceExhausted` — *never a hang,
+  never a wrong answer* — with the :mod:`repro.check` trace invariants
+  validated on every surviving run.
+
+Drive from the CLI with ``repro chaos --seeds 20 --backend simulated
+--backend threads``.
+"""
+
+from repro.chaos.campaign import (
+    CampaignResult,
+    CampaignSpec,
+    RunOutcome,
+    chaos_config,
+    run_campaign,
+)
+from repro.chaos.channel import ChaosChannel
+from repro.cluster.faults import (
+    MESSAGE_FAULT_KINDS,
+    WORKER_FAULT_KINDS,
+    MessageFaultPlan,
+    MessageFaultRule,
+    WorkerFaultPlan,
+    WorkerFaultRule,
+)
+
+__all__ = [
+    "CampaignResult",
+    "CampaignSpec",
+    "RunOutcome",
+    "chaos_config",
+    "run_campaign",
+    "ChaosChannel",
+    "MESSAGE_FAULT_KINDS",
+    "WORKER_FAULT_KINDS",
+    "MessageFaultPlan",
+    "MessageFaultRule",
+    "WorkerFaultPlan",
+    "WorkerFaultRule",
+]

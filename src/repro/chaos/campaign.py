@@ -1,0 +1,320 @@
+"""Deterministic fault campaigns: N seeded runs, one invariant.
+
+A campaign replays the same DP instance under seeded fault plans across
+backends and classifies every run:
+
+- ``ok``                  — finished; state equals the serial oracle and
+  the fault/recovery trace invariants hold;
+- ``aborted``             — ended in a clean
+  :class:`~repro.utils.errors.FaultToleranceExhausted` (the budget or
+  every worker was genuinely exhausted — an *allowed* outcome);
+- ``wrong-answer``        — finished with state differing from the oracle;
+- ``invariant-violation`` — finished but the telemetry stream violates a
+  fault-tolerance invariant (commit after blacklist, fault without
+  reassign-or-abort);
+- ``hang``                — neither finished nor aborted within the run
+  deadline;
+- ``error``               — any other exception escaped the runtime.
+
+The campaign invariant is that only the first two ever occur. Fault
+plans are pure functions of the seed (:mod:`repro.cluster.faults`), so a
+failing seed replays exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.faults import FaultPlan, MessageFaultPlan, WorkerFaultPlan
+from repro.runtime.config import RunConfig
+from repro.utils.errors import ChaosError, FaultToleranceExhausted
+
+#: Backends a campaign may exercise ("serial" is the oracle, not a target).
+CAMPAIGN_BACKENDS = ("simulated", "threads", "processes")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """What one chaos campaign runs."""
+
+    backends: Tuple[str, ...] = ("simulated", "threads")
+    #: Seeded runs per backend; seeds are ``first_seed .. first_seed+seeds-1``.
+    seeds: int = 10
+    first_seed: int = 0
+    #: DP instance under test (one instance, many fault seeds).
+    algo: str = "edit-distance"
+    size: int = 48
+    problem_seed: int = 0
+    #: Fault pressure per seed.
+    message_p: float = 0.12
+    worker_p_die: float = 0.2
+    worker_p_slow: float = 0.2
+    task_fault_p: float = 0.1
+    #: Cluster shape of each run.
+    nodes: int = 3
+    threads_per_node: int = 2
+    scheduler: str = "dynamic"
+    #: Wall-clock deadline per run; exceeding it classifies as ``hang``.
+    run_timeout: float = 60.0
+
+    def __post_init__(self) -> None:
+        for b in self.backends:
+            if b not in CAMPAIGN_BACKENDS:
+                raise ChaosError(
+                    f"campaign backend must be one of {CAMPAIGN_BACKENDS}, got {b!r}"
+                )
+        if self.seeds < 1:
+            raise ChaosError(f"seeds must be >= 1, got {self.seeds}")
+
+
+@dataclass
+class RunOutcome:
+    """Classification of one seeded run."""
+
+    backend: str
+    seed: int
+    status: str  # ok | aborted | wrong-answer | invariant-violation | hang | error
+    detail: str = ""
+    faults_injected: int = 0
+    faults_recovered: int = 0
+    elapsed: float = 0.0
+    #: Perfetto trace written for a failing run (``artifact_dir`` set).
+    trace_path: Optional[str] = None
+
+    @property
+    def acceptable(self) -> bool:
+        """True for the two outcomes the campaign invariant allows."""
+        return self.status in ("ok", "aborted")
+
+
+@dataclass
+class CampaignResult:
+    """All outcomes of one campaign."""
+
+    spec: CampaignSpec
+    outcomes: Tuple[RunOutcome, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return all(o.acceptable for o in self.outcomes)
+
+    @property
+    def failures(self) -> Tuple[RunOutcome, ...]:
+        return tuple(o for o in self.outcomes if not o.acceptable)
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for o in self.outcomes:
+            out[o.status] = out.get(o.status, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        lines = [
+            f"chaos campaign: {self.spec.algo}-{self.spec.size}, "
+            f"{self.spec.seeds} seeds x {list(self.spec.backends)}",
+        ]
+        for backend in self.spec.backends:
+            runs = [o for o in self.outcomes if o.backend == backend]
+            counts: Dict[str, int] = {}
+            for o in runs:
+                counts[o.status] = counts.get(o.status, 0) + 1
+            injected = sum(o.faults_injected for o in runs)
+            recovered = sum(o.faults_recovered for o in runs)
+            parts = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+            lines.append(
+                f"  {backend:10s}: {parts}  "
+                f"({injected} faults injected, {recovered} recovered)"
+            )
+        for o in self.failures:
+            where = f" [trace: {o.trace_path}]" if o.trace_path else ""
+            lines.append(f"  FAIL {o.backend} seed {o.seed}: {o.status} — {o.detail}{where}")
+        lines.append("invariant held" if self.ok else "INVARIANT VIOLATED")
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise ChaosError(self.summary())
+
+
+def chaos_config(backend: str, seed: int, spec: CampaignSpec) -> RunConfig:
+    """The :class:`RunConfig` of one seeded campaign run.
+
+    Timeouts are tight (so injected faults are detected quickly) and the
+    hardened recovery is on: exponential backoff, blacklisting with a
+    one-survivor floor, and the stall watchdog. The simulated backend
+    runs in sim-time, where the same knobs are cheap.
+    """
+    common = dict(
+        nodes=spec.nodes,
+        threads_per_node=spec.threads_per_node,
+        backend=backend,
+        scheduler=spec.scheduler,
+        process_partition=(max(4, spec.size // 4), max(4, spec.size // 4)),
+        thread_partition=(max(2, spec.size // 8), max(2, spec.size // 8)),
+        max_retries=8,
+        fault_plan=(
+            FaultPlan.random(spec.task_fault_p, seed=seed, kind=("crash", "hang"))
+            if spec.task_fault_p > 0
+            else FaultPlan.none()
+        ),
+        message_fault_plan=(
+            MessageFaultPlan.random(spec.message_p, seed=seed)
+            if spec.message_p > 0
+            else MessageFaultPlan.none()
+        ),
+        worker_fault_plan=(
+            WorkerFaultPlan.random(
+                p_die=spec.worker_p_die, p_slow=spec.worker_p_slow, seed=seed
+            )
+            if (spec.worker_p_die > 0 or spec.worker_p_slow > 0)
+            else WorkerFaultPlan.none()
+        ),
+        blacklist_threshold=4,
+        retry_backoff=0.01,
+        retry_backoff_max=0.25,
+        observe=True,
+    )
+    if backend == "simulated":
+        return RunConfig(task_timeout=5.0, subtask_timeout=5.0, **common)
+    return RunConfig(
+        task_timeout=0.75,
+        subtask_timeout=2.0,
+        hang_duration=1.5,
+        poll_interval=0.01,
+        **common,
+    )
+
+
+def _oracle_state(spec: CampaignSpec) -> Optional[Dict[str, np.ndarray]]:
+    """Serial-backend state of the campaign's instance (the ground truth)."""
+    from repro.runtime.system import EasyHPS
+
+    problem = _build_problem(spec)
+    run = EasyHPS(RunConfig(backend="serial")).run(problem)
+    return run.state
+
+
+def _build_problem(spec: CampaignSpec):
+    from repro.cli import ALGORITHMS, _register_algorithms
+
+    _register_algorithms()
+    try:
+        factory = ALGORITHMS[spec.algo]
+    except KeyError:
+        raise ChaosError(
+            f"unknown algorithm {spec.algo!r}; choose from {', '.join(sorted(ALGORITHMS))}"
+        ) from None
+    return factory(spec.size, spec.problem_seed)
+
+
+def _states_equal(
+    oracle: Dict[str, np.ndarray], state: Dict[str, np.ndarray]
+) -> Optional[str]:
+    """None when equal, else a human-readable first difference."""
+    if set(oracle) != set(state):
+        return f"state keys differ: {sorted(oracle)} vs {sorted(state)}"
+    for key in sorted(oracle):
+        if not np.array_equal(np.asarray(oracle[key]), np.asarray(state[key])):
+            bad = int(np.sum(np.asarray(oracle[key]) != np.asarray(state[key])))
+            return f"state[{key!r}] differs from oracle in {bad} cells"
+    return None
+
+
+def _execute_one(
+    spec: CampaignSpec, backend: str, seed: int, oracle, artifact_dir: Optional[str]
+) -> RunOutcome:
+    from repro.runtime.system import EasyHPS
+
+    config = chaos_config(backend, seed, spec)
+    problem = _build_problem(spec)
+    box: Dict[str, object] = {}
+
+    def target() -> None:
+        try:
+            box["run"] = EasyHPS(config).run(problem)
+        except BaseException as exc:  # classified below, never swallowed
+            box["exc"] = exc
+
+    started = time.perf_counter()
+    t = threading.Thread(target=target, daemon=True, name=f"chaos-{backend}-{seed}")
+    t.start()
+    t.join(timeout=spec.run_timeout)
+    elapsed = time.perf_counter() - started
+
+    if t.is_alive():
+        # The one outcome the design promises cannot happen. The runner
+        # abandons the daemon thread and reports it.
+        return RunOutcome(
+            backend, seed, "hang",
+            detail=f"run exceeded {spec.run_timeout}s deadline", elapsed=elapsed,
+        )
+    exc = box.get("exc")
+    if isinstance(exc, FaultToleranceExhausted):
+        return RunOutcome(
+            backend, seed, "aborted", detail=str(exc)[:200], elapsed=elapsed
+        )
+    if exc is not None:
+        return RunOutcome(
+            backend, seed, "error",
+            detail=f"{type(exc).__name__}: {exc}"[:200], elapsed=elapsed,
+        )
+
+    run = box["run"]
+    report = run.report
+    outcome = RunOutcome(
+        backend, seed, "ok",
+        faults_injected=report.faults_injected,
+        faults_recovered=report.faults_recovered,
+        elapsed=elapsed,
+    )
+    if run.state is not None and oracle is not None:
+        diff = _states_equal(oracle, run.state)
+        if diff is not None:
+            outcome.status, outcome.detail = "wrong-answer", diff
+    if outcome.status == "ok" and report.events is not None:
+        from repro.check.chaos_check import check_fault_invariants
+
+        check = check_fault_invariants(report.events, aborted=False)
+        if not check.ok:
+            outcome.status = "invariant-violation"
+            outcome.detail = "; ".join(
+                f"[{d.code}] {d.message}" for d in check.diagnostics
+            )[:300]
+    if not outcome.acceptable and artifact_dir and report.events is not None:
+        from repro.obs import write_trace
+
+        os.makedirs(artifact_dir, exist_ok=True)
+        path = os.path.join(artifact_dir, f"chaos-{backend}-seed{seed}.trace.json")
+        write_trace(
+            path, report.events, metrics=report.metrics,
+            meta={"backend": backend, "seed": seed, "status": outcome.status},
+        )
+        outcome.trace_path = path
+    return outcome
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    artifact_dir: Optional[str] = None,
+    progress: Optional[Callable[[RunOutcome], None]] = None,
+) -> CampaignResult:
+    """Run the campaign; failing runs dump Perfetto traces to
+    ``artifact_dir`` (when set). Raises nothing — inspect the result (or
+    call :meth:`CampaignResult.raise_if_failed`)."""
+    oracle = _oracle_state(spec)
+    outcomes: List[RunOutcome] = []
+    for backend in spec.backends:
+        for i in range(spec.seeds):
+            outcome = _execute_one(
+                spec, backend, spec.first_seed + i, oracle, artifact_dir
+            )
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome)
+    return CampaignResult(spec=spec, outcomes=tuple(outcomes))

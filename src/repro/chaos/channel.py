@@ -1,0 +1,171 @@
+"""Message-fault injection at the transport boundary.
+
+:class:`ChaosChannel` wraps one :class:`~repro.comm.transport.Channel`
+endpoint (by convention the *master-side* end of a master<->slave
+connection) and applies a :class:`~repro.cluster.faults.MessageFaultPlan`
+to the traffic flowing through it:
+
+- ``drop``      — the message vanishes in transit;
+- ``duplicate`` — the message is delivered twice;
+- ``delay``     — delivery is held back ``rule.delay`` seconds
+  (receive side only; the protocol's poll loops pick it up late);
+- ``corrupt``   — the payload is damaged *in a detected way*: the
+  checksum mismatch makes the receiver discard it, so observably it is a
+  drop with a distinct telemetry kind.
+
+Faults never raise into the runtime — the protocol must survive them via
+timeouts, epochs, and redistribution, which is exactly what the chaos
+campaign asserts. Every injected fault emits a ``msg-*`` event on the
+endpoint's instrumented recorder and counts toward per-endpoint
+``chaos.*`` metrics.
+
+The wrapper is deliberately protocol-agnostic: it never inspects message
+semantics beyond the class name and optional ``task_id`` used for rule
+matching.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.cluster.faults import MessageFaultPlan
+from repro.comm.messages import Message
+from repro.comm.transport import Channel, ChannelTimeout, DelegatingChannel
+
+
+class ChaosChannel(DelegatingChannel):
+    """A channel endpoint with seeded message-fault injection."""
+
+    def __init__(
+        self,
+        inner: Channel,
+        plan: MessageFaultPlan,
+        *,
+        endpoint_index: int = 0,
+    ) -> None:
+        super().__init__(inner)
+        self.plan = plan
+        self.endpoint_index = endpoint_index
+        #: Injection counters, by fault kind.
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+        self.corrupted = 0
+        self._sent_index = 0
+        self._recv_index = 0
+        #: Messages already received but held back by a ``delay`` fault:
+        #: (ready_at, tiebreak, message).
+        self._held: List[Tuple[float, int, Message]] = []
+        #: Extra copies queued by a ``duplicate`` fault on the recv side.
+        self._dup_queue: Deque[Message] = deque()
+        self._held_seq = 0
+
+    # -- fault bookkeeping -----------------------------------------------------
+
+    def _note(self, kind: str, msg: Message) -> None:
+        counter = {
+            "drop": "dropped",
+            "duplicate": "duplicated",
+            "delay": "delayed",
+            "corrupt": "corrupted",
+        }[kind]
+        setattr(self, counter, getattr(self, counter) + 1)
+        if self._obs.enabled:
+            self._obs.emit(
+                f"msg-{kind}",
+                getattr(msg, "task_id", None),
+                epoch=getattr(msg, "epoch", -1),
+                node=getattr(self, "_obs_node", -1),
+                scope="message",
+                type=type(msg).__name__,
+                endpoint=self.endpoint,
+            )
+
+    def publish_metrics(self, registry) -> None:
+        super().publish_metrics(registry)
+        label = self.endpoint or "channel"
+        registry.counter("chaos.messages_dropped", endpoint=label).inc(self.dropped)
+        registry.counter("chaos.messages_duplicated", endpoint=label).inc(self.duplicated)
+        registry.counter("chaos.messages_delayed", endpoint=label).inc(self.delayed)
+        registry.counter("chaos.messages_corrupted", endpoint=label).inc(self.corrupted)
+
+    @property
+    def faults_injected(self) -> int:
+        return self.dropped + self.duplicated + self.delayed + self.corrupted
+
+    # -- transport hooks -------------------------------------------------------
+
+    def _send(self, msg: Message) -> None:
+        index = self._sent_index
+        self._sent_index += 1
+        rule = self.plan.decide(
+            "send", type(msg).__name__, getattr(msg, "task_id", None), index,
+            endpoint=self.endpoint_index,
+        )
+        if rule is None:
+            super()._send(msg)
+            return
+        self._note(rule.kind, msg)
+        if rule.kind in ("drop", "corrupt"):
+            return  # lost in transit / discarded by the receiver's checksum
+        if rule.kind == "duplicate":
+            super()._send(msg)
+            super()._send(msg)
+            return
+        # delay: hold the sender briefly, then deliver. Send-side delay
+        # stalls only this endpoint's service thread, which is precisely a
+        # slow link's observable behaviour.
+        time.sleep(min(rule.delay, 1.0))
+        super()._send(msg)
+
+    def _recv(self, timeout: Optional[float]) -> Message:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self._dup_queue:
+                return self._dup_queue.popleft()
+            now = time.monotonic()
+            if self._held and self._held[0][0] <= now:
+                return heapq.heappop(self._held)[2]
+            # Wait bounded by the deadline and the next held message.
+            wait: Optional[float] = None
+            if deadline is not None:
+                wait = deadline - now
+            if self._held:
+                until_held = self._held[0][0] - now
+                wait = until_held if wait is None else min(wait, until_held)
+            if wait is not None and wait <= 0:
+                if deadline is not None and now >= deadline:
+                    raise ChannelTimeout(f"no message within {timeout}s")
+                continue  # a held message just became ready
+            try:
+                msg = super()._recv(wait)
+            except ChannelTimeout:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise
+                continue
+            index = self._recv_index
+            self._recv_index += 1
+            rule = self.plan.decide(
+                "recv", type(msg).__name__, getattr(msg, "task_id", None), index,
+                endpoint=self.endpoint_index,
+            )
+            if rule is None:
+                return msg
+            self._note(rule.kind, msg)
+            if rule.kind in ("drop", "corrupt"):
+                continue  # discarded; keep waiting within the deadline
+            if rule.kind == "duplicate":
+                self._dup_queue.append(msg)
+                return msg
+            # delay: park it and keep serving other traffic.
+            self._held_seq += 1
+            heapq.heappush(self._held, (now + rule.delay, self._held_seq, msg))
+
+    def __repr__(self) -> str:
+        return (
+            f"ChaosChannel({self.inner!r}, faults={self.faults_injected}, "
+            f"plan={self.plan!r})"
+        )

@@ -13,13 +13,17 @@ else in this package. ``repro.check`` is the layer that verifies it:
   from fault-tolerance races, lost updates);
 - :mod:`repro.check.lock_lint` — an instrumented lock layer that records
   the acquisition-order graph across runtime threads and reports cycles
-  and blocking channel calls made under a lock.
+  and blocking channel calls made under a lock;
+- :mod:`repro.check.chaos_check` — fault-tolerance invariants over the
+  telemetry stream (no commit after blacklist; every fault followed by
+  reassign-or-abort), asserted by every chaos-campaign run.
 
 Run everything from the command line with ``python -m repro check`` (see
 ``docs/static_analysis.md``), or enable the trace validator for any run
 by setting ``REPRO_VERIFY=1`` / ``RunConfig(verify=True)``.
 """
 
+from repro.check.chaos_check import check_fault_invariants
 from repro.check.diagnostics import CheckReport, Diagnostic
 from repro.check.lock_lint import LockLint, lock_lint_session, make_condition, make_lock, note_blocking
 from repro.check.pattern_check import check_partition, check_pattern
@@ -28,6 +32,7 @@ from repro.check.trace_check import SchedEvent, TraceRecorder, check_trace
 __all__ = [
     "CheckReport",
     "Diagnostic",
+    "check_fault_invariants",
     "LockLint",
     "SchedEvent",
     "TraceRecorder",

@@ -1,0 +1,101 @@
+"""Fault-tolerance invariants over the telemetry event stream.
+
+Chaos campaigns (:mod:`repro.chaos`) validate every surviving run's
+:class:`~repro.obs.recorder.ObsEvent` stream against two invariants of
+the hardened recovery:
+
+- **no commit after blacklist** — once a worker is blacklisted, no
+  sub-task it was dispatched to may commit; the eviction scan cancels its
+  registrations, so a late result must be epoch-stale. A commit
+  attributed to a blacklisted worker after the blacklist event means the
+  eviction raced wrong (``commit-after-blacklist``).
+- **every fault is followed by reassign-or-abort** — a ``redistribute``
+  or ``speculate`` event takes the task's live dispatch away; unless the
+  run aborted, a later ``assign`` of the same task must exist, or the
+  task was dropped on the floor (``fault-not-reassigned``).
+
+Both operate purely on the recorded stream (``RunConfig(observe=True)``)
+so they apply identically to the real backends and the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.check.diagnostics import (
+    COMMIT_AFTER_BLACKLIST,
+    UNHANDLED_FAULT,
+    CheckReport,
+)
+
+#: Recovery-action kinds that must be followed by a re-assign (or abort).
+_FAULT_KINDS = ("redistribute", "speculate")
+
+
+def check_fault_invariants(
+    events: Sequence[Any],
+    aborted: bool = False,
+    title: str = "fault-invariants",
+) -> CheckReport:
+    """Validate the fault/recovery invariants over one run's event stream.
+
+    ``aborted`` marks a run that ended in a clean
+    :class:`~repro.utils.errors.FaultToleranceExhausted`, which waives
+    the reassign requirement for trailing faults.
+    """
+    report = CheckReport(title=title)
+    ordered = sorted(events, key=lambda e: e.seq)
+
+    # Attribution: worker of each task-scope dispatch. The master's own
+    # commit records carry worker == -1, so the assign map is the source
+    # of truth; the simulator stamps workers on commits directly.
+    assigned_worker: Dict[Tuple[Any, int], int] = {}
+    #: worker -> seq of its blacklist event.
+    blacklisted_at: Dict[int, int] = {}
+    #: (task_id, epoch, seq, kind) of each recovery action.
+    pending_faults: List[Tuple[Any, int, int, str]] = []
+    last_assign_seq: Dict[Any, int] = {}
+
+    for ev in ordered:
+        if ev.scope != "task":
+            continue
+        if ev.kind == "assign":
+            assigned_worker[(ev.task_id, ev.epoch)] = ev.worker
+            last_assign_seq[ev.task_id] = ev.seq
+        elif ev.kind == "blacklist":
+            blacklisted_at[ev.worker] = ev.seq
+        elif ev.kind in _FAULT_KINDS:
+            pending_faults.append((ev.task_id, ev.epoch, ev.seq, ev.kind))
+        elif ev.kind == "commit":
+            report.checked += 1
+            worker: Optional[int] = ev.worker if ev.worker >= 0 else None
+            if worker is None:
+                worker = assigned_worker.get((ev.task_id, ev.epoch))
+            if worker is None:
+                continue
+            black_seq = blacklisted_at.get(worker)
+            if black_seq is not None and black_seq < ev.seq:
+                report.add(
+                    COMMIT_AFTER_BLACKLIST,
+                    f"task {ev.task_id} epoch {ev.epoch} committed from worker "
+                    f"{worker} after that worker was blacklisted "
+                    f"(blacklist seq {black_seq} < commit seq {ev.seq})",
+                    subject=f"worker {worker}",
+                )
+
+    for task_id, epoch, seq, kind in pending_faults:
+        report.checked += 1
+        reassigned = last_assign_seq.get(task_id, -1) > seq
+        if not reassigned and not aborted:
+            report.add(
+                UNHANDLED_FAULT,
+                f"{kind} of task {task_id} epoch {epoch} (seq {seq}) was "
+                "never followed by a re-assign and the run did not abort",
+                subject=f"task {task_id}",
+            )
+    return report
+
+
+def blacklisted_workers(events: Sequence[Any]) -> Set[int]:
+    """Workers with a ``blacklist`` event in the stream (helper for tests)."""
+    return {e.worker for e in events if e.kind == "blacklist"}

@@ -30,6 +30,10 @@ STALE_COMMIT = "stale-commit"
 LOST_UPDATE = "lost-update"
 UNKNOWN_TASK = "unknown-task"
 
+# -- fault-tolerance invariant codes (chaos campaigns) --------------------------
+COMMIT_AFTER_BLACKLIST = "commit-after-blacklist"
+UNHANDLED_FAULT = "fault-not-reassigned"
+
 # -- lock lint codes ----------------------------------------------------------
 LOCK_CYCLE = "lock-cycle"
 BLOCKING_WHILE_LOCKED = "blocking-while-locked"

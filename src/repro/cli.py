@@ -12,7 +12,17 @@ Commands:
 - ``check``     — run the static verifier (:mod:`repro.check`) over
                   built-in patterns/algorithms, one pattern, or one
                   algorithm; ``--selftest`` proves the checkers catch
-                  seeded defects. Exit code 1 on any diagnostic.
+                  seeded defects. Exit code 1 on any diagnostic;
+- ``chaos``     — seeded fault campaign (:mod:`repro.chaos`): N runs per
+                  backend under message/worker/task faults, each
+                  asserting oracle-equal-or-clean-abort plus the trace
+                  invariants. Exit code 1 when the invariant breaks;
+                  ``--artifact-dir`` saves failing runs' Perfetto traces.
+
+Exit codes: 0 success; 1 failed checks / campaign violations; 2 argparse
+usage errors; **3** a run that ended in
+:class:`~repro.utils.errors.FaultToleranceExhausted` (the retry budget or
+every worker was exhausted — a clean, reported abort, not a traceback).
 
 ``run`` and ``simulate`` accept ``--trace-out out.json``: the run records
 the full task-lifecycle telemetry (:mod:`repro.obs`) and exports it as
@@ -28,6 +38,11 @@ from typing import Callable, Dict
 
 from repro import EasyHPS, RunConfig, __version__
 from repro.algorithms.problem import DPProblem
+from repro.utils.errors import FaultToleranceExhausted
+
+#: Exit code of ``run``/``simulate``/``chaos`` runs that ended in a clean
+#: :class:`FaultToleranceExhausted` abort (documented above).
+EXIT_FAULT_EXHAUSTED = 3
 
 #: name -> factory(size, seed) for CLI-runnable algorithm instances.
 ALGORITHMS: Dict[str, Callable[[int, int], DPProblem]] = {}
@@ -244,6 +259,36 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0 if failed == 0 else 1
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Seeded fault campaign: ``repro chaos --seeds 20 --backend threads``."""
+    from repro.chaos import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(
+        backends=tuple(args.backend) if args.backend else ("simulated", "threads"),
+        seeds=args.seeds,
+        first_seed=args.first_seed,
+        algo=args.algo,
+        size=args.size,
+        problem_seed=args.seed,
+        run_timeout=args.run_timeout,
+    )
+
+    def progress(o) -> None:
+        print(
+            f"  {o.backend:10s} seed {o.seed:3d}: {o.status:10s} "
+            f"({o.faults_injected} faults injected, {o.elapsed:.2f}s)",
+            flush=True,
+        )
+
+    result = run_campaign(
+        spec,
+        artifact_dir=args.artifact_dir,
+        progress=None if args.quiet else progress,
+    )
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -314,12 +359,43 @@ def build_parser() -> argparse.ArgumentParser:
     common(cal_p)
     cal_p.add_argument("--repeats", type=int, default=2, help="timing repeats per block")
     cal_p.set_defaults(fn=cmd_calibrate)
+
+    chaos_p = sub.add_parser(
+        "chaos", help="seeded fault campaign: oracle-or-clean-abort, never a hang"
+    )
+    chaos_p.add_argument("--seeds", type=int, default=10, help="seeded runs per backend")
+    chaos_p.add_argument("--first-seed", type=int, default=0, help="first campaign seed")
+    chaos_p.add_argument(
+        "--backend",
+        action="append",
+        choices=("simulated", "threads", "processes"),
+        help="repeatable; default: simulated + threads",
+    )
+    chaos_p.add_argument("--algo", default="edit-distance", help="algorithm under test")
+    chaos_p.add_argument("--size", type=int, default=48, help="instance size")
+    chaos_p.add_argument("--seed", type=int, default=0, help="instance seed")
+    chaos_p.add_argument(
+        "--run-timeout", type=float, default=60.0,
+        help="per-run wall-clock deadline; exceeding it counts as a hang",
+    )
+    chaos_p.add_argument(
+        "--artifact-dir", default=None,
+        help="write failing runs' telemetry as Perfetto traces here",
+    )
+    chaos_p.add_argument("--quiet", action="store_true", help="suppress per-run lines")
+    chaos_p.set_defaults(fn=cmd_chaos)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except FaultToleranceExhausted as exc:
+        # A clean, designed abort — report it and exit with the documented
+        # code instead of dumping a traceback.
+        print(f"fault tolerance exhausted: {exc}", file=sys.stderr)
+        return EXIT_FAULT_EXHAUSTED
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

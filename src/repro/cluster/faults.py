@@ -3,28 +3,88 @@
 EasyHPS detects faults purely by timeout (Section V): a sub-task that does
 not finish within the configured duration is assumed dead, unregistered,
 and redistributed; a sub-sub-task timeout restarts the computing thread.
-The injector produces exactly the observable behaviours that mechanism
-reacts to:
+The injectors here produce the observable behaviours that mechanism (and
+the hardened recovery layered on top of it) reacts to, at three levels:
 
-- ``crash`` — the computation dies immediately (the worker raises / the
-  simulated slave goes silent);
-- ``hang``  — the computation starts but never completes.
+- **task level** (:class:`FaultPlan`) — a dispatched computation ``crash``\\ es
+  (dies without replying) or ``hang``\\ s (answers late, past the deadline);
+- **message level** (:class:`MessageFaultPlan`) — an individual protocol
+  message is ``drop``\\ ped, ``duplicate``\\ d, ``delay``\\ ed, or ``corrupt``\\ ed
+  in a detected way (checksum mismatch: the receiver discards it), injected
+  at the :class:`~repro.comm.transport.Channel` boundary;
+- **worker level** (:class:`WorkerFaultPlan`) — a whole slave ``die``\\ s
+  mid-run (serves a few tasks, then goes permanently silent) or runs
+  ``slow`` (a straggler node whose computations take a multiple of their
+  normal time).
 
-Rules are keyed by dispatch attempt so recovery paths are testable: a rule
-with ``attempt=0`` fails only the first execution, and the retry succeeds.
+Rules are keyed by dispatch attempt / message index / worker id so
+recovery paths are testable; the ``random`` constructors draw every
+decision from an RNG derived *per key* from the plan seed, so a plan is a
+pure function of ``(seed, key)`` — the same seed produces the same
+decisions regardless of query order or thread interleaving. All plans are
+picklable (they carry only scalars and rules), so they cross the process
+boundary to slave processes unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.comm.messages import TaskId
-from repro.utils.validate import check_in, check_nonnegative, check_probability
+from repro.utils.validate import (
+    check_in,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+)
 
 KINDS = ("crash", "hang")
+
+#: Message-level fault kinds (injected at the Channel boundary).
+MESSAGE_FAULT_KINDS = ("drop", "duplicate", "delay", "corrupt")
+
+#: Worker-level fault kinds.
+WORKER_FAULT_KINDS = ("die", "slow")
+
+#: Per-plan-type salt mixed into derived RNG keys so the three plan
+#: families never reuse a stream even under the same seed.
+_SALT_TASK, _SALT_MESSAGE, _SALT_WORKER = 11, 13, 17
+
+
+def _key_ints(value: object) -> Tuple[int, ...]:
+    """Flatten a rule key (task id tuple, index, ...) into non-negative ints."""
+    if value is None:
+        return (0,)
+    if isinstance(value, (tuple, list)):
+        out: Tuple[int, ...] = ()
+        for v in value:
+            out += _key_ints(v)
+        return out
+    if isinstance(value, (int, np.integer)):
+        return (int(value) & 0x7FFFFFFF,)
+    # Stable fallback for exotic vertex ids: hash of the repr.
+    import zlib
+
+    return (zlib.crc32(repr(value).encode()) & 0x7FFFFFFF,)
+
+
+def derived_rng(seed: int, salt: int, *key: object) -> np.random.Generator:
+    """An RNG that is a pure function of ``(seed, salt, key)``.
+
+    This is what makes every ``random`` plan order-independent: each
+    decision gets its own generator derived from the decision's identity,
+    never from how many decisions were made before it.
+    """
+    entropy: Tuple[int, ...] = (int(seed) & 0x7FFFFFFF, salt)
+    for k in key:
+        entropy += _key_ints(k)
+    return np.random.default_rng(np.random.SeedSequence(entropy))
+
+
+# -- task-level faults (crash / hang) -------------------------------------------------
 
 
 @dataclass(frozen=True)
@@ -48,12 +108,13 @@ class FaultRule:
 
 
 class FaultPlan:
-    """A queryable collection of fault rules."""
+    """A queryable collection of task-level fault rules."""
 
     def __init__(self, rules: Iterable[FaultRule] = ()) -> None:
         self.rules = tuple(rules)
         self._random_p = 0.0
-        self._rng: Optional[np.random.Generator] = None
+        self._seed = 0
+        self._random_kinds: Tuple[str, ...] = ("crash",)
         self._random_decisions: Dict[Tuple[TaskId, int], Optional[FaultRule]] = {}
 
     @classmethod
@@ -62,17 +123,24 @@ class FaultPlan:
         return cls(())
 
     @classmethod
-    def random(cls, p: float, seed: int = 0, kind: str = "crash") -> "FaultPlan":
+    def random(
+        cls, p: float, seed: int = 0, kind: Union[str, Sequence[str]] = "crash"
+    ) -> "FaultPlan":
         """Each first execution of a task crashes/hangs with probability ``p``.
 
-        Decisions are drawn lazily per task and memoized, so a plan is
-        deterministic for a given seed regardless of query order ties.
+        Decisions are a pure function of ``(seed, task_id)``: the same
+        seed yields the same fault set no matter in which order tasks are
+        queried, which is what makes chaos campaigns replayable. ``kind``
+        may be a single kind or a sequence to draw from uniformly.
         """
         check_probability("p", p)
+        kinds = (kind,) if isinstance(kind, str) else tuple(kind)
+        for k in kinds:
+            check_in("fault kind", k, KINDS)
         plan = cls(())
         plan._random_p = p
-        plan._rng = np.random.default_rng(seed)
-        plan._random_kind = kind
+        plan._seed = seed
+        plan._random_kinds = kinds
         return plan
 
     def lookup(self, task_id: TaskId, attempt: int) -> Optional[FaultRule]:
@@ -80,20 +148,254 @@ class FaultPlan:
         for rule in self.rules:
             if rule.matches(task_id, attempt):
                 return rule
-        if self._rng is not None and attempt == 0:
+        if self._random_p > 0.0 and attempt == 0:
             key = (task_id, attempt)
-            if key not in self._random_decisions:
-                hit = self._rng.random() < self._random_p
-                self._random_decisions[key] = (
-                    FaultRule(self._random_kind, task_id, attempt) if hit else None
-                )
-            return self._random_decisions[key]
+            cached = self._random_decisions.get(key, _UNSET)
+            if cached is not _UNSET:
+                return cached  # type: ignore[return-value]
+            rng = derived_rng(self._seed, _SALT_TASK, task_id)
+            decision: Optional[FaultRule] = None
+            if rng.random() < self._random_p:
+                kind = self._random_kinds[int(rng.integers(len(self._random_kinds)))]
+                decision = FaultRule(kind, task_id, attempt)
+            self._random_decisions[key] = decision
+            return decision
         return None
 
     def __bool__(self) -> bool:
-        return bool(self.rules) or self._rng is not None
+        return bool(self.rules) or self._random_p > 0.0
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_random_decisions"] = {}  # derived, not state
+        return state
 
     def __repr__(self) -> str:
-        if self._rng is not None:
+        if self._random_p > 0.0:
             return f"FaultPlan(random p={self._random_p})"
         return f"FaultPlan({len(self.rules)} rules)"
+
+
+#: Sentinel distinguishing "memoized None" from "not yet decided".
+_UNSET = object()
+
+
+# -- message-level faults (channel boundary) ------------------------------------------
+
+
+@dataclass(frozen=True)
+class MessageFaultRule:
+    """One injected message-level fault.
+
+    ``direction`` is as seen from the wrapped endpoint (the master side):
+    ``"send"`` = master → slave, ``"recv"`` = slave → master, ``None`` =
+    both. ``message_type`` matches the message class name
+    (``"TaskAssign"``, ``"TaskResult"``, ``"IdleSignal"``, ``"EndSignal"``);
+    ``index`` is the per-endpoint, per-direction message counter; ``None``
+    fields match anything.
+    """
+
+    kind: str
+    direction: Optional[str] = None
+    message_type: Optional[str] = None
+    task_id: Optional[TaskId] = None
+    index: Optional[int] = None
+    #: Seconds a ``delay`` fault holds the message back.
+    delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        check_in("message fault kind", self.kind, MESSAGE_FAULT_KINDS)
+        if self.direction is not None:
+            check_in("direction", self.direction, ("send", "recv"))
+        check_nonnegative("delay", self.delay)
+
+    def matches(
+        self,
+        direction: str,
+        message_type: str,
+        task_id: Optional[TaskId],
+        index: int,
+    ) -> bool:
+        return (
+            (self.direction is None or self.direction == direction)
+            and (self.message_type is None or self.message_type == message_type)
+            and (self.task_id is None or self.task_id == task_id)
+            and (self.index is None or self.index == index)
+        )
+
+
+class MessageFaultPlan:
+    """A queryable collection of message-level fault rules.
+
+    The ``random`` mode faults each message independently with
+    probability ``p``; decisions derive from ``(seed, endpoint,
+    direction, index)`` so a campaign seed fully determines them.
+    ``EndSignal`` is protected by default in random mode — dropping the
+    shutdown message only exercises teardown timeouts, not recovery.
+    """
+
+    def __init__(self, rules: Iterable[MessageFaultRule] = ()) -> None:
+        self.rules = tuple(rules)
+        self._random_p = 0.0
+        self._seed = 0
+        self._random_kinds: Tuple[str, ...] = ()
+        self._protect: Tuple[str, ...] = ()
+        self._delay = 0.05
+
+    @classmethod
+    def none(cls) -> "MessageFaultPlan":
+        return cls(())
+
+    @classmethod
+    def random(
+        cls,
+        p: float,
+        seed: int = 0,
+        kinds: Sequence[str] = MESSAGE_FAULT_KINDS,
+        protect: Sequence[str] = ("EndSignal",),
+        delay: float = 0.05,
+    ) -> "MessageFaultPlan":
+        check_probability("p", p)
+        for k in kinds:
+            check_in("message fault kind", k, MESSAGE_FAULT_KINDS)
+        check_nonnegative("delay", delay)
+        plan = cls(())
+        plan._random_p = p
+        plan._seed = seed
+        plan._random_kinds = tuple(kinds)
+        plan._protect = tuple(protect)
+        plan._delay = delay
+        return plan
+
+    def decide(
+        self,
+        direction: str,
+        message_type: str,
+        task_id: Optional[TaskId],
+        index: int,
+        endpoint: int = 0,
+    ) -> Optional[MessageFaultRule]:
+        """The fault (if any) hitting this message, or None to deliver it."""
+        for rule in self.rules:
+            if rule.matches(direction, message_type, task_id, index):
+                return rule
+        if self._random_p > 0.0 and message_type not in self._protect:
+            kinds = self._random_kinds
+            if direction == "send":
+                # Send-side delay would need a timer thread; restrict the
+                # random mix to effects the send path can realize inline.
+                kinds = tuple(k for k in kinds if k != "delay") or ("drop",)
+            rng = derived_rng(
+                self._seed, _SALT_MESSAGE, endpoint, 0 if direction == "send" else 1, index
+            )
+            if rng.random() < self._random_p:
+                kind = kinds[int(rng.integers(len(kinds)))]
+                return MessageFaultRule(
+                    kind, direction=direction, index=index, delay=self._delay
+                )
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self.rules) or self._random_p > 0.0
+
+    def __repr__(self) -> str:
+        if self._random_p > 0.0:
+            return f"MessageFaultPlan(random p={self._random_p}, kinds={self._random_kinds})"
+        return f"MessageFaultPlan({len(self.rules)} rules)"
+
+
+# -- worker-level faults (slave death / slow node) ------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerFaultRule:
+    """One injected worker-level fault.
+
+    ``die``: the worker serves ``after_tasks`` tasks and then goes
+    permanently silent (a crashed slave node). ``slow``: every
+    computation on the worker takes ``factor`` times its normal duration
+    (a degraded straggler node). ``worker_id=None`` matches every worker.
+    """
+
+    kind: str
+    worker_id: Optional[int] = None
+    after_tasks: int = 1
+    factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        check_in("worker fault kind", self.kind, WORKER_FAULT_KINDS)
+        check_nonnegative("after_tasks", self.after_tasks)
+        check_positive("factor", self.factor)
+
+    def matches(self, worker_id: int) -> bool:
+        return self.worker_id is None or self.worker_id == worker_id
+
+
+class WorkerFaultPlan:
+    """A queryable collection of worker-level fault rules."""
+
+    def __init__(self, rules: Iterable[WorkerFaultRule] = ()) -> None:
+        self.rules = tuple(rules)
+        self._p_die = 0.0
+        self._p_slow = 0.0
+        self._seed = 0
+        self._max_after = 3
+        self._factor = 4.0
+
+    @classmethod
+    def none(cls) -> "WorkerFaultPlan":
+        return cls(())
+
+    @classmethod
+    def random(
+        cls,
+        p_die: float = 0.0,
+        p_slow: float = 0.0,
+        seed: int = 0,
+        max_after: int = 3,
+        factor: float = 4.0,
+    ) -> "WorkerFaultPlan":
+        """Each worker independently dies (after 1..max_after tasks) with
+        probability ``p_die`` and/or runs slow with probability ``p_slow``.
+        Decisions derive from ``(seed, worker_id)``."""
+        check_probability("p_die", p_die)
+        check_probability("p_slow", p_slow)
+        check_positive("max_after", max_after)
+        check_positive("factor", factor)
+        plan = cls(())
+        plan._p_die = p_die
+        plan._p_slow = p_slow
+        plan._seed = seed
+        plan._max_after = max_after
+        plan._factor = factor
+        return plan
+
+    def death_point(self, worker_id: int) -> Optional[int]:
+        """Task count after which ``worker_id`` dies, or None (healthy)."""
+        for rule in self.rules:
+            if rule.kind == "die" and rule.matches(worker_id):
+                return rule.after_tasks
+        if self._p_die > 0.0:
+            rng = derived_rng(self._seed, _SALT_WORKER, worker_id, 0)
+            if rng.random() < self._p_die:
+                return int(rng.integers(1, self._max_after + 1))
+        return None
+
+    def slow_factor(self, worker_id: int) -> float:
+        """Compute-time multiplier of ``worker_id`` (1.0 = healthy)."""
+        for rule in self.rules:
+            if rule.kind == "slow" and rule.matches(worker_id):
+                return rule.factor
+        if self._p_slow > 0.0:
+            rng = derived_rng(self._seed, _SALT_WORKER, worker_id, 1)
+            if rng.random() < self._p_slow:
+                return self._factor
+        return 1.0
+
+    def __bool__(self) -> bool:
+        return bool(self.rules) or self._p_die > 0.0 or self._p_slow > 0.0
+
+    def __repr__(self) -> str:
+        if self._p_die > 0.0 or self._p_slow > 0.0:
+            return f"WorkerFaultPlan(random p_die={self._p_die}, p_slow={self._p_slow})"
+        return f"WorkerFaultPlan({len(self.rules)} rules)"

@@ -8,6 +8,10 @@ Two concrete transports exist:
 - :class:`PipeChannel` — a ``multiprocessing`` pipe, used when slaves are
   separate OS processes (the MPI stand-in; messages pickle across).
 
+:class:`DelegatingChannel` wraps any endpoint while keeping the counting
+and telemetry on the wrapper — the extension point chaos testing uses to
+inject message-level faults without the runtime knowing.
+
 Both count messages and payload bytes per direction so run reports can
 state communication volume regardless of transport. An endpoint can
 additionally be :meth:`~Channel.instrument`-ed with a
@@ -131,6 +135,32 @@ class Channel:
 
     def _recv(self, timeout: Optional[float]) -> Message:
         raise NotImplementedError
+
+
+class DelegatingChannel(Channel):
+    """A channel that forwards its raw transport hooks to an inner channel.
+
+    The wrapper *is* the endpoint: callers use the wrapper's ``send`` /
+    ``recv`` (so counting, telemetry, and metrics accrue on the wrapper)
+    while the inner channel only supplies the transport. Subclasses
+    interpose on ``_send``/``_recv`` to mutate, reorder, or suppress
+    traffic — :class:`repro.chaos.channel.ChaosChannel` injects message
+    faults this way.
+    """
+
+    def __init__(self, inner: Channel) -> None:
+        super().__init__()
+        self.inner = inner
+
+    def _send(self, msg: Message) -> None:
+        self.inner._send(msg)
+
+    def _recv(self, timeout: Optional[float]) -> Message:
+        return self.inner._recv(timeout)
+
+    def close(self) -> None:
+        super().close()
+        self.inner.close()
 
 
 class QueueChannel(Channel):

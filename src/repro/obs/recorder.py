@@ -50,6 +50,25 @@ LIFECYCLE_KINDS = (
 #: Message-scope kinds emitted by instrumented channel endpoints.
 MESSAGE_KINDS = ("msg-send", "msg-recv")
 
+#: Fault-injection and hardened-recovery kinds (:mod:`repro.chaos`):
+#: message faults at the channel boundary, worker-level faults, and the
+#: recovery actions the master takes (speculative re-dispatch, backoff,
+#: blacklisting) plus leak detection. These ride the same stream so every
+#: fault and every recovery action is visible next to the lifecycle it
+#: disrupted.
+CHAOS_KINDS = (
+    "msg-drop",
+    "msg-duplicate",
+    "msg-delay",
+    "msg-corrupt",
+    "worker-death",
+    "worker-slow",
+    "worker-leak",
+    "speculate",
+    "backoff",
+    "blacklist",
+)
+
 
 @dataclass(frozen=True)
 class ObsEvent:

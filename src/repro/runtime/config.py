@@ -13,7 +13,7 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
-from repro.cluster.faults import FaultPlan
+from repro.cluster.faults import FaultPlan, MessageFaultPlan, WorkerFaultPlan
 from repro.cluster.topology import ClusterSpec, experiment_layout
 from repro.dag.partition import BlockShape, _as_pair
 from repro.schedulers.policy import POLICIES
@@ -65,8 +65,43 @@ class RunConfig:
     fault_plan: FaultPlan = field(default_factory=FaultPlan.none)
     #: Injected thread-level faults.
     thread_fault_plan: FaultPlan = field(default_factory=FaultPlan.none)
+    #: Injected message-level faults (drop/duplicate/delay/corrupt) at the
+    #: master<->slave channel boundary (:mod:`repro.chaos`).
+    message_fault_plan: MessageFaultPlan = field(default_factory=MessageFaultPlan.none)
+    #: Injected worker-level faults (slave death mid-run, slow node).
+    worker_fault_plan: WorkerFaultPlan = field(default_factory=WorkerFaultPlan.none)
     #: How long a "hang" fault sleeps before replying late, seconds.
     hang_duration: float = 1.0
+    #: Base delay before re-dispatching a timed-out sub-task, seconds;
+    #: doubles per attempt (exponential backoff) up to
+    #: :attr:`retry_backoff_max`. 0 = immediate re-dispatch (the paper's
+    #: behaviour).
+    retry_backoff: float = 0.0
+    #: Ceiling of the exponential retry backoff, seconds.
+    retry_backoff_max: float = 2.0
+    #: Speculatively re-dispatch straggler sub-tasks: a live dispatch older
+    #: than :attr:`speculative_factor` x the :attr:`speculative_quantile`
+    #: of completed task durations is cancelled and re-queued before its
+    #: timeout. Speculative re-dispatches do not count against the retry
+    #: budget. Real backends only (the simulator's stragglers are modeled
+    #: deterministically and recovered by the plain timeout).
+    speculate: bool = False
+    #: Straggler multiple over the duration quantile that triggers
+    #: speculation.
+    speculative_factor: float = 2.0
+    #: Quantile of completed durations used as the speculation baseline.
+    speculative_quantile: float = 0.95
+    #: Blacklist a worker after this many timeout-attributed failures;
+    #: its in-flight work is re-queued and it receives no further tasks.
+    #: Degrades gracefully: the last healthy worker is never blacklisted.
+    #: None disables blacklisting.
+    blacklist_threshold: Optional[int] = None
+    #: Abort with :class:`~repro.utils.errors.FaultToleranceExhausted`
+    #: when no dispatch is live and no progress happened for this many
+    #: seconds (all workers presumed lost) — the guarantee that a fault
+    #: storm ends in a clean abort, never a hang. None derives
+    #: ``2 * task_timeout + 1``.
+    stall_timeout: Optional[float] = None
     #: Simulated-cluster description; None derives one from nodes/threads.
     cluster: Optional[ClusterSpec] = None
     #: BCW column grouping (the baseline's ``block_col`` argument).
@@ -103,6 +138,8 @@ class RunConfig:
         check_in("thread_scheduler", self.thread_scheduler, POLICIES)
         check_type("fault_plan", self.fault_plan, FaultPlan)
         check_type("thread_fault_plan", self.thread_fault_plan, FaultPlan)
+        check_type("message_fault_plan", self.message_fault_plan, MessageFaultPlan)
+        check_type("worker_fault_plan", self.worker_fault_plan, WorkerFaultPlan)
         check_type("verify", self.verify, bool)
         check_type("trace", self.trace, bool)
         check_type("observe", self.observe, bool)
@@ -116,12 +153,36 @@ class RunConfig:
         check_positive("poll_interval", self.poll_interval)
         if self.max_retries < 0:
             raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff < 0:
+            raise ConfigError(f"retry_backoff must be >= 0, got {self.retry_backoff}")
+        check_positive("retry_backoff_max", self.retry_backoff_max)
+        if self.speculative_factor <= 1.0:
+            raise ConfigError(
+                f"speculative_factor must be > 1, got {self.speculative_factor}"
+            )
+        if not 0.0 < self.speculative_quantile < 1.0:
+            raise ConfigError(
+                f"speculative_quantile must be in (0, 1), got {self.speculative_quantile}"
+            )
+        if self.blacklist_threshold is not None and self.blacklist_threshold < 1:
+            raise ConfigError(
+                f"blacklist_threshold must be >= 1, got {self.blacklist_threshold}"
+            )
+        if self.stall_timeout is not None:
+            check_positive("stall_timeout", self.stall_timeout)
 
     # -- derived ------------------------------------------------------------
 
     @property
     def n_slaves(self) -> int:
         return self.nodes - 1
+
+    @property
+    def effective_stall_timeout(self) -> float:
+        """The no-progress abort deadline (derived when not set)."""
+        if self.stall_timeout is not None:
+            return self.stall_timeout
+        return 2.0 * self.task_timeout + 1.0
 
     @property
     def observing(self) -> bool:

@@ -15,21 +15,42 @@ Thread layout follows the paper:
 
 Results that arrive after their registration was cancelled carry a stale
 epoch and are dropped — the register-table check of Fig 9 step h.
+
+The fault-tolerance thread additionally hardens the paper's mechanism
+(all off by default, see :class:`~repro.runtime.config.RunConfig`):
+
+- **exponential backoff** — re-dispatch of a timed-out sub-task waits
+  ``retry_backoff * 2**(attempts-1)`` seconds (capped) instead of
+  re-queueing instantly, so a persistently failing resource is not
+  hammered;
+- **speculative re-dispatch** — a live dispatch older than a multiple of
+  the observed duration quantile is cancelled and re-queued early
+  (straggler mitigation); such cancels do not count against the retry
+  budget;
+- **blacklisting** — a worker exceeding a timeout-failure threshold stops
+  receiving work and its in-flight dispatches are re-queued, degrading
+  gracefully down to a single surviving worker;
+- **stall watchdog** — if nothing is live and nothing progressed for
+  ``stall_timeout`` seconds (every worker lost, every message dropped),
+  the run aborts with a clean :class:`FaultToleranceExhausted` rather
+  than hanging.
 """
 
 from __future__ import annotations
 
+import heapq
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.algorithms.problem import DPProblem
 from repro.check.lock_lint import make_lock
 from repro.check.trace_check import TraceRecorder
-from repro.comm.messages import EndSignal, IdleSignal, TaskAssign, TaskResult
+from repro.comm.messages import EndSignal, IdleSignal, TaskAssign, TaskId, TaskResult
 from repro.comm.serialization import message_nbytes
 from repro.comm.transport import Channel, ChannelClosed, ChannelTimeout
 from repro.dag.parser import DAGParser
@@ -46,7 +67,11 @@ from repro.runtime.worker_pool import (
     RegisterTable,
 )
 from repro.schedulers.policy import SchedulingPolicy
-from repro.utils.errors import FaultToleranceExhausted, SchedulerError
+from repro.utils.errors import (
+    FaultToleranceExhausted,
+    SchedulerError,
+    WorkerLeakWarning,
+)
 
 
 @dataclass
@@ -59,6 +84,12 @@ class MasterStats:
     messages: int = 0
     bytes_to_slaves: int = 0
     bytes_to_master: int = 0
+    #: Straggler dispatches cancelled and re-queued before their timeout.
+    speculative_redispatches: int = 0
+    #: Workers retired for exceeding the failure threshold, in order.
+    blacklisted_workers: List[int] = field(default_factory=list)
+    #: Service/fault-tolerance threads that outlived their join timeout.
+    worker_leaks: int = 0
 
 
 class MasterPart:
@@ -74,6 +105,13 @@ class MasterPart:
         task_timeout: float = 30.0,
         max_retries: int = 3,
         poll_interval: float = 0.02,
+        retry_backoff: float = 0.0,
+        retry_backoff_max: float = 2.0,
+        speculate: bool = False,
+        speculative_factor: float = 2.0,
+        speculative_quantile: float = 0.95,
+        blacklist_threshold: Optional[int] = None,
+        stall_timeout: Optional[float] = None,
         verify: bool = False,
         tracer: Optional[TraceRecorder] = None,
         clock: Optional[Clock] = None,
@@ -93,6 +131,15 @@ class MasterPart:
         self.task_timeout = task_timeout
         self.max_retries = max_retries
         self.poll_interval = poll_interval
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_max = retry_backoff_max
+        self.speculate = speculate
+        self.speculative_factor = speculative_factor
+        self.speculative_quantile = speculative_quantile
+        self.blacklist_threshold = blacklist_threshold
+        self.stall_timeout = (
+            stall_timeout if stall_timeout is not None else 2.0 * task_timeout + 1.0
+        )
 
         self.verify = verify
         #: Unified scheduling instrumentation: the happens-before trace
@@ -115,6 +162,30 @@ class MasterPart:
         self._register = RegisterTable()
         self._end = threading.Event()
         self._failure: List[BaseException] = []
+        #: Workers retired from service; read by the per-slave threads
+        #: (set-membership only), mutated only by the fault-tolerance
+        #: thread — safe without a lock under the GIL.
+        self._blacklisted: set = set()
+        self._worker_failures: Dict[int, int] = {}
+        #: Last wall-clock moment each worker was heard from (any message).
+        #: The blacklist consults this as a liveness oracle: a worker that
+        #: keeps announcing itself is alive, and its timeouts are message
+        #: loss — blacklisting is reserved for workers that went silent.
+        self._last_heard: Dict[int, float] = {}
+        #: Per-task count of cancels that do NOT charge the retry budget
+        #: (speculation, blacklist evictions) — the exhaustion check uses
+        #: ``attempts - exempt``.
+        self._budget_exempt: Dict[TaskId, int] = {}
+        #: Tasks already speculated once (speculation is capped at one
+        #: early re-dispatch per task).
+        self._speculated: set = set()
+        #: Completed compute durations (seconds) feeding the speculation
+        #: quantile. Appends are GIL-atomic; the scanner copies.
+        self._durations: List[float] = []
+        #: Clock reading of the last dispatch or accepted result; the
+        #: stall watchdog aborts when this goes quiet too long. Float
+        #: assignment is GIL-atomic.
+        self._last_progress: float = self.clock.now()
 
     @property
     def tracer(self) -> Optional[TraceRecorder]:
@@ -180,6 +251,7 @@ class MasterPart:
             for t in workers:
                 t.join(timeout=10.0)
             ft.join(timeout=10.0)
+            self._surface_leaks([*workers, ft])
             for ch in self.channels:
                 self.stats.messages += ch.sent_messages + ch.received_messages
                 self.stats.bytes_to_slaves += ch.sent_bytes
@@ -193,6 +265,26 @@ class MasterPart:
         )
         return self.state
 
+    def _surface_leaks(self, threads: Sequence[threading.Thread]) -> None:
+        """Warn about (and count) threads that outlived their join timeout.
+
+        The join results used to be silently discarded; a hung service
+        thread now produces a :class:`WorkerLeakWarning`, a ``worker-leak``
+        telemetry event, and a nonzero ``stats.worker_leaks``.
+        """
+        for t in threads:
+            if not t.is_alive():
+                continue
+            self.stats.worker_leaks += 1
+            warnings.warn(
+                f"master thread {t.name!r} did not exit within its join "
+                "timeout and was abandoned (daemon)",
+                WorkerLeakWarning,
+                stacklevel=3,
+            )
+            if self.sched.observing:
+                self.sched.record("worker-leak", None, -1, thread=t.name)
+
     def _publish_metrics(self) -> None:
         """Fold end-of-run counters into the metrics registry."""
         assert self.metrics is not None
@@ -200,6 +292,13 @@ class MasterPart:
             ch.publish_metrics(self.metrics)
         self.metrics.counter("master.faults_recovered").inc(self.stats.faults_recovered)
         self.metrics.counter("master.stale_results").inc(self.stats.stale_results)
+        self.metrics.counter("master.speculative_redispatches").inc(
+            self.stats.speculative_redispatches
+        )
+        self.metrics.counter("master.blacklisted_workers").inc(
+            len(self.stats.blacklisted_workers)
+        )
+        self.metrics.counter("master.worker_leaks").inc(self.stats.worker_leaks)
         for worker_id, n in sorted(self.stats.tasks_per_worker.items()):
             self.metrics.counter("master.tasks_completed", worker=worker_id).inc(n)
 
@@ -220,13 +319,42 @@ class MasterPart:
                 continue
             except ChannelClosed:
                 return
+            self._last_heard[worker_id] = self.clock.now()
             if isinstance(msg, IdleSignal):
+                if worker_id in self._blacklisted:
+                    # Retired worker: no further assignments; let it exit.
+                    self._try_send_end(channel)
+                    ended = True
+                    continue
+                if any(
+                    reg.worker_id == worker_id
+                    for _, reg in self._register.live_snapshot()
+                ):
+                    # Duplicate idle announcement (slaves re-announce when
+                    # a reply is slow or lost) while this worker still owns
+                    # a live dispatch. Admitting it would backlog the
+                    # worker and turn one slow reply into a timeout storm;
+                    # swallow it instead — either the dispatch resolves or
+                    # the overtime check cancels it, and the next
+                    # announcement is admitted.
+                    continue
                 task_id = self._stack.pop_eligible(worker_id, self.policy)
                 if task_id is None:
                     self._try_send_end(channel)
                     ended = True
                     continue
-                epoch = self._register.register(task_id, worker_id)
+                epoch = self._register.register(task_id, worker_id, self.clock.now())
+                if worker_id in self._blacklisted:
+                    # Blacklisted while we were popping: registering first
+                    # and re-checking closes the race with the eviction
+                    # scan — whichever side wins the cancel re-queues the
+                    # task exactly once, and this worker never runs it
+                    # (the no-commit-after-blacklist invariant).
+                    if self._register.cancel(task_id, epoch):
+                        self._stack.push(task_id)
+                    self._try_send_end(channel)
+                    ended = True
+                    continue
                 if self.sched.enabled:
                     self.sched.record("assign", task_id, epoch, worker_id)
                 with self._state_lock:
@@ -239,6 +367,7 @@ class MasterPart:
                     )
                 )
                 assign = TaskAssign(task_id=task_id, epoch=epoch, inputs=inputs)
+                self._last_progress = self.clock.now()
                 try:
                     channel.send(assign)
                 except ChannelClosed:
@@ -275,6 +404,8 @@ class MasterPart:
                     with self._results_lock:
                         self._result_buffer[msg.task_id] = (msg.outputs, msg.epoch)
                     self._finished.push(msg.task_id)
+                    self._last_progress = self.clock.now()
+                    self._durations.append(max(0.0, msg.elapsed))
                     self.stats.tasks_per_worker[worker_id] = (
                         self.stats.tasks_per_worker.get(worker_id, 0) + 1
                     )
@@ -291,24 +422,152 @@ class MasterPart:
 
     # -- fault-tolerance thread (Fig 10) ------------------------------------------------
 
+    def _abort(self, exc: BaseException) -> None:
+        """Record a fatal failure and wake every blocked thread."""
+        self._failure.append(exc)
+        self._end.set()
+        self._stack.close()
+        self._finished.close()
+
     def _fault_tolerance(self) -> None:
+        # (ready_at, tiebreak, task_id) re-dispatches held by backoff.
+        # Only this thread touches the heap, so no lock is needed.
+        pending: List[Tuple[float, int, TaskId]] = []
+        seq = 0
         while not self._end.is_set():
-            for entry in self._overtime.due(self.clock.now()):
-                if not self._register.cancel(entry.task_id, entry.epoch):
+            now = self.clock.now()
+            while pending and pending[0][0] <= now:
+                self._stack.push(heapq.heappop(pending)[2])
+            for entry in self._overtime.due(now):
+                reg = self._register.cancel(entry.task_id, entry.epoch)
+                if not reg:
                     continue  # completed in time; lazy removal
-                attempts = self._register.attempts(entry.task_id)
-                if attempts > self.max_retries + 1:
-                    self._failure.append(
-                        FaultToleranceExhausted(
-                            f"sub-task {entry.task_id} failed {attempts} dispatches"
-                        )
-                    )
-                    self._end.set()
-                    self._stack.close()
-                    self._finished.close()
+                self._note_worker_failure(reg.worker_id)
+                seq += 1
+                if not self._requeue_fault(entry.task_id, entry.epoch, pending, seq, now):
                     return
-                self.stats.faults_recovered += 1
-                if self.sched.enabled:
-                    self.sched.record("redistribute", entry.task_id, entry.epoch)
-                self._stack.push(entry.task_id)
+            if self.speculate:
+                seq = self._scan_stragglers(now, seq)
+            if (
+                not pending
+                and len(self._register) == 0
+                and now - self._last_progress > self.stall_timeout
+            ):
+                # Nothing live, nothing queued for retry, and nothing has
+                # moved for a whole stall window: every worker is presumed
+                # lost. Abort cleanly instead of hanging.
+                self._abort(
+                    FaultToleranceExhausted(
+                        f"no scheduling progress for {self.stall_timeout:.1f}s "
+                        "with no live dispatches (all workers presumed lost)"
+                    )
+                )
+                return
             time.sleep(self.poll_interval)
+
+    def _requeue_fault(
+        self,
+        task_id: TaskId,
+        epoch: int,
+        pending: List[Tuple[float, int, TaskId]],
+        seq: int,
+        now: float,
+    ) -> bool:
+        """Handle one timed-out dispatch: re-queue (possibly after an
+        exponential backoff) or abort when the budget is exhausted.
+        Returns False when the run was aborted."""
+        attempts = self._register.attempts(task_id)
+        charged = attempts - self._budget_exempt.get(task_id, 0)
+        if charged > self.max_retries + 1:
+            self._abort(
+                FaultToleranceExhausted(
+                    f"sub-task {task_id} failed {charged} budgeted dispatches"
+                )
+            )
+            return False
+        self.stats.faults_recovered += 1
+        if self.sched.enabled:
+            self.sched.record("redistribute", task_id, epoch)
+        delay = 0.0
+        if self.retry_backoff > 0:
+            delay = min(
+                self.retry_backoff * (2.0 ** max(0, charged - 1)),
+                self.retry_backoff_max,
+            )
+        if delay > 0:
+            if self.sched.observing:
+                self.sched.record("backoff", task_id, epoch, delay=delay)
+            heapq.heappush(pending, (now + delay, seq, task_id))
+        else:
+            self._stack.push(task_id)
+        return True
+
+    def _note_worker_failure(self, worker_id: int) -> None:
+        """Attribute a timeout to its worker; blacklist past the threshold.
+
+        The last healthy worker is never blacklisted (graceful degradation
+        down to one survivor). Eviction cancels the worker's in-flight
+        dispatches and re-queues them, so no result it still sends can
+        commit — late replies hit a stale epoch.
+        """
+        if self.blacklist_threshold is None:
+            return
+        n = self._worker_failures.get(worker_id, 0) + 1
+        self._worker_failures[worker_id] = n
+        if n < self.blacklist_threshold or worker_id in self._blacklisted:
+            return
+        if len(self.channels) - len(self._blacklisted) <= 1:
+            return  # degradation floor: keep the last worker, come what may
+        heard = self._last_heard.get(worker_id)
+        if heard is not None and self.clock.now() - heard < self.task_timeout:
+            # Recently heard from: the worker is alive and reachable, so
+            # its timeouts are dropped/late messages, not worker death.
+            # Keep it (and reset nothing — persistent silence still trips
+            # the threshold on a later failure).
+            return
+        self._blacklisted.add(worker_id)
+        self.stats.blacklisted_workers.append(worker_id)
+        if self.sched.observing:
+            self.sched.record(
+                "blacklist", None, -1, worker_id, failures=n
+            )
+        for task_id, reg in self._register.live_snapshot():
+            if reg.worker_id != worker_id:
+                continue
+            if not self._register.cancel(task_id, reg.epoch):
+                continue
+            self._budget_exempt[task_id] = self._budget_exempt.get(task_id, 0) + 1
+            self.stats.faults_recovered += 1
+            if self.sched.enabled:
+                self.sched.record("redistribute", task_id, reg.epoch)
+            self._stack.push(task_id)
+
+    def _scan_stragglers(self, now: float, seq: int) -> int:
+        """Speculative re-dispatch: cancel live dispatches that have aged
+        past a multiple of the observed duration quantile and re-queue
+        them immediately (at most once per task; never charged against the
+        retry budget)."""
+        durations = self._durations
+        if len(durations) < 8:
+            return seq  # not enough signal for a stable quantile yet
+        cutoff = max(
+            self.speculative_factor
+            * float(np.quantile(np.asarray(durations, dtype=float), self.speculative_quantile)),
+            10.0 * self.poll_interval,
+        )
+        for task_id, reg in self._register.live_snapshot():
+            if task_id in self._speculated:
+                continue
+            if now - reg.registered_at <= cutoff:
+                continue
+            if not self._register.cancel(task_id, reg.epoch):
+                continue
+            self._speculated.add(task_id)
+            self._budget_exempt[task_id] = self._budget_exempt.get(task_id, 0) + 1
+            self.stats.speculative_redispatches += 1
+            if self.sched.enabled:
+                self.sched.record(
+                    "speculate", task_id, reg.epoch, reg.worker_id, age=now - reg.registered_at
+                )
+            self._stack.push(task_id)
+        return seq

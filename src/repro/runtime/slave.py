@@ -20,11 +20,12 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.algorithms.problem import DPProblem
-from repro.cluster.faults import FaultPlan
+from repro.cluster.faults import FaultPlan, WorkerFaultPlan
 from repro.comm.messages import EndSignal, IdleSignal, TaskAssign, TaskResult
 from repro.comm.transport import Channel, ChannelClosed, ChannelTimeout
 from repro.dag.parser import DAGParser
@@ -40,7 +41,7 @@ from repro.runtime.worker_pool import (
     RegisterTable,
 )
 from repro.schedulers.policy import make_policy
-from repro.utils.errors import FaultToleranceExhausted
+from repro.utils.errors import FaultToleranceExhausted, WorkerLeakWarning
 
 
 @dataclass
@@ -72,6 +73,7 @@ class SlavePart:
         poll_interval: float = 0.02,
         fault_plan: Optional[FaultPlan] = None,
         thread_fault_plan: Optional[FaultPlan] = None,
+        worker_fault_plan: Optional[WorkerFaultPlan] = None,
         hang_duration: float = 1.0,
         stop_event: Optional[threading.Event] = None,
         verify: bool = False,
@@ -90,6 +92,7 @@ class SlavePart:
         self.poll_interval = poll_interval
         self.fault_plan = fault_plan or FaultPlan.none()
         self.thread_fault_plan = thread_fault_plan or FaultPlan.none()
+        self.worker_fault_plan = worker_fault_plan or WorkerFaultPlan.none()
         self.hang_duration = hang_duration
         self.stop_event = stop_event or threading.Event()
         #: Validate each sub-task's thread-level schedule against the inner
@@ -105,19 +108,45 @@ class SlavePart:
 
     # -- protocol loop --------------------------------------------------------
 
+    def _emit(self, kind: str, task_id=None, epoch: int = -1, **data) -> None:
+        """Worker-scope telemetry (only wired on in-process backends)."""
+        if self.obs is not None and self.obs.enabled:
+            self.obs.emit(
+                kind, task_id, epoch=epoch, node=self.slave_id,
+                worker=self.slave_id, scope="task", **data,
+            )
+
     def run(self) -> SlaveStats:
         """Serve sub-tasks until the end signal (or stop event)."""
+        death_point = self.worker_fault_plan.death_point(self.slave_id)
+        slow_factor = self.worker_fault_plan.slow_factor(self.slave_id)
+        # Re-announce idleness when no reply arrives in time: an idle
+        # signal (or its answer) lost in transit would otherwise silence
+        # this slave forever. Duplicated announcements are safe — the
+        # master just assigns more work, served sequentially.
+        resend = max(0.1, 10.0 * self.poll_interval)
         while not self.stop_event.is_set():
             try:
                 self.channel.send(IdleSignal(self.slave_id))
-                msg = self._recv()
+                msg = self._recv(max_wait=resend)
             except ChannelClosed:
                 break
             if msg is None:
-                break
+                if self.stop_event.is_set():
+                    break
+                continue  # nothing heard within the window: announce again
             if isinstance(msg, EndSignal):
                 break
             assert isinstance(msg, TaskAssign), f"unexpected message {msg!r}"
+            if death_point is not None and self.stats.tasks >= death_point:
+                # Worker-level fault: the slave dies mid-run, holding an
+                # assigned sub-task it will never answer. The master's
+                # timeout redistributes the task; if every worker dies the
+                # stall watchdog aborts cleanly.
+                self._emit(
+                    "worker-death", msg.task_id, msg.epoch, after_tasks=death_point
+                )
+                break
             fault = self.fault_plan.lookup(msg.task_id, msg.epoch)
             if fault is not None and fault.kind == "crash":
                 # The process "dies" without replying; the master's
@@ -131,6 +160,18 @@ class SlavePart:
             started = time.perf_counter()
             outputs = self._compute(msg)
             elapsed = time.perf_counter() - started
+            if slow_factor > 1.0:
+                # Slow-node degradation: stretch the apparent compute time
+                # by (factor - 1) x elapsed, bounded so a single task can
+                # at most look one second slower. Enough to trip the
+                # master's speculation/timeout paths, never a hard hang.
+                penalty = min((slow_factor - 1.0) * elapsed, 1.0)
+                self._emit(
+                    "worker-slow", msg.task_id, msg.epoch,
+                    factor=slow_factor, penalty=penalty,
+                )
+                time.sleep(penalty)
+                elapsed += penalty
             self.stats.tasks += 1
             self.stats.compute_seconds += elapsed
             try:
@@ -147,13 +188,19 @@ class SlavePart:
                 break
         return self.stats
 
-    def _recv(self):
-        """Poll the channel so the stop event can interrupt a quiet wait."""
+    def _recv(self, max_wait: Optional[float] = None):
+        """Poll the channel so the stop event can interrupt a quiet wait.
+
+        Returns None when stopped, or — with ``max_wait`` — when nothing
+        arrived within that window (the caller re-announces idleness)."""
+        waited = 0.0
         while not self.stop_event.is_set():
             try:
                 return self.channel.recv(timeout=self.poll_interval)
             except ChannelTimeout:
-                continue
+                waited += self.poll_interval
+                if max_wait is not None and waited >= max_wait:
+                    return None
         return None
 
     # -- slave worker pool (Fig 11 steps c-j) ---------------------------------------
@@ -264,6 +311,23 @@ class SlavePart:
         stack.close()
         for t in threads:
             t.join(timeout=5.0)
+        leaked = [t for t in threads if t.is_alive()]
+        if leaked:
+            # The join result used to be discarded here, silently leaking
+            # any computing thread stuck past its timeout. Surface it:
+            # a warning, a counter on the slave's stats, and telemetry.
+            self.stats.extras["worker_leaks"] = (
+                self.stats.extras.get("worker_leaks", 0.0) + len(leaked)
+            )
+            for t in leaked:
+                warnings.warn(
+                    f"slave {self.slave_id} computing thread {t.name!r} did "
+                    "not exit within its join timeout and was abandoned "
+                    "(daemon)",
+                    WorkerLeakWarning,
+                    stacklevel=2,
+                )
+                self._emit("worker-leak", thread=t.name)
         if failure:
             raise failure[0]
         if parser.is_done() and not self.stop_event.is_set():

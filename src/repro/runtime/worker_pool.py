@@ -184,6 +184,9 @@ class Registration:
     worker_id: int
     epoch: int
     attempts: int
+    #: Clock reading at dispatch (the caller's clock domain); lets the
+    #: fault-tolerance thread age live registrations for speculation.
+    registered_at: float = 0.0
 
 
 class RegisterTable:
@@ -200,14 +203,16 @@ class RegisterTable:
         self._attempts: Dict[TaskId, int] = {}
         self._lock = make_lock("pool.register-table")
 
-    def register(self, task_id: TaskId, worker_id: int) -> int:
+    def register(self, task_id: TaskId, worker_id: int, now: float = 0.0) -> int:
         """Record a dispatch; returns the new epoch (== attempt index)."""
         with self._lock:
             if task_id in self._live:
                 raise SchedulerError(f"task {task_id} already registered")
             epoch = self._attempts.get(task_id, 0)
             self._attempts[task_id] = epoch + 1
-            self._live[task_id] = Registration(worker_id=worker_id, epoch=epoch, attempts=epoch + 1)
+            self._live[task_id] = Registration(
+                worker_id=worker_id, epoch=epoch, attempts=epoch + 1, registered_at=now
+            )
             return epoch
 
     def finish(self, task_id: TaskId, epoch: int) -> bool:
@@ -219,9 +224,24 @@ class RegisterTable:
             del self._live[task_id]
             return True
 
-    def cancel(self, task_id: TaskId, epoch: int) -> bool:
-        """Deregister after a detected fault; False if already gone/stale."""
-        return self.finish(task_id, epoch)
+    def cancel(self, task_id: TaskId, epoch: int) -> Optional[Registration]:
+        """Deregister after a detected fault.
+
+        Returns the cancelled :class:`Registration` (truthy — callers that
+        only branch on success keep working) so fault attribution knows
+        *which worker* held the dispatch; None if already gone/stale.
+        """
+        with self._lock:
+            reg = self._live.get(task_id)
+            if reg is None or reg.epoch != epoch:
+                return None
+            del self._live[task_id]
+            return reg
+
+    def live_snapshot(self) -> Tuple[Tuple[TaskId, Registration], ...]:
+        """Point-in-time ``(task_id, registration)`` view of live dispatches."""
+        with self._lock:
+            return tuple(self._live.items())
 
     def is_registered(self, task_id: TaskId, epoch: Optional[int] = None) -> bool:
         with self._lock:

@@ -42,3 +42,17 @@ class ConfigError(ReproError, ValueError):
 class CheckError(ReproError):
     """A :mod:`repro.check` pass found violations (see the message for the
     per-diagnostic listing)."""
+
+
+class ChaosError(ReproError):
+    """A chaos campaign found an invariant violation (wrong answer, hang,
+    or a failed trace invariant) — see the per-run listing in the message."""
+
+
+class WorkerLeakWarning(UserWarning):
+    """A worker thread survived its join timeout and was abandoned.
+
+    Raised as a *warning* (the run's result is already complete and
+    correct by the time pools are torn down), but surfaced instead of
+    silently discarding the join result so soak tests and telemetry can
+    detect runaway threads."""

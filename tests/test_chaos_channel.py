@@ -1,0 +1,141 @@
+"""Unit tests for ChaosChannel: message faults at the transport boundary.
+
+Each fault kind is driven through a real in-process channel pair and
+asserted on observable behaviour: what the far end receives, when, and
+what the wrapper counted.
+"""
+
+import time
+
+import pytest
+
+from repro.chaos.channel import ChaosChannel
+from repro.cluster.faults import MessageFaultPlan, MessageFaultRule
+from repro.comm.messages import IdleSignal, TaskAssign
+from repro.comm.transport import ChannelTimeout, channel_pair
+
+
+def chaos_pair(*rules):
+    """(wrapped master end, plain slave end) with the given fault rules."""
+    a, b = channel_pair()
+    return ChaosChannel(a, MessageFaultPlan(rules), endpoint_index=0), b
+
+
+def assign(i=0):
+    return TaskAssign(task_id=(i, 0), epoch=0, inputs={})
+
+
+class TestPassthrough:
+    def test_no_plan_delivers_everything(self):
+        a, b = chaos_pair()
+        a.send(assign())
+        assert b.recv(timeout=1.0) == assign()
+        b.send(IdleSignal(slave_id=1))
+        assert a.recv(timeout=1.0) == IdleSignal(slave_id=1)
+        assert a.faults_injected == 0
+
+    def test_wrapper_counts_traffic_as_the_endpoint(self):
+        a, b = chaos_pair()
+        a.send(assign())
+        b.recv(timeout=1.0)
+        assert a.sent_messages == 1
+
+
+class TestDrop:
+    def test_send_side_drop_never_arrives(self):
+        a, b = chaos_pair(MessageFaultRule("drop", direction="send", index=0))
+        a.send(assign())
+        with pytest.raises(ChannelTimeout):
+            b.recv(timeout=0.05)
+        assert a.dropped == 1 and a.faults_injected == 1
+
+    def test_recv_side_drop_discards_then_delivers_next(self):
+        a, b = chaos_pair(MessageFaultRule("drop", direction="recv", index=0))
+        b.send(IdleSignal(slave_id=1))
+        b.send(IdleSignal(slave_id=2))
+        assert a.recv(timeout=1.0) == IdleSignal(slave_id=2)
+        assert a.dropped == 1
+
+    def test_only_matching_index_dropped(self):
+        a, b = chaos_pair(MessageFaultRule("drop", direction="send", index=1))
+        a.send(assign(0))
+        a.send(assign(1))
+        a.send(assign(2))
+        assert b.recv(timeout=1.0) == assign(0)
+        assert b.recv(timeout=1.0) == assign(2)
+        assert a.dropped == 1
+
+
+class TestCorrupt:
+    def test_corrupt_is_a_detected_drop_with_its_own_counter(self):
+        a, b = chaos_pair(MessageFaultRule("corrupt", direction="send", index=0))
+        a.send(assign())
+        with pytest.raises(ChannelTimeout):
+            b.recv(timeout=0.05)
+        assert a.corrupted == 1 and a.dropped == 0
+
+
+class TestDuplicate:
+    def test_send_side_duplicate_arrives_twice(self):
+        a, b = chaos_pair(MessageFaultRule("duplicate", direction="send", index=0))
+        a.send(assign())
+        assert b.recv(timeout=1.0) == assign()
+        assert b.recv(timeout=1.0) == assign()
+        assert a.duplicated == 1
+
+    def test_recv_side_duplicate_returned_twice(self):
+        a, b = chaos_pair(MessageFaultRule("duplicate", direction="recv", index=0))
+        b.send(IdleSignal(slave_id=3))
+        assert a.recv(timeout=1.0) == IdleSignal(slave_id=3)
+        assert a.recv(timeout=1.0) == IdleSignal(slave_id=3)
+        assert a.duplicated == 1
+
+
+class TestDelay:
+    def test_recv_side_delay_holds_the_message_back(self):
+        a, b = chaos_pair(
+            MessageFaultRule("delay", direction="recv", index=0, delay=0.15)
+        )
+        b.send(IdleSignal(slave_id=1))
+        t0 = time.monotonic()
+        with pytest.raises(ChannelTimeout):
+            a.recv(timeout=0.03)  # too early: still held
+        msg = a.recv(timeout=1.0)
+        assert msg == IdleSignal(slave_id=1)
+        assert time.monotonic() - t0 >= 0.1
+        assert a.delayed == 1
+
+    def test_delayed_message_does_not_block_later_traffic(self):
+        a, b = chaos_pair(
+            MessageFaultRule("delay", direction="recv", index=0, delay=0.5)
+        )
+        b.send(IdleSignal(slave_id=1))  # held back half a second
+        b.send(IdleSignal(slave_id=2))
+        assert a.recv(timeout=1.0) == IdleSignal(slave_id=2)
+
+
+class TestSeededPlanThroughChannel:
+    def test_p_one_drop_only_loses_every_message(self):
+        a, b = chaos_pair()
+        a.plan = MessageFaultPlan.random(1.0, seed=3, kinds=("drop",), protect=())
+        for i in range(5):
+            a.send(assign(i))
+        with pytest.raises(ChannelTimeout):
+            b.recv(timeout=0.05)
+        assert a.dropped == 5
+
+    def test_same_seed_same_fault_sequence(self):
+        def run(seed):
+            a, b = chaos_pair()
+            a.plan = MessageFaultPlan.random(0.5, seed=seed, kinds=("drop",), protect=())
+            for i in range(24):
+                a.send(assign(i))
+            got = []
+            while True:
+                try:
+                    got.append(b.recv(timeout=0.02).task_id)
+                except ChannelTimeout:
+                    return tuple(got)
+
+        assert run(4) == run(4)
+        assert run(4) != run(5)

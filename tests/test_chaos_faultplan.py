@@ -1,0 +1,203 @@
+"""Property tests for the seeded fault plans (repro.cluster.faults).
+
+The chaos campaign's replayability rests on one property: every random
+plan is a pure function of ``(seed, key)``. These tests pin that down,
+along with the probability edges (p=0 injects nothing, p=1 injects
+everything) and picklability (plans cross the process boundary to slave
+processes).
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.cluster.faults import (
+    MESSAGE_FAULT_KINDS,
+    FaultPlan,
+    FaultRule,
+    MessageFaultPlan,
+    MessageFaultRule,
+    WorkerFaultPlan,
+    WorkerFaultRule,
+    derived_rng,
+)
+
+TASKS = [(i, j) for i in range(8) for j in range(8)]
+
+
+class TestDerivedRng:
+    def test_pure_function_of_key(self):
+        a = derived_rng(7, 11, (2, 3)).random(4)
+        b = derived_rng(7, 11, (2, 3)).random(4)
+        assert list(a) == list(b)
+
+    def test_salt_separates_streams(self):
+        a = derived_rng(7, 11, (2, 3)).random()
+        b = derived_rng(7, 13, (2, 3)).random()
+        assert a != b
+
+    def test_key_separates_streams(self):
+        assert derived_rng(7, 11, (2, 3)).random() != derived_rng(7, 11, (2, 4)).random()
+
+    def test_exotic_keys_are_stable(self):
+        # Non-int vertex ids fall back to a repr hash, still deterministic.
+        assert derived_rng(1, 11, "v-a").random() == derived_rng(1, 11, "v-a").random()
+
+
+class TestFaultPlanRandom:
+    def test_same_seed_same_decisions_any_query_order(self):
+        forward = FaultPlan.random(0.4, seed=5)
+        backward = FaultPlan.random(0.4, seed=5)
+        a = {t: forward.lookup(t, 0) for t in TASKS}
+        b = {t: backward.lookup(t, 0) for t in reversed(TASKS)}
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = {t: FaultPlan.random(0.5, seed=1).lookup(t, 0) for t in TASKS}
+        b = {t: FaultPlan.random(0.5, seed=2).lookup(t, 0) for t in TASKS}
+        assert a != b
+
+    def test_p_zero_injects_nothing(self):
+        plan = FaultPlan.random(0.0, seed=3)
+        assert all(plan.lookup(t, 0) is None for t in TASKS)
+        assert not plan
+
+    def test_p_one_faults_every_first_attempt(self):
+        plan = FaultPlan.random(1.0, seed=3, kind=("crash", "hang"))
+        for t in TASKS:
+            rule = plan.lookup(t, 0)
+            assert rule is not None and rule.kind in ("crash", "hang")
+
+    def test_retries_never_refault(self):
+        # Random task faults hit attempt 0 only: recovery must be able to win.
+        plan = FaultPlan.random(1.0, seed=3)
+        assert all(plan.lookup(t, attempt) is None for t in TASKS for attempt in (1, 2, 5))
+
+    def test_decision_is_memoized_consistently(self):
+        plan = FaultPlan.random(0.5, seed=9)
+        assert [plan.lookup(t, 0) for t in TASKS] == [plan.lookup(t, 0) for t in TASKS]
+
+    def test_pickle_roundtrip_preserves_decisions(self):
+        plan = FaultPlan.random(0.5, seed=4)
+        before = {t: plan.lookup(t, 0) for t in TASKS}
+        clone = pickle.loads(pickle.dumps(plan))
+        assert {t: clone.lookup(t, 0) for t in TASKS} == before
+
+    def test_explicit_rule_matches_attempt(self):
+        plan = FaultPlan([FaultRule("crash", (1, 1), attempt=2)])
+        assert plan.lookup((1, 1), 2).kind == "crash"
+        assert plan.lookup((1, 1), 0) is None
+        assert plan.lookup((0, 0), 2) is None
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(Exception):
+            FaultPlan.random(0.5, kind="explode")
+
+
+class TestMessageFaultPlanRandom:
+    def _decisions(self, plan, n=64):
+        return {
+            (d, i): plan.decide(d, "TaskAssign", (0, 0), i, endpoint=2)
+            for d in ("send", "recv")
+            for i in range(n)
+        }
+
+    def test_same_seed_same_decisions_any_query_order(self):
+        keys = [(d, i) for d in ("send", "recv") for i in range(64)]
+        shuffled = list(keys)
+        random.Random(0).shuffle(shuffled)
+        a = MessageFaultPlan.random(0.3, seed=6)
+        b = MessageFaultPlan.random(0.3, seed=6)
+        da = {k: a.decide(k[0], "TaskAssign", None, k[1], endpoint=2) for k in keys}
+        db = {k: b.decide(k[0], "TaskAssign", None, k[1], endpoint=2) for k in shuffled}
+        assert da == db
+
+    def test_endpoints_get_independent_streams(self):
+        plan = MessageFaultPlan.random(0.5, seed=6)
+        a = [plan.decide("recv", "TaskResult", None, i, endpoint=0) for i in range(64)]
+        b = [plan.decide("recv", "TaskResult", None, i, endpoint=1) for i in range(64)]
+        assert a != b
+
+    def test_p_zero_delivers_everything(self):
+        plan = MessageFaultPlan.random(0.0, seed=1)
+        assert not any(self._decisions(plan).values())
+
+    def test_p_one_faults_everything(self):
+        plan = MessageFaultPlan.random(1.0, seed=1)
+        decisions = self._decisions(plan)
+        assert all(d is not None for d in decisions.values())
+        assert all(d.kind in MESSAGE_FAULT_KINDS for d in decisions.values())
+
+    def test_end_signal_protected_by_default(self):
+        plan = MessageFaultPlan.random(1.0, seed=1)
+        assert all(
+            plan.decide(d, "EndSignal", None, i) is None
+            for d in ("send", "recv")
+            for i in range(32)
+        )
+
+    def test_send_side_never_draws_delay(self):
+        # Send-side delay would need a timer thread; the random mix
+        # restricts itself to what the send path can realize inline.
+        plan = MessageFaultPlan.random(1.0, seed=2)
+        kinds = {plan.decide("send", "TaskAssign", None, i).kind for i in range(128)}
+        assert "delay" not in kinds
+        assert kinds <= set(MESSAGE_FAULT_KINDS)
+
+    def test_explicit_rule_matching(self):
+        rule = MessageFaultRule("drop", direction="recv", message_type="TaskResult", index=3)
+        plan = MessageFaultPlan([rule])
+        assert plan.decide("recv", "TaskResult", None, 3) is rule
+        assert plan.decide("recv", "TaskResult", None, 4) is None
+        assert plan.decide("send", "TaskResult", None, 3) is None
+        assert plan.decide("recv", "IdleSignal", None, 3) is None
+
+    def test_pickle_roundtrip(self):
+        plan = MessageFaultPlan.random(0.3, seed=8)
+        before = self._decisions(plan)
+        assert self._decisions(pickle.loads(pickle.dumps(plan))) == before
+
+
+class TestWorkerFaultPlanRandom:
+    def test_same_seed_same_decisions(self):
+        a = WorkerFaultPlan.random(p_die=0.5, p_slow=0.5, seed=7)
+        b = WorkerFaultPlan.random(p_die=0.5, p_slow=0.5, seed=7)
+        for w in range(16):
+            assert a.death_point(w) == b.death_point(w)
+            assert a.slow_factor(w) == b.slow_factor(w)
+
+    def test_p_zero_everyone_healthy(self):
+        plan = WorkerFaultPlan.random(p_die=0.0, p_slow=0.0, seed=1)
+        assert all(plan.death_point(w) is None for w in range(16))
+        assert all(plan.slow_factor(w) == 1.0 for w in range(16))
+        assert not plan
+
+    def test_p_one_everyone_faulted(self):
+        plan = WorkerFaultPlan.random(p_die=1.0, p_slow=1.0, seed=1, max_after=3, factor=6.0)
+        for w in range(16):
+            assert plan.death_point(w) in (1, 2, 3)
+            assert plan.slow_factor(w) == 6.0
+
+    def test_die_and_slow_draw_independent_streams(self):
+        plan = WorkerFaultPlan.random(p_die=0.5, p_slow=0.5, seed=3)
+        dies = [plan.death_point(w) is not None for w in range(64)]
+        slow = [plan.slow_factor(w) > 1.0 for w in range(64)]
+        assert dies != slow  # would only match if the streams were shared
+
+    def test_explicit_rules(self):
+        plan = WorkerFaultPlan(
+            [WorkerFaultRule("die", worker_id=1, after_tasks=2),
+             WorkerFaultRule("slow", worker_id=2, factor=8.0)]
+        )
+        assert plan.death_point(1) == 2
+        assert plan.death_point(0) is None
+        assert plan.slow_factor(2) == 8.0
+        assert plan.slow_factor(1) == 1.0
+
+    def test_pickle_roundtrip(self):
+        plan = WorkerFaultPlan.random(p_die=0.4, p_slow=0.4, seed=9)
+        clone = pickle.loads(pickle.dumps(plan))
+        for w in range(16):
+            assert clone.death_point(w) == plan.death_point(w)
+            assert clone.slow_factor(w) == plan.slow_factor(w)

@@ -70,3 +70,52 @@ class TestCommands:
         for name, factory in ALGORITHMS.items():
             problem = factory(12, 0)
             assert isinstance(problem, DPProblem), name
+
+
+class TestChaosCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.seeds == 10
+        assert args.backend is None  # resolved to (simulated, threads) later
+
+    def test_small_campaign_exits_zero(self, capsys):
+        assert main(["chaos", "--seeds", "2", "--backend", "simulated",
+                     "--size", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "invariant held" in out
+
+    def test_quiet_suppresses_per_run_lines(self, capsys):
+        assert main(["chaos", "--seeds", "1", "--backend", "simulated",
+                     "--size", "32", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "faults injected," not in out.splitlines()[0]  # no per-run lines
+        assert out.startswith("chaos campaign:")
+
+    def test_fault_exhaustion_is_a_documented_exit_code(self, capsys, monkeypatch):
+        # A clean abort must exit with code 3 and a message, not a traceback.
+        import repro.cli as cli
+        from repro.utils.errors import FaultToleranceExhausted
+
+        def boom(args):
+            raise FaultToleranceExhausted("all workers lost")
+
+        monkeypatch.setitem(
+            vars(cli), "cmd_run", boom
+        )
+        # Re-wire the parser default to the patched function.
+        parser = cli.build_parser()
+        args = parser.parse_args(["run", "--size", "20"])
+        args.fn = boom
+        monkeypatch.setattr(cli, "build_parser", lambda: _FixedParser(args))
+        assert cli.main(["run", "--size", "20"]) == cli.EXIT_FAULT_EXHAUSTED == 3
+        err = capsys.readouterr().err
+        assert "fault tolerance exhausted" in err
+        assert "Traceback" not in err
+
+
+class _FixedParser:
+    def __init__(self, args):
+        self._args = args
+
+    def parse_args(self, argv=None):
+        return self._args

@@ -1,15 +1,27 @@
 """Heavy soak tests: both fault levels at once, many workers, randomized.
 
-Marked slow. These are the "leave it running" confidence tests: larger
-worker counts than any other test, simultaneous process-level and
-thread-level fault storms, and repeated runs checking determinism of the
-*results* (schedules may differ; answers may not).
+Two families live here:
+
+- ``TestCombinedFaultSoak`` (marked ``slow``, runs in the default suite):
+  larger worker counts than any other test, simultaneous process-level
+  and thread-level fault storms, and repeated runs checking determinism
+  of the *results* (schedules may differ; answers may not).
+- ``test_chaos_matrix`` (marked ``soak``, opt-in via ``-m soak``): the
+  backend x fault-mix x scheduler campaign matrix. Every cell runs a
+  seeded chaos campaign and asserts the campaign invariant (oracle-match
+  or clean abort, never a hang or a wrong answer). The matrix is
+  time-budgeted: once ``REPRO_SOAK_BUDGET`` seconds (default 300) have
+  elapsed, remaining cells skip instead of overrunning CI.
 """
+
+import os
+import time
 
 import pytest
 
 from repro import EasyHPS, RunConfig
 from repro.algorithms import EditDistance, Nussinov
+from repro.chaos.campaign import CampaignSpec, run_campaign
 from repro.cluster.faults import FaultPlan
 
 
@@ -49,3 +61,45 @@ class TestCombinedFaultSoak:
                            poll_interval=0.005)
         values = {EasyHPS(config).run(problem).value.distance for _ in range(3)}
         assert values == {problem.reference()}
+
+
+# -- chaos campaign matrix (opt-in: -m soak) ----------------------------------------
+
+SOAK_BUDGET = float(os.environ.get("REPRO_SOAK_BUDGET", "300"))
+_SOAK_START = time.monotonic()
+
+FAULT_MIXES = {
+    "task-only": dict(task_fault_p=0.15, message_p=0.0, worker_p_die=0.0, worker_p_slow=0.0),
+    "message-only": dict(task_fault_p=0.0, message_p=0.15, worker_p_die=0.0, worker_p_slow=0.0),
+    "worker-only": dict(task_fault_p=0.0, message_p=0.0, worker_p_die=0.25, worker_p_slow=0.25),
+    "combined": dict(task_fault_p=0.1, message_p=0.1, worker_p_die=0.2, worker_p_slow=0.2),
+}
+
+#: Static policies are included on purpose: with a dead or blacklisted
+#: worker, statically-bound tasks can become unservable, and the cell
+#: then asserts the clean-abort path instead of the recovery path.
+SOAK_SCHEDULERS = ("dynamic", "dynamic-lcf", "bcw")
+SOAK_BACKENDS = ("simulated", "threads", "processes")
+
+
+def _budget_left() -> float:
+    return SOAK_BUDGET - (time.monotonic() - _SOAK_START)
+
+
+@pytest.mark.soak
+@pytest.mark.parametrize("scheduler", SOAK_SCHEDULERS)
+@pytest.mark.parametrize("mix", sorted(FAULT_MIXES))
+@pytest.mark.parametrize("backend", SOAK_BACKENDS)
+def test_chaos_matrix(backend, mix, scheduler):
+    left = _budget_left()
+    if left <= 0:
+        pytest.skip(f"soak budget ({SOAK_BUDGET:.0f}s) exhausted")
+    spec = CampaignSpec(
+        backends=(backend,),
+        seeds=2,
+        size=40,
+        scheduler=scheduler,
+        run_timeout=min(60.0, max(10.0, left)),
+        **FAULT_MIXES[mix],
+    )
+    run_campaign(spec).raise_if_failed()
