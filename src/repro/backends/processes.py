@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.algorithms.problem import DPProblem
 from repro.analysis.report import RunReport
+from repro.backends.threads import open_journal
 from repro.chaos.channel import ChaosChannel
 from repro.comm.transport import PipeChannel
 from repro.obs import EventRecorder, MetricsRegistry, to_gantt_trace
@@ -27,8 +28,16 @@ from repro.runtime.slave import slave_process_main
 from repro.schedulers.policy import make_policy
 
 
-def run_processes(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.ndarray], RunReport]:
-    """Execute ``problem`` with ``config.n_slaves`` slave processes."""
+def run_processes(
+    problem: DPProblem, config: RunConfig, resume=None
+) -> Tuple[Dict[str, np.ndarray], RunReport]:
+    """Execute ``problem`` with ``config.n_slaves`` slave processes.
+
+    ``resume`` (a :class:`~repro.durable.recovery.RecoveredRun`) continues
+    a journaled run after a master crash — including a real ``kill -9``:
+    orphaned slave processes of the dead master self-terminate on pipe
+    EOF, and this call starts a fresh slave fleet.
+    """
     proc_size, thread_size = config.partitions_for(problem)
     partition = problem.build_partition(proc_size)
     policy = make_policy(
@@ -60,6 +69,7 @@ def run_processes(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.n
         worker_fault_plan=config.worker_fault_plan,
         hang_duration=config.hang_duration,
         verify=config.verify,
+        heartbeat_interval=config.heartbeat_interval,
     )
     for k in range(config.n_slaves):
         parent_conn, child_conn = ctx.Pipe(duplex=True)
@@ -83,6 +93,7 @@ def run_processes(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.n
             )
         )
 
+    journal = open_journal(config, problem, resume)
     master = MasterPart(
         problem,
         partition,
@@ -101,6 +112,12 @@ def run_processes(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.n
         verify=config.verify,
         obs=recorder,
         metrics=metrics,
+        journal=journal,
+        completed=resume.committed if resume is not None else None,
+        initial_state=resume.state if resume is not None else None,
+        attempts=resume.attempts if resume is not None else None,
+        heartbeat_interval=config.heartbeat_interval,
+        lease_factor=config.lease_factor,
     )
 
     started = time.perf_counter()

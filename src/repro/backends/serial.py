@@ -19,18 +19,72 @@ from repro.obs import EventRecorder, MetricsRegistry, to_gantt_trace
 from repro.runtime.config import RunConfig
 
 
-def run_serial(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.ndarray], RunReport]:
-    """Execute ``problem`` serially under ``config``'s partition sizes."""
+def run_serial(
+    problem: DPProblem, config: RunConfig, resume=None
+) -> Tuple[Dict[str, np.ndarray], RunReport]:
+    """Execute ``problem`` serially under ``config``'s partition sizes.
+
+    Journals through the same write-ahead path as the parallel backends
+    when ``config.journal_path`` is set, and skips already-committed
+    blocks when resuming (``resume`` is a
+    :class:`~repro.durable.recovery.RecoveredRun`).
+    """
+    from repro.backends.threads import open_journal
+
     proc_size, thread_size = config.partitions_for(problem)
     partition = problem.build_partition(proc_size)
-    state = problem.make_state()
+    state = problem.make_state() if resume is None else resume.state
+    committed = dict(resume.committed) if resume is not None else {}
+    journal = open_journal(config, problem, resume)
     # The oracle emits the same task lifecycle as the parallel backends
     # (one virtual worker, node 0) so traces are structurally comparable.
     recorder = EventRecorder() if config.observing else None
     metrics = MetricsRegistry() if config.observing else None
+    if recorder is not None and committed:
+        recorder.emit("resume", None, node=0, n_committed=len(committed))
     started = time.perf_counter()
     n_subtasks = 0
+    try:
+        n_subtasks = _drain(
+            problem, partition, state, committed, journal,
+            recorder, metrics, thread_size,
+        )
+        if journal is not None:
+            journal.end()
+    finally:
+        if journal is not None:
+            journal.close()
+    elapsed = time.perf_counter() - started
+    report = RunReport(
+        backend="serial",
+        scheduler="none",
+        algorithm=problem.name,
+        nodes=1,
+        threads_per_node=1,
+        makespan=elapsed,
+        wall_time=elapsed,
+        n_tasks=partition.n_blocks,
+        n_subtasks=n_subtasks,
+        total_flops=problem.total_flops(partition),
+    )
+    if recorder is not None:
+        report.events = recorder.events()
+        if metrics is not None:
+            report.metrics = metrics.snapshot()
+        if config.trace:
+            report.trace = to_gantt_trace(report.events)
+    return state, report
+
+
+def _drain(
+    problem, partition, state, committed, journal,
+    recorder, metrics, thread_size,
+) -> int:
+    """Topological drain of the remaining (uncommitted) blocks."""
+    n_subtasks = 0
     for bid in partition.abstract.topological_order():
+        if bid in committed:
+            continue  # recovered from the journal; already in state
         inputs = problem.extract_inputs(state, partition, bid)
         if recorder is not None:
             recorder.emit("assign", bid, epoch=0, node=0, worker=0)
@@ -54,24 +108,16 @@ def run_serial(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.ndar
             recorder.emit("commit", bid, epoch=0, node=0, worker=0)
             if metrics is not None:
                 metrics.counter("serial.tasks_completed").inc()
+        if journal is not None:
+            journal.commit(bid, 0, outputs)  # write-ahead of the merge
         problem.apply_result(state, partition, bid, outputs)
-    elapsed = time.perf_counter() - started
-    report = RunReport(
-        backend="serial",
-        scheduler="none",
-        algorithm=problem.name,
-        nodes=1,
-        threads_per_node=1,
-        makespan=elapsed,
-        wall_time=elapsed,
-        n_tasks=partition.n_blocks,
-        n_subtasks=n_subtasks,
-        total_flops=problem.total_flops(partition),
-    )
-    if recorder is not None:
-        report.events = recorder.events()
-        if metrics is not None:
-            report.metrics = metrics.snapshot()
-        if config.trace:
-            report.trace = to_gantt_trace(report.events)
-    return state, report
+        committed[bid] = 0
+        if journal is not None and journal.should_checkpoint():
+            snapshot = {k: np.array(v, copy=True) for k, v in state.items()}
+            nbytes = journal.checkpoint(snapshot, committed, {t: 1 for t in committed})
+            if recorder is not None:
+                recorder.emit(
+                    "checkpoint", None, node=0,
+                    n_committed=len(committed), nbytes=nbytes,
+                )
+    return n_subtasks

@@ -140,7 +140,7 @@ class _Node:
 class _SimulatedRun:
     """One end-to-end simulated schedule."""
 
-    def __init__(self, problem: DPProblem, config: RunConfig) -> None:
+    def __init__(self, problem: DPProblem, config: RunConfig, resume=None) -> None:
         self.problem = problem
         self.config = config
         proc_size, thread_size = config.partitions_for(problem)
@@ -212,6 +212,36 @@ class _SimulatedRun:
             node=-1,
             scope="task",
         )
+        #: Durable-run state: committed task -> epoch, and the write-ahead
+        #: journal (None when journaling is off). Journal writes are
+        #: charged to the master CPU in sim-time (``journal_latency``).
+        self.committed: Dict[TaskId, int] = {}
+        if resume is not None:
+            # Replay the journal's committed prefix straight into the DAG
+            # parser. The committed set is downward-closed (tasks commit
+            # only after their predecessors), so topological order never
+            # hits a blocked vertex. Synthetic commit records go to the
+            # happens-before trace only — the obs stream distinguishes
+            # journaled from live commits for the resume invariants.
+            for bid in self.partition.abstract.topological_order():
+                if bid not in resume.committed:
+                    continue
+                self.parser.complete(bid)
+                if self.sched.trace is not None:
+                    self.sched.trace.record(
+                        "commit", bid, resume.committed[bid], -1, 0.0
+                    )
+            self.committed = dict(resume.committed)
+            self.attempts.update(resume.attempts)
+            self.ready = list(self.parser.computable())
+            if self.obs is not None:
+                self.obs.emit(
+                    "resume", None, node=-1, scope="task",
+                    n_committed=len(self.committed),
+                )
+        from repro.backends.threads import open_journal
+
+        self.journal = open_journal(config, problem, resume)
 
     # -- cost helpers ----------------------------------------------------------
 
@@ -481,6 +511,14 @@ class _SimulatedRun:
             self._node_idle(k)  # stale result dropped; node serves on
             return
         del self.registered[bid]
+        if self.journal is not None:
+            # Write-ahead of the (modeled) merge; the fsync'd append
+            # occupies the master CPU for ``journal_latency`` sim-seconds.
+            self.journal.commit(bid, epoch, None)
+            self.master_cpu_free = (
+                max(self.master_cpu_free, self.evq.now) + self.config.journal_latency
+            )
+        self.committed[bid] = epoch
         if self.sched.enabled:
             if self.sched.observing:
                 out_bytes = (
@@ -490,6 +528,14 @@ class _SimulatedRun:
             # Before parser.complete so successors' assigns serialize
             # after this commit in the event log.
             self.sched.record("commit", bid, epoch, k)
+        if self.journal is not None and self.journal.should_checkpoint():
+            nbytes = self.journal.checkpoint(None, self.committed, dict(self.attempts))
+            self.master_cpu_free += self.config.journal_latency
+            if self.obs is not None:
+                self.obs.emit(
+                    "checkpoint", None, node=-1, scope="task",
+                    n_committed=len(self.committed), nbytes=nbytes,
+                )
         self.nodes[k].tasks_done += 1
         self.node_done[k].add(bid)
         self.makespan = max(self.makespan, self.evq.now)
@@ -572,7 +618,16 @@ class _SimulatedRun:
         wall_start = _time.perf_counter()
         for k in range(len(self.nodes)):
             self.evq.at(0.0, lambda k=k: self._node_idle(k))
-        self.evq.run()
+        try:
+            self.evq.run()
+            if self.failure is None and self.parser.is_done():
+                if self.journal is not None:
+                    self.journal.end()
+        finally:
+            # MasterCrash (the journal kill switch) and abort paths both
+            # land here; the journal file must survive for `repro resume`.
+            if self.journal is not None:
+                self.journal.close()
         if self.failure is not None:
             raise self.failure
         if not self.parser.is_done():
@@ -631,9 +686,16 @@ class _SimulatedRun:
         )
 
 
-def run_simulated(problem: DPProblem, config: RunConfig) -> Tuple[None, RunReport]:
-    """Simulate ``problem`` on ``config``'s cluster; no values are computed."""
-    return None, _SimulatedRun(problem, config).execute()
+def run_simulated(
+    problem: DPProblem, config: RunConfig, resume=None
+) -> Tuple[None, RunReport]:
+    """Simulate ``problem`` on ``config``'s cluster; no values are computed.
+
+    ``resume`` replays a journal's committed prefix into the DAG parser
+    (no state rebuild — the simulator computes no values) and continues
+    the modeled schedule from the recovered frontier.
+    """
+    return None, _SimulatedRun(problem, config, resume).execute()
 
 
 def simulated_serial_makespan(problem: DPProblem, config: RunConfig) -> float:

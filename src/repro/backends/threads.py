@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -19,6 +19,7 @@ from repro.algorithms.problem import DPProblem
 from repro.analysis.report import RunReport
 from repro.chaos.channel import ChaosChannel
 from repro.comm.transport import channel_pair
+from repro.durable.journal import CommitJournal
 from repro.obs import EventRecorder, MetricsRegistry, to_gantt_trace
 from repro.runtime.config import RunConfig
 from repro.runtime.master import MasterPart
@@ -26,8 +27,41 @@ from repro.runtime.slave import SlavePart
 from repro.schedulers.policy import make_policy
 
 
-def run_threads(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.ndarray], RunReport]:
-    """Execute ``problem`` with ``config.n_slaves`` slave threads."""
+def open_journal(config: RunConfig, problem: DPProblem, resume) -> Optional[CommitJournal]:
+    """Shared backend helper: the run's write-ahead journal, if any.
+
+    Fresh runs create (and ``begin``) the journal at ``journal_path``
+    with the chaos kill switch armed; resumed runs reopen the recovered
+    journal for append (truncating any torn tail) with the switch off.
+    """
+    if resume is not None:
+        return CommitJournal.open_resume(
+            resume.scan,
+            fsync=config.journal_fsync,
+            checkpoint_interval=config.checkpoint_interval,
+        )
+    if config.journal_path is None:
+        return None
+    journal = CommitJournal.create(
+        config.journal_path,
+        fsync=config.journal_fsync,
+        checkpoint_interval=config.checkpoint_interval,
+        kill_after=config.journal_kill_after,
+        kill_torn=config.journal_kill_torn,
+    )
+    journal.begin(problem, config)
+    return journal
+
+
+def run_threads(
+    problem: DPProblem, config: RunConfig, resume=None
+) -> Tuple[Dict[str, np.ndarray], RunReport]:
+    """Execute ``problem`` with ``config.n_slaves`` slave threads.
+
+    ``resume`` (a :class:`~repro.durable.recovery.RecoveredRun`) continues
+    a journaled run: committed sub-tasks are replayed into the DAG parser
+    instead of re-dispatched.
+    """
     proc_size, thread_size = config.partitions_for(problem)
     partition = problem.build_partition(proc_size)
     policy = make_policy(
@@ -75,8 +109,10 @@ def run_threads(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.nda
                 stop_event=stop,
                 verify=config.verify,
                 obs=recorder,
+                heartbeat_interval=config.heartbeat_interval,
             )
         )
+    journal = open_journal(config, problem, resume)
     master = MasterPart(
         problem,
         partition,
@@ -95,6 +131,12 @@ def run_threads(problem: DPProblem, config: RunConfig) -> Tuple[Dict[str, np.nda
         verify=config.verify,
         obs=recorder,
         metrics=metrics,
+        journal=journal,
+        completed=resume.committed if resume is not None else None,
+        initial_state=resume.state if resume is not None else None,
+        attempts=resume.attempts if resume is not None else None,
+        heartbeat_interval=config.heartbeat_interval,
+        lease_factor=config.lease_factor,
     )
 
     slave_threads = [

@@ -15,7 +15,11 @@ Three pieces (see ``docs/fault_tolerance.md``):
   validated on every surviving run.
 
 Drive from the CLI with ``repro chaos --seeds 20 --backend simulated
---backend threads``.
+--backend threads``. Kill-master campaigns (``repro chaos
+--kill-master-at 0.5``) crash the journaling master at a seeded commit,
+``repro resume`` the write-ahead journal, and assert the resumed run is
+oracle-identical with the :mod:`repro.check.durable_check` resume
+invariants intact.
 """
 
 from repro.chaos.campaign import (

@@ -62,6 +62,12 @@ class CampaignSpec:
     scheduler: str = "dynamic"
     #: Wall-clock deadline per run; exceeding it classifies as ``hang``.
     run_timeout: float = 60.0
+    #: Kill-master mode: crash the master (in-process ``kill -9``
+    #: equivalent at a commit boundary) at a seeded point within the
+    #: first ``kill_master_at`` fraction of the run's commits, then
+    #: ``repro resume`` the journal and assert the resumed run matches
+    #: the oracle and the resume invariants. ``None`` disables.
+    kill_master_at: Optional[float] = None
 
     def __post_init__(self) -> None:
         for b in self.backends:
@@ -71,6 +77,10 @@ class CampaignSpec:
                 )
         if self.seeds < 1:
             raise ChaosError(f"seeds must be >= 1, got {self.seeds}")
+        if self.kill_master_at is not None and not (0.0 < self.kill_master_at <= 1.0):
+            raise ChaosError(
+                f"kill_master_at must be a fraction in (0, 1], got {self.kill_master_at}"
+            )
 
 
 @dataclass
@@ -299,6 +309,162 @@ def _execute_one(
     return outcome
 
 
+def _run_boxed(spec: CampaignSpec, name: str, fn: Callable[[], object]) -> Dict[str, object]:
+    """Run ``fn`` on a watchdogged daemon thread; ``{"run": ...}`` or
+    ``{"exc": ...}``, or ``{}`` on deadline (the ``hang`` outcome)."""
+    box: Dict[str, object] = {}
+
+    def target() -> None:
+        try:
+            box["run"] = fn()
+        except BaseException as exc:  # classified by the caller
+            box["exc"] = exc
+
+    t = threading.Thread(target=target, daemon=True, name=name)
+    t.start()
+    t.join(timeout=spec.run_timeout)
+    if t.is_alive():
+        box.clear()
+    return box
+
+
+def _execute_kill_master(
+    spec: CampaignSpec, backend: str, seed: int, oracle, artifact_dir: Optional[str]
+) -> RunOutcome:
+    """One kill-master run: crash at a seeded commit, resume, verify.
+
+    Phase 1 journals the run with the kill switch armed at commit
+    ``1 + U[0, P * n_tasks)`` (pure function of the seed) and expects a
+    :class:`~repro.utils.errors.MasterCrash`. Phase 2 recovers the
+    journal, resumes, and requires the resumed state to equal the serial
+    oracle (real backends) and the resume invariants to hold over the
+    resumed telemetry stream (all backends, including simulated where no
+    state exists to diff).
+    """
+    import shutil
+    import tempfile
+    from dataclasses import replace
+
+    from repro.runtime.system import EasyHPS
+    from repro.utils.errors import MasterCrash
+
+    problem = _build_problem(spec)
+    config = chaos_config(backend, seed, spec)
+    proc_size, _ = config.partitions_for(problem)
+    partition = problem.build_partition(proc_size)
+    rng = np.random.default_rng([seed, spec.problem_seed, 0xD1E])
+    ceiling = max(1, int(round(partition.n_blocks * spec.kill_master_at)))
+    kill_after = 1 + int(rng.integers(0, ceiling))
+    tmp = tempfile.mkdtemp(prefix=f"chaos-kill-{backend}-{seed}-")
+    journal_path = os.path.join(tmp, "master.journal")
+    config = replace(
+        config,
+        journal_path=journal_path,
+        journal_fsync=False,
+        journal_kill_after=kill_after,
+        checkpoint_interval=max(2, kill_after // 2),
+    )
+
+    started = time.perf_counter()
+    detail = f"killed at commit {kill_after}/{partition.n_blocks}"
+
+    def fail(status: str, why: str, trace_events=None) -> RunOutcome:
+        out = RunOutcome(
+            backend, seed, status, detail=f"{detail}; {why}"[:300],
+            elapsed=time.perf_counter() - started,
+        )
+        if artifact_dir:
+            os.makedirs(artifact_dir, exist_ok=True)
+            kept = os.path.join(
+                artifact_dir, f"kill-{backend}-seed{seed}.journal"
+            )
+            if os.path.exists(journal_path):
+                shutil.copyfile(journal_path, kept)
+                out.detail = f"{out.detail} [journal: {kept}]"[:300]
+            if trace_events is not None:
+                from repro.obs import write_trace
+
+                path = os.path.join(
+                    artifact_dir, f"kill-{backend}-seed{seed}.trace.json"
+                )
+                write_trace(
+                    path, trace_events,
+                    meta={"backend": backend, "seed": seed, "status": status},
+                )
+                out.trace_path = path
+        shutil.rmtree(tmp, ignore_errors=True)
+        return out
+
+    # Phase 1: run until the kill switch fires at the chosen commit.
+    box = _run_boxed(
+        spec, f"chaos-kill-{backend}-{seed}",
+        lambda: EasyHPS(config).run(problem),
+    )
+    if not box:
+        return fail("hang", f"phase 1 exceeded {spec.run_timeout}s deadline")
+    exc = box.get("exc")
+    if isinstance(exc, FaultToleranceExhausted):
+        # Fault pressure exhausted the budget before the kill point — an
+        # allowed outcome; nothing to resume.
+        shutil.rmtree(tmp, ignore_errors=True)
+        return RunOutcome(
+            backend, seed, "aborted", detail=f"{detail}; pre-kill abort: {exc}"[:300],
+            elapsed=time.perf_counter() - started,
+        )
+    if not isinstance(exc, MasterCrash):
+        why = (
+            f"{type(exc).__name__}: {exc}" if exc is not None
+            else "kill switch never fired (run finished)"
+        )
+        return fail("error", f"phase 1: {why}")
+
+    # Phase 2: recover the journal and resume to completion.
+    from repro.durable import recover
+
+    try:
+        rec = recover(journal_path)
+    except Exception as exc2:
+        return fail("error", f"recover: {type(exc2).__name__}: {exc2}")
+    box = _run_boxed(
+        spec, f"chaos-resume-{backend}-{seed}",
+        lambda: EasyHPS(rec.config).run(rec.problem, resume=rec),
+    )
+    if not box:
+        return fail("hang", f"resume exceeded {spec.run_timeout}s deadline")
+    exc = box.get("exc")
+    if isinstance(exc, FaultToleranceExhausted):
+        shutil.rmtree(tmp, ignore_errors=True)
+        return RunOutcome(
+            backend, seed, "aborted", detail=f"{detail}; resume aborted: {exc}"[:300],
+            elapsed=time.perf_counter() - started,
+        )
+    if exc is not None:
+        return fail("error", f"resume: {type(exc).__name__}: {exc}")
+
+    run = box["run"]
+    report = run.report
+    if run.state is not None and oracle is not None:
+        diff = _states_equal(oracle, run.state)
+        if diff is not None:
+            return fail("wrong-answer", diff, trace_events=report.events)
+    if report.events is not None:
+        from repro.check.durable_check import check_resume_invariants
+
+        check = check_resume_invariants(
+            report.events, rec.scan.committed, pattern=partition.abstract
+        )
+        if not check.ok:
+            why = "; ".join(f"[{d.code}] {d.message}" for d in check.diagnostics)
+            return fail("invariant-violation", why, trace_events=report.events)
+    shutil.rmtree(tmp, ignore_errors=True)
+    return RunOutcome(
+        backend, seed, "ok", detail=detail,
+        faults_injected=report.faults_injected,
+        faults_recovered=report.faults_recovered,
+        elapsed=time.perf_counter() - started,
+    )
+
+
 def run_campaign(
     spec: CampaignSpec,
     artifact_dir: Optional[str] = None,
@@ -308,10 +474,11 @@ def run_campaign(
     ``artifact_dir`` (when set). Raises nothing — inspect the result (or
     call :meth:`CampaignResult.raise_if_failed`)."""
     oracle = _oracle_state(spec)
+    execute = _execute_one if spec.kill_master_at is None else _execute_kill_master
     outcomes: List[RunOutcome] = []
     for backend in spec.backends:
         for i in range(spec.seeds):
-            outcome = _execute_one(
+            outcome = execute(
                 spec, backend, spec.first_seed + i, oracle, artifact_dir
             )
             outcomes.append(outcome)

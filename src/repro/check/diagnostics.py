@@ -34,6 +34,11 @@ UNKNOWN_TASK = "unknown-task"
 COMMIT_AFTER_BLACKLIST = "commit-after-blacklist"
 UNHANDLED_FAULT = "fault-not-reassigned"
 
+# -- durable-resume invariant codes (kill-master campaigns) ---------------------
+RESUME_DOUBLE_COMMIT = "resume-double-commit"
+RESUME_FRONTIER_MISMATCH = "resume-frontier-mismatch"
+RESUME_INCOMPLETE = "resume-incomplete"
+
 # -- lock lint codes ----------------------------------------------------------
 LOCK_CYCLE = "lock-cycle"
 BLOCKING_WHILE_LOCKED = "blocking-while-locked"

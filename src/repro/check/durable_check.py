@@ -1,0 +1,108 @@
+"""Durable-resume invariants over the telemetry event stream.
+
+Kill-master campaigns (:mod:`repro.chaos` with ``--kill-master-at``)
+validate the *resumed* run's :class:`~repro.obs.recorder.ObsEvent`
+stream against the write-ahead journal it recovered from:
+
+- **no double-commit** — a task the journal already holds must never
+  produce a live ``commit`` in the resumed stream (the replay path feeds
+  the DAG parser directly and emits no obs commit), and no task may
+  commit twice within the stream. Either means the same merge was
+  applied to the DP table twice (``resume-double-commit``).
+- **frontier consistent with journal** — every ``assign`` in the
+  resumed stream must have all its DAG predecessors available: either
+  journaled (replayed) or committed earlier in the stream. A dispatch
+  whose inputs exist nowhere means the recovered frontier disagrees
+  with the journal (``resume-frontier-mismatch``).
+- **completeness** — unless the resumed run itself aborted, the union
+  of journaled and live commits must cover the whole DAG
+  (``resume-incomplete``).
+
+Like :mod:`repro.check.chaos_check`, this operates purely on the
+recorded stream (``RunConfig(observe=True)``), so it applies identically
+to the real backends and the simulator — including the simulated
+backend, where no DP values exist to diff against an oracle and these
+invariants *are* the resume correctness argument.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+from repro.check.diagnostics import (
+    RESUME_DOUBLE_COMMIT,
+    RESUME_FRONTIER_MISMATCH,
+    RESUME_INCOMPLETE,
+    CheckReport,
+)
+
+
+def check_resume_invariants(
+    events: Sequence[Any],
+    journaled: Mapping[Any, int],
+    pattern: Optional[Any] = None,
+    aborted: bool = False,
+    title: str = "resume-invariants",
+) -> CheckReport:
+    """Validate one resumed run's event stream against its journal.
+
+    ``journaled`` maps task id -> epoch for every commit recovered from
+    the journal (the replayed prefix). ``pattern`` is the process-level
+    :class:`~repro.dag.pattern.DAGPattern`; when given, the frontier and
+    completeness invariants are checked too, otherwise only
+    double-commit. ``aborted`` waives completeness for a resumed run
+    that ended in a clean abort.
+    """
+    report = CheckReport(title=title)
+    ordered = sorted(events, key=lambda e: e.seq)
+
+    #: task -> seq of its live commit in the resumed stream.
+    live_commits: Dict[Any, int] = {}
+    for ev in ordered:
+        if ev.scope != "task":
+            continue
+        if ev.kind == "commit":
+            report.checked += 1
+            if ev.task_id in journaled:
+                report.add(
+                    RESUME_DOUBLE_COMMIT,
+                    f"task {ev.task_id} epoch {ev.epoch} committed live "
+                    f"(seq {ev.seq}) but the journal already holds it at "
+                    f"epoch {journaled[ev.task_id]}",
+                    subject=f"task {ev.task_id}",
+                )
+            elif ev.task_id in live_commits:
+                report.add(
+                    RESUME_DOUBLE_COMMIT,
+                    f"task {ev.task_id} committed twice in the resumed "
+                    f"stream (seq {live_commits[ev.task_id]} and {ev.seq})",
+                    subject=f"task {ev.task_id}",
+                )
+            else:
+                live_commits[ev.task_id] = ev.seq
+        elif ev.kind == "assign" and pattern is not None:
+            report.checked += 1
+            for pred in pattern.predecessors(ev.task_id):
+                pred_seq = live_commits.get(pred)
+                if pred in journaled or (pred_seq is not None and pred_seq < ev.seq):
+                    continue
+                report.add(
+                    RESUME_FRONTIER_MISMATCH,
+                    f"task {ev.task_id} assigned (seq {ev.seq}) before its "
+                    f"predecessor {pred} was available — neither journaled "
+                    "nor committed earlier in the resumed stream",
+                    subject=f"task {ev.task_id}",
+                )
+
+    if pattern is not None and not aborted:
+        report.checked += 1
+        covered = set(journaled) | set(live_commits)
+        missing = [t for t in pattern.vertices() if t not in covered]
+        if missing:
+            report.add(
+                RESUME_INCOMPLETE,
+                f"{len(missing)} task(s) neither journaled nor committed "
+                f"in the resumed run (first: {missing[0]})",
+                subject="coverage",
+            )
+    return report

@@ -32,6 +32,14 @@ from repro.check.diagnostics import CheckReport
 
 _ACTIVE: Optional["LockLint"] = None
 
+#: Lock role -> blocking-call descriptions that role exists to serialize.
+#: A lock declared with ``make_lock(name, guards=("channel.send",))`` is a
+#: *guard lock*: holding it across exactly the call it guards is the
+#: lock's entire purpose (e.g. making a non-atomic pipe send atomic), so
+#: the blocking-while-locked lint exempts that pairing. Any other lock
+#: held at the same time still flags.
+_GUARDS: Dict[str, frozenset] = {}
+
 
 class LockLint:
     """One lint session: the acquisition graph plus blocking-call records."""
@@ -76,8 +84,16 @@ class LockLint:
                 return
 
     def note_blocking(self, description: str) -> None:
-        """Record a potentially blocking call if made while holding a lock."""
-        held = self._held_stack()
+        """Record a potentially blocking call if made while holding a lock.
+
+        Guard locks declared for ``description`` (see ``make_lock``'s
+        ``guards``) don't count as held — serializing that call is what
+        they are for.
+        """
+        held = [
+            h for h in self._held_stack()
+            if description not in _GUARDS.get(h, frozenset())
+        ]
         if held:
             with self._lock:
                 self._blocking.append(
@@ -207,8 +223,15 @@ def active_session() -> Optional[LockLint]:
     return _ACTIVE
 
 
-def make_lock(name: str):
-    """A lock for role ``name``: plain, or instrumented inside a session."""
+def make_lock(name: str, guards: Tuple[str, ...] = ()):
+    """A lock for role ``name``: plain, or instrumented inside a session.
+
+    ``guards`` declares blocking-call descriptions this lock exists to
+    serialize (e.g. ``("channel.send",)`` for a per-channel send guard);
+    the blocking-while-locked lint exempts exactly those pairings.
+    """
+    if guards:
+        _GUARDS[name] = _GUARDS.get(name, frozenset()) | frozenset(guards)
     lint = _ACTIVE
     if lint is None:
         return threading.Lock()

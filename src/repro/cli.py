@@ -18,11 +18,23 @@ Commands:
                   asserting oracle-equal-or-clean-abort plus the trace
                   invariants. Exit code 1 when the invariant breaks;
                   ``--artifact-dir`` saves failing runs' Perfetto traces.
+                  ``--kill-master-at P`` switches to kill-master mode:
+                  crash the journaling master at a seeded commit within
+                  the first P fraction of the run, resume the journal,
+                  and assert oracle-match plus the resume invariants;
+- ``resume``    — reconstruct master state from a write-ahead commit
+                  journal (``repro run --journal run.journal``) and
+                  continue the run to completion (:mod:`repro.durable`).
 
 Exit codes: 0 success; 1 failed checks / campaign violations; 2 argparse
 usage errors; **3** a run that ended in
 :class:`~repro.utils.errors.FaultToleranceExhausted` (the retry budget or
 every worker was exhausted — a clean, reported abort, not a traceback).
+Resumed runs use the same contract: ``repro resume`` exits 0 when the
+continued run completes (including a journal that was already complete)
+and 3 when the continuation itself exhausts fault tolerance. A
+truncated or corrupted journal tail is reported as a diagnostic and the
+resume falls back to the last intact record — never a traceback.
 
 ``run`` and ``simulate`` accept ``--trace-out out.json``: the run records
 the full task-lifecycle telemetry (:mod:`repro.obs`) and exports it as
@@ -138,10 +150,63 @@ def cmd_run(args: argparse.Namespace) -> int:
         scheduler=args.scheduler,
         verify=args.verify,
         observe=args.observe or bool(args.trace_out),
+        journal_path=args.journal,
     )
     run = EasyHPS(config).run(problem)
     print(run.report.summary())
     print(f"result: {run.value!r}"[:500])
+    if args.journal:
+        print(f"journal written: {args.journal} (continue with `repro resume {args.journal}`)")
+    _export_trace(run.report, args.trace_out)
+    return 0
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    """Continue a journaled run: ``repro resume run.journal``.
+
+    Exits 0 when the continued run completes (a journal that already
+    covers the whole DAG short-circuits to the recovered result) and 3
+    when the continuation exhausts fault tolerance — the same contract
+    as ``repro run``.
+    """
+    from dataclasses import replace
+
+    from repro.durable import recover
+    from repro.utils.errors import JournalError
+
+    try:
+        rec = recover(args.journal)
+    except JournalError as exc:
+        raise SystemExit(f"cannot resume {args.journal!r}: {exc}") from exc
+    print(rec.summary())
+    if rec.truncated:
+        # A torn tail (master died mid-append) is expected after a hard
+        # kill; the scan already fell back to the last intact record.
+        print(f"note: {rec.diagnostic}", file=sys.stderr)
+    overrides = {}
+    if args.backend:
+        overrides["backend"] = args.backend
+    if args.observe or args.trace_out:
+        overrides["observe"] = True
+    config = replace(rec.config, **overrides) if overrides else rec.config
+    run = EasyHPS(config).run(rec.problem, resume=rec)
+    print(run.report.summary())
+    print(f"result: {run.value!r}"[:500])
+    if args.check_oracle:
+        if run.state is None:
+            print("oracle check skipped: backend computes no state", file=sys.stderr)
+        else:
+            oracle = EasyHPS(RunConfig(backend="serial")).run(rec.problem)
+            import numpy as np
+
+            mismatch = [
+                key for key in sorted(oracle.state)
+                if not np.array_equal(oracle.state[key], run.state[key])
+            ]
+            if mismatch:
+                print(f"ORACLE MISMATCH in state keys {mismatch}", file=sys.stderr)
+                return 1
+            print("oracle check: resumed state identical to serial oracle")
     _export_trace(run.report, args.trace_out)
     return 0
 
@@ -263,6 +328,15 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     """Seeded fault campaign: ``repro chaos --seeds 20 --backend threads``."""
     from repro.chaos import CampaignSpec, run_campaign
 
+    kwargs = {}
+    if args.kill_master_at is not None:
+        kwargs["kill_master_at"] = args.kill_master_at
+        if not args.keep_pressure:
+            # Kill-master mode isolates the crash/resume path by default;
+            # --keep-pressure layers the usual fault plans on top.
+            kwargs.update(
+                message_p=0.0, worker_p_die=0.0, worker_p_slow=0.0, task_fault_p=0.0
+            )
     spec = CampaignSpec(
         backends=tuple(args.backend) if args.backend else ("simulated", "threads"),
         seeds=args.seeds,
@@ -271,6 +345,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         size=args.size,
         problem_seed=args.seed,
         run_timeout=args.run_timeout,
+        **kwargs,
     )
 
     def progress(o) -> None:
@@ -319,8 +394,29 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--verify", action="store_true", help="validate the schedule with the trace checker"
     )
+    run_p.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="write-ahead commit journal; a killed run continues via `repro resume PATH`",
+    )
     _add_obs_args(run_p)
     run_p.set_defaults(fn=cmd_run)
+
+    res_p = sub.add_parser(
+        "resume",
+        help="continue a journaled run after a master crash (exit 0 on "
+             "completion, 3 on fault-tolerance exhaustion)",
+    )
+    res_p.add_argument("journal", help="journal written by `repro run --journal`")
+    res_p.add_argument(
+        "--backend", default=None,
+        help="override the journaled backend (serial | threads | processes | simulated)",
+    )
+    res_p.add_argument(
+        "--check-oracle", action="store_true",
+        help="diff the resumed state against a fresh serial run (exit 1 on mismatch)",
+    )
+    _add_obs_args(res_p)
+    res_p.set_defaults(fn=cmd_resume)
 
     sim_p = sub.add_parser("simulate", help="replay Experiment_X_Y on the simulated cluster")
     common(sim_p)
@@ -379,8 +475,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-run wall-clock deadline; exceeding it counts as a hang",
     )
     chaos_p.add_argument(
+        "--kill-master-at", type=float, default=None, metavar="P",
+        help="kill-master mode: crash the journaling master at a seeded "
+             "commit within the first P (0<P<=1) fraction of the run, "
+             "resume the journal, and assert oracle-match + resume invariants",
+    )
+    chaos_p.add_argument(
+        "--keep-pressure", action="store_true",
+        help="with --kill-master-at: keep the usual message/worker/task "
+             "fault pressure instead of isolating the crash/resume path",
+    )
+    chaos_p.add_argument(
         "--artifact-dir", default=None,
-        help="write failing runs' telemetry as Perfetto traces here",
+        help="write failing runs' telemetry (and kill-mode journals) here",
     )
     chaos_p.add_argument("--quiet", action="store_true", help="suppress per-run lines")
     chaos_p.set_defaults(fn=cmd_chaos)

@@ -39,11 +39,18 @@ class IdleSignal(Message):
 
 @dataclass(frozen=True)
 class TaskAssign(Message):
-    """Master -> slave: one computable sub-task with its necessary data."""
+    """Master -> slave: one computable sub-task with its necessary data.
+
+    ``lease`` is the heartbeat lease the master granted for this dispatch
+    (seconds; 0 when the lease protocol is off): the slave must be heard
+    from — any message, heartbeats included — within each lease window or
+    the dispatch is cancelled and redistributed before its hard timeout.
+    """
 
     task_id: TaskId
     epoch: int
     inputs: Dict[str, Any] = field(compare=False)
+    lease: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -56,6 +63,36 @@ class TaskResult(Message):
     outputs: Dict[str, Any] = field(compare=False)
     #: Slave-side wall-clock seconds spent computing (reporting only).
     elapsed: float = 0.0
+
+
+@dataclass(frozen=True)
+class Heartbeat(Message):
+    """Slave -> master: periodic liveness beacon (lease renewal).
+
+    Sent every ``heartbeat_interval`` seconds from a dedicated slave
+    thread, including *while computing* — which is exactly when the idle
+    announcement loop goes quiet. The master renews every lease held by
+    ``slave_id`` on receipt; a worker whose heartbeats stop loses its
+    leases and its in-flight dispatches are redistributed without waiting
+    for the full task timeout.
+    """
+
+    slave_id: int
+    #: The sub-task the slave is currently computing, if any (reporting).
+    task_id: Any = None
+    epoch: int = -1
+
+
+@dataclass(frozen=True)
+class WorkerLeave(Message):
+    """Slave -> master: clean departure from the worker pool (elastic
+    membership). The master retires the worker immediately — its in-flight
+    dispatches are re-queued without charging any retry budget, and it is
+    never assigned further work. The counterpart, joining mid-run, is
+    master-side: :meth:`repro.runtime.master.MasterPart.attach_worker`.
+    """
+
+    slave_id: int
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,380 @@
+"""The write-ahead commit journal (``*.walj``).
+
+A journal is an append-only file the master writes through on every
+sub-task commit, making the run recoverable after a ``kill -9`` of the
+master at *any* point: ``repro resume <journal>`` reconstructs the
+committed DP table region, the computable frontier, and the retry
+budgets, then continues the run to an oracle-identical result.
+
+File layout::
+
+    MAGIC                                  b"REPRO-WALJ\\x01\\n"
+    record*                                length-prefixed, CRC-framed
+
+Each record is ``<u32 payload_len> <u32 crc32(payload)> <payload>``
+(little-endian header, pickled dict payload). Record types:
+
+- ``begin``      — the problem instance and the full :class:`RunConfig`
+  (both pickled), written once at journal creation;
+- ``commit``     — one committed sub-task: ``(task, epoch, outputs)``;
+- ``checkpoint`` — a compacted snapshot: the committed DP state arrays,
+  the committed task set, and the per-task attempt counts. Writing a
+  checkpoint *compacts the file in place* (atomic rewrite via
+  ``os.replace``), so the journal stays bounded by one checkpoint plus
+  one checkpoint-interval of commits;
+- ``end``        — the run finished; resume is a no-op replay.
+
+Torn tails are expected, not exceptional: a crash mid-write leaves a
+record whose length header promises more bytes than exist, or whose CRC
+does not match. :func:`scan_journal` stops at the first bad frame,
+reports it as a diagnostic, and recovery proceeds from the valid prefix
+— the last checkpoint plus every intact commit after it. A journal is
+only *unusable* (:class:`~repro.utils.errors.JournalError`) when the
+magic or the begin record itself is gone.
+
+Durability: every record is flushed; with ``fsync=True`` (the default)
+it is also fsync'd, surviving OS crashes, not just process death.
+
+The **kill switch** (``kill_after`` / ``kill_torn``) is the chaos hook:
+after writing the Nth commit the journal raises
+:class:`~repro.utils.errors.MasterCrash` — optionally after appending a
+deliberately torn frame — which kills the master at a commit boundary
+exactly as ``kill -9`` would, deterministically and seedably.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.comm.messages import TaskId
+from repro.utils.errors import JournalError, MasterCrash
+
+#: File magic, versioned: bump the byte on incompatible format changes.
+MAGIC = b"REPRO-WALJ\x01\n"
+
+#: ``<payload_len> <crc32>`` little-endian frame header.
+_HEADER = struct.Struct("<II")
+
+#: Sanity cap on a single record (1 GiB) — a larger length header is
+#: corruption, not data.
+_MAX_RECORD = 1 << 30
+
+
+def _frame(payload: bytes) -> bytes:
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _encode(record: Dict[str, Any]) -> bytes:
+    return _frame(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+class CommitJournal:
+    """Append-side of the write-ahead journal (the master's end).
+
+    Create with :meth:`create` for a fresh run or :meth:`open_resume` to
+    continue after recovery (truncates any torn tail, primes the commit
+    counter). Not thread-safe by design: only the master scheduling
+    thread commits, which is also what makes the journal a linearization
+    of the run's commit order.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fh: io.BufferedWriter,
+        *,
+        fsync: bool = True,
+        checkpoint_interval: int = 32,
+        kill_after: Optional[int] = None,
+        kill_torn: bool = False,
+        commits_written: int = 0,
+    ) -> None:
+        self.path = path
+        self._fh: Optional[io.BufferedWriter] = fh
+        self.fsync = fsync
+        self.checkpoint_interval = max(1, int(checkpoint_interval))
+        self.kill_after = kill_after
+        self.kill_torn = kill_torn
+        #: Commit records written by *this* handle (kill-switch counter).
+        self.commits_written = commits_written
+        #: Commits since the last checkpoint (drives ``should_checkpoint``).
+        self.commits_since_checkpoint = 0
+        #: Bytes of the begin record (re-written verbatim on compaction).
+        self._begin_raw: Optional[bytes] = None
+        self.checkpoints_written = 0
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: str,
+        *,
+        fsync: bool = True,
+        checkpoint_interval: int = 32,
+        kill_after: Optional[int] = None,
+        kill_torn: bool = False,
+    ) -> "CommitJournal":
+        """Start a fresh journal (truncates any existing file at ``path``)."""
+        fh = open(path, "wb")
+        fh.write(MAGIC)
+        fh.flush()
+        return cls(
+            path,
+            fh,
+            fsync=fsync,
+            checkpoint_interval=checkpoint_interval,
+            kill_after=kill_after,
+            kill_torn=kill_torn,
+        )
+
+    @classmethod
+    def open_resume(
+        cls,
+        scan: "JournalScan",
+        *,
+        fsync: bool = True,
+        checkpoint_interval: int = 32,
+    ) -> "CommitJournal":
+        """Reopen a scanned journal for append-after-recovery.
+
+        Truncates the file to the scanned valid prefix (dropping any torn
+        tail) so the next record starts on a clean frame boundary.
+        """
+        with open(scan.path, "rb+") as trunc:
+            trunc.truncate(scan.valid_bytes)
+        fh = open(scan.path, "ab")
+        journal = cls(
+            scan.path,
+            fh,
+            fsync=fsync,
+            checkpoint_interval=checkpoint_interval,
+            commits_written=0,
+        )
+        journal._begin_raw = scan.begin_raw
+        return journal
+
+    # -- record writers -------------------------------------------------------
+
+    def _write(self, raw: bytes) -> None:
+        if self._fh is None:
+            raise JournalError(f"journal {self.path!r} is closed")
+        self._fh.write(raw)
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    def begin(self, problem: Any, config: Any) -> None:
+        """Write the begin record: the problem and config, pickled."""
+        raw = _encode({"type": "begin", "problem": problem, "config": config})
+        self._begin_raw = raw
+        self._write(raw)
+
+    def commit(
+        self, task_id: TaskId, epoch: int, outputs: Optional[Dict[str, Any]]
+    ) -> None:
+        """Append one committed sub-task (write-ahead of the state merge)."""
+        self._write(_encode(
+            {"type": "commit", "task": task_id, "epoch": epoch, "outputs": outputs}
+        ))
+        self.commits_written += 1
+        self.commits_since_checkpoint += 1
+        if self.kill_after is not None and self.commits_written >= self.kill_after:
+            if self.kill_torn:
+                # A frame header promising more bytes than follow: the
+                # canonical kill-9-mid-write artifact the CRC/length scan
+                # must detect and recovery must survive.
+                self._write(_HEADER.pack(0x7FFF, 0xDEADBEEF) + b"torn")
+            raise MasterCrash(
+                f"injected master crash after commit #{self.commits_written} "
+                f"(journal {self.path!r})"
+            )
+
+    def should_checkpoint(self) -> bool:
+        return self.commits_since_checkpoint >= self.checkpoint_interval
+
+    def checkpoint(
+        self,
+        state: Optional[Dict[str, Any]],
+        committed: Dict[TaskId, int],
+        attempts: Dict[TaskId, int],
+    ) -> int:
+        """Write a compacted checkpoint; returns its payload size in bytes.
+
+        The file is atomically rewritten as ``magic + begin + checkpoint``
+        (temp file, fsync, ``os.replace``), discarding the per-commit
+        records the checkpoint subsumes. A crash anywhere during
+        compaction leaves either the old journal or the new one — never a
+        half state — because ``os.replace`` is atomic on POSIX.
+        """
+        if self._begin_raw is None:
+            raise JournalError("checkpoint before begin record")
+        raw = _encode({
+            "type": "checkpoint",
+            "state": state,
+            "committed": dict(committed),
+            "attempts": dict(attempts),
+        })
+        tmp = self.path + ".compact.tmp"
+        with open(tmp, "wb") as out:
+            out.write(MAGIC)
+            out.write(self._begin_raw)
+            out.write(raw)
+            out.flush()
+            if self.fsync:
+                os.fsync(out.fileno())
+        if self._fh is not None:
+            self._fh.close()
+        os.replace(tmp, self.path)
+        self._fh = open(self.path, "ab")
+        self.commits_since_checkpoint = 0
+        self.checkpoints_written += 1
+        return len(raw)
+
+    def end(self) -> None:
+        """Mark the run complete (resume becomes a pure replay)."""
+        self._write(_encode({"type": "end"}))
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CommitJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class JournalScan:
+    """The decoded valid prefix of one journal file."""
+
+    path: str
+    problem: Any = None
+    config: Any = None
+    #: task -> epoch of every committed sub-task (checkpoint + replayed).
+    committed: Dict[TaskId, int] = field(default_factory=dict)
+    #: task -> dispatch count at the last checkpoint (retry budgets).
+    attempts: Dict[TaskId, int] = field(default_factory=dict)
+    #: DP state snapshot of the last checkpoint (None when none written,
+    #: or when the backend computes no cells — the simulator).
+    checkpoint_state: Optional[Dict[str, Any]] = None
+    #: Commit records after the last checkpoint, in journal order.
+    commits_after_checkpoint: List[Tuple[TaskId, int, Optional[Dict[str, Any]]]] = (
+        field(default_factory=list)
+    )
+    #: Offset of the first byte past the last intact record.
+    valid_bytes: int = 0
+    #: True when the file ends in a torn/corrupt frame (now discarded).
+    truncated: bool = False
+    #: Human-readable account of the torn tail, if any.
+    diagnostic: str = ""
+    #: An ``end`` record was read: the run completed.
+    ended: bool = False
+    #: Raw framed bytes of the begin record (for compaction on resume).
+    begin_raw: Optional[bytes] = None
+
+    @property
+    def n_committed(self) -> int:
+        return len(self.committed)
+
+
+def scan_journal(path: str) -> JournalScan:
+    """Decode the valid prefix of a journal.
+
+    Raises :class:`JournalError` only when the journal is unusable
+    (missing, bad magic, no intact begin record). Torn or corrupt tails
+    — short frame, CRC mismatch, undecodable payload — terminate the
+    scan cleanly with ``truncated=True`` and a diagnostic; everything
+    before the bad frame is recovered.
+    """
+    try:
+        fh = open(path, "rb")
+    except OSError as exc:
+        raise JournalError(f"cannot open journal {path!r}: {exc}") from exc
+    scan = JournalScan(path=path)
+    with fh:
+        magic = fh.read(len(MAGIC))
+        if magic != MAGIC:
+            raise JournalError(
+                f"{path!r} is not a repro journal (bad magic {magic[:12]!r})"
+            )
+        offset = len(MAGIC)
+        while True:
+            header = fh.read(_HEADER.size)
+            if not header:
+                break  # clean EOF on a frame boundary
+            if len(header) < _HEADER.size:
+                scan.truncated = True
+                scan.diagnostic = (
+                    f"torn frame header at offset {offset} "
+                    f"({len(header)} of {_HEADER.size} bytes)"
+                )
+                break
+            length, crc = _HEADER.unpack(header)
+            if length > _MAX_RECORD:
+                scan.truncated = True
+                scan.diagnostic = (
+                    f"implausible record length {length} at offset {offset} "
+                    "(corrupt header)"
+                )
+                break
+            payload = fh.read(length)
+            if len(payload) < length:
+                scan.truncated = True
+                scan.diagnostic = (
+                    f"torn record at offset {offset}: header promises "
+                    f"{length} bytes, file holds {len(payload)}"
+                )
+                break
+            if zlib.crc32(payload) != crc:
+                scan.truncated = True
+                scan.diagnostic = (
+                    f"CRC mismatch at offset {offset} "
+                    f"(expected {crc:#010x}, got {zlib.crc32(payload):#010x})"
+                )
+                break
+            try:
+                record = pickle.loads(payload)
+                kind = record["type"]
+            except Exception as exc:  # corrupt-but-CRC-colliding payload
+                scan.truncated = True
+                scan.diagnostic = f"undecodable record at offset {offset}: {exc}"
+                break
+            raw = header + payload
+            offset += len(raw)
+            scan.valid_bytes = offset
+            if kind == "begin":
+                scan.problem = record["problem"]
+                scan.config = record["config"]
+                scan.begin_raw = raw
+            elif kind == "commit":
+                task, epoch = record["task"], record["epoch"]
+                scan.committed[task] = epoch
+                scan.commits_after_checkpoint.append(
+                    (task, epoch, record["outputs"])
+                )
+                scan.attempts[task] = max(
+                    scan.attempts.get(task, 0), epoch + 1
+                )
+            elif kind == "checkpoint":
+                scan.checkpoint_state = record["state"]
+                scan.committed = dict(record["committed"])
+                scan.attempts = dict(record["attempts"])
+                scan.commits_after_checkpoint = []
+            elif kind == "end":
+                scan.ended = True
+    if scan.begin_raw is None:
+        raise JournalError(
+            f"journal {path!r} has no intact begin record"
+            + (f" ({scan.diagnostic})" if scan.diagnostic else "")
+        )
+    return scan

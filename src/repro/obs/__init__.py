@@ -29,6 +29,7 @@ from repro.obs.export import (
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.recorder import (
+    DURABLE_KINDS,
     LIFECYCLE_KINDS,
     MESSAGE_KINDS,
     NULL_RECORDER,
@@ -55,6 +56,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "DURABLE_KINDS",
     "LIFECYCLE_KINDS",
     "MESSAGE_KINDS",
     "NULL_RECORDER",

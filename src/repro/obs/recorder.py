@@ -69,6 +69,21 @@ CHAOS_KINDS = (
     "blacklist",
 )
 
+#: Durability and membership kinds (:mod:`repro.durable`): journal
+#: checkpoints, resume replay, the heartbeat/lease liveness protocol,
+#: and elastic worker join/leave. ``resume`` marks a run continued from
+#: a journal (its ``n_committed`` counts replayed — not recomputed —
+#: commits); ``lease-expired`` is the lease-driven liveness fault that
+#: fires strictly before the hard task timeout.
+DURABLE_KINDS = (
+    "checkpoint",
+    "resume",
+    "heartbeat",
+    "lease-expired",
+    "worker-join",
+    "worker-leave",
+)
+
 
 @dataclass(frozen=True)
 class ObsEvent:

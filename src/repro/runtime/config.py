@@ -33,6 +33,63 @@ def _verify_default() -> bool:
     return os.environ.get("REPRO_VERIFY", "").strip().lower() in ("1", "true", "yes", "on")
 
 
+def _env_bool(name: str, default: bool):
+    """Default factory: boolean knob overridable via ``REPRO_*`` env var."""
+
+    def factory() -> bool:
+        raw = os.environ.get(name, "").strip().lower()
+        if not raw:
+            return default
+        return raw in ("1", "true", "yes", "on")
+
+    return factory
+
+
+def _env_float(name: str, default: float):
+    """Default factory: float knob overridable via ``REPRO_*`` env var."""
+
+    def factory() -> float:
+        raw = os.environ.get(name, "").strip()
+        if not raw:
+            return default
+        try:
+            return float(raw)
+        except ValueError:
+            raise ConfigError(f"env var {name} must be a number, got {raw!r}")
+
+    return factory
+
+
+def _env_opt_float(name: str):
+    """Default factory: optional float knob (``none``/unset -> None)."""
+
+    def factory() -> Optional[float]:
+        raw = os.environ.get(name, "").strip()
+        if not raw or raw.lower() == "none":
+            return None
+        try:
+            return float(raw)
+        except ValueError:
+            raise ConfigError(f"env var {name} must be a number, got {raw!r}")
+
+    return factory
+
+
+def _env_int(name: str, default: int):
+    """Default factory: int knob overridable via ``REPRO_*`` env var."""
+
+    def factory() -> int:
+        raw = os.environ.get(name, "").strip()
+        if not raw:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise ConfigError(f"env var {name} must be an integer, got {raw!r}")
+
+    return factory
+
+
 @dataclass(frozen=True)
 class RunConfig:
     """Everything the runtime needs besides the problem itself."""
@@ -54,7 +111,8 @@ class RunConfig:
     #: Thread-level partition size; None picks the problem's default.
     thread_partition: Optional[BlockShape] = None
     #: Seconds before a dispatched sub-task is declared failed (Fig 10).
-    task_timeout: float = 30.0
+    #: Overridable via ``REPRO_TASK_TIMEOUT``.
+    task_timeout: float = field(default_factory=_env_float("REPRO_TASK_TIMEOUT", 30.0))
     #: Seconds before a sub-sub-task restarts its computing thread (Fig 12).
     subtask_timeout: float = 10.0
     #: Re-dispatches allowed per sub-task before the run aborts.
@@ -100,8 +158,48 @@ class RunConfig:
     #: when no dispatch is live and no progress happened for this many
     #: seconds (all workers presumed lost) — the guarantee that a fault
     #: storm ends in a clean abort, never a hang. None derives
-    #: ``2 * task_timeout + 1``.
-    stall_timeout: Optional[float] = None
+    #: ``2 * task_timeout + 1``. Overridable via ``REPRO_STALL_TIMEOUT``.
+    stall_timeout: Optional[float] = field(
+        default_factory=_env_opt_float("REPRO_STALL_TIMEOUT")
+    )
+    #: Path of the write-ahead commit journal (:mod:`repro.durable`); the
+    #: master writes through on every commit and ``repro resume`` can
+    #: reconstruct the run after a master crash. None disables journaling.
+    journal_path: Optional[str] = None
+    #: Commits between compacted journal checkpoints (snapshot of the
+    #: committed DP region + retry budgets). Overridable via
+    #: ``REPRO_CHECKPOINT_INTERVAL``.
+    checkpoint_interval: int = field(
+        default_factory=_env_int("REPRO_CHECKPOINT_INTERVAL", 32)
+    )
+    #: fsync the journal after every record (survives OS crashes, not just
+    #: process death). Overridable via ``REPRO_JOURNAL_FSYNC``.
+    journal_fsync: bool = field(default_factory=_env_bool("REPRO_JOURNAL_FSYNC", True))
+    #: Modeled per-record journal write latency charged to the master in
+    #: sim-time (simulated backend only). Overridable via
+    #: ``REPRO_JOURNAL_LATENCY``.
+    journal_latency: float = field(
+        default_factory=_env_float("REPRO_JOURNAL_LATENCY", 0.0005)
+    )
+    #: Chaos kill switch: raise :class:`~repro.utils.errors.MasterCrash`
+    #: after this many journal commit records — the in-process equivalent
+    #: of ``kill -9`` of the master at a commit boundary. None disables.
+    journal_kill_after: Optional[int] = None
+    #: With the kill switch: also append a deliberately torn frame before
+    #: crashing (models a kill mid-write; recovery must CRC-reject it).
+    journal_kill_torn: bool = False
+    #: Seconds between slave heartbeat beacons; enables the heartbeat/
+    #: lease liveness protocol (leases expire after
+    #: ``heartbeat_interval * lease_factor`` of silence and drive
+    #: re-dispatch before the hard timeout). None keeps the paper's
+    #: inference-only liveness. Overridable via ``REPRO_HEARTBEAT_INTERVAL``.
+    heartbeat_interval: Optional[float] = field(
+        default_factory=_env_opt_float("REPRO_HEARTBEAT_INTERVAL")
+    )
+    #: Lease duration as a multiple of the heartbeat interval (tolerates
+    #: ``lease_factor - 1`` consecutive lost heartbeats). Overridable via
+    #: ``REPRO_LEASE_FACTOR``.
+    lease_factor: float = field(default_factory=_env_float("REPRO_LEASE_FACTOR", 3.0))
     #: Simulated-cluster description; None derives one from nodes/threads.
     cluster: Optional[ClusterSpec] = None
     #: BCW column grouping (the baseline's ``block_col`` argument).
@@ -170,6 +268,20 @@ class RunConfig:
             )
         if self.stall_timeout is not None:
             check_positive("stall_timeout", self.stall_timeout)
+        check_positive("checkpoint_interval", self.checkpoint_interval)
+        check_positive("lease_factor", self.lease_factor)
+        if self.heartbeat_interval is not None:
+            check_positive("heartbeat_interval", self.heartbeat_interval)
+        if self.journal_latency < 0:
+            raise ConfigError(
+                f"journal_latency must be >= 0, got {self.journal_latency}"
+            )
+        if self.journal_kill_after is not None:
+            check_positive("journal_kill_after", self.journal_kill_after)
+        check_type("journal_fsync", self.journal_fsync, bool)
+        check_type("journal_kill_torn", self.journal_kill_torn, bool)
+        if self.journal_path is not None:
+            check_type("journal_path", self.journal_path, str)
 
     # -- derived ------------------------------------------------------------
 
@@ -183,6 +295,14 @@ class RunConfig:
         if self.stall_timeout is not None:
             return self.stall_timeout
         return 2.0 * self.task_timeout + 1.0
+
+    @property
+    def lease_duration(self) -> Optional[float]:
+        """Granted lease length (``heartbeat_interval * lease_factor``);
+        None when the heartbeat/lease protocol is off."""
+        if self.heartbeat_interval is None:
+            return None
+        return self.heartbeat_interval * self.lease_factor
 
     @property
     def observing(self) -> bool:

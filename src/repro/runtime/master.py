@@ -50,11 +50,20 @@ import numpy as np
 from repro.algorithms.problem import DPProblem
 from repro.check.lock_lint import make_lock
 from repro.check.trace_check import TraceRecorder
-from repro.comm.messages import EndSignal, IdleSignal, TaskAssign, TaskId, TaskResult
+from repro.comm.messages import (
+    EndSignal,
+    Heartbeat,
+    IdleSignal,
+    TaskAssign,
+    TaskId,
+    TaskResult,
+    WorkerLeave,
+)
 from repro.comm.serialization import message_nbytes
 from repro.comm.transport import Channel, ChannelClosed, ChannelTimeout
 from repro.dag.parser import DAGParser
 from repro.dag.partition import Partition
+from repro.durable.journal import CommitJournal
 from repro.obs.clock import Clock
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import EventRecorder
@@ -62,6 +71,7 @@ from repro.obs.schedule import ScheduleTracer
 from repro.runtime.worker_pool import (
     ComputableStack,
     FinishedStack,
+    LeaseTable,
     OvertimeEntry,
     OvertimeQueue,
     RegisterTable,
@@ -90,6 +100,16 @@ class MasterStats:
     blacklisted_workers: List[int] = field(default_factory=list)
     #: Service/fault-tolerance threads that outlived their join timeout.
     worker_leaks: int = 0
+    #: Compacted journal checkpoints written during the run.
+    checkpoints: int = 0
+    #: Sub-tasks skipped on resume because the journal already held them.
+    resumed_commits: int = 0
+    #: Dispatches cancelled because their liveness lease expired.
+    lease_expirations: int = 0
+    #: Workers that joined mid-run (elastic membership).
+    workers_joined: int = 0
+    #: Workers that left cleanly mid-run (WorkerLeave).
+    workers_left: int = 0
 
 
 class MasterPart:
@@ -117,6 +137,12 @@ class MasterPart:
         clock: Optional[Clock] = None,
         obs: Optional[EventRecorder] = None,
         metrics: Optional[MetricsRegistry] = None,
+        journal: Optional[CommitJournal] = None,
+        completed: Optional[Dict[TaskId, int]] = None,
+        initial_state: Optional[Dict[str, np.ndarray]] = None,
+        attempts: Optional[Dict[TaskId, int]] = None,
+        heartbeat_interval: Optional[float] = None,
+        lease_factor: float = 3.0,
     ) -> None:
         if not channels:
             raise SchedulerError("master needs at least one slave channel")
@@ -187,6 +213,38 @@ class MasterPart:
         #: assignment is GIL-atomic.
         self._last_progress: float = self.clock.now()
 
+        #: Write-ahead commit journal (:mod:`repro.durable`); every commit
+        #: is journaled *before* it merges into state, so a master crash
+        #: at any point loses at most the in-flight (uncommitted) work.
+        self.journal = journal
+        #: task -> epoch of commits recovered from a journal (resume);
+        #: these are replayed into the DAG parser, never re-dispatched.
+        self._prior_commits: Dict[TaskId, int] = dict(completed) if completed else {}
+        self._initial_state = initial_state
+        if attempts:
+            # Retry budgets continue across the crash: epochs must outpace
+            # any result a surviving slave still holds from before it.
+            self._register.prime(attempts)
+        #: All commits of this run, prior + live (checkpoints persist it).
+        self._committed: Dict[TaskId, int] = dict(self._prior_commits)
+
+        #: Heartbeat/lease liveness (None = the paper's inference-only
+        #: liveness): leases span ``heartbeat_interval * lease_factor``
+        #: and are renewed by *any* message from the holding worker.
+        self._lease_duration: Optional[float] = (
+            None if heartbeat_interval is None else heartbeat_interval * lease_factor
+        )
+        self._leases = LeaseTable()
+
+        #: Elastic membership: workers that announced a clean departure
+        #: (WorkerLeave) — mutated by service threads, set-membership reads
+        #: are GIL-safe like ``_blacklisted``.
+        self._left: set = set()
+        #: Service threads for workers attached mid-run; guarded by the
+        #: membership lock together with ``channels`` growth.
+        self._extra_threads: List[threading.Thread] = []
+        self._membership_lock = make_lock("master.membership")
+
     @property
     def tracer(self) -> Optional[TraceRecorder]:
         """The happens-before trace recorder (None unless verifying or
@@ -211,8 +269,14 @@ class MasterPart:
 
     def run(self) -> Dict[str, np.ndarray]:
         """Execute the whole schedule; returns the completed global state."""
-        self.state = self.problem.make_state()
+        self.state = (
+            self.problem.make_state()
+            if self._initial_state is None
+            else self._initial_state
+        )
         parser = DAGParser(self.partition.abstract)
+        if self._prior_commits:
+            self._replay_prior_commits(parser)
         self._stack.push_many(parser.computable())
 
         workers = [
@@ -236,23 +300,38 @@ class MasterPart:
                     continue
                 with self._results_lock:
                     outputs, epoch = self._result_buffer.pop(task_id)
+                if self.journal is not None:
+                    # Write-ahead: the journal record lands (and fsyncs)
+                    # before the state merge, so a crash between the two
+                    # replays this commit instead of losing it.
+                    self.journal.commit(task_id, epoch, outputs)
                 with self._state_lock:
                     self.problem.apply_result(self.state, self.partition, task_id, outputs)
+                self._committed[task_id] = epoch
                 if self.sched.enabled:
                     # Recorded before push_many so a successor's "assign"
                     # always serializes after its dependencies' commits.
                     self.sched.record("commit", task_id, epoch)
                 self._stack.push_many(parser.complete(task_id))
+                if self.journal is not None and self.journal.should_checkpoint():
+                    self._write_checkpoint()
+            if self.journal is not None and not self._failure and parser.is_done():
+                self.journal.end()
         finally:
             # Fig 9 step i: tear down pools and signal every slave to end.
             self._end.set()
             self._stack.close()
             self._finished.close()
+            if self.journal is not None:
+                self.journal.close()
+            with self._membership_lock:
+                channels = list(self.channels)
+                workers = [*workers, *self._extra_threads]
             for t in workers:
                 t.join(timeout=10.0)
             ft.join(timeout=10.0)
             self._surface_leaks([*workers, ft])
-            for ch in self.channels:
+            for ch in channels:
                 self.stats.messages += ch.sent_messages + ch.received_messages
                 self.stats.bytes_to_slaves += ch.sent_bytes
                 self.stats.bytes_to_master += ch.received_bytes
@@ -264,6 +343,46 @@ class MasterPart:
             self.partition.abstract, title=f"master-trace({self.problem.name})"
         )
         return self.state
+
+    def _replay_prior_commits(self, parser: DAGParser) -> None:
+        """Prime the DAG parser (and the happens-before trace) with the
+        commits recovered from the journal.
+
+        The committed set is downward-closed — a task only commits after
+        its predecessors — so completing it in topological order never
+        hits a blocked vertex. The trace gets synthetic commit records
+        (the telemetry stream does NOT: resume invariants distinguish
+        journaled commits from live ones) so the validator sees resumed
+        tasks' dependencies as satisfied.
+        """
+        for task_id in self.partition.abstract.topological_order():
+            if task_id not in self._prior_commits:
+                continue
+            parser.complete(task_id)
+            if self.sched.trace is not None:
+                self.sched.trace.record(
+                    "commit", task_id, self._prior_commits[task_id], -1, self.clock.now()
+                )
+        self.stats.resumed_commits = len(self._prior_commits)
+        if self.sched.observing:
+            self.sched.record(
+                "resume", None, -1, n_committed=len(self._prior_commits)
+            )
+
+    def _write_checkpoint(self) -> None:
+        """Compact the journal around a snapshot of the committed state."""
+        assert self.journal is not None
+        with self._state_lock:
+            snapshot = {k: np.array(v, copy=True) for k, v in self.state.items()}
+        nbytes = self.journal.checkpoint(
+            snapshot, self._committed, self._register.attempts_snapshot()
+        )
+        self.stats.checkpoints += 1
+        if self.sched.observing:
+            self.sched.record(
+                "checkpoint", None, -1,
+                n_committed=len(self._committed), nbytes=nbytes,
+            )
 
     def _surface_leaks(self, threads: Sequence[threading.Thread]) -> None:
         """Warn about (and count) threads that outlived their join timeout.
@@ -319,9 +438,26 @@ class MasterPart:
                 continue
             except ChannelClosed:
                 return
-            self._last_heard[worker_id] = self.clock.now()
+            now = self.clock.now()
+            self._last_heard[worker_id] = now
+            if self._lease_duration is not None:
+                # Any message from a worker proves liveness: renew every
+                # lease it holds (heartbeats are just the guaranteed-
+                # periodic case of this).
+                self._leases.renew_worker(worker_id, now, self._lease_duration)
+            if isinstance(msg, Heartbeat):
+                if self.sched.observing:
+                    self.sched.record("heartbeat", msg.task_id, msg.epoch, worker_id)
+                continue
+            if isinstance(msg, WorkerLeave):
+                # Elastic departure: retire the worker, re-queue its
+                # in-flight work budget-free, and let it exit cleanly.
+                self._detach_worker(worker_id)
+                self._try_send_end(channel)
+                ended = True
+                continue
             if isinstance(msg, IdleSignal):
-                if worker_id in self._blacklisted:
+                if worker_id in self._blacklisted or worker_id in self._left:
                     # Retired worker: no further assignments; let it exit.
                     self._try_send_end(channel)
                     ended = True
@@ -344,7 +480,7 @@ class MasterPart:
                     ended = True
                     continue
                 epoch = self._register.register(task_id, worker_id, self.clock.now())
-                if worker_id in self._blacklisted:
+                if worker_id in self._blacklisted or worker_id in self._left:
                     # Blacklisted while we were popping: registering first
                     # and re-checking closes the race with the eviction
                     # scan — whichever side wins the cancel re-queues the
@@ -366,7 +502,15 @@ class MasterPart:
                         epoch=epoch,
                     )
                 )
-                assign = TaskAssign(task_id=task_id, epoch=epoch, inputs=inputs)
+                lease = 0.0
+                if self._lease_duration is not None:
+                    lease = self._lease_duration
+                    self._leases.grant(
+                        task_id, epoch, worker_id, self.clock.now(), lease
+                    )
+                assign = TaskAssign(
+                    task_id=task_id, epoch=epoch, inputs=inputs, lease=lease
+                )
                 self._last_progress = self.clock.now()
                 try:
                     channel.send(assign)
@@ -378,6 +522,7 @@ class MasterPart:
                     )
             elif isinstance(msg, TaskResult):
                 if self._register.finish(msg.task_id, msg.epoch):
+                    self._leases.drop(msg.task_id, msg.epoch)
                     if self.sched.observing:
                         # The compute span is synthesized on the master's
                         # clock from the slave-reported duration, so the
@@ -438,10 +583,28 @@ class MasterPart:
             now = self.clock.now()
             while pending and pending[0][0] <= now:
                 self._stack.push(heapq.heappop(pending)[2])
+            if self._lease_duration is not None:
+                for lease in self._leases.expired(now):
+                    reg = self._register.cancel(lease.task_id, lease.epoch)
+                    if not reg:
+                        continue  # finished/cancelled already; lazy removal
+                    self.stats.lease_expirations += 1
+                    if self.sched.observing:
+                        self.sched.record(
+                            "lease-expired", lease.task_id, lease.epoch,
+                            lease.worker_id,
+                        )
+                    self._note_worker_failure(reg.worker_id)
+                    seq += 1
+                    if not self._requeue_fault(
+                        lease.task_id, lease.epoch, pending, seq, now
+                    ):
+                        return
             for entry in self._overtime.due(now):
                 reg = self._register.cancel(entry.task_id, entry.epoch)
                 if not reg:
                     continue  # completed in time; lazy removal
+                self._leases.drop(entry.task_id, entry.epoch)
                 self._note_worker_failure(reg.worker_id)
                 seq += 1
                 if not self._requeue_fault(entry.task_id, entry.epoch, pending, seq, now):
@@ -514,9 +677,13 @@ class MasterPart:
             return
         n = self._worker_failures.get(worker_id, 0) + 1
         self._worker_failures[worker_id] = n
-        if n < self.blacklist_threshold or worker_id in self._blacklisted:
+        if (
+            n < self.blacklist_threshold
+            or worker_id in self._blacklisted
+            or worker_id in self._left
+        ):
             return
-        if len(self.channels) - len(self._blacklisted) <= 1:
+        if len(self.channels) - len(self._blacklisted) - len(self._left) <= 1:
             return  # degradation floor: keep the last worker, come what may
         heard = self._last_heard.get(worker_id)
         if heard is not None and self.clock.now() - heard < self.task_timeout:
@@ -531,16 +698,68 @@ class MasterPart:
             self.sched.record(
                 "blacklist", None, -1, worker_id, failures=n
             )
+        self._requeue_worker_tasks(worker_id)
+
+    def _requeue_worker_tasks(self, worker_id: int) -> None:
+        """Cancel and re-queue every live dispatch a retiring worker holds
+        (blacklist eviction or clean WorkerLeave). Never charges the retry
+        budget — the task did nothing wrong, its worker went away."""
         for task_id, reg in self._register.live_snapshot():
             if reg.worker_id != worker_id:
                 continue
             if not self._register.cancel(task_id, reg.epoch):
                 continue
+            self._leases.drop(task_id, reg.epoch)
             self._budget_exempt[task_id] = self._budget_exempt.get(task_id, 0) + 1
             self.stats.faults_recovered += 1
             if self.sched.enabled:
                 self.sched.record("redistribute", task_id, reg.epoch)
             self._stack.push(task_id)
+
+    # -- elastic membership -----------------------------------------------------
+
+    def _detach_worker(self, worker_id: int) -> None:
+        """Retire a worker that announced a clean departure."""
+        if worker_id in self._left:
+            return
+        self._left.add(worker_id)
+        self.stats.workers_left += 1
+        if self.sched.observing:
+            self.sched.record("worker-leave", None, -1, worker_id)
+        self._requeue_worker_tasks(worker_id)
+
+    def attach_worker(self, channel: Channel) -> int:
+        """Join a new worker mid-run (elastic membership); returns its id.
+
+        Only dynamic-family policies accept joiners — static wavefront
+        policies fixed their column ownership at construction and a new
+        worker would own nothing. The new worker is served by its own
+        service thread, joins the admission flow like any other slave, and
+        is joined/accounted at teardown with the founding workers.
+        """
+        if not getattr(self.policy, "elastic", False):
+            raise SchedulerError(
+                f"policy {self.policy.name!r} is static; mid-run worker "
+                "join requires a dynamic-family policy"
+            )
+        with self._membership_lock:
+            if self._end.is_set():
+                raise SchedulerError("cannot attach a worker: the run is over")
+            worker_id = len(self.channels)
+            self.channels.append(channel)
+            # Int assignment is GIL-atomic; eligibility checks racing this
+            # see either the old or new count, both consistent.
+            self.policy.n_workers = worker_id + 1
+            thread = threading.Thread(
+                target=self._serve_slave, args=(worker_id,), daemon=True,
+                name=f"master-worker{worker_id}",
+            )
+            self._extra_threads.append(thread)
+        self.stats.workers_joined += 1
+        if self.sched.observing:
+            self.sched.record("worker-join", None, -1, worker_id)
+        thread.start()
+        return worker_id
 
     def _scan_stragglers(self, now: float, seq: int) -> int:
         """Speculative re-dispatch: cancel live dispatches that have aged
@@ -562,6 +781,7 @@ class MasterPart:
                 continue
             if not self._register.cancel(task_id, reg.epoch):
                 continue
+            self._leases.drop(task_id, reg.epoch)
             self._speculated.add(task_id)
             self._budget_exempt[task_id] = self._budget_exempt.get(task_id, 0) + 1
             self.stats.speculative_redispatches += 1

@@ -25,8 +25,16 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.algorithms.problem import DPProblem
+from repro.check.lock_lint import make_lock
 from repro.cluster.faults import FaultPlan, WorkerFaultPlan
-from repro.comm.messages import EndSignal, IdleSignal, TaskAssign, TaskResult
+from repro.comm.messages import (
+    EndSignal,
+    Heartbeat,
+    IdleSignal,
+    TaskAssign,
+    TaskResult,
+    WorkerLeave,
+)
 from repro.comm.transport import Channel, ChannelClosed, ChannelTimeout
 from repro.dag.parser import DAGParser
 from repro.dag.partition import BlockShape, Partition
@@ -79,6 +87,8 @@ class SlavePart:
         verify: bool = False,
         clock: Optional[Clock] = None,
         obs: Optional[EventRecorder] = None,
+        heartbeat_interval: Optional[float] = None,
+        leave_after: Optional[int] = None,
     ) -> None:
         self.slave_id = slave_id
         self.channel = channel
@@ -104,7 +114,27 @@ class SlavePart:
         #: Telemetry stream for thread-level events; only wired when the
         #: slave shares the recorder's process (threads backend).
         self.obs = obs
+        #: Seconds between liveness beacons; None = no heartbeat thread
+        #: (the paper's protocol). The beacon runs on its own thread and
+        #: keeps beating *while computing* — exactly when the idle loop
+        #: goes quiet.
+        self.heartbeat_interval = heartbeat_interval
+        #: Leave the pool cleanly (WorkerLeave) after computing this many
+        #: sub-tasks — elastic-membership departure, used by tests and
+        #: scale-down scenarios. None = serve until the end signal.
+        self.leave_after = leave_after
+        #: The channel is shared between the protocol loop and the
+        #: heartbeat thread; pipe/queue sends are not atomic, so every
+        #: send goes through this lock.
+        self._send_lock = make_lock("slave.channel-send", guards=("channel.send",))
+        #: (task_id, epoch) currently computing, for heartbeat reporting.
+        #: Tuple assignment is GIL-atomic.
+        self._current: Optional[tuple] = None
         self.stats = SlaveStats()
+
+    def _send(self, msg) -> None:
+        with self._send_lock:
+            self.channel.send(msg)
 
     # -- protocol loop --------------------------------------------------------
 
@@ -125,68 +155,105 @@ class SlavePart:
         # this slave forever. Duplicated announcements are safe — the
         # master just assigns more work, served sequentially.
         resend = max(0.1, 10.0 * self.poll_interval)
-        while not self.stop_event.is_set():
-            try:
-                self.channel.send(IdleSignal(self.slave_id))
-                msg = self._recv(max_wait=resend)
-            except ChannelClosed:
-                break
-            if msg is None:
-                if self.stop_event.is_set():
+        hb_stop = threading.Event()
+        hb_thread: Optional[threading.Thread] = None
+        if self.heartbeat_interval is not None:
+            hb_thread = threading.Thread(
+                target=self._heartbeat_loop, args=(hb_stop,), daemon=True,
+                name=f"slave{self.slave_id}-heartbeat",
+            )
+            hb_thread.start()
+        try:
+            while not self.stop_event.is_set():
+                try:
+                    self._send(IdleSignal(self.slave_id))
+                    msg = self._recv(max_wait=resend)
+                except ChannelClosed:
                     break
-                continue  # nothing heard within the window: announce again
-            if isinstance(msg, EndSignal):
-                break
-            assert isinstance(msg, TaskAssign), f"unexpected message {msg!r}"
-            if death_point is not None and self.stats.tasks >= death_point:
-                # Worker-level fault: the slave dies mid-run, holding an
-                # assigned sub-task it will never answer. The master's
-                # timeout redistributes the task; if every worker dies the
-                # stall watchdog aborts cleanly.
-                self._emit(
-                    "worker-death", msg.task_id, msg.epoch, after_tasks=death_point
-                )
-                break
-            fault = self.fault_plan.lookup(msg.task_id, msg.epoch)
-            if fault is not None and fault.kind == "crash":
-                # The process "dies" without replying; the master's
-                # overtime check will redistribute. We come back up on the
-                # next loop iteration, like a restarted worker.
-                continue
-            if fault is not None and fault.kind == "hang":
-                # Stall past the master's deadline, then answer late — the
-                # epoch check must discard this result.
-                time.sleep(self.hang_duration)
-            started = time.perf_counter()
-            outputs = self._compute(msg)
-            elapsed = time.perf_counter() - started
-            if slow_factor > 1.0:
-                # Slow-node degradation: stretch the apparent compute time
-                # by (factor - 1) x elapsed, bounded so a single task can
-                # at most look one second slower. Enough to trip the
-                # master's speculation/timeout paths, never a hard hang.
-                penalty = min((slow_factor - 1.0) * elapsed, 1.0)
-                self._emit(
-                    "worker-slow", msg.task_id, msg.epoch,
-                    factor=slow_factor, penalty=penalty,
-                )
-                time.sleep(penalty)
-                elapsed += penalty
-            self.stats.tasks += 1
-            self.stats.compute_seconds += elapsed
-            try:
-                self.channel.send(
-                    TaskResult(
-                        task_id=msg.task_id,
-                        epoch=msg.epoch,
-                        slave_id=self.slave_id,
-                        outputs=outputs,
-                        elapsed=elapsed,
+                if msg is None:
+                    if self.stop_event.is_set():
+                        break
+                    continue  # nothing heard within the window: announce again
+                if isinstance(msg, EndSignal):
+                    break
+                assert isinstance(msg, TaskAssign), f"unexpected message {msg!r}"
+                if death_point is not None and self.stats.tasks >= death_point:
+                    # Worker-level fault: the slave dies mid-run, holding an
+                    # assigned sub-task it will never answer. The master's
+                    # timeout redistributes the task; if every worker dies the
+                    # stall watchdog aborts cleanly.
+                    self._emit(
+                        "worker-death", msg.task_id, msg.epoch, after_tasks=death_point
                     )
-                )
-            except ChannelClosed:
-                break
+                    break
+                fault = self.fault_plan.lookup(msg.task_id, msg.epoch)
+                if fault is not None and fault.kind == "crash":
+                    # The process "dies" without replying; the master's
+                    # overtime check will redistribute. We come back up on the
+                    # next loop iteration, like a restarted worker.
+                    continue
+                if fault is not None and fault.kind == "hang":
+                    # Stall past the master's deadline, then answer late — the
+                    # epoch check must discard this result.
+                    time.sleep(self.hang_duration)
+                self._current = (msg.task_id, msg.epoch)
+                started = time.perf_counter()
+                outputs = self._compute(msg)
+                elapsed = time.perf_counter() - started
+                self._current = None
+                if slow_factor > 1.0:
+                    # Slow-node degradation: stretch the apparent compute time
+                    # by (factor - 1) x elapsed, bounded so a single task can
+                    # at most look one second slower. Enough to trip the
+                    # master's speculation/timeout paths, never a hard hang.
+                    penalty = min((slow_factor - 1.0) * elapsed, 1.0)
+                    self._emit(
+                        "worker-slow", msg.task_id, msg.epoch,
+                        factor=slow_factor, penalty=penalty,
+                    )
+                    time.sleep(penalty)
+                    elapsed += penalty
+                self.stats.tasks += 1
+                self.stats.compute_seconds += elapsed
+                try:
+                    self._send(
+                        TaskResult(
+                            task_id=msg.task_id,
+                            epoch=msg.epoch,
+                            slave_id=self.slave_id,
+                            outputs=outputs,
+                            elapsed=elapsed,
+                        )
+                    )
+                except ChannelClosed:
+                    break
+                if self.leave_after is not None and self.stats.tasks >= self.leave_after:
+                    # Elastic departure: announce it so the master retires
+                    # this worker immediately instead of timing it out.
+                    self._emit("worker-leave", after_tasks=self.stats.tasks)
+                    try:
+                        self._send(WorkerLeave(self.slave_id))
+                    except ChannelClosed:
+                        pass
+                    break
+        finally:
+            hb_stop.set()
+            if hb_thread is not None:
+                hb_thread.join(timeout=2.0)
         return self.stats
+
+    def _heartbeat_loop(self, hb_stop: threading.Event) -> None:
+        """Periodic liveness beacon (its own thread; see Heartbeat)."""
+        assert self.heartbeat_interval is not None
+        while not hb_stop.wait(self.heartbeat_interval):
+            if self.stop_event.is_set():
+                return
+            current = self._current
+            task_id, epoch = current if current is not None else (None, -1)
+            try:
+                self._send(Heartbeat(self.slave_id, task_id=task_id, epoch=epoch))
+            except ChannelClosed:
+                return
 
     def _recv(self, max_wait: Optional[float] = None):
         """Poll the channel so the stop event can interrupt a quiet wait.

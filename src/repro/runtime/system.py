@@ -44,29 +44,54 @@ class EasyHPS:
     def __init__(self, config: Optional[RunConfig] = None) -> None:
         self.config = config or RunConfig()
 
-    def run(self, problem: DPProblem, config: Optional[RunConfig] = None) -> RunResult:
-        """Execute one DP problem; ``config`` overrides the instance default."""
+    def run(
+        self,
+        problem: DPProblem,
+        config: Optional[RunConfig] = None,
+        resume: Optional[Any] = None,
+    ) -> RunResult:
+        """Execute one DP problem; ``config`` overrides the instance default.
+
+        ``resume`` (a :class:`~repro.durable.recovery.RecoveredRun`)
+        continues a journaled run after a master crash instead of
+        starting from scratch. A journal that already covers the whole
+        DAG short-circuits: the recovered state is finalized directly.
+        """
         cfg = config or self.config
         if not isinstance(problem, DPProblem):
             raise ConfigError(
                 f"problem must be a DPProblem, got {type(problem).__name__}"
             )
+        if resume is not None and resume.complete:
+            state = resume.state
+            report = RunReport(
+                backend=cfg.backend,
+                scheduler=cfg.scheduler,
+                algorithm=problem.name,
+                nodes=cfg.nodes,
+                threads_per_node=cfg.threads_per_node,
+                makespan=0.0,
+                wall_time=0.0,
+                n_tasks=resume.n_tasks,
+            )
+            value = problem.finalize(state) if state is not None else None
+            return RunResult(value=value, state=state, report=report)
         if cfg.backend == "serial":
             from repro.backends.serial import run_serial
 
-            state, report = run_serial(problem, cfg)
+            state, report = run_serial(problem, cfg, resume=resume)
         elif cfg.backend == "threads":
             from repro.backends.threads import run_threads
 
-            state, report = run_threads(problem, cfg)
+            state, report = run_threads(problem, cfg, resume=resume)
         elif cfg.backend == "processes":
             from repro.backends.processes import run_processes
 
-            state, report = run_processes(problem, cfg)
+            state, report = run_processes(problem, cfg, resume=resume)
         elif cfg.backend == "simulated":
             from repro.backends.simulated import run_simulated
 
-            state, report = run_simulated(problem, cfg)
+            state, report = run_simulated(problem, cfg, resume=resume)
         else:  # pragma: no cover - RunConfig already validates
             raise ConfigError(f"unknown backend {cfg.backend!r}")
         value = problem.finalize(state) if state is not None else None

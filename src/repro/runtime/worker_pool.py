@@ -215,6 +215,25 @@ class RegisterTable:
             )
             return epoch
 
+    def prime(self, attempts: Dict[TaskId, int]) -> None:
+        """Seed attempt counts from a recovered journal (resume path).
+
+        Epochs must keep counting from where the crashed master stopped:
+        a slave that survived the crash could, in principle, still hold a
+        result stamped with a pre-crash epoch, and priming guarantees any
+        post-resume dispatch outpaces it. Only callable before the first
+        registration.
+        """
+        with self._lock:
+            if self._live or self._attempts:
+                raise SchedulerError("prime() after registrations began")
+            self._attempts.update(attempts)
+
+    def attempts_snapshot(self) -> Dict[TaskId, int]:
+        """Copy of all attempt counters (journal checkpoints persist this)."""
+        with self._lock:
+            return dict(self._attempts)
+
     def finish(self, task_id: TaskId, epoch: int) -> bool:
         """Deregister on success; False if the epoch is stale/unknown."""
         with self._lock:
@@ -258,3 +277,78 @@ class RegisterTable:
     def __len__(self) -> int:
         with self._lock:
             return len(self._live)
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One granted per-task lease: the dispatch must be renewed (any
+    message from its worker, heartbeats included) before ``expires_at``."""
+
+    task_id: TaskId
+    epoch: int
+    worker_id: int
+    expires_at: float
+
+
+class LeaseTable:
+    """Per-task liveness leases of the heartbeat protocol.
+
+    A lease is *granted* at dispatch and *renewed* — for every lease its
+    worker holds — whenever the master hears anything from that worker.
+    :meth:`expired` pops leases past their deadline; like the
+    :class:`OvertimeQueue`, removal is lazy: a lease whose (task, epoch)
+    registration already finished is skipped, so finishing a task needs
+    no lease bookkeeping. Expiry is a *liveness* fault (the worker went
+    quiet), strictly earlier than the hard task timeout — which stays as
+    the backstop for a worker that heartbeats but never answers.
+    """
+
+    def __init__(self) -> None:
+        #: (task_id) -> live lease. One lease per task (matches the
+        #: register table's one-live-dispatch-per-task invariant).
+        self._leases: Dict[TaskId, Lease] = {}
+        self._lock = make_lock("pool.lease-table")
+
+    def grant(
+        self, task_id: TaskId, epoch: int, worker_id: int, now: float, duration: float
+    ) -> None:
+        with self._lock:
+            self._leases[task_id] = Lease(
+                task_id=task_id,
+                epoch=epoch,
+                worker_id=worker_id,
+                expires_at=now + duration,
+            )
+
+    def renew_worker(self, worker_id: int, now: float, duration: float) -> None:
+        """Extend every lease held by ``worker_id`` (heard-from event)."""
+        with self._lock:
+            for task_id, lease in self._leases.items():
+                if lease.worker_id == worker_id:
+                    self._leases[task_id] = Lease(
+                        task_id=task_id,
+                        epoch=lease.epoch,
+                        worker_id=worker_id,
+                        expires_at=now + duration,
+                    )
+
+    def drop(self, task_id: TaskId, epoch: int) -> None:
+        """Forget a lease (its dispatch finished or was cancelled)."""
+        with self._lock:
+            lease = self._leases.get(task_id)
+            if lease is not None and lease.epoch == epoch:
+                del self._leases[task_id]
+
+    def expired(self, now: float) -> List[Lease]:
+        """Pop and return every lease past its deadline."""
+        out: List[Lease] = []
+        with self._lock:
+            for task_id in [
+                t for t, l in self._leases.items() if l.expires_at <= now
+            ]:
+                out.append(self._leases.pop(task_id))
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._leases)

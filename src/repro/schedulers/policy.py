@@ -22,6 +22,10 @@ class SchedulingPolicy(ABC):
     """Assignment rule for one level (processor or thread) of the runtime."""
 
     name: str = "abstract"
+    #: Whether the worker count may grow mid-run (elastic membership).
+    #: Static wavefront policies fix column ownership at construction, so
+    #: only the dynamic family accepts joiners.
+    elastic: bool = False
 
     def __init__(self, n_workers: int) -> None:
         if n_workers <= 0:
@@ -65,6 +69,7 @@ class DynamicPolicy(SchedulingPolicy):
     """EasyHPS's dynamic worker pool: any worker takes any ready task."""
 
     name = "dynamic"
+    elastic = True
 
     def owner(self, task_id: TaskId) -> Optional[int]:
         return None

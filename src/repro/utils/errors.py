@@ -49,6 +49,19 @@ class ChaosError(ReproError):
     or a failed trace invariant) — see the per-run listing in the message."""
 
 
+class JournalError(ReproError):
+    """The write-ahead commit journal is unusable (missing file, bad
+    magic, no begin record) — distinct from a merely *truncated* journal,
+    which recovery handles by falling back to the valid prefix."""
+
+
+class MasterCrash(ReproError):
+    """Injected master failure (chaos testing): the master \"dies\" at a
+    journal commit boundary, exactly like a ``kill -9`` mid-run. Raised by
+    the journal's kill switch (``RunConfig.journal_kill_after``); a
+    subsequent ``repro resume`` must reconstruct the run from the journal."""
+
+
 class WorkerLeakWarning(UserWarning):
     """A worker thread survived its join timeout and was abandoned.
 

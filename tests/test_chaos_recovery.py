@@ -23,7 +23,7 @@ from repro.cluster.faults import (
     WorkerFaultRule,
 )
 from repro.runtime.master import MasterPart, MasterStats
-from repro.runtime.worker_pool import ComputableStack, RegisterTable
+from repro.runtime.worker_pool import ComputableStack, LeaseTable, RegisterTable
 from repro.utils.errors import FaultToleranceExhausted, WorkerLeakWarning
 
 
@@ -181,12 +181,17 @@ def master_stub(channels=3, threshold=2, task_timeout=0.3, now=100.0):
     stub.clock = StubClock(now)
     stub._worker_failures = {}
     stub._blacklisted = set()
+    stub._left = set()
+    stub._leases = LeaseTable()
     stub._last_heard = {}
     stub._budget_exempt = {}
     stub.stats = MasterStats()
     stub.sched = StubSched()
     stub._register = RegisterTable()
     stub._stack = ComputableStack()
+    stub._requeue_worker_tasks = lambda worker_id: MasterPart._requeue_worker_tasks(
+        stub, worker_id
+    )
     return stub
 
 

@@ -73,6 +73,33 @@ class TestSessions:
             report = lint.report()
         assert report.ok, report.summary()
 
+    def test_guard_lock_exempts_only_its_call(self):
+        # A send guard (slave._send's pattern) exists to serialize
+        # channel.send; holding it across that call must not flag, but
+        # any *other* blocking call under it still does.
+        with lock_lint_session() as lint:
+            guard = make_lock("test.send-guard", guards=("channel.send",))
+            with guard:
+                note_blocking("channel.send")
+            report = lint.report()
+        assert report.ok, report.summary()
+        with lock_lint_session() as lint:
+            guard = make_lock("test.send-guard", guards=("channel.send",))
+            with guard:
+                note_blocking("channel.recv")
+            report = lint.report()
+        assert report.has(D.BLOCKING_WHILE_LOCKED), report.summary()
+
+    def test_guard_lock_does_not_excuse_other_held_locks(self):
+        with lock_lint_session() as lint:
+            guard = make_lock("test.send-guard", guards=("channel.send",))
+            other = make_lock("test.state")
+            with other:
+                with guard:
+                    note_blocking("channel.send")
+            report = lint.report()
+        assert report.has(D.BLOCKING_WHILE_LOCKED), report.summary()
+
     def test_condition_wait_does_not_invent_edges(self):
         # Condition.wait/notify exercise the traced lock's acquire/release
         # around the internal waiter probe; a single condition used alone

@@ -1,0 +1,215 @@
+"""Crash/resume end-to-end: journaled runs continue to oracle-identical
+results after a master crash at any commit (repro.durable + backends)."""
+
+import numpy as np
+import pytest
+
+from repro import EasyHPS, RunConfig
+from repro.algorithms import EditDistance, Nussinov
+from repro.check import check_resume_invariants
+from repro.durable import recover, resume_run
+from repro.utils.errors import ConfigError, JournalError, MasterCrash
+
+
+def oracle_state(problem):
+    return EasyHPS(RunConfig(backend="serial")).run(problem).state
+
+
+def assert_states_equal(expected, got):
+    assert set(expected) == set(got)
+    for key in expected:
+        assert np.array_equal(expected[key], got[key]), key
+
+
+class TestSerialResume:
+    def test_crash_then_resume_matches_oracle(self, tmp_path):
+        problem = EditDistance.random(40, 40, seed=1)
+        path = str(tmp_path / "j")
+        config = RunConfig(
+            backend="serial", journal_path=path, journal_fsync=False,
+            checkpoint_interval=4, journal_kill_after=6,
+        )
+        with pytest.raises(MasterCrash):
+            EasyHPS(config).run(problem)
+        rec = recover(path)
+        assert 0 < rec.n_committed < rec.n_tasks and not rec.complete
+        rec2, run = resume_run(path)
+        assert_states_equal(oracle_state(problem), run.state)
+
+    def test_resume_skips_journaled_blocks(self, tmp_path):
+        problem = EditDistance.random(40, 40, seed=1)
+        path = str(tmp_path / "j")
+        config = RunConfig(
+            backend="serial", journal_path=path, journal_fsync=False,
+            journal_kill_after=6, observe=True,
+        )
+        with pytest.raises(MasterCrash):
+            EasyHPS(config).run(problem)
+        rec, run = resume_run(path)
+        commits = [e for e in run.report.events if e.kind == "commit"]
+        # journaled blocks are replayed, not re-committed live
+        assert len(commits) == rec.n_tasks - 6
+
+    def test_resume_after_torn_tail(self, tmp_path):
+        problem = EditDistance.random(40, 40, seed=1)
+        path = str(tmp_path / "j")
+        config = RunConfig(
+            backend="serial", journal_path=path, journal_fsync=False,
+            journal_kill_after=5, journal_kill_torn=True,
+        )
+        with pytest.raises(MasterCrash):
+            EasyHPS(config).run(problem)
+        rec = recover(path)
+        assert rec.truncated and rec.diagnostic
+        _, run = resume_run(path)
+        assert_states_equal(oracle_state(problem), run.state)
+
+    def test_complete_journal_short_circuits(self, tmp_path):
+        problem = Nussinov.random(48, seed=2)
+        path = str(tmp_path / "j")
+        config = RunConfig(backend="serial", journal_path=path, journal_fsync=False)
+        expected = EasyHPS(config).run(problem)
+        rec = recover(path)
+        assert rec.complete
+        _, run = resume_run(path)
+        assert run.value.score == expected.value.score
+        assert run.report.makespan == 0.0  # nothing re-ran
+
+    def test_recover_missing_journal_raises_journal_error(self, tmp_path):
+        with pytest.raises(JournalError):
+            recover(str(tmp_path / "missing"))
+
+
+class TestParallelResume:
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_crash_then_resume_matches_oracle(self, backend, tmp_path):
+        problem = EditDistance.random(48, 48, seed=3)
+        path = str(tmp_path / "j")
+        config = RunConfig(
+            backend=backend, nodes=4, journal_path=path, journal_fsync=False,
+            checkpoint_interval=4, journal_kill_after=7, observe=True,
+        )
+        with pytest.raises(MasterCrash):
+            EasyHPS(config).run(problem)
+        rec, run = resume_run(path)
+        assert_states_equal(oracle_state(problem), run.state)
+        assert run.report.events is not None
+        proc_size, _ = rec.config.partitions_for(rec.problem)
+        pattern = rec.problem.build_partition(proc_size).abstract
+        report = check_resume_invariants(
+            run.report.events, rec.scan.committed, pattern=pattern
+        )
+        assert report.ok, report.summary()
+
+    def test_resume_primes_epochs_past_crash(self, tmp_path):
+        """Post-resume dispatch epochs continue from the journaled attempt
+        counters, so any stale pre-crash result is epoch-rejected."""
+        problem = EditDistance.random(40, 40, seed=3)
+        path = str(tmp_path / "j")
+        config = RunConfig(
+            backend="threads", nodes=3, journal_path=path, journal_fsync=False,
+            journal_kill_after=5, observe=True,
+        )
+        with pytest.raises(MasterCrash):
+            EasyHPS(config).run(problem)
+        scan_attempts = recover(path).attempts
+        rec, run = resume_run(path)
+        assigns = [
+            e for e in run.report.events
+            if e.kind == "assign" and e.scope == "task"
+        ]
+        for ev in assigns:
+            floor = scan_attempts.get(ev.task_id, 0)
+            assert ev.epoch >= floor, (ev.task_id, ev.epoch, floor)
+
+    def test_verify_accepts_resumed_trace(self, tmp_path):
+        """The happens-before checker must see journaled predecessors as
+        committed (trace priming), not flag EARLY_ASSIGN on resume."""
+        problem = EditDistance.random(40, 40, seed=4)
+        path = str(tmp_path / "j")
+        config = RunConfig(
+            backend="threads", nodes=3, journal_path=path, journal_fsync=False,
+            journal_kill_after=8, verify=True,
+        )
+        with pytest.raises(MasterCrash):
+            EasyHPS(config).run(problem)
+        _, run = resume_run(path)  # raises CheckError if priming is broken
+        assert_states_equal(oracle_state(problem), run.state)
+
+
+class TestSimulatedResume:
+    def test_crash_then_resume_completes_with_invariants(self, tmp_path):
+        problem = EditDistance.random(48, 48, seed=5)
+        path = str(tmp_path / "j")
+        config = RunConfig(
+            backend="simulated", nodes=4, journal_path=path, journal_fsync=False,
+            checkpoint_interval=4, journal_kill_after=9, observe=True, verify=True,
+        )
+        with pytest.raises(MasterCrash):
+            EasyHPS(config).run(problem)
+        rec = recover(path)
+        assert rec.state is None  # the simulator computes no values
+        rec2, run = resume_run(path)
+        proc_size, _ = rec2.config.partitions_for(rec2.problem)
+        pattern = rec2.problem.build_partition(proc_size).abstract
+        report = check_resume_invariants(
+            run.report.events, rec2.scan.committed, pattern=pattern
+        )
+        assert report.ok, report.summary()
+
+    def test_journal_latency_charged_in_sim_time(self, tmp_path):
+        problem = EditDistance.random(48, 48, seed=5)
+        base = EasyHPS(RunConfig(backend="simulated", nodes=3)).run(problem)
+        slow = EasyHPS(
+            RunConfig(
+                backend="simulated", nodes=3, journal_fsync=False,
+                journal_path=str(tmp_path / "j"), journal_latency=0.5,
+            )
+        ).run(problem)
+        assert slow.report.makespan > base.report.makespan
+
+
+class TestDurableKnobs:
+    def test_knobs_validated(self):
+        with pytest.raises(ConfigError):
+            RunConfig(checkpoint_interval=0)
+        with pytest.raises(ConfigError):
+            RunConfig(lease_factor=-1.0)
+        with pytest.raises(ConfigError):
+            RunConfig(heartbeat_interval=0.0)
+        with pytest.raises(ConfigError):
+            RunConfig(journal_latency=-0.1)
+        with pytest.raises(ConfigError):
+            RunConfig(journal_kill_after=0)
+        with pytest.raises(ConfigError):
+            RunConfig(journal_fsync="yes")
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINT_INTERVAL", "7")
+        monkeypatch.setenv("REPRO_HEARTBEAT_INTERVAL", "0.25")
+        monkeypatch.setenv("REPRO_LEASE_FACTOR", "5.0")
+        monkeypatch.setenv("REPRO_JOURNAL_FSYNC", "0")
+        monkeypatch.setenv("REPRO_JOURNAL_LATENCY", "0.001")
+        config = RunConfig()
+        assert config.checkpoint_interval == 7
+        assert config.heartbeat_interval == 0.25
+        assert config.lease_factor == 5.0
+        assert config.journal_fsync is False
+        assert config.journal_latency == 0.001
+        assert config.lease_duration == 1.25
+
+    def test_env_overrides_match_existing_knob_conventions(self, monkeypatch):
+        # the pre-existing knobs use the same default_factory pattern
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "12.5")
+        monkeypatch.setenv("REPRO_STALL_TIMEOUT", "none")
+        config = RunConfig()
+        assert config.task_timeout == 12.5
+        assert config.stall_timeout is None
+
+    def test_bad_env_value_raises_config_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINT_INTERVAL", "not-an-int")
+        with pytest.raises(ConfigError):
+            RunConfig()
+
+    def test_lease_duration_none_without_heartbeat(self):
+        assert RunConfig().lease_duration is None

@@ -1,0 +1,232 @@
+"""Elastic worker membership: mid-run join (attach_worker), clean
+departure (WorkerLeave via leave_after), and the RegisterTable/LeaseTable
+concurrency the protocol leans on."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import EasyHPS, RunConfig
+from repro.algorithms import EditDistance
+from repro.comm.transport import channel_pair
+from repro.runtime.master import MasterPart
+from repro.runtime.slave import SlavePart
+from repro.runtime.worker_pool import RegisterTable
+from repro.schedulers.policy import make_policy
+from repro.utils.errors import SchedulerError
+
+
+def build_parts(problem, config, *, leave_after=None):
+    """Threads-backend wiring by hand so tests can reach SlavePart knobs
+    (leave_after) and the live MasterPart (attach_worker)."""
+    proc_size, thread_size = config.partitions_for(problem)
+    partition = problem.build_partition(proc_size)
+    policy = make_policy(
+        config.scheduler, config.n_slaves, partition.grid.n_block_cols
+    )
+    stop = threading.Event()
+    slaves, master_channels = [], []
+    for k in range(config.n_slaves):
+        master_end, slave_end = channel_pair()
+        master_channels.append(master_end)
+        slaves.append(
+            SlavePart(
+                slave_id=k,
+                channel=slave_end,
+                problem=problem,
+                partition=partition,
+                thread_partition=thread_size,
+                n_threads=config.threads_per_node,
+                stop_event=stop,
+                heartbeat_interval=config.heartbeat_interval,
+                leave_after=leave_after if k == 0 else None,
+            )
+        )
+    master = MasterPart(
+        problem,
+        partition,
+        master_channels,
+        policy,
+        task_timeout=config.task_timeout,
+        heartbeat_interval=config.heartbeat_interval,
+        lease_factor=config.lease_factor,
+    )
+    return master, slaves, partition, thread_size, stop
+
+
+def run_parts(master, slaves, stop):
+    threads = [
+        threading.Thread(target=s.run, daemon=True, name=f"slave{s.slave_id}")
+        for s in slaves
+    ]
+    for t in threads:
+        t.start()
+    try:
+        return master.run()
+    finally:
+        stop.set()
+        for t in threads:
+            t.join(timeout=10.0)
+
+
+class TestPolicyElasticity:
+    def test_dynamic_family_is_elastic(self):
+        assert make_policy("dynamic", 2, 4).elastic
+        assert make_policy("dynamic-lcf", 2, 4).elastic
+
+    def test_wavefront_policies_are_static(self):
+        assert not make_policy("bcw", 2, 4).elastic
+        assert not make_policy("cw", 2, 4).elastic
+
+    def test_attach_worker_rejected_by_static_policy(self):
+        problem = EditDistance.random(32, 32, seed=0)
+        config = RunConfig(backend="threads", nodes=3, scheduler="bcw")
+        master, slaves, _, _, stop = build_parts(problem, config)
+        master_end, _slave_end = channel_pair()
+        with pytest.raises(SchedulerError):
+            master.attach_worker(master_end)
+        stop.set()
+
+
+class TestMidRunJoin:
+    def test_worker_joins_mid_run_and_computes(self):
+        problem = EditDistance.random(64, 64, seed=11)
+        oracle = EasyHPS(RunConfig(backend="serial")).run(problem)
+        config = RunConfig(backend="threads", nodes=3)
+        master, slaves, partition, thread_size, stop = build_parts(problem, config)
+
+        joiner_box = {}
+
+        def join_late():
+            master_end, slave_end = channel_pair()
+            worker_id = master.attach_worker(master_end)
+            joiner = SlavePart(
+                slave_id=worker_id,
+                channel=slave_end,
+                problem=problem,
+                partition=partition,
+                thread_partition=thread_size,
+                n_threads=config.threads_per_node,
+                stop_event=stop,
+            )
+            joiner_box["thread"] = threading.Thread(
+                target=joiner.run, daemon=True, name=f"slave{worker_id}"
+            )
+            joiner_box["thread"].start()
+            joiner_box["stats"] = joiner.stats
+
+        timer = threading.Timer(0.05, join_late)
+        timer.start()
+        try:
+            state = run_parts(master, slaves, stop)
+        finally:
+            timer.cancel()
+        if "thread" in joiner_box:
+            joiner_box["thread"].join(timeout=10.0)
+
+        for key in oracle.state:
+            assert np.array_equal(oracle.state[key], state[key])
+        assert master.stats.workers_joined == 1
+        # The joiner genuinely participated (dynamic policy admits it).
+        assert joiner_box["stats"].tasks >= 0
+
+    def test_attach_worker_after_run_raises(self):
+        problem = EditDistance.random(32, 32, seed=12)
+        config = RunConfig(backend="threads", nodes=3)
+        master, slaves, _, _, stop = build_parts(problem, config)
+        run_parts(master, slaves, stop)
+        master_end, _ = channel_pair()
+        with pytest.raises(SchedulerError):
+            master.attach_worker(master_end)
+
+
+class TestCleanDeparture:
+    def test_leave_after_retires_worker_and_run_completes(self):
+        problem = EditDistance.random(64, 64, seed=13)
+        oracle = EasyHPS(RunConfig(backend="serial")).run(problem)
+        config = RunConfig(backend="threads", nodes=4)
+        master, slaves, _, _, stop = build_parts(problem, config, leave_after=1)
+        state = run_parts(master, slaves, stop)
+        for key in oracle.state:
+            assert np.array_equal(oracle.state[key], state[key])
+        assert master.stats.workers_left == 1
+        # The departed worker's tasks were requeued without charging the
+        # retry budget, so nothing was blacklisted.
+        assert not master.stats.blacklisted_workers
+
+
+class TestRegisterTableConcurrency:
+    def test_prime_requires_pristine_table(self):
+        table = RegisterTable()
+        table.prime({(0, 0): 2})
+        assert table.attempts_snapshot() == {(0, 0): 2}
+        table.register((1, 1), worker_id=0)
+        with pytest.raises(SchedulerError):
+            table.prime({(2, 2): 1})
+
+    def test_prime_sets_next_epoch(self):
+        table = RegisterTable()
+        table.prime({(0, 0): 3})
+        assert table.register((0, 0), worker_id=1) == 3
+
+    def test_live_snapshot_under_concurrent_retire_and_join(self):
+        """Satellite: hammer register/finish/cancel from worker threads
+        (including a simulated mid-run joiner) while a reader snapshots —
+        snapshots must always be internally consistent, never raise."""
+        table = RegisterTable()
+        stop = threading.Event()
+        errors = []
+
+        def worker(worker_id, tasks):
+            try:
+                for task_id in tasks:
+                    epoch = table.register(task_id, worker_id)
+                    if task_id[1] % 3 == 0:
+                        # a "retiring" worker's dispatch gets cancelled...
+                        assert table.cancel(task_id, epoch)
+                        # ...and redispatched under a new epoch elsewhere
+                        epoch = table.register(task_id, worker_id + 100)
+                    assert table.finish(task_id, epoch)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    for task_id, reg in table.live_snapshot():
+                        assert isinstance(task_id, tuple)
+                        assert reg.epoch >= 0 and reg.worker_id >= 0
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        n_workers, n_tasks = 8, 200
+        threads = [
+            threading.Thread(
+                target=worker,
+                args=(w, [(w, i) for i in range(n_tasks)]),
+            )
+            for w in range(n_workers)
+        ]
+        # the "joiner" arrives with its own id space mid-hammer
+        threads.append(
+            threading.Thread(
+                target=worker, args=(50, [(50, i) for i in range(n_tasks)])
+            )
+        )
+        reader_t = threading.Thread(target=reader)
+        reader_t.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        stop.set()
+        reader_t.join(timeout=10.0)
+
+        assert not errors, errors
+        assert table.live_snapshot() == ()
+        attempts = table.attempts_snapshot()
+        for w in list(range(n_workers)) + [50]:
+            for i in range(n_tasks):
+                expected = 2 if i % 3 == 0 else 1
+                assert attempts[(w, i)] == expected

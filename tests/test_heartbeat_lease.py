@@ -1,0 +1,109 @@
+"""Heartbeat/lease liveness protocol: LeaseTable unit tests plus an
+end-to-end check that an expired lease — not the hard task timeout —
+drives re-dispatch when a worker goes silent."""
+
+import numpy as np
+import pytest
+
+from repro import EasyHPS, RunConfig
+from repro.algorithms import EditDistance
+from repro.cluster.faults import WorkerFaultPlan, WorkerFaultRule
+from repro.runtime.worker_pool import LeaseTable
+
+
+class TestLeaseTable:
+    def test_grant_and_expire(self):
+        table = LeaseTable()
+        table.grant((0, 0), 0, worker_id=1, now=10.0, duration=2.0)
+        assert len(table) == 1
+        assert table.expired(11.0) == []
+        (lease,) = table.expired(12.5)
+        assert lease.task_id == (0, 0) and lease.worker_id == 1
+        assert len(table) == 0
+
+    def test_renew_worker_extends_all_its_leases(self):
+        table = LeaseTable()
+        table.grant((0, 0), 0, worker_id=1, now=0.0, duration=1.0)
+        table.grant((0, 1), 0, worker_id=1, now=0.0, duration=1.0)
+        table.grant((0, 2), 0, worker_id=2, now=0.0, duration=1.0)
+        table.renew_worker(1, now=0.9, duration=1.0)
+        expired = table.expired(1.5)  # only worker 2's lease lapsed
+        assert [l.task_id for l in expired] == [(0, 2)]
+        assert table.expired(2.0) and len(table) == 0
+
+    def test_drop_is_epoch_checked(self):
+        table = LeaseTable()
+        table.grant((0, 0), 2, worker_id=1, now=0.0, duration=1.0)
+        table.drop((0, 0), 1)  # stale epoch: not this dispatch's lease
+        assert len(table) == 1
+        table.drop((0, 0), 2)
+        assert len(table) == 0
+
+    def test_drop_unknown_task_is_noop(self):
+        LeaseTable().drop((9, 9), 0)
+
+    def test_regrant_replaces_lease(self):
+        table = LeaseTable()
+        table.grant((0, 0), 0, worker_id=1, now=0.0, duration=1.0)
+        table.grant((0, 0), 1, worker_id=2, now=5.0, duration=1.0)
+        assert len(table) == 1
+        (lease,) = table.expired(10.0)
+        assert lease.epoch == 1 and lease.worker_id == 2
+
+
+class TestHeartbeatProtocol:
+    def test_silent_worker_recovered_by_lease_expiry(self):
+        """A slave that dies holding a task stops heartbeating; its lease
+        expires after heartbeat_interval * lease_factor and the task is
+        re-dispatched long before the hard task timeout."""
+        problem = EditDistance.random(48, 48, seed=7)
+        oracle = EasyHPS(RunConfig(backend="serial")).run(problem)
+        config = RunConfig(
+            backend="threads", nodes=4,
+            heartbeat_interval=0.05, lease_factor=3.0,
+            task_timeout=60.0,  # the backstop must never be what saves us
+            worker_fault_plan=WorkerFaultPlan(
+                [WorkerFaultRule("die", worker_id=0, after_tasks=1)]
+            ),
+            observe=True,
+        )
+        result = EasyHPS(config).run(problem)
+        assert result.value.distance == oracle.value.distance
+        for key in oracle.state:
+            assert np.array_equal(oracle.state[key], result.state[key])
+        kinds = [e.kind for e in result.report.events]
+        assert "heartbeat" in kinds
+        assert "lease-expired" in kinds
+        # Recovery happened on the lease clock, not the 60 s timeout.
+        assert result.report.wall_time < config.task_timeout / 2
+
+    def test_healthy_run_emits_heartbeats_but_no_expiry(self):
+        problem = EditDistance.random(40, 40, seed=8)
+        config = RunConfig(
+            backend="threads", nodes=3,
+            heartbeat_interval=0.05, observe=True,
+        )
+        result = EasyHPS(config).run(problem)
+        kinds = [e.kind for e in result.report.events]
+        assert "lease-expired" not in kinds
+
+    def test_no_heartbeat_knob_means_no_heartbeat_traffic(self):
+        """heartbeat_interval=None keeps the paper's inference-only
+        liveness: no beacons, no leases."""
+        problem = EditDistance.random(40, 40, seed=8)
+        config = RunConfig(backend="threads", nodes=3, observe=True)
+        result = EasyHPS(config).run(problem)
+        kinds = {e.kind for e in result.report.events}
+        assert "heartbeat" not in kinds
+        assert "lease-expired" not in kinds
+
+    def test_processes_backend_heartbeats(self):
+        problem = EditDistance.random(40, 40, seed=9)
+        oracle = EasyHPS(RunConfig(backend="serial")).run(problem)
+        config = RunConfig(
+            backend="processes", nodes=3,
+            heartbeat_interval=0.05, observe=True,
+        )
+        result = EasyHPS(config).run(problem)
+        assert result.value.distance == oracle.value.distance
+        assert "heartbeat" in [e.kind for e in result.report.events]
