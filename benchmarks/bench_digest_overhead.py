@@ -1,0 +1,93 @@
+"""Digest overhead: the integrity layer's tax on a clean run.
+
+Not a paper figure — this guards the PR-5 budget: stamping and
+verifying canonical content digests on every protocol hop must cost at
+most ``REPRO_DIGEST_BUDGET`` (default 10%) of end-to-end runtime
+relative to ``integrity="off"``.
+
+Two entry points:
+
+- ``pytest benchmarks/bench_digest_overhead.py --benchmark-only`` —
+  pytest-benchmark microbenches of ``content_digest`` on
+  representative block payloads;
+- ``python benchmarks/bench_digest_overhead.py`` — the end-to-end
+  comparison (median of repeated serial-backend runs, off vs digest),
+  printing both times and exiting nonzero over budget. This is what CI
+  runs.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import sys
+import time
+
+import numpy as np
+
+from repro import EasyHPS, RunConfig
+from repro.algorithms import EditDistance
+from repro.comm.serialization import content_digest
+
+#: Maximum tolerated slowdown of integrity="digest" over "off".
+DIGEST_BUDGET = float(os.environ.get("REPRO_DIGEST_BUDGET", "0.10"))
+
+BENCH_SIZE = int(os.environ.get("REPRO_DIGEST_BENCH_SIZE", "900"))
+REPEATS = int(os.environ.get("REPRO_DIGEST_BENCH_REPEATS", "5"))
+
+
+def block_payload(block: int = 128) -> dict:
+    """A boundary payload shaped like one wavefront sub-task result."""
+    rng = np.random.default_rng(0)
+    return {"south": rng.random(block), "east": rng.random(block)}
+
+
+def test_content_digest_boundary_payload(benchmark):
+    payload = block_payload()
+    digest = benchmark(lambda: content_digest(payload))
+    assert len(digest) == 32
+
+
+def test_content_digest_full_block(benchmark):
+    rng = np.random.default_rng(1)
+    payload = {"block": rng.random((200, 200))}
+    benchmark(lambda: content_digest(payload))
+
+
+def _run_once(problem, integrity: str) -> float:
+    config = RunConfig(
+        backend="serial",
+        nodes=1,
+        process_partition=100,
+        integrity=integrity,
+    )
+    t0 = time.perf_counter()
+    EasyHPS(config).run(problem)
+    return time.perf_counter() - t0
+
+
+def main() -> int:
+    problem = EditDistance.random(BENCH_SIZE, BENCH_SIZE, seed=1)
+    # Interleave the arms so drift (thermal, cache) cancels; warm up once.
+    _run_once(problem, "off")
+    off, on = [], []
+    for _ in range(REPEATS):
+        off.append(_run_once(problem, "off"))
+        on.append(_run_once(problem, "digest"))
+    t_off = statistics.median(off)
+    t_on = statistics.median(on)
+    overhead = t_on / t_off - 1.0
+    print(
+        f"digest overhead: size={BENCH_SIZE} repeats={REPEATS} "
+        f"off={t_off:.3f}s digest={t_on:.3f}s overhead={overhead:+.1%} "
+        f"(budget {DIGEST_BUDGET:.0%})"
+    )
+    if overhead > DIGEST_BUDGET:
+        print("FAIL: digest integrity exceeds its overhead budget", file=sys.stderr)
+        return 1
+    print("OK: within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

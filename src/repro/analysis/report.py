@@ -76,6 +76,20 @@ class RunReport:
     #: Metrics snapshot (``RunConfig.observe``): the plain-dict view of
     #: the run's :class:`repro.obs.metrics.MetricsRegistry`.
     metrics: Optional[Dict[str, object]] = None
+    #: Rolling run digest (hex): an order-independent fold over every
+    #: committed ``(task_id, outputs digest)``. Identical across backends
+    #: for identical results (the serial oracle's digest is the reference;
+    #: epochs are deliberately excluded from the fold). None when
+    #: ``RunConfig.integrity`` is off.
+    run_digest: Optional[str] = None
+    #: Results rejected at receive because their payload digest mismatched.
+    digest_rejects: int = 0
+    #: Sampled audit recomputes that convicted a committed block (SDC).
+    audits_convicted: int = 0
+    #: Commits revoked and recomputed by taint invalidation.
+    tainted_recomputes: int = 0
+    #: Workers quarantined for divergent results.
+    quarantined_workers: Tuple[int, ...] = ()
 
     def speedup_vs(self, serial_makespan: float) -> float:
         """Speedup relative to a serial makespan of the same instance."""
@@ -111,6 +125,15 @@ class RunReport:
                 f"  utilization   : {self.utilization:.1%}"
                 + (f", idle-while-ready {self.idle_while_ready:.4g} s" if self.idle_while_ready else "")
             )
+        if self.digest_rejects or self.audits_convicted or self.quarantined_workers:
+            lines.append(
+                f"  integrity     : {self.digest_rejects} digest rejects, "
+                f"{self.audits_convicted} audit convictions, "
+                f"{self.tainted_recomputes} tainted recomputes, "
+                f"quarantined {list(self.quarantined_workers)}"
+            )
+        if self.run_digest is not None:
+            lines.append(f"  run digest    : {self.run_digest}")
         if self.events is not None:
             lines.append(f"  telemetry     : {len(self.events)} events recorded")
         return "\n".join(lines)

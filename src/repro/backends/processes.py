@@ -70,6 +70,7 @@ def run_processes(
         hang_duration=config.hang_duration,
         verify=config.verify,
         heartbeat_interval=config.heartbeat_interval,
+        integrity=config.integrity,
     )
     for k in range(config.n_slaves):
         parent_conn, child_conn = ctx.Pipe(duplex=True)
@@ -118,6 +119,12 @@ def run_processes(
         attempts=resume.attempts if resume is not None else None,
         heartbeat_interval=config.heartbeat_interval,
         lease_factor=config.lease_factor,
+        integrity=config.integrity,
+        audit_fraction=config.audit_fraction,
+        vote_k=config.vote_k,
+        quarantine_threshold=config.quarantine_threshold,
+        run_digest=resume.run_digest if resume is not None else None,
+        commit_digests=resume.scan.commit_digests if resume is not None else None,
     )
 
     started = time.perf_counter()
@@ -158,6 +165,11 @@ def run_processes(
         faults_injected=sum(
             getattr(ch, "faults_injected", 0) for ch in master_channels
         ),
+        run_digest=master.stats.run_digest,
+        digest_rejects=master.stats.digest_rejects,
+        audits_convicted=master.stats.audits_convicted,
+        tainted_recomputes=master.stats.tainted_recomputes,
+        quarantined_workers=tuple(master.stats.quarantined_workers),
     )
     if recorder is not None:
         report.events = recorder.events()

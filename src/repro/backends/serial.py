@@ -14,7 +14,12 @@ import numpy as np
 
 from repro.algorithms.problem import DPProblem
 from repro.analysis.report import RunReport
-from repro.comm.serialization import MESSAGE_ENVELOPE_BYTES, payload_nbytes
+from repro.comm.serialization import (
+    MESSAGE_ENVELOPE_BYTES,
+    content_digest,
+    payload_nbytes,
+)
+from repro.integrity import fold_commit, run_digest_hex
 from repro.obs import EventRecorder, MetricsRegistry, to_gantt_trace
 from repro.runtime.config import RunConfig
 
@@ -42,15 +47,25 @@ def run_serial(
     metrics = MetricsRegistry() if config.observing else None
     if recorder is not None and committed:
         recorder.emit("resume", None, node=0, n_committed=len(committed))
+    # The oracle folds the same rolling run digest as the parallel
+    # backends (epoch-free, so the folds compare directly); resumed runs
+    # continue from the journal's fold.
+    digest_on = config.integrity != "off"
+    digest_acc = 0
+    digests: Dict = {}
+    if digest_on and resume is not None:
+        if resume.run_digest:
+            digest_acc = int(resume.run_digest, 16)
+        digests.update(resume.scan.commit_digests)
     started = time.perf_counter()
     n_subtasks = 0
     try:
-        n_subtasks = _drain(
+        n_subtasks, digest_acc = _drain(
             problem, partition, state, committed, journal,
-            recorder, metrics, thread_size,
+            recorder, metrics, thread_size, digest_on, digest_acc, digests,
         )
         if journal is not None:
-            journal.end()
+            journal.end(run_digest=run_digest_hex(digest_acc) if digest_on else None)
     finally:
         if journal is not None:
             journal.close()
@@ -66,6 +81,7 @@ def run_serial(
         n_tasks=partition.n_blocks,
         n_subtasks=n_subtasks,
         total_flops=problem.total_flops(partition),
+        run_digest=run_digest_hex(digest_acc) if digest_on else None,
     )
     if recorder is not None:
         report.events = recorder.events()
@@ -78,8 +94,8 @@ def run_serial(
 
 def _drain(
     problem, partition, state, committed, journal,
-    recorder, metrics, thread_size,
-) -> int:
+    recorder, metrics, thread_size, digest_on, digest_acc, digests,
+) -> Tuple[int, int]:
     """Topological drain of the remaining (uncommitted) blocks."""
     n_subtasks = 0
     for bid in partition.abstract.topological_order():
@@ -108,16 +124,24 @@ def _drain(
             recorder.emit("commit", bid, epoch=0, node=0, worker=0)
             if metrics is not None:
                 metrics.counter("serial.tasks_completed").inc()
+        digest = content_digest(outputs) if digest_on else None
+        if digest_on:
+            digest_acc = fold_commit(digest_acc, bid, digest)
+            digests[bid] = digest
         if journal is not None:
-            journal.commit(bid, 0, outputs)  # write-ahead of the merge
+            journal.commit(bid, 0, outputs, digest=digest)  # write-ahead of the merge
         problem.apply_result(state, partition, bid, outputs)
         committed[bid] = 0
         if journal is not None and journal.should_checkpoint():
             snapshot = {k: np.array(v, copy=True) for k, v in state.items()}
-            nbytes = journal.checkpoint(snapshot, committed, {t: 1 for t in committed})
+            nbytes = journal.checkpoint(
+                snapshot, committed, {t: 1 for t in committed},
+                run_digest=run_digest_hex(digest_acc) if digest_on else None,
+                commit_digests=dict(digests) if digest_on else None,
+            )
             if recorder is not None:
                 recorder.emit(
                     "checkpoint", None, node=0,
                     n_committed=len(committed), nbytes=nbytes,
                 )
-    return n_subtasks
+    return n_subtasks, digest_acc

@@ -32,6 +32,26 @@ that can no longer finish (every node dead) ends in a clean
 construction (the event queue drains), so the abort path is the whole
 guarantee. Speculation is a no-op here: stragglers are deterministic and
 the plain timeout recovers them.
+
+Silent data corruption is modeled as *taint*: the simulator computes no
+cell values, so it tracks which commits would be wrong instead. A live
+dispatch becomes tainted by an undetected message mutation (``corrupt``
+with digests off, ``bitflip`` always — its digest is restamped) or by a
+lying node past its ``lie_point``; a commit whose predecessor commit is
+tainted inherits the taint ("garbage in"). The integrity policy then
+mirrors the real master's semantics: digests detect ``corrupt`` at
+receive (assign-side rejects ride the overtime check like a drop;
+result-side rejects charge the retry budget and requeue immediately);
+audits recompute a deterministic sample *from committed inputs*, so they
+convict exactly the own-fault taints — inherited taint recomputes to the
+same wrong values and passes, which is why conviction triggers taint
+recompute of the whole committed dependent closure; voting is modeled as
+full-coverage divergence detection at ``(vote_k - 1)`` extra round trips
+per commit (replicas disagree exactly when the producer's own result is
+wrong). Convicted nodes are quarantined past ``quarantine_threshold``.
+Taint that survives to the end of the run is counted in the
+``sim.undetected_corruptions`` metric — the simulator's omniscient stand-
+in for a wrong answer, which chaos campaigns use to classify runs.
 """
 
 from __future__ import annotations
@@ -195,6 +215,20 @@ class _SimulatedRun:
         self.dispatched_to: Dict[TaskId, int] = {}
         self.node_failures: Dict[int, int] = {}
         self.blacklisted: List[int] = []
+        #: SDC model: live (bid, epoch) dispatches that would return wrong
+        #: values, commits that are wrong, per-node conviction counts, and
+        #: nodes retired for divergent results (distinct from blacklist).
+        self.integrity = config.integrity_policy
+        self.live_taint: Dict[Tuple[TaskId, int], str] = {}
+        self.tainted_commits: Dict[TaskId, str] = {}
+        self.divergence: Dict[int, int] = {}
+        self.quarantined: List[int] = []
+        self.digest_rejects = 0
+        self.audits_passed = 0
+        self.audits_convicted = 0
+        self.taint_recomputes = 0
+        self.votes_cast = 0
+        self.vote_divergences = 0
         #: Telemetry stream stamped with *sim-time* (the event queue's
         #: clock) so exported traces draw the modeled schedule, and the
         #: happens-before log validated after the run (``verify``) — both
@@ -391,12 +425,27 @@ class _SimulatedRun:
             node.sent_index += 1
         if rule is not None:
             self._note_msg_fault(rule.kind, bid, epoch, k, "TaskAssign")
-            if rule.kind in ("drop", "corrupt"):
-                # The assignment never arrives: the node stays free (idle
-                # again once the wasted transfer slot passes) and the
+            if rule.kind == "drop" or (
+                rule.kind == "corrupt" and self.integrity.digest_on
+            ):
+                # The assignment never arrives — dropped outright, or
+                # mutated with a now-stale digest that the slave verifies
+                # and rejects. Either way the node stays free (idle again
+                # once the wasted transfer slot passes) and the
                 # registration rides the overtime check to redistribution.
+                if rule.kind == "corrupt" and self.obs is not None:
+                    self.obs.emit(
+                        "digest-reject", bid, epoch=epoch, node=k,
+                        scope="message", hop="assign",
+                    )
                 self.evq.at(xfer_done, lambda k=k: self._node_idle(k))
                 return
+            if rule.kind in ("corrupt", "bitflip"):
+                # Undetected input mutation: ``corrupt`` with digests off
+                # is consumed unverified; ``bitflip`` restamps a
+                # self-consistent digest either way. The node computes on
+                # garbage — its result will be wrong.
+                self.live_taint[(bid, epoch)] = f"assign-{rule.kind}"
             if rule.kind == "delay":
                 xfer_done += rule.delay
             elif rule.kind == "duplicate":
@@ -468,6 +517,18 @@ class _SimulatedRun:
         """Compute finished on node ``k``: ship the result back (Fig 11 g/h)."""
         self._account()
         node = self.nodes[k]
+        lie_point = self.config.worker_fault_plan.lie_point(k)
+        if lie_point is not None and node.tasks_done >= lie_point:
+            # The lying node perturbs its outputs *before* digesting, so
+            # the result is self-consistent on the wire — only audit or
+            # vote can convict it.
+            self.faults_injected += 1
+            self.live_taint[(bid, epoch)] = "worker-liar"
+            if self.obs is not None:
+                self.obs.emit(
+                    "worker-liar", bid, epoch=epoch, node=k, worker=k,
+                    scope="task", after_tasks=lie_point,
+                )
         out_bytes = self.problem.output_bytes(self.partition, bid) + MESSAGE_ENVELOPE_BYTES
         send_start = max(self.evq.now, node.nic_free, self.master_nic_free)
         out_xfer = self.cluster.link.transfer_time(out_bytes)
@@ -485,11 +546,23 @@ class _SimulatedRun:
             node.recv_index += 1
         if rule is not None:
             self._note_msg_fault(rule.kind, bid, epoch, k, "TaskResult")
-            if rule.kind in ("drop", "corrupt"):
+            if rule.kind == "drop":
                 # The result never reaches the master: the registration
                 # rides the overtime check; the node itself serves on.
                 self.evq.at(arrive, lambda k=k: self._node_idle(k))
                 return
+            if rule.kind == "corrupt":
+                if self.integrity.digest_on:
+                    # The master verifies the result digest on receive:
+                    # reject, charge the retry budget, requeue at once —
+                    # no overtime wait.
+                    self.evq.at(
+                        arrive, lambda: self._digest_reject(bid, epoch, k)
+                    )
+                    return
+                self.live_taint[(bid, epoch)] = "result-corrupt"
+            elif rule.kind == "bitflip":
+                self.live_taint[(bid, epoch)] = "result-bitflip"
             if rule.kind == "delay":
                 arrive += rule.delay
             elif rule.kind == "duplicate":
@@ -503,6 +576,33 @@ class _SimulatedRun:
         if self.registered.get(bid) != epoch and self.sched.enabled:
             self.sched.record("stale-drop", bid, epoch, k, node=k)
 
+    def _digest_reject(self, bid: TaskId, epoch: int, k: int) -> None:
+        """A mutated result whose digest went stale: the master rejects it
+        at receive and requeues on the charged retry budget (mirroring the
+        real master — a link corrupting the same task forever must abort,
+        not livelock)."""
+        self._account()
+        if self.registered.get(bid) == epoch:
+            del self.registered[bid]
+            self.digest_rejects += 1
+            if self.obs is not None:
+                self.obs.emit(
+                    "digest-reject", bid, epoch=epoch, node=k,
+                    scope="message", hop="result",
+                )
+            charged = self.attempts.get(bid, 0)
+            if charged > self.config.max_retries + 1:
+                self.failure = FaultToleranceExhausted(
+                    f"sub-task {bid} rejected for digest mismatch after "
+                    f"{charged} dispatches (simulated)"
+                )
+            else:
+                self.faults += 1
+                if self.sched.enabled:
+                    self.sched.record("redistribute", bid, epoch)
+                self._requeue(bid)
+        self._node_idle(k)
+
     def _result(self, bid: TaskId, epoch: int, k: int) -> None:
         self._account()
         if self.registered.get(bid) != epoch:
@@ -511,6 +611,12 @@ class _SimulatedRun:
             self._node_idle(k)  # stale result dropped; node serves on
             return
         del self.registered[bid]
+        taint = self.live_taint.pop((bid, epoch), None)
+        if taint is None:
+            for p in self.partition.abstract.predecessors(bid):
+                if p in self.tainted_commits:
+                    taint = "inherited"  # computed from wrong inputs
+                    break
         if self.journal is not None:
             # Write-ahead of the (modeled) merge; the fsync'd append
             # occupies the master CPU for ``journal_latency`` sim-seconds.
@@ -539,15 +645,133 @@ class _SimulatedRun:
         self.nodes[k].tasks_done += 1
         self.node_done[k].add(bid)
         self.makespan = max(self.makespan, self.evq.now)
+        if taint is not None:
+            self.tainted_commits[bid] = taint
         fresh = self.parser.complete(bid)
         if fresh:
             self.ready.extend(fresh)
+        self._integrity_check(bid, epoch, k, taint)
+        if self.ready:
             for j, node in enumerate(self.nodes):
                 if node.parked_since is not None:
                     self._node_idle(j)
                 else:
                     self._try_prefetch(j)
         self._node_idle(k)
+
+    # -- integrity (SDC model) ----------------------------------------------------
+
+    def _integrity_check(self, bid: TaskId, epoch: int, k: int, taint) -> None:
+        """Model the master's post-commit SDC defenses on one commit.
+
+        Both defenses recompute/replicate from *committed* predecessor
+        blocks, so they convict exactly the own-fault taints; inherited
+        taint reproduces the same wrong values and passes undetected —
+        which is why a conviction invalidates the whole committed
+        dependent closure rather than one block.
+        """
+        own_fault = taint is not None and taint != "inherited"
+        pol = self.integrity
+        if pol.vote_on:
+            # Vote model: ``vote_k`` replicas from distinct nodes, paid as
+            # (vote_k - 1) extra assign/result round trips per commit;
+            # replicas disagree exactly when this result is own-fault
+            # wrong. (The real master's escalation-to-arbiter dance is
+            # collapsed into the divergence verdict.)
+            self.messages += 2 * (pol.vote_k - 1)
+            self.votes_cast += pol.vote_k
+            if own_fault:
+                self.vote_divergences += 1
+                if self.obs is not None:
+                    self.obs.emit(
+                        "vote-divergence", bid, epoch=epoch, node=k,
+                        worker=k, scope="task",
+                    )
+                self._convict(bid, epoch, k)
+            return
+        if pol.audit_on and pol.should_audit(bid):
+            # The audit recompute occupies the master CPU for one inner
+            # makespan (the same deterministic sample as the real master).
+            compute, _busy, _n = self._inner(bid, self.nodes[k].spec)
+            self.master_cpu_free = (
+                max(self.master_cpu_free, self.evq.now) + compute
+            )
+            if own_fault:
+                self.audits_convicted += 1
+                if self.obs is not None:
+                    self.obs.emit(
+                        "audit-convict", bid, epoch=epoch, node=k,
+                        worker=k, scope="task",
+                    )
+                self._convict(bid, epoch, k)
+            else:
+                self.audits_passed += 1
+                if self.obs is not None:
+                    self.obs.emit(
+                        "audit-pass", bid, epoch=epoch, node=k, worker=k,
+                        scope="task",
+                    )
+
+    def _convict(self, bid: TaskId, epoch: int, k: int) -> None:
+        """A proven-wrong commit: taint-recompute its closure and count
+        the divergence against node ``k`` (quarantine past threshold)."""
+        self._taint_invalidate(bid)
+        n = self.divergence.get(k, 0) + 1
+        self.divergence[k] = n
+        if n >= self.integrity.quarantine_threshold and not self.nodes[k].dead:
+            self.quarantined.append(k)
+            self._retire_node(k, "quarantine", convictions=n)
+            for tbid, ep in list(self.registered.items()):
+                if self.dispatched_to.get(tbid) != k:
+                    continue
+                del self.registered[tbid]
+                if self.sched.enabled:
+                    self.sched.record("redistribute", tbid, ep)
+                self._requeue(tbid)
+
+    def _taint_invalidate(self, root: TaskId) -> None:
+        """Invalidate ``root`` and its committed dependent closure, then
+        requeue the recompute frontier (mirrors the real master's
+        DAG-aware taint recompute, journal records included)."""
+        pattern = self.partition.abstract
+        closure = {root}
+        stack = [root]
+        while stack:
+            v = stack.pop()
+            for s in pattern.successors(v):
+                if s in self.committed and s not in closure:
+                    closure.add(s)
+                    stack.append(s)
+        order = [v for v in pattern.topological_order() if v in closure]
+        if self.journal is not None:
+            self.journal.invalidate(order)
+            self.master_cpu_free = (
+                max(self.master_cpu_free, self.evq.now)
+                + self.config.journal_latency
+            )
+        for v in order:
+            self.committed.pop(v, None)
+            self.tainted_commits.pop(v, None)
+        self.taint_recomputes += len(order)
+        if self.obs is not None:
+            self.obs.emit(
+                "taint-invalidate", root, node=-1, scope="task",
+                n_tainted=len(order),
+            )
+        # Live dispatches fed from a now-invalidated block were extracted
+        # from tainted state: cancel them (their results land stale); the
+        # parser re-emits them once their predecessors recommit.
+        for tbid, ep in list(self.registered.items()):
+            if any(p not in self.committed for p in pattern.predecessors(tbid)):
+                del self.registered[tbid]
+                if self.sched.enabled:
+                    self.sched.record("redistribute", tbid, ep)
+        frontier = self.parser.invalidate(order)
+        self.ready = [
+            t for t in self.ready
+            if all(p in self.committed for p in pattern.predecessors(t))
+        ]
+        self.ready.extend(frontier)
 
     def _timeout(self, bid: TaskId, epoch: int) -> None:
         self._account()
@@ -652,6 +876,33 @@ class _SimulatedRun:
             for k, n in enumerate(self.nodes):
                 self.metrics.counter("sim.tasks_completed", node=k).inc(n.tasks_done)
             self.metrics.gauge("sim.idle_while_ready").set(self.idle_while_ready)
+            # Omniscient SDC verdict: taint that survived to the end is a
+            # wrong answer the run never noticed. Emitted in the sim.*
+            # namespace (not integrity.*) because the simulator knows it
+            # even with integrity off — campaigns classify on it.
+            self.metrics.counter("sim.undetected_corruptions").inc(
+                len(self.tainted_commits)
+            )
+            if self.integrity.digest_on:
+                self.metrics.counter("integrity.digest_rejects").inc(
+                    self.digest_rejects
+                )
+                self.metrics.counter("integrity.audits_passed").inc(
+                    self.audits_passed
+                )
+                self.metrics.counter("integrity.audits_convicted").inc(
+                    self.audits_convicted
+                )
+                self.metrics.counter("integrity.tainted_recomputes").inc(
+                    self.taint_recomputes
+                )
+                self.metrics.counter("integrity.votes_cast").inc(self.votes_cast)
+                self.metrics.counter("integrity.vote_divergences").inc(
+                    self.vote_divergences
+                )
+                self.metrics.counter("integrity.quarantined_workers").inc(
+                    len(self.quarantined)
+                )
         wall = _time.perf_counter() - wall_start
         total_threads = self.cluster.total_computing_threads
         events = self.obs.events() if self.obs is not None else None
@@ -680,6 +931,10 @@ class _SimulatedRun:
             total_cores=self.cluster.total_cores,
             blacklisted_workers=tuple(self.blacklisted),
             faults_injected=self.faults_injected,
+            digest_rejects=self.digest_rejects,
+            audits_convicted=self.audits_convicted,
+            tainted_recomputes=self.taint_recomputes,
+            quarantined_workers=tuple(self.quarantined),
             trace=to_gantt_trace(events) if self.config.trace and events is not None else None,
             events=events,
             metrics=self.metrics.snapshot() if self.metrics is not None else None,

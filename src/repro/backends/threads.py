@@ -110,6 +110,7 @@ def run_threads(
                 verify=config.verify,
                 obs=recorder,
                 heartbeat_interval=config.heartbeat_interval,
+                integrity=config.integrity,
             )
         )
     journal = open_journal(config, problem, resume)
@@ -137,6 +138,12 @@ def run_threads(
         attempts=resume.attempts if resume is not None else None,
         heartbeat_interval=config.heartbeat_interval,
         lease_factor=config.lease_factor,
+        integrity=config.integrity,
+        audit_fraction=config.audit_fraction,
+        vote_k=config.vote_k,
+        quarantine_threshold=config.quarantine_threshold,
+        run_digest=resume.run_digest if resume is not None else None,
+        commit_digests=resume.scan.commit_digests if resume is not None else None,
     )
 
     slave_threads = [
@@ -178,6 +185,11 @@ def run_threads(
         faults_injected=sum(
             getattr(ch, "faults_injected", 0) for ch in master_channels
         ),
+        run_digest=master.stats.run_digest,
+        digest_rejects=master.stats.digest_rejects,
+        audits_convicted=master.stats.audits_convicted,
+        tainted_recomputes=master.stats.tainted_recomputes,
+        quarantined_workers=tuple(master.stats.quarantined_workers),
     )
     if recorder is not None:
         report.events = recorder.events()

@@ -19,6 +19,18 @@ backends and classifies every run:
 The campaign invariant is that only the first two ever occur. Fault
 plans are pure functions of the seed (:mod:`repro.cluster.faults`), so a
 failing seed replays exactly.
+
+SDC mode (``sdc=True``, ``repro chaos --sdc``) swaps the fault mix for
+the *silent* tier — lying workers (``worker_p_lie``) and digest-evading
+``bitflip`` message mutations — and runs under the configured integrity
+mode. Classification tightens accordingly: real-backend states still
+diff against the serial oracle, the simulator's omniscient
+``sim.undetected_corruptions`` counter classifies taint that survived to
+the end as ``wrong-answer``, and the integrity invariants (no dispatch
+after quarantine, every taint recomputed, no commit without digest
+verification) join the fault invariants. Running the same seeds with
+``integrity='off'`` demonstrates the failure the defenses exist for: the
+campaign reports ``wrong-answer``.
 """
 
 from __future__ import annotations
@@ -31,7 +43,13 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.cluster.faults import FaultPlan, MessageFaultPlan, WorkerFaultPlan
+from repro.cluster.faults import (
+    DETECTABLE_MESSAGE_KINDS,
+    MESSAGE_FAULT_KINDS,
+    FaultPlan,
+    MessageFaultPlan,
+    WorkerFaultPlan,
+)
 from repro.runtime.config import RunConfig
 from repro.utils.errors import ChaosError, FaultToleranceExhausted
 
@@ -68,8 +86,23 @@ class CampaignSpec:
     #: ``repro resume`` the journal and assert the resumed run matches
     #: the oracle and the resume invariants. ``None`` disables.
     kill_master_at: Optional[float] = None
+    #: SDC mode: inject the *silent* corruption tier (lying workers,
+    #: digest-evading bitflips) and defend with ``integrity``. The other
+    #: fault knobs above still apply on top. The campaign audits at
+    #: fraction 1.0: sampled auditing is a *probabilistic* defense
+    #: (unsampled lies survive), but the campaign invariant is a hard
+    #: oracle-identical-or-abort guarantee, which only full coverage
+    #: (audit 1.0, or vote) provides.
+    sdc: bool = False
+    integrity: str = "audit"
+    worker_p_lie: float = 0.3
+    audit_fraction: float = 1.0
+    vote_k: int = 2
+    quarantine_threshold: int = 3
 
     def __post_init__(self) -> None:
+        from repro.integrity import INTEGRITY_MODES
+
         for b in self.backends:
             if b not in CAMPAIGN_BACKENDS:
                 raise ChaosError(
@@ -80,6 +113,10 @@ class CampaignSpec:
         if self.kill_master_at is not None and not (0.0 < self.kill_master_at <= 1.0):
             raise ChaosError(
                 f"kill_master_at must be a fraction in (0, 1], got {self.kill_master_at}"
+            )
+        if self.integrity not in INTEGRITY_MODES:
+            raise ChaosError(
+                f"integrity must be one of {INTEGRITY_MODES}, got {self.integrity!r}"
             )
 
 
@@ -174,15 +211,27 @@ def chaos_config(backend: str, seed: int, spec: CampaignSpec) -> RunConfig:
             else FaultPlan.none()
         ),
         message_fault_plan=(
-            MessageFaultPlan.random(spec.message_p, seed=seed)
+            MessageFaultPlan.random(
+                spec.message_p,
+                seed=seed,
+                # SDC mode adds the digest-evading tier to the draw.
+                kinds=MESSAGE_FAULT_KINDS if spec.sdc else DETECTABLE_MESSAGE_KINDS,
+            )
             if spec.message_p > 0
             else MessageFaultPlan.none()
         ),
         worker_fault_plan=(
             WorkerFaultPlan.random(
-                p_die=spec.worker_p_die, p_slow=spec.worker_p_slow, seed=seed
+                p_die=spec.worker_p_die,
+                p_slow=spec.worker_p_slow,
+                p_lie=spec.worker_p_lie if spec.sdc else 0.0,
+                seed=seed,
             )
-            if (spec.worker_p_die > 0 or spec.worker_p_slow > 0)
+            if (
+                spec.worker_p_die > 0
+                or spec.worker_p_slow > 0
+                or (spec.sdc and spec.worker_p_lie > 0)
+            )
             else WorkerFaultPlan.none()
         ),
         blacklist_threshold=4,
@@ -190,6 +239,13 @@ def chaos_config(backend: str, seed: int, spec: CampaignSpec) -> RunConfig:
         retry_backoff_max=0.25,
         observe=True,
     )
+    if spec.sdc:
+        common.update(
+            integrity=spec.integrity,
+            audit_fraction=spec.audit_fraction,
+            vote_k=spec.vote_k,
+            quarantine_threshold=spec.quarantine_threshold,
+        )
     if backend == "simulated":
         return RunConfig(task_timeout=5.0, subtask_timeout=5.0, **common)
     return RunConfig(
@@ -287,10 +343,28 @@ def _execute_one(
         diff = _states_equal(oracle, run.state)
         if diff is not None:
             outcome.status, outcome.detail = "wrong-answer", diff
+    if outcome.status == "ok" and backend == "simulated" and report.metrics:
+        # The simulator computes no values to diff; its omniscient taint
+        # counter is the wrong-answer verdict instead.
+        undetected = report.metrics.get("counters", {}).get(
+            "sim.undetected_corruptions", 0
+        )
+        if undetected:
+            outcome.status = "wrong-answer"
+            outcome.detail = (
+                f"{int(undetected)} corrupted commits survived undetected "
+                "(simulated taint)"
+            )
     if outcome.status == "ok" and report.events is not None:
         from repro.check.chaos_check import check_fault_invariants
+        from repro.check.integrity_check import check_integrity_invariants
 
         check = check_fault_invariants(report.events, aborted=False)
+        check.extend(
+            check_integrity_invariants(
+                report.events, metrics=report.metrics, aborted=False
+            )
+        )
         if not check.ok:
             outcome.status = "invariant-violation"
             outcome.detail = "; ".join(

@@ -9,15 +9,24 @@ to the traffic flowing through it:
 - ``duplicate`` — the message is delivered twice;
 - ``delay``     — delivery is held back ``rule.delay`` seconds
   (receive side only; the protocol's poll loops pick it up late);
-- ``corrupt``   — the payload is damaged *in a detected way*: the
-  checksum mismatch makes the receiver discard it, so observably it is a
-  drop with a distinct telemetry kind.
+- ``corrupt``   — one payload byte is flipped and the content digest left
+  stale: the receiver's integrity check
+  (:func:`repro.comm.serialization.content_digest`) detects the mismatch
+  and discards the message, so observably it is a drop — but the verify
+  code actually runs. When the run's integrity mode is ``off`` (no
+  digest stamped) the mutation flows through undetected;
+- ``bitflip``   — one payload byte is flipped *and the digest restamped*
+  to match (corruption upstream of the checksum): never caught at
+  receive, only by semantic defenses (audit recompute / voting).
+
+Multiple explicit rules matching the same message compose in rule order —
+a duplicate+delay message is delivered twice, late.
 
 Faults never raise into the runtime — the protocol must survive them via
-timeouts, epochs, and redistribution, which is exactly what the chaos
-campaign asserts. Every injected fault emits a ``msg-*`` event on the
-endpoint's instrumented recorder and counts toward per-endpoint
-``chaos.*`` metrics.
+timeouts, epochs, redistribution, and the integrity layer, which is
+exactly what the chaos campaign asserts. Every injected fault emits a
+``msg-*`` event on the endpoint's instrumented recorder and counts toward
+per-endpoint ``chaos.*`` metrics.
 
 The wrapper is deliberately protocol-agnostic: it never inspects message
 semantics beyond the class name and optional ``task_id`` used for rule
@@ -29,10 +38,13 @@ from __future__ import annotations
 import heapq
 import time
 from collections import deque
+from dataclasses import replace
 from typing import Deque, List, Optional, Tuple
 
+import numpy as np
+
 from repro.cluster.faults import MessageFaultPlan
-from repro.comm.messages import Message
+from repro.comm.messages import Message, TaskAssign, TaskResult
 from repro.comm.transport import Channel, ChannelTimeout, DelegatingChannel
 
 
@@ -54,6 +66,7 @@ class ChaosChannel(DelegatingChannel):
         self.duplicated = 0
         self.delayed = 0
         self.corrupted = 0
+        self.bitflipped = 0
         self._sent_index = 0
         self._recv_index = 0
         #: Messages already received but held back by a ``delay`` fault:
@@ -71,6 +84,7 @@ class ChaosChannel(DelegatingChannel):
             "duplicate": "duplicated",
             "delay": "delayed",
             "corrupt": "corrupted",
+            "bitflip": "bitflipped",
         }[kind]
         setattr(self, counter, getattr(self, counter) + 1)
         if self._obs.enabled:
@@ -91,35 +105,89 @@ class ChaosChannel(DelegatingChannel):
         registry.counter("chaos.messages_duplicated", endpoint=label).inc(self.duplicated)
         registry.counter("chaos.messages_delayed", endpoint=label).inc(self.delayed)
         registry.counter("chaos.messages_corrupted", endpoint=label).inc(self.corrupted)
+        registry.counter("chaos.messages_bitflipped", endpoint=label).inc(self.bitflipped)
 
     @property
     def faults_injected(self) -> int:
-        return self.dropped + self.duplicated + self.delayed + self.corrupted
+        return (
+            self.dropped + self.duplicated + self.delayed
+            + self.corrupted + self.bitflipped
+        )
+
+    # -- payload mutation ------------------------------------------------------
+
+    def _mutate_payload(self, msg: Message, restamp: bool) -> Optional[Message]:
+        """Flip one byte of the message's first array payload.
+
+        ``restamp`` (the ``bitflip`` kind) recomputes the content digest
+        over the mutated payload so receive-side verification passes —
+        corruption upstream of the checksum. Without it (``corrupt``) the
+        stamped digest goes stale and the receiver detects the mismatch.
+        Returns None when the message carries no array bytes to flip (a
+        bare signal or an empty input set); the caller degrades the fault
+        to a drop.
+        """
+        if isinstance(msg, TaskAssign):
+            field_name = "inputs"
+        elif isinstance(msg, TaskResult):
+            field_name = "outputs"
+        else:
+            return None
+        payload = getattr(msg, field_name)
+        flipped = False
+        mutated = {}
+        for key, value in payload.items():
+            if not flipped and isinstance(value, np.ndarray) and value.size:
+                raw = bytearray(np.ascontiguousarray(value).tobytes())
+                raw[0] ^= 0xFF
+                mutated[key] = (
+                    np.frombuffer(bytes(raw), dtype=value.dtype)
+                    .reshape(value.shape)
+                    .copy()
+                )
+                flipped = True
+            else:
+                mutated[key] = value
+        if not flipped:
+            return None
+        fields = {field_name: mutated}
+        if restamp and msg.digest is not None:
+            from repro.comm.serialization import content_digest
+
+            fields["digest"] = content_digest(mutated)
+        return replace(msg, **fields)
 
     # -- transport hooks -------------------------------------------------------
 
     def _send(self, msg: Message) -> None:
         index = self._sent_index
         self._sent_index += 1
-        rule = self.plan.decide(
+        rules = self.plan.decide_all(
             "send", type(msg).__name__, getattr(msg, "task_id", None), index,
             endpoint=self.endpoint_index,
         )
-        if rule is None:
+        if not rules:
             super()._send(msg)
             return
-        self._note(rule.kind, msg)
-        if rule.kind in ("drop", "corrupt"):
-            return  # lost in transit / discarded by the receiver's checksum
-        if rule.kind == "duplicate":
+        copies = 1
+        for rule in rules:
+            self._note(rule.kind, msg)
+            if rule.kind == "drop":
+                return  # lost in transit
+            if rule.kind in ("corrupt", "bitflip"):
+                mutated = self._mutate_payload(msg, restamp=rule.kind == "bitflip")
+                if mutated is None:
+                    return  # no payload bytes to flip: degrade to a drop
+                msg = mutated
+            elif rule.kind == "duplicate":
+                copies += 1
+            else:
+                # delay: hold the sender briefly, then deliver. Send-side
+                # delay stalls only this endpoint's service thread, which
+                # is precisely a slow link's observable behaviour.
+                time.sleep(min(rule.delay, 1.0))
+        for _ in range(copies):
             super()._send(msg)
-            super()._send(msg)
-            return
-        # delay: hold the sender briefly, then deliver. Send-side delay
-        # stalls only this endpoint's service thread, which is precisely a
-        # slow link's observable behaviour.
-        time.sleep(min(rule.delay, 1.0))
-        super()._send(msg)
 
     def _recv(self, timeout: Optional[float]) -> Message:
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -148,21 +216,43 @@ class ChaosChannel(DelegatingChannel):
                 continue
             index = self._recv_index
             self._recv_index += 1
-            rule = self.plan.decide(
+            rules = self.plan.decide_all(
                 "recv", type(msg).__name__, getattr(msg, "task_id", None), index,
                 endpoint=self.endpoint_index,
             )
-            if rule is None:
+            if not rules:
                 return msg
-            self._note(rule.kind, msg)
-            if rule.kind in ("drop", "corrupt"):
-                continue  # discarded; keep waiting within the deadline
-            if rule.kind == "duplicate":
+            copies = 1
+            hold = 0.0
+            lost = False
+            for rule in rules:
+                self._note(rule.kind, msg)
+                if rule.kind == "drop":
+                    lost = True  # vanished in transit
+                    break
+                if rule.kind in ("corrupt", "bitflip"):
+                    mutated = self._mutate_payload(
+                        msg, restamp=rule.kind == "bitflip"
+                    )
+                    if mutated is None:
+                        lost = True  # no payload bytes to flip: degrade to drop
+                        break
+                    msg = mutated
+                elif rule.kind == "duplicate":
+                    copies += 1
+                else:
+                    hold += rule.delay
+            if lost:
+                continue  # keep waiting within the deadline
+            if hold > 0.0:
+                # delay: park every copy and keep serving other traffic.
+                for _ in range(copies):
+                    self._held_seq += 1
+                    heapq.heappush(self._held, (now + hold, self._held_seq, msg))
+                continue
+            for _ in range(copies - 1):
                 self._dup_queue.append(msg)
-                return msg
-            # delay: park it and keep serving other traffic.
-            self._held_seq += 1
-            heapq.heappush(self._held, (now + rule.delay, self._held_seq, msg))
+            return msg
 
     def __repr__(self) -> str:
         return (

@@ -20,7 +20,11 @@ else in this package. ``repro.check`` is the layer that verifies it:
 - :mod:`repro.check.durable_check` — resume invariants over a resumed
   run's telemetry stream against its write-ahead journal (no
   double-commit, frontier consistent with the journal, full coverage),
-  asserted by every kill-master campaign run.
+  asserted by every kill-master campaign run;
+- :mod:`repro.check.integrity_check` — result-integrity invariants over
+  the telemetry stream (no dispatch after quarantine; every taint
+  recomputed; no commit without digest verification), asserted by every
+  SDC campaign run.
 
 Run everything from the command line with ``python -m repro check`` (see
 ``docs/static_analysis.md``), or enable the trace validator for any run
@@ -30,6 +34,7 @@ by setting ``REPRO_VERIFY=1`` / ``RunConfig(verify=True)``.
 from repro.check.chaos_check import check_fault_invariants
 from repro.check.diagnostics import CheckReport, Diagnostic
 from repro.check.durable_check import check_resume_invariants
+from repro.check.integrity_check import check_integrity_invariants
 from repro.check.lock_lint import LockLint, lock_lint_session, make_condition, make_lock, note_blocking
 from repro.check.pattern_check import check_partition, check_pattern
 from repro.check.trace_check import SchedEvent, TraceRecorder, check_trace
@@ -38,6 +43,7 @@ __all__ = [
     "CheckReport",
     "Diagnostic",
     "check_fault_invariants",
+    "check_integrity_invariants",
     "check_resume_invariants",
     "LockLint",
     "SchedEvent",

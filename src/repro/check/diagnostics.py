@@ -39,6 +39,11 @@ RESUME_DOUBLE_COMMIT = "resume-double-commit"
 RESUME_FRONTIER_MISMATCH = "resume-frontier-mismatch"
 RESUME_INCOMPLETE = "resume-incomplete"
 
+# -- result-integrity invariant codes (SDC campaigns) ---------------------------
+DISPATCH_AFTER_QUARANTINE = "dispatch-after-quarantine"
+TAINT_NOT_RECOMPUTED = "taint-not-recomputed"
+COMMIT_WITHOUT_VERIFY = "commit-without-verify"
+
 # -- lock lint codes ----------------------------------------------------------
 LOCK_CYCLE = "lock-cycle"
 BLOCKING_WHILE_LOCKED = "blocking-while-locked"

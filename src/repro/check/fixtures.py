@@ -1,6 +1,6 @@
 """Seeded defect fixtures — known-bad inputs every check pass must catch.
 
-Six fixtures, one per diagnostic family the verifier exists for:
+Nine fixtures, one per diagnostic family the verifier exists for:
 
 1. a cyclic "pattern"                          -> ``pattern-cycle``
 2. a pattern with an out-of-bounds dependency  -> ``dep-out-of-bounds``
@@ -8,6 +8,10 @@ Six fixtures, one per diagnostic family the verifier exists for:
 4. a trace committing a block too early        -> ``early-commit``
 5. a trace committing a block twice            -> ``duplicate-commit``
 6. a deliberate ABBA lock inversion            -> ``lock-cycle``
+7. a liar worker re-dispatched after its
+   quarantine                                  -> ``dispatch-after-quarantine``
+8. a tainted commit never recomputed           -> ``taint-not-recomputed``
+9. more worker commits than digest checks      -> ``commit-without-verify``
 
 They serve two purposes: negative-path tests (each must be *rejected*,
 with the named diagnostic), and the ``repro check --selftest`` CLI verb,
@@ -19,10 +23,12 @@ constructors (by design) refuse to build them.
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
 from repro.check import diagnostics as D
 from repro.check.diagnostics import CheckReport
+from repro.check.integrity_check import check_integrity_invariants
 from repro.check.lock_lint import lock_lint_session, make_lock
 from repro.check.pattern_check import check_pattern
 from repro.check.trace_check import SchedEvent, check_trace
@@ -141,6 +147,83 @@ def abba_lock_report() -> CheckReport:
         return lint.report()
 
 
+@dataclass(frozen=True)
+class _ObsLike:
+    """Minimal stand-in for :class:`~repro.obs.recorder.ObsEvent` — the
+    integrity checker consumes the *telemetry* stream, whose kinds
+    (``quarantine``, ``taint-invalidate``, ...) the stricter
+    :class:`SchedEvent` schema rejects by design."""
+
+    kind: str
+    task_id: object
+    epoch: int
+    worker: int
+    seq: int
+
+
+def liar_quarantine_trace() -> List[_ObsLike]:
+    """A liar worker convicted, quarantined — then wrongly re-dispatched.
+
+    Worker 1 lies about (0, 1); the audit convicts it, the taint
+    recompute lands on worker 0, and the quarantine retires worker 1.
+    The defect: the master assigns (0, 3) to the quarantined worker
+    anyway (an eligibility check that forgot the quarantine set).
+    """
+
+    def ev(seq: int, kind: str, task, worker: int, epoch: int = 0) -> _ObsLike:
+        return _ObsLike(kind=kind, task_id=task, epoch=epoch, worker=worker, seq=seq)
+
+    return [
+        ev(0, "assign", (0, 0), 0),
+        ev(1, "commit", (0, 0), 0),
+        ev(2, "assign", (0, 1), 1),
+        ev(3, "commit", (0, 1), 1),
+        ev(4, "audit-convict", (0, 1), 1),
+        ev(5, "taint-invalidate", (0, 1), -1),
+        ev(6, "quarantine", None, 1),
+        ev(7, "assign", (0, 1), 0, epoch=1),
+        ev(8, "commit", (0, 1), 0, epoch=1),
+        ev(9, "assign", (0, 2), 0),
+        ev(10, "commit", (0, 2), 0),
+        ev(11, "assign", (0, 3), 1),  # the defect: worker 1 is quarantined
+        ev(12, "commit", (0, 3), 1),
+    ]
+
+
+def taint_without_recompute_trace() -> List[_ObsLike]:
+    """A conviction whose invalidated block is never recomputed: the run
+    'finishes' with the tainted region simply missing from the state."""
+
+    def ev(seq: int, kind: str, task, worker: int, epoch: int = 0) -> _ObsLike:
+        return _ObsLike(kind=kind, task_id=task, epoch=epoch, worker=worker, seq=seq)
+
+    return [
+        ev(0, "assign", (0, 0), 0),
+        ev(1, "commit", (0, 0), 0),
+        ev(2, "audit-convict", (0, 0), 0),
+        ev(3, "taint-invalidate", (0, 0), -1),
+        # No later commit of (0, 0): the frontier push was dropped.
+    ]
+
+
+def unverified_commit_case() -> Tuple[List[_ObsLike], dict]:
+    """Three worker commits but only two receive-side digest checks."""
+
+    def ev(seq: int, kind: str, task, worker: int) -> _ObsLike:
+        return _ObsLike(kind=kind, task_id=task, epoch=0, worker=worker, seq=seq)
+
+    events = [
+        ev(0, "assign", (0, 0), 0),
+        ev(1, "commit", (0, 0), 0),
+        ev(2, "assign", (0, 1), 1),
+        ev(3, "commit", (0, 1), 1),
+        ev(4, "assign", (0, 2), 0),
+        ev(5, "commit", (0, 2), 0),
+    ]
+    metrics = {"counters": {"integrity.digests_verified": 2}}
+    return events, metrics
+
+
 #: name -> (expected diagnostic code, runner returning the CheckReport).
 SELFTEST: dict = {
     "cyclic-pattern": (D.PATTERN_CYCLE, lambda: check_pattern(cyclic_pattern())),
@@ -155,6 +238,18 @@ SELFTEST: dict = {
         lambda: check_trace(*duplicate_commit_trace(), require_complete=False),
     ),
     "abba-lock-cycle": (D.LOCK_CYCLE, abba_lock_report),
+    "liar-quarantine-dispatch": (
+        D.DISPATCH_AFTER_QUARANTINE,
+        lambda: check_integrity_invariants(liar_quarantine_trace()),
+    ),
+    "taint-never-recomputed": (
+        D.TAINT_NOT_RECOMPUTED,
+        lambda: check_integrity_invariants(taint_without_recompute_trace()),
+    ),
+    "commit-without-verify": (
+        D.COMMIT_WITHOUT_VERIFY,
+        lambda: check_integrity_invariants(*unverified_commit_case()),
+    ),
 }
 
 

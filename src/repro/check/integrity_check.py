@@ -1,0 +1,121 @@
+"""Result-integrity invariants over the telemetry event stream.
+
+SDC chaos campaigns (:mod:`repro.chaos`) validate every surviving run's
+:class:`~repro.obs.recorder.ObsEvent` stream against three invariants of
+the integrity layer (digests / audit / vote / quarantine, PR 5):
+
+- **no dispatch after quarantine** — once a worker is quarantined for
+  divergent results, the master must never assign it another sub-task; a
+  later ``assign`` to that worker means the eligibility checks raced
+  wrong (``dispatch-after-quarantine``).
+- **every taint is recomputed** — a ``taint-invalidate`` event revokes a
+  committed block; unless the run aborted, a *later* ``commit`` of the
+  same sub-task must exist, or the taint recompute dropped the block on
+  the floor (``taint-not-recomputed``).
+- **no commit without verification** — when the run's metrics carry
+  ``integrity.digests_verified``, every worker-attributed commit must be
+  backed by a receive-side digest verification: the number of distinct
+  ``(task, epoch)`` commits from workers may not exceed the verified
+  count (``commit-without-verify``). Master-side commits (serial oracle,
+  journal replay, arbiter recomputes at ``worker == -1`` with no assign
+  record) are exempt — the master needs no wire check on itself.
+
+Like :mod:`repro.check.chaos_check`, the pass operates purely on the
+recorded stream (``RunConfig(observe=True)``) so it applies identically
+to the real backends and the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.check.diagnostics import (
+    COMMIT_WITHOUT_VERIFY,
+    DISPATCH_AFTER_QUARANTINE,
+    TAINT_NOT_RECOMPUTED,
+    CheckReport,
+)
+
+
+def _counter(metrics: Optional[Mapping[str, Any]], name: str) -> Optional[float]:
+    """Look up an unlabeled counter in a MetricsRegistry snapshot."""
+    if not metrics:
+        return None
+    counters = metrics.get("counters", metrics)
+    value = counters.get(name)
+    return None if value is None else float(value)
+
+
+def check_integrity_invariants(
+    events: Sequence[Any],
+    metrics: Optional[Mapping[str, Any]] = None,
+    aborted: bool = False,
+    title: str = "integrity-invariants",
+) -> CheckReport:
+    """Validate the result-integrity invariants over one run's events.
+
+    ``metrics`` is the run's MetricsRegistry snapshot (or None); the
+    commit-without-verify rule only fires when it carries the
+    ``integrity.digests_verified`` counter. ``aborted`` marks a clean
+    :class:`~repro.utils.errors.FaultToleranceExhausted`, which waives
+    the recompute requirement for trailing taints.
+    """
+    report = CheckReport(title=title)
+    ordered = sorted(events, key=lambda e: e.seq)
+
+    quarantined_at: Dict[int, int] = {}  # worker -> seq of its quarantine
+    assigned: Set[Tuple[Any, int]] = set()  # (task, epoch) wire dispatches
+    worker_commits: Set[Tuple[Any, int]] = set()
+    #: task -> seq of its most recent taint-invalidate / commit.
+    tainted_at: Dict[Any, Tuple[int, int]] = {}  # task -> (seq, epoch)
+    last_commit_seq: Dict[Any, int] = {}
+
+    for ev in ordered:
+        if ev.kind == "quarantine":
+            quarantined_at[ev.worker] = ev.seq
+        elif ev.kind == "assign":
+            assigned.add((ev.task_id, ev.epoch))
+            q_seq = quarantined_at.get(ev.worker)
+            report.checked += 1
+            if q_seq is not None and q_seq < ev.seq:
+                report.add(
+                    DISPATCH_AFTER_QUARANTINE,
+                    f"task {ev.task_id} epoch {ev.epoch} assigned to worker "
+                    f"{ev.worker} after that worker was quarantined "
+                    f"(quarantine seq {q_seq} < assign seq {ev.seq})",
+                    subject=f"worker {ev.worker}",
+                )
+        elif ev.kind == "taint-invalidate":
+            tainted_at[ev.task_id] = (ev.seq, ev.epoch)
+        elif ev.kind == "commit":
+            last_commit_seq[ev.task_id] = ev.seq
+            if (ev.task_id, ev.epoch) in assigned:
+                worker_commits.add((ev.task_id, ev.epoch))
+
+    for task_id, (seq, epoch) in tainted_at.items():
+        report.checked += 1
+        if last_commit_seq.get(task_id, -1) <= seq and not aborted:
+            report.add(
+                TAINT_NOT_RECOMPUTED,
+                f"taint-invalidate of task {task_id} epoch {epoch} "
+                f"(seq {seq}) was never followed by a recompute commit "
+                "and the run did not abort",
+                subject=f"task {task_id}",
+            )
+
+    verified = _counter(metrics, "integrity.digests_verified")
+    if verified is not None:
+        report.checked += 1
+        if len(worker_commits) > verified:
+            report.add(
+                COMMIT_WITHOUT_VERIFY,
+                f"{len(worker_commits)} distinct worker commits but only "
+                f"{int(verified)} results passed digest verification — "
+                "some result was committed without a receive-side check",
+            )
+    return report
+
+
+def quarantined_workers(events: Sequence[Any]) -> Set[int]:
+    """Workers with a ``quarantine`` event in the stream (test helper)."""
+    return {e.worker for e in events if e.kind == "quarantine"}

@@ -21,7 +21,13 @@ Commands:
                   ``--kill-master-at P`` switches to kill-master mode:
                   crash the journaling master at a seeded commit within
                   the first P fraction of the run, resume the journal,
-                  and assert oracle-match plus the resume invariants;
+                  and assert oracle-match plus the resume invariants.
+                  ``--sdc`` switches to silent-data-corruption mode:
+                  lying workers and digest-evading bitflips under the
+                  ``--integrity`` defense (default ``audit``), asserting
+                  the run still converges oracle-identical or aborts
+                  cleanly — with ``--integrity off`` the same seeds
+                  demonstrate the wrong answers the defenses prevent;
 - ``resume``    — reconstruct master state from a write-ahead commit
                   journal (``repro run --journal run.journal``) and
                   continue the run to completion (:mod:`repro.durable`).
@@ -143,6 +149,11 @@ def _export_trace(report, trace_out: str | None) -> None:
 
 def cmd_run(args: argparse.Namespace) -> int:
     problem = _build_problem(args)
+    overrides = {}
+    if args.integrity is not None:
+        overrides["integrity"] = args.integrity
+    if args.audit_fraction is not None:
+        overrides["audit_fraction"] = args.audit_fraction
     config = RunConfig(
         nodes=args.nodes,
         threads_per_node=args.threads,
@@ -151,6 +162,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         verify=args.verify,
         observe=args.observe or bool(args.trace_out),
         journal_path=args.journal,
+        **overrides,
     )
     run = EasyHPS(config).run(problem)
     print(run.report.summary())
@@ -196,7 +208,19 @@ def cmd_resume(args: argparse.Namespace) -> int:
         if run.state is None:
             print("oracle check skipped: backend computes no state", file=sys.stderr)
         else:
-            oracle = EasyHPS(RunConfig(backend="serial")).run(rec.problem)
+            # The oracle must reuse the journaled run's partition and
+            # integrity mode: the state diff is decomposition-agnostic,
+            # but the run-digest fold is over per-*block* boundary
+            # digests, so a different process_partition folds different
+            # payloads even for an identical final state.
+            oracle = EasyHPS(
+                RunConfig(
+                    backend="serial",
+                    process_partition=rec.config.process_partition,
+                    thread_partition=rec.config.thread_partition,
+                    integrity=rec.config.integrity,
+                )
+            ).run(rec.problem)
             import numpy as np
 
             mismatch = [
@@ -207,6 +231,18 @@ def cmd_resume(args: argparse.Namespace) -> int:
                 print(f"ORACLE MISMATCH in state keys {mismatch}", file=sys.stderr)
                 return 1
             print("oracle check: resumed state identical to serial oracle")
+            # The rolling run digest is epoch-free and order-independent,
+            # so the resumed fold (journal prefix + live commits) must
+            # equal a fresh serial fold of the same instance bit-for-bit.
+            ours, theirs = run.report.run_digest, oracle.report.run_digest
+            if ours is not None and theirs is not None:
+                if ours != theirs:
+                    print(
+                        f"RUN DIGEST MISMATCH: resumed {ours} != oracle {theirs}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                print(f"oracle check: run digest matches ({ours})")
     _export_trace(run.report, args.trace_out)
     return 0
 
@@ -337,6 +373,19 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             kwargs.update(
                 message_p=0.0, worker_p_die=0.0, worker_p_slow=0.0, task_fault_p=0.0
             )
+    if args.sdc:
+        kwargs["sdc"] = True
+        if not args.keep_pressure:
+            # SDC mode isolates the silent tier by default: no deaths or
+            # crashes competing for the retry budget, modest message
+            # pressure so corrupt/bitflip still fire.
+            kwargs.update(
+                message_p=0.05, worker_p_die=0.0, worker_p_slow=0.0, task_fault_p=0.0
+            )
+    if args.integrity is not None:
+        if not args.sdc:
+            raise SystemExit("--integrity requires --sdc")
+        kwargs["integrity"] = args.integrity
     spec = CampaignSpec(
         backends=tuple(args.backend) if args.backend else ("simulated", "threads"),
         seeds=args.seeds,
@@ -397,6 +446,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--journal", metavar="PATH", default=None,
         help="write-ahead commit journal; a killed run continues via `repro resume PATH`",
+    )
+    run_p.add_argument(
+        "--integrity", default=None,
+        choices=("off", "digest", "audit", "vote"),
+        help="result-integrity mode (default: digest, or REPRO_INTEGRITY)",
+    )
+    run_p.add_argument(
+        "--audit-fraction", type=float, default=None, metavar="F",
+        help="with --integrity audit: fraction of commits recomputed (default 0.125)",
     )
     _add_obs_args(run_p)
     run_p.set_defaults(fn=cmd_run)
@@ -482,8 +540,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_p.add_argument(
         "--keep-pressure", action="store_true",
-        help="with --kill-master-at: keep the usual message/worker/task "
-             "fault pressure instead of isolating the crash/resume path",
+        help="with --kill-master-at or --sdc: keep the usual "
+             "message/worker/task fault pressure instead of isolating "
+             "the mode's own fault tier",
+    )
+    chaos_p.add_argument(
+        "--sdc", action="store_true",
+        help="silent-data-corruption mode: lying workers + digest-evading "
+             "bitflips, defended by --integrity; asserts "
+             "oracle-identical-or-clean-abort",
+    )
+    chaos_p.add_argument(
+        "--integrity", default=None,
+        choices=("off", "digest", "audit", "vote"),
+        help="with --sdc: integrity mode under test (default audit); "
+             "'off' demonstrates the wrong answers the defenses prevent",
     )
     chaos_p.add_argument(
         "--artifact-dir", default=None,

@@ -9,13 +9,19 @@ the hardened recovery layered on top of it) reacts to, at three levels:
 - **task level** (:class:`FaultPlan`) — a dispatched computation ``crash``\\ es
   (dies without replying) or ``hang``\\ s (answers late, past the deadline);
 - **message level** (:class:`MessageFaultPlan`) — an individual protocol
-  message is ``drop``\\ ped, ``duplicate``\\ d, ``delay``\\ ed, or ``corrupt``\\ ed
-  in a detected way (checksum mismatch: the receiver discards it), injected
-  at the :class:`~repro.comm.transport.Channel` boundary;
+  message is ``drop``\\ ped, ``duplicate``\\ d, ``delay``\\ ed, ``corrupt``\\ ed
+  in a detected way (payload mutated, digest left stale: the receiver's
+  integrity check discards it), or ``bitflip``\\ ped in an *undetected*
+  way (payload mutated and the digest restamped to match — models
+  corruption upstream of the checksum, which only semantic defenses like
+  audit/vote can catch), injected at the
+  :class:`~repro.comm.transport.Channel` boundary;
 - **worker level** (:class:`WorkerFaultPlan`) — a whole slave ``die``\\ s
-  mid-run (serves a few tasks, then goes permanently silent) or runs
+  mid-run (serves a few tasks, then goes permanently silent), runs
   ``slow`` (a straggler node whose computations take a multiple of their
-  normal time).
+  normal time), or turns ``liar`` (silent data corruption: after N tasks
+  it returns plausible-but-wrong blocks with self-consistent digests —
+  only catchable semantically, by audit recompute or voting).
 
 Rules are keyed by dispatch attempt / message index / worker id so
 recovery paths are testable; the ``random`` constructors draw every
@@ -44,10 +50,18 @@ from repro.utils.validate import (
 KINDS = ("crash", "hang")
 
 #: Message-level fault kinds (injected at the Channel boundary).
-MESSAGE_FAULT_KINDS = ("drop", "duplicate", "delay", "corrupt")
+#: ``corrupt`` is detected (stale digest); ``bitflip`` is the undetected
+#: tier (digest restamped over the mutated payload).
+MESSAGE_FAULT_KINDS = ("drop", "duplicate", "delay", "corrupt", "bitflip")
 
-#: Worker-level fault kinds.
-WORKER_FAULT_KINDS = ("die", "slow")
+#: Kinds :meth:`MessageFaultPlan.random` draws by default — the tier the
+#: baseline recovery (timeouts + digests) detects on its own. ``bitflip``
+#: evades digests *by design*, so it is opt-in: SDC campaigns pair it
+#: with the ``audit``/``vote`` integrity modes that can actually catch it.
+DETECTABLE_MESSAGE_KINDS = ("drop", "duplicate", "delay", "corrupt")
+
+#: Worker-level fault kinds. ``liar`` is the silent-data-corruption tier.
+WORKER_FAULT_KINDS = ("die", "slow", "liar")
 
 #: Per-plan-type salt mixed into derived RNG keys so the three plan
 #: families never reuse a stream even under the same seed.
@@ -251,7 +265,7 @@ class MessageFaultPlan:
         cls,
         p: float,
         seed: int = 0,
-        kinds: Sequence[str] = MESSAGE_FAULT_KINDS,
+        kinds: Sequence[str] = DETECTABLE_MESSAGE_KINDS,
         protect: Sequence[str] = ("EndSignal",),
         delay: float = 0.05,
     ) -> "MessageFaultPlan":
@@ -275,10 +289,32 @@ class MessageFaultPlan:
         index: int,
         endpoint: int = 0,
     ) -> Optional[MessageFaultRule]:
-        """The fault (if any) hitting this message, or None to deliver it."""
-        for rule in self.rules:
-            if rule.matches(direction, message_type, task_id, index):
-                return rule
+        """The first fault (if any) hitting this message, or None."""
+        faults = self.decide_all(direction, message_type, task_id, index, endpoint)
+        return faults[0] if faults else None
+
+    def decide_all(
+        self,
+        direction: str,
+        message_type: str,
+        task_id: Optional[TaskId],
+        index: int,
+        endpoint: int = 0,
+    ) -> Tuple[MessageFaultRule, ...]:
+        """Every fault hitting this message, in rule order.
+
+        Explicit rules compose: a message matched by a ``duplicate`` and a
+        ``delay`` rule suffers both, applied in the order the rules were
+        given. The random mode still draws at most one fault per message
+        (composition probability would be ``p**2``-rare and untestable).
+        """
+        matched = tuple(
+            rule
+            for rule in self.rules
+            if rule.matches(direction, message_type, task_id, index)
+        )
+        if matched:
+            return matched
         if self._random_p > 0.0 and message_type not in self._protect:
             kinds = self._random_kinds
             if direction == "send":
@@ -290,10 +326,12 @@ class MessageFaultPlan:
             )
             if rng.random() < self._random_p:
                 kind = kinds[int(rng.integers(len(kinds)))]
-                return MessageFaultRule(
-                    kind, direction=direction, index=index, delay=self._delay
+                return (
+                    MessageFaultRule(
+                        kind, direction=direction, index=index, delay=self._delay
+                    ),
                 )
-        return None
+        return ()
 
     def __bool__(self) -> bool:
         return bool(self.rules) or self._random_p > 0.0
@@ -314,7 +352,11 @@ class WorkerFaultRule:
     ``die``: the worker serves ``after_tasks`` tasks and then goes
     permanently silent (a crashed slave node). ``slow``: every
     computation on the worker takes ``factor`` times its normal duration
-    (a degraded straggler node). ``worker_id=None`` matches every worker.
+    (a degraded straggler node). ``liar``: after serving ``after_tasks``
+    tasks the worker returns wrong block values with self-consistent
+    digests — it keeps heartbeating and answering on time, so only
+    semantic defenses (audit/vote) can convict it.
+    ``worker_id=None`` matches every worker.
     """
 
     kind: str
@@ -338,6 +380,7 @@ class WorkerFaultPlan:
         self.rules = tuple(rules)
         self._p_die = 0.0
         self._p_slow = 0.0
+        self._p_lie = 0.0
         self._seed = 0
         self._max_after = 3
         self._factor = 4.0
@@ -354,17 +397,21 @@ class WorkerFaultPlan:
         seed: int = 0,
         max_after: int = 3,
         factor: float = 4.0,
+        p_lie: float = 0.0,
     ) -> "WorkerFaultPlan":
         """Each worker independently dies (after 1..max_after tasks) with
-        probability ``p_die`` and/or runs slow with probability ``p_slow``.
-        Decisions derive from ``(seed, worker_id)``."""
+        probability ``p_die``, runs slow with probability ``p_slow``,
+        and/or starts lying (after 0..max_after tasks) with probability
+        ``p_lie``. Decisions derive from ``(seed, worker_id)``."""
         check_probability("p_die", p_die)
         check_probability("p_slow", p_slow)
+        check_probability("p_lie", p_lie)
         check_positive("max_after", max_after)
         check_positive("factor", factor)
         plan = cls(())
         plan._p_die = p_die
         plan._p_slow = p_slow
+        plan._p_lie = p_lie
         plan._seed = seed
         plan._max_after = max_after
         plan._factor = factor
@@ -392,10 +439,30 @@ class WorkerFaultPlan:
                 return self._factor
         return 1.0
 
+    def lie_point(self, worker_id: int) -> Optional[int]:
+        """Task count after which ``worker_id`` starts returning wrong
+        blocks, or None (honest). 0 means it lies from its first task."""
+        for rule in self.rules:
+            if rule.kind == "liar" and rule.matches(worker_id):
+                return rule.after_tasks
+        if self._p_lie > 0.0:
+            rng = derived_rng(self._seed, _SALT_WORKER, worker_id, 2)
+            if rng.random() < self._p_lie:
+                return int(rng.integers(0, self._max_after + 1))
+        return None
+
     def __bool__(self) -> bool:
-        return bool(self.rules) or self._p_die > 0.0 or self._p_slow > 0.0
+        return (
+            bool(self.rules)
+            or self._p_die > 0.0
+            or self._p_slow > 0.0
+            or self._p_lie > 0.0
+        )
 
     def __repr__(self) -> str:
-        if self._p_die > 0.0 or self._p_slow > 0.0:
-            return f"WorkerFaultPlan(random p_die={self._p_die}, p_slow={self._p_slow})"
+        if self._p_die > 0.0 or self._p_slow > 0.0 or self._p_lie > 0.0:
+            return (
+                f"WorkerFaultPlan(random p_die={self._p_die}, "
+                f"p_slow={self._p_slow}, p_lie={self._p_lie})"
+            )
         return f"WorkerFaultPlan({len(self.rules)} rules)"

@@ -19,7 +19,7 @@ a rerun's result.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 #: Sub-task identifier: a vertex of the abstract (process-level) DAG.
 TaskId = Tuple[int, ...]
@@ -51,6 +51,10 @@ class TaskAssign(Message):
     epoch: int
     inputs: Dict[str, Any] = field(compare=False)
     lease: float = 0.0
+    #: Canonical content digest of ``inputs``
+    #: (:func:`repro.comm.serialization.content_digest`); None when the
+    #: run's integrity mode is ``off`` — receivers then skip verification.
+    digest: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -63,6 +67,8 @@ class TaskResult(Message):
     outputs: Dict[str, Any] = field(compare=False)
     #: Slave-side wall-clock seconds spent computing (reporting only).
     elapsed: float = 0.0
+    #: Canonical content digest of ``outputs``; None when integrity is off.
+    digest: Optional[str] = None
 
 
 @dataclass(frozen=True)

@@ -16,13 +16,23 @@ Each record is ``<u32 payload_len> <u32 crc32(payload)> <payload>``
 
 - ``begin``      — the problem instance and the full :class:`RunConfig`
   (both pickled), written once at journal creation;
-- ``commit``     — one committed sub-task: ``(task, epoch, outputs)``;
+- ``commit``     — one committed sub-task: ``(task, epoch, outputs)``
+  plus, when the run's integrity mode is on, the canonical content
+  digest of the outputs;
+- ``invalidate`` — taint recompute revoked a set of previously committed
+  sub-tasks (an audit convicted a block; its committed dependent closure
+  is invalidated and recomputed). A resume after a crash mid-recompute
+  must not resurrect the tainted commits, so the revocation is journaled
+  before the parser frontier is rewound;
 - ``checkpoint`` — a compacted snapshot: the committed DP state arrays,
-  the committed task set, and the per-task attempt counts. Writing a
-  checkpoint *compacts the file in place* (atomic rewrite via
-  ``os.replace``), so the journal stays bounded by one checkpoint plus
-  one checkpoint-interval of commits;
-- ``end``        — the run finished; resume is a no-op replay.
+  the committed task set, the per-task attempt counts, the rolling run
+  digest (an order-independent XOR-fold over per-commit content digests,
+  :func:`repro.integrity.fold_commit`) and the per-task digests the fold
+  is made of. Writing a checkpoint *compacts the file in place* (atomic
+  rewrite via ``os.replace``), so the journal stays bounded by one
+  checkpoint plus one checkpoint-interval of commits;
+- ``end``        — the run finished; resume is a no-op replay. Carries
+  the final rolling run digest for ``repro resume --check-oracle``.
 
 Torn tails are expected, not exceptional: a crash mid-write leaves a
 record whose length header promises more bytes than exist, or whose CRC
@@ -177,12 +187,17 @@ class CommitJournal:
         self._write(raw)
 
     def commit(
-        self, task_id: TaskId, epoch: int, outputs: Optional[Dict[str, Any]]
+        self,
+        task_id: TaskId,
+        epoch: int,
+        outputs: Optional[Dict[str, Any]],
+        digest: Optional[str] = None,
     ) -> None:
         """Append one committed sub-task (write-ahead of the state merge)."""
-        self._write(_encode(
-            {"type": "commit", "task": task_id, "epoch": epoch, "outputs": outputs}
-        ))
+        self._write(_encode({
+            "type": "commit", "task": task_id, "epoch": epoch,
+            "outputs": outputs, "digest": digest,
+        }))
         self.commits_written += 1
         self.commits_since_checkpoint += 1
         if self.kill_after is not None and self.commits_written >= self.kill_after:
@@ -196,6 +211,15 @@ class CommitJournal:
                 f"(journal {self.path!r})"
             )
 
+    def invalidate(self, task_ids) -> None:
+        """Append a taint-revocation of previously committed sub-tasks.
+
+        Written *before* the in-memory commit map and parser frontier are
+        rewound, so a crash mid-recompute recovers without the tainted
+        commits (the scan subtracts them from the committed set).
+        """
+        self._write(_encode({"type": "invalidate", "tasks": tuple(task_ids)}))
+
     def should_checkpoint(self) -> bool:
         return self.commits_since_checkpoint >= self.checkpoint_interval
 
@@ -204,6 +228,8 @@ class CommitJournal:
         state: Optional[Dict[str, Any]],
         committed: Dict[TaskId, int],
         attempts: Dict[TaskId, int],
+        run_digest: Optional[str] = None,
+        commit_digests: Optional[Dict[TaskId, Optional[str]]] = None,
     ) -> int:
         """Write a compacted checkpoint; returns its payload size in bytes.
 
@@ -220,6 +246,8 @@ class CommitJournal:
             "state": state,
             "committed": dict(committed),
             "attempts": dict(attempts),
+            "run_digest": run_digest,
+            "commit_digests": dict(commit_digests) if commit_digests else {},
         })
         tmp = self.path + ".compact.tmp"
         with open(tmp, "wb") as out:
@@ -237,9 +265,9 @@ class CommitJournal:
         self.checkpoints_written += 1
         return len(raw)
 
-    def end(self) -> None:
+    def end(self, run_digest: Optional[str] = None) -> None:
         """Mark the run complete (resume becomes a pure replay)."""
-        self._write(_encode({"type": "end"}))
+        self._write(_encode({"type": "end", "run_digest": run_digest}))
 
     def close(self) -> None:
         if self._fh is not None:
@@ -281,6 +309,15 @@ class JournalScan:
     ended: bool = False
     #: Raw framed bytes of the begin record (for compaction on resume).
     begin_raw: Optional[bytes] = None
+    #: Rolling run digest accumulator over the recovered committed set
+    #: (hex; see :func:`repro.integrity.fold_commit`). The resumed master
+    #: continues folding from this value.
+    run_digest: Optional[str] = None
+    #: task -> content digest of its committed outputs (None entries when
+    #: the crashed run's integrity mode was off).
+    commit_digests: Dict[TaskId, Optional[str]] = field(default_factory=dict)
+    #: Taint revocations read from the journal, in order.
+    invalidations: List[Tuple[TaskId, ...]] = field(default_factory=list)
 
     @property
     def n_committed(self) -> int:
@@ -296,11 +333,14 @@ def scan_journal(path: str) -> JournalScan:
     scan cleanly with ``truncated=True`` and a diagnostic; everything
     before the bad frame is recovered.
     """
+    from repro.integrity import fold_commit, run_digest_hex
+
     try:
         fh = open(path, "rb")
     except OSError as exc:
         raise JournalError(f"cannot open journal {path!r}: {exc}") from exc
     scan = JournalScan(path=path)
+    fold_acc = 0
     with fh:
         magic = fh.read(len(MAGIC))
         if magic != MAGIC:
@@ -358,20 +398,44 @@ def scan_journal(path: str) -> JournalScan:
                 scan.begin_raw = raw
             elif kind == "commit":
                 task, epoch = record["task"], record["epoch"]
+                digest = record.get("digest")
                 scan.committed[task] = epoch
+                scan.commit_digests[task] = digest
                 scan.commits_after_checkpoint.append(
                     (task, epoch, record["outputs"])
                 )
                 scan.attempts[task] = max(
                     scan.attempts.get(task, 0), epoch + 1
                 )
+                fold_acc = fold_commit(fold_acc, task, digest)
+            elif kind == "invalidate":
+                # Taint recompute revoked these commits; subtract them
+                # from the recovered set (retry budgets stay — epochs
+                # must keep outpacing any pre-crash results).
+                tasks = tuple(record["tasks"])
+                scan.invalidations.append(tasks)
+                for task in tasks:
+                    if task in scan.committed:
+                        del scan.committed[task]
+                        fold_acc = fold_commit(
+                            fold_acc, task, scan.commit_digests.pop(task, None)
+                        )
+                scan.commits_after_checkpoint = [
+                    entry
+                    for entry in scan.commits_after_checkpoint
+                    if entry[0] not in tasks
+                ]
             elif kind == "checkpoint":
                 scan.checkpoint_state = record["state"]
                 scan.committed = dict(record["committed"])
                 scan.attempts = dict(record["attempts"])
                 scan.commits_after_checkpoint = []
+                scan.commit_digests = dict(record.get("commit_digests") or {})
+                stored = record.get("run_digest")
+                fold_acc = int(stored, 16) if stored else 0
             elif kind == "end":
                 scan.ended = True
+    scan.run_digest = run_digest_hex(fold_acc)
     if scan.begin_raw is None:
         raise JournalError(
             f"journal {path!r} has no intact begin record"

@@ -52,6 +52,9 @@ class RecoveredRun:
     truncated: bool
     #: Human-readable account of the torn tail, empty when clean.
     diagnostic: str
+    #: Rolling run digest recovered from the journal (hex); the resumed
+    #: master continues folding from it. None for pre-digest journals.
+    run_digest: Optional[str] = None
 
     @property
     def n_committed(self) -> int:
@@ -116,6 +119,7 @@ def recover(path: str) -> RecoveredRun:
         complete=complete,
         truncated=scan.truncated,
         diagnostic=scan.diagnostic,
+        run_digest=scan.run_digest,
     )
 
 

@@ -1,0 +1,117 @@
+"""End-to-end result integrity: digests, SDC audits, voting, quarantine.
+
+Timeout-based fault tolerance (PRs 3-4) only catches faults that announce
+themselves — lost messages, dead workers, torn journals. This module is
+the policy layer for faults that do *not*: an in-transit bit-flip that
+evades wire framing, or a worker that returns a plausible-but-wrong block
+("silent data corruption"). Because DP recurrences propagate, one wrong
+committed block corrupts the transitive closure of its dependents, so the
+defenses are layered:
+
+- ``digest``  — canonical content digests
+  (:func:`repro.comm.serialization.content_digest`) stamped on every
+  ``TaskAssign``/``TaskResult`` hop and verified at receive. Catches
+  in-transit mutation whose digest is stale (the chaos ``corrupt`` fault)
+  but not a mutation stamped with a self-consistent digest (``bitflip``)
+  or a lying worker.
+- ``audit``   — everything above, plus a deterministic sample of commits
+  is recomputed master-side (budget-exempt) and compared; a divergence
+  convicts the producing worker and triggers DAG-aware *taint recompute*
+  of the block's committed dependent closure.
+- ``vote``    — everything ``digest`` does, plus every commit requires
+  ``vote_k`` agreeing results from distinct workers, escalating 2 -> 3 on
+  divergence (the master itself arbitrates when no third worker exists).
+
+Divergent workers are *quarantined* after ``quarantine_threshold``
+convictions — distinct from the liveness blacklist, because a lying
+worker still heartbeats and would never be evicted by timeouts.
+
+The rolling run digest (:func:`fold_commit`) is an order-independent
+XOR-fold over per-task output digests, carried in journal checkpoint
+frames: invalidating a tainted commit XORs it back out, and
+``repro resume --check-oracle`` compares the resumed run's final fold
+against a serial-oracle fold of the same instance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any, Optional
+
+#: Valid values of ``RunConfig.integrity`` in escalating order of defense.
+INTEGRITY_MODES = ("off", "digest", "audit", "vote")
+
+#: Denominator of the deterministic audit sampler (fraction resolution).
+_AUDIT_SCALE = 1 << 16
+
+
+@dataclass(frozen=True)
+class IntegrityPolicy:
+    """Resolved integrity knobs of one run (see ``RunConfig``)."""
+
+    mode: str = "digest"
+    audit_fraction: float = 0.125
+    vote_k: int = 2
+    quarantine_threshold: int = 2
+
+    @property
+    def digest_on(self) -> bool:
+        """Digests are stamped and verified (any mode but ``off``)."""
+        return self.mode != "off"
+
+    @property
+    def audit_on(self) -> bool:
+        return self.mode == "audit"
+
+    @property
+    def vote_on(self) -> bool:
+        return self.mode == "vote"
+
+    @classmethod
+    def from_config(cls, config: Any) -> "IntegrityPolicy":
+        return cls(
+            mode=config.integrity,
+            audit_fraction=config.audit_fraction,
+            vote_k=config.vote_k,
+            quarantine_threshold=config.quarantine_threshold,
+        )
+
+    def should_audit(self, task_id: Any) -> bool:
+        """Deterministic, seedless audit sample of ``audit_fraction``.
+
+        A pure function of the task id (crc32 threshold), so the same
+        tasks are audited on every run and on resume — reproducibility
+        without threading an RNG through the master.
+        """
+        if not self.audit_on or self.audit_fraction <= 0.0:
+            return False
+        if self.audit_fraction >= 1.0:
+            return True
+        bucket = zlib.crc32(repr(task_id).encode()) % _AUDIT_SCALE
+        return bucket < int(self.audit_fraction * _AUDIT_SCALE)
+
+
+def fold_commit(acc: int, task_id: Any, outputs_digest: Optional[str]) -> int:
+    """Fold one commit into (or out of) the rolling run digest.
+
+    XOR of a per-commit hash over ``(task_id, outputs_digest)`` — order
+    independent, so any commit order folds to the same value, and folding
+    the same commit twice removes it (how taint invalidation revokes a
+    tainted commit from the digest). Epochs are deliberately excluded:
+    the fold identifies *content*, so a serial oracle (all epoch 0) and a
+    chaotic parallel run of the same instance fold to the same digest.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    key = repr(task_id).encode()
+    h.update(struct.pack("<I", len(key)))
+    h.update(key)
+    h.update((outputs_digest or "none").encode())
+    return acc ^ int.from_bytes(h.digest(), "little")
+
+
+def run_digest_hex(acc: int) -> str:
+    """Render the rolling fold accumulator as a stable hex string."""
+    return format(acc & 0xFFFFFFFFFFFFFFFF, "016x")

@@ -30,6 +30,7 @@ from repro.obs.export import (
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.recorder import (
     DURABLE_KINDS,
+    INTEGRITY_KINDS,
     LIFECYCLE_KINDS,
     MESSAGE_KINDS,
     NULL_RECORDER,
@@ -57,6 +58,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DURABLE_KINDS",
+    "INTEGRITY_KINDS",
     "LIFECYCLE_KINDS",
     "MESSAGE_KINDS",
     "NULL_RECORDER",

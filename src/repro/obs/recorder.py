@@ -61,12 +61,30 @@ CHAOS_KINDS = (
     "msg-duplicate",
     "msg-delay",
     "msg-corrupt",
+    "msg-bitflip",
     "worker-death",
     "worker-slow",
+    "worker-liar",
     "worker-leak",
     "speculate",
     "backoff",
     "blacklist",
+)
+
+#: Result-integrity kinds (:mod:`repro.integrity`): receive-side digest
+#: verification, sampled audit recomputes and their convictions,
+#: DAG-aware taint invalidation (``taint-invalidate`` marks a committed
+#: task revoked for recompute), duplicate-dispatch voting, and worker
+#: quarantine (the SDC analogue of ``blacklist`` — a lying worker still
+#: heartbeats, so only semantic conviction removes it).
+INTEGRITY_KINDS = (
+    "digest-reject",
+    "audit-pass",
+    "audit-convict",
+    "taint-invalidate",
+    "vote-cast",
+    "vote-divergence",
+    "quarantine",
 )
 
 #: Durability and membership kinds (:mod:`repro.durable`): journal

@@ -75,6 +75,16 @@ def _env_opt_float(name: str):
     return factory
 
 
+def _env_str(name: str, default: str):
+    """Default factory: string knob overridable via ``REPRO_*`` env var."""
+
+    def factory() -> str:
+        raw = os.environ.get(name, "").strip()
+        return raw if raw else default
+
+    return factory
+
+
 def _env_int(name: str, default: int):
     """Default factory: int knob overridable via ``REPRO_*`` env var."""
 
@@ -229,6 +239,31 @@ class RunConfig:
     #: cells. Defaults from the ``REPRO_VERIFY`` environment variable so a
     #: whole test run can opt in at once.
     verify: bool = field(default_factory=_verify_default)
+    #: End-to-end result integrity mode (:mod:`repro.integrity`):
+    #: ``"off"`` computes no digests (zero-cost path), ``"digest"`` stamps
+    #: and verifies canonical content digests on every TaskAssign/
+    #: TaskResult hop, ``"audit"`` additionally recomputes a sampled
+    #: fraction of commits master-side and taint-recomputes the dependent
+    #: closure of any convicted block, ``"vote"`` requires ``vote_k``
+    #: agreeing results from distinct workers per commit (escalating to 3
+    #: on divergence). Overridable via ``REPRO_INTEGRITY``.
+    integrity: str = field(default_factory=_env_str("REPRO_INTEGRITY", "digest"))
+    #: Fraction of commits audited under ``integrity="audit"`` (a
+    #: deterministic per-task sample, budget-exempt). Overridable via
+    #: ``REPRO_AUDIT_FRACTION``.
+    audit_fraction: float = field(
+        default_factory=_env_float("REPRO_AUDIT_FRACTION", 0.125)
+    )
+    #: Agreeing results required per commit under ``integrity="vote"``.
+    #: Overridable via ``REPRO_VOTE_K``.
+    vote_k: int = field(default_factory=_env_int("REPRO_VOTE_K", 2))
+    #: Quarantine a worker after this many divergence convictions (audit
+    #: mismatches or lost votes). Distinct from the liveness blacklist:
+    #: a lying worker still heartbeats, so only conviction removes it.
+    #: Overridable via ``REPRO_QUARANTINE_THRESHOLD``.
+    quarantine_threshold: int = field(
+        default_factory=_env_int("REPRO_QUARANTINE_THRESHOLD", 2)
+    )
 
     def __post_init__(self) -> None:
         check_in("backend", self.backend, BACKENDS)
@@ -282,6 +317,19 @@ class RunConfig:
         check_type("journal_kill_torn", self.journal_kill_torn, bool)
         if self.journal_path is not None:
             check_type("journal_path", self.journal_path, str)
+        from repro.integrity import INTEGRITY_MODES
+
+        check_in("integrity", self.integrity, INTEGRITY_MODES)
+        if not 0.0 <= self.audit_fraction <= 1.0:
+            raise ConfigError(
+                f"audit_fraction must be in [0, 1], got {self.audit_fraction}"
+            )
+        if self.vote_k < 2:
+            raise ConfigError(f"vote_k must be >= 2, got {self.vote_k}")
+        if self.quarantine_threshold < 1:
+            raise ConfigError(
+                f"quarantine_threshold must be >= 1, got {self.quarantine_threshold}"
+            )
 
     # -- derived ------------------------------------------------------------
 
@@ -303,6 +351,13 @@ class RunConfig:
         if self.heartbeat_interval is None:
             return None
         return self.heartbeat_interval * self.lease_factor
+
+    @property
+    def integrity_policy(self):
+        """Resolved :class:`~repro.integrity.IntegrityPolicy` of this run."""
+        from repro.integrity import IntegrityPolicy
+
+        return IntegrityPolicy.from_config(self)
 
     @property
     def observing(self) -> bool:

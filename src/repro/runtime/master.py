@@ -34,6 +34,30 @@ The fault-tolerance thread additionally hardens the paper's mechanism
   ``stall_timeout`` seconds (every worker lost, every message dropped),
   the run aborts with a clean :class:`FaultToleranceExhausted` rather
   than hanging.
+
+Result integrity (:mod:`repro.integrity`, ``RunConfig.integrity``) layers
+silent-data-corruption defenses over the same scheduling loop:
+
+- **digest** — every TaskAssign/TaskResult carries a canonical content
+  digest; a result whose payload no longer matches is rejected at
+  receive and redistributed (in-transit corruption);
+- **audit** — a deterministic sample of commits is recomputed by the
+  master a few commits later; a conviction revokes the committed block
+  *and its committed dependent closure* (taint recompute) through
+  :meth:`DAGParser.invalidate` and the journal's invalidation records;
+- **vote** — every sub-task is dispatched to ``vote_k`` distinct workers
+  and committed only on a digest majority, escalating one voter at a
+  time on divergence (the master recomputes as arbiter when no fresh
+  worker remains);
+- **quarantine** — a worker convicted of divergent results too often is
+  retired. Unlike the blacklist this ignores liveness: a lying worker
+  still heartbeats, so only semantic conviction removes it. Quarantining
+  the last worker aborts cleanly.
+
+Note that a taint recompute legitimately commits a task twice; the
+strict happens-before trace validator (``verify=True``) flags the second
+commit as a duplicate, so verification and audit-mode convictions are
+not meant to be combined — chaos campaigns run with ``observe`` instead.
 """
 
 from __future__ import annotations
@@ -59,11 +83,12 @@ from repro.comm.messages import (
     TaskResult,
     WorkerLeave,
 )
-from repro.comm.serialization import message_nbytes
+from repro.comm.serialization import content_digest, message_nbytes
 from repro.comm.transport import Channel, ChannelClosed, ChannelTimeout
 from repro.dag.parser import DAGParser
 from repro.dag.partition import Partition
 from repro.durable.journal import CommitJournal
+from repro.integrity import IntegrityPolicy, fold_commit, run_digest_hex
 from repro.obs.clock import Clock
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import EventRecorder
@@ -110,6 +135,24 @@ class MasterStats:
     workers_joined: int = 0
     #: Workers that left cleanly mid-run (WorkerLeave).
     workers_left: int = 0
+    #: TaskResults whose payload failed receive-side digest verification.
+    digest_rejects: int = 0
+    #: Sampled audit recomputes that matched the committed outputs.
+    audits_passed: int = 0
+    #: Sampled audit recomputes that convicted a committed block.
+    audits_convicted: int = 0
+    #: Commits revoked for recompute by taint invalidation (closures
+    #: included — one conviction may revoke many commits).
+    tainted_recomputes: int = 0
+    #: Votes recorded in ``integrity='vote'`` mode (arbiter included).
+    votes_cast: int = 0
+    #: Vote rounds that ended without a strict majority and escalated.
+    vote_divergences: int = 0
+    #: Workers retired for divergent results (SDC quarantine), in order.
+    quarantined_workers: List[int] = field(default_factory=list)
+    #: Rolling run digest (hex) after the last commit; None when
+    #: integrity is off.
+    run_digest: Optional[str] = None
 
 
 class MasterPart:
@@ -143,6 +186,12 @@ class MasterPart:
         attempts: Optional[Dict[TaskId, int]] = None,
         heartbeat_interval: Optional[float] = None,
         lease_factor: float = 3.0,
+        integrity: str = "digest",
+        audit_fraction: float = 0.125,
+        vote_k: int = 2,
+        quarantine_threshold: int = 2,
+        run_digest: Optional[str] = None,
+        commit_digests: Optional[Dict[TaskId, Optional[str]]] = None,
     ) -> None:
         if not channels:
             raise SchedulerError("master needs at least one slave channel")
@@ -181,7 +230,8 @@ class MasterPart:
         self.stats = MasterStats()
         self._state_lock = make_lock("master.state")
         self._results_lock = make_lock("master.results")
-        self._result_buffer: Dict[tuple, Dict[str, object]] = {}
+        #: task -> (outputs, epoch, worker_id, digest) awaiting commit.
+        self._result_buffer: Dict[TaskId, tuple] = {}
         self._stack = ComputableStack(depth_observer=self._make_depth_observer())
         self._finished = FinishedStack()
         self._overtime = OvertimeQueue()
@@ -235,6 +285,49 @@ class MasterPart:
             None if heartbeat_interval is None else heartbeat_interval * lease_factor
         )
         self._leases = LeaseTable()
+
+        #: Result-integrity policy (:mod:`repro.integrity`): receive-side
+        #: digest verification plus the audit/vote SDC defenses.
+        self.integrity = IntegrityPolicy(
+            mode=integrity,
+            audit_fraction=audit_fraction,
+            vote_k=vote_k,
+            quarantine_threshold=quarantine_threshold,
+        )
+        self._digest_on = self.integrity.digest_on
+        #: Rolling run digest: an order-independent fold over every live
+        #: commit's ``(task_id, outputs digest)``, continued from the
+        #: journal on resume. Only maintained when digests are on — the
+        #: disabled path computes no hashes at all.
+        self._run_digest_acc: int = int(run_digest, 16) if run_digest else 0
+        #: task -> outputs digest of every folded commit, needed to fold a
+        #: taint invalidation back *out* and persisted in checkpoints.
+        self._commit_digests: Dict[TaskId, Optional[str]] = (
+            dict(commit_digests) if commit_digests else {}
+        )
+        #: TaskResults that passed receive-side digest verification
+        #: (guarded by ``_results_lock`` — service threads share it).
+        self._digests_verified = 0
+        #: Deferred audit queue: ``(commit_count, task, epoch, worker,
+        #: outputs)``. Audits deliberately lag a few commits behind
+        #: (:data:`_AUDIT_LAG`) so a conviction exercises closure
+        #: invalidation, not just the convicted block.
+        self._audit_pending: List[tuple] = []
+        self._commit_count = 0
+        #: Vote ledger (``integrity='vote'``): task -> worker ->
+        #: ``(digest, outputs, epoch)``. Worker -1 is the master's own
+        #: arbiter recompute. Scheduling-thread only.
+        self._votes: Dict[TaskId, Dict[int, tuple]] = {}
+        #: Votes a task needs before tallying (escalates on divergence).
+        self._vote_need: Dict[TaskId, int] = {}
+        #: Per-worker count of convicted divergences (audit convictions
+        #: and losing vote minorities) feeding the quarantine threshold.
+        self._divergence: Dict[int, int] = {}
+        #: Workers retired for divergent results. Distinct from the
+        #: blacklist: the blacklist needs silence (its liveness oracle
+        #: protects anything that still heartbeats), while a lying worker
+        #: is perfectly alive — only semantic conviction lands here.
+        self._quarantined: set = set()
 
         #: Elastic membership: workers that announced a clean departure
         #: (WorkerLeave) — mutated by service threads, set-membership reads
@@ -291,32 +384,44 @@ class MasterPart:
         ft.start()
 
         try:
-            # Master scheduling thread (Fig 9 steps c & h).
-            while not parser.is_done():
+            # Master scheduling thread (Fig 9 steps c & h). The loop only
+            # ends once the parser is drained AND every deferred audit ran
+            # — a late conviction re-opens the parser via taint recompute.
+            while True:
                 if self._failure:
+                    break
+                if self._audit_pending:
+                    self._run_due_audits(parser, force=parser.is_done())
+                    if self._failure:
+                        break
+                if parser.is_done() and not self._audit_pending:
                     break
                 task_id = self._finished.pop(timeout=self.poll_interval)
                 if task_id is None:
                     continue
                 with self._results_lock:
-                    outputs, epoch = self._result_buffer.pop(task_id)
-                if self.journal is not None:
-                    # Write-ahead: the journal record lands (and fsyncs)
-                    # before the state merge, so a crash between the two
-                    # replays this commit instead of losing it.
-                    self.journal.commit(task_id, epoch, outputs)
-                with self._state_lock:
-                    self.problem.apply_result(self.state, self.partition, task_id, outputs)
-                self._committed[task_id] = epoch
-                if self.sched.enabled:
-                    # Recorded before push_many so a successor's "assign"
-                    # always serializes after its dependencies' commits.
-                    self.sched.record("commit", task_id, epoch)
-                self._stack.push_many(parser.complete(task_id))
-                if self.journal is not None and self.journal.should_checkpoint():
-                    self._write_checkpoint()
+                    entry = self._result_buffer.pop(task_id, None)
+                if entry is None:
+                    continue  # purged by a taint invalidation while queued
+                outputs, epoch, worker_id, digest = entry
+                if task_id in self._committed:
+                    continue  # late duplicate of an already-committed task
+                if self.integrity.vote_on:
+                    decision = self._record_vote(
+                        task_id, outputs, epoch, worker_id, digest
+                    )
+                    if decision is None:
+                        continue  # quorum not reached yet
+                    outputs, epoch, worker_id, digest = decision
+                    if self._failure:
+                        break  # the deciding tally quarantined the pool
+                self._commit(parser, task_id, outputs, epoch, worker_id, digest)
             if self.journal is not None and not self._failure and parser.is_done():
-                self.journal.end()
+                self.journal.end(
+                    run_digest=run_digest_hex(self._run_digest_acc)
+                    if self._digest_on
+                    else None
+                )
         finally:
             # Fig 9 step i: tear down pools and signal every slave to end.
             self._end.set()
@@ -335,6 +440,8 @@ class MasterPart:
                 self.stats.messages += ch.sent_messages + ch.received_messages
                 self.stats.bytes_to_slaves += ch.sent_bytes
                 self.stats.bytes_to_master += ch.received_bytes
+            if self._digest_on:
+                self.stats.run_digest = run_digest_hex(self._run_digest_acc)
             if self.metrics is not None:
                 self._publish_metrics()
         if self._failure:
@@ -375,13 +482,260 @@ class MasterPart:
         with self._state_lock:
             snapshot = {k: np.array(v, copy=True) for k, v in self.state.items()}
         nbytes = self.journal.checkpoint(
-            snapshot, self._committed, self._register.attempts_snapshot()
+            snapshot,
+            self._committed,
+            self._register.attempts_snapshot(),
+            run_digest=run_digest_hex(self._run_digest_acc) if self._digest_on else None,
+            commit_digests=dict(self._commit_digests) if self._digest_on else None,
         )
         self.stats.checkpoints += 1
         if self.sched.observing:
             self.sched.record(
                 "checkpoint", None, -1,
                 n_committed=len(self._committed), nbytes=nbytes,
+            )
+
+    # -- result integrity (digest / audit / vote / taint recompute) --------------------
+
+    #: Commits an enqueued audit waits for before running, so convicted
+    #: blocks usually have committed dependents and the taint closure is
+    #: exercised. Audits still drain fully before the run ends.
+    _AUDIT_LAG = 4
+
+    def _commit(
+        self,
+        parser: DAGParser,
+        task_id: TaskId,
+        outputs,
+        epoch: int,
+        worker_id: int,
+        digest: Optional[str],
+    ) -> None:
+        """Journal, merge, and fold one accepted result (scheduling thread)."""
+        if self.journal is not None:
+            # Write-ahead: the journal record lands (and fsyncs) before
+            # the state merge, so a crash between the two replays this
+            # commit instead of losing it.
+            self.journal.commit(task_id, epoch, outputs, digest=digest)
+        with self._state_lock:
+            self.problem.apply_result(self.state, self.partition, task_id, outputs)
+        self._committed[task_id] = epoch
+        if self._digest_on:
+            self._run_digest_acc = fold_commit(self._run_digest_acc, task_id, digest)
+            self._commit_digests[task_id] = digest
+        if self.sched.enabled:
+            # Recorded before push_many so a successor's "assign" always
+            # serializes after its dependencies' commits.
+            self.sched.record("commit", task_id, epoch)
+        self._commit_count += 1
+        if self.integrity.audit_on and self.integrity.should_audit(task_id):
+            self._audit_pending.append(
+                (self._commit_count, task_id, epoch, worker_id, outputs)
+            )
+        self._stack.push_many(parser.complete(task_id))
+        if self.journal is not None and self.journal.should_checkpoint():
+            self._write_checkpoint()
+
+    def _run_due_audits(self, parser: DAGParser, force: bool) -> None:
+        """Run every pending audit old enough (all of them when forced)."""
+        while self._audit_pending and not self._failure:
+            stamped, task_id, epoch, worker_id, outputs = self._audit_pending[0]
+            if not force and self._commit_count - stamped < self._AUDIT_LAG:
+                return
+            self._audit_pending.pop(0)
+            if self._committed.get(task_id) != epoch:
+                continue  # already revoked by an earlier conviction's closure
+            self._audit_one(parser, task_id, epoch, worker_id, outputs)
+
+    def _audit_one(
+        self, parser: DAGParser, task_id: TaskId, epoch: int, worker_id: int, outputs
+    ) -> None:
+        """Recompute one committed block and convict on mismatch.
+
+        The inputs re-extracted here are the committed predecessor blocks
+        — a successor never overwrites them — so the recompute sees what
+        the worker saw. A lying *predecessor* makes both sides agree and
+        is caught by its own audit, not this one.
+        """
+        expected = self._recompute(task_id)
+        if content_digest(expected) == content_digest(outputs):
+            self.stats.audits_passed += 1
+            if self.sched.observing:
+                self.sched.record("audit-pass", task_id, epoch, worker_id)
+            return
+        self.stats.audits_convicted += 1
+        if self.sched.observing:
+            self.sched.record("audit-convict", task_id, epoch, worker_id)
+        self._taint_invalidate(parser, task_id)
+        self._note_divergence(worker_id)
+
+    def _recompute(self, task_id: TaskId):
+        """The master's own serial evaluation of one sub-task, from the
+        current committed state, as a single monolithic inner block (the
+        outputs are partition-invariant, so the cheapest shape wins)."""
+        with self._state_lock:
+            inputs = self.problem.extract_inputs(self.state, self.partition, task_id)
+        evaluator = self.problem.evaluator(self.partition, task_id, inputs)
+        rows, cols = self.partition.block_ranges(task_id)
+        inner = self.partition.sub_partition(task_id, (len(rows), len(cols)))
+        return evaluator.run_serial(inner)
+
+    def _taint_invalidate(self, parser: DAGParser, root: TaskId) -> None:
+        """Revoke a convicted commit and its committed dependent closure.
+
+        Durable first: the journal's invalidation record lands before any
+        in-memory rewind, so a crash mid-taint resumes post-invalidation
+        and recomputes the closure. The parser then re-opens the revoked
+        region; live dispatches and queued results built on tainted
+        inputs are cancelled/purged budget-free.
+        """
+        pattern = self.partition.abstract
+        tainted = {root}
+        frontier = [root]
+        while frontier:
+            vid = frontier.pop()
+            for succ in pattern.successors(vid):
+                if succ not in tainted and succ in self._committed:
+                    tainted.add(succ)
+                    frontier.append(succ)
+        order = [vid for vid in pattern.topological_order() if vid in tainted]
+        if self.journal is not None:
+            self.journal.invalidate(order)
+        for vid in order:
+            epoch = self._committed.pop(vid)
+            self.stats.tainted_recomputes += 1
+            if self._digest_on:
+                # XOR the revoked commit's contribution back out of the
+                # rolling run digest.
+                self._run_digest_acc = fold_commit(
+                    self._run_digest_acc, vid, self._commit_digests.pop(vid, None)
+                )
+            if self.sched.observing:
+                self.sched.record(
+                    "taint-invalidate", vid, epoch, root=repr(root), n_tainted=len(order)
+                )
+        # Live dispatches whose inputs came from a tainted block computed
+        # on revoked data: cancel budget-free, like a blacklist eviction.
+        for task_id, reg in self._register.live_snapshot():
+            if not any(p in tainted for p in pattern.predecessors(task_id)):
+                continue
+            if not self._register.cancel(task_id, reg.epoch):
+                continue
+            self._leases.drop(task_id, reg.epoch)
+            self._budget_exempt[task_id] = self._budget_exempt.get(task_id, 0) + 1
+            if self.sched.enabled:
+                self.sched.record("redistribute", task_id, reg.epoch)
+        # Queued-but-uncommitted results and half-gathered votes that
+        # consumed tainted inputs are stale too.
+        with self._results_lock:
+            for task_id in list(self._result_buffer):
+                if any(p in tainted for p in pattern.predecessors(task_id)):
+                    del self._result_buffer[task_id]
+        for task_id in list(self._votes):
+            if any(p in tainted for p in pattern.predecessors(task_id)):
+                self._votes.pop(task_id)
+                self._vote_need.pop(task_id, None)
+        recompute_frontier = parser.invalidate(order)
+        # Stacked tasks whose predecessor was just revoked are no longer
+        # computable; drop them — they re-surface as the closure recommits.
+        self._stack.retain(
+            lambda t: all(p in self._committed for p in pattern.predecessors(t))
+        )
+        self._stack.push_many(recompute_frontier)
+
+    # -- duplicate-dispatch voting -----------------------------------------------------
+
+    def _record_vote(
+        self, task_id: TaskId, outputs, epoch: int, worker_id: int, digest: Optional[str]
+    ) -> Optional[tuple]:
+        """Record one worker's result as a vote; returns the winning
+        ``(outputs, epoch, worker, digest)`` once a quorum decides, else
+        None (the task was re-queued for another voter)."""
+        if digest is None:
+            digest = content_digest(outputs)
+        votes = self._votes.setdefault(task_id, {})
+        votes[worker_id] = (digest, outputs, epoch)
+        self.stats.votes_cast += 1
+        if self.sched.observing:
+            self.sched.record("vote-cast", task_id, epoch, worker_id, n_votes=len(votes))
+        return self._tally_votes(task_id)
+
+    def _tally_votes(self, task_id: TaskId) -> Optional[tuple]:
+        votes = self._votes[task_id]
+        need = self._vote_need.get(task_id, self.integrity.vote_k)
+        if len(votes) >= need:
+            counts: Dict[str, int] = {}
+            for d, _, _ in votes.values():
+                counts[d] = counts.get(d, 0) + 1
+            winner, top = max(counts.items(), key=lambda kv: (kv[1], kv[0]))
+            if top * 2 > len(votes):
+                return self._decide_vote(task_id, winner)
+            if -1 in votes:
+                # Even the master's arbiter recompute found no majority
+                # (every voter lied differently); the arbiter is ground
+                # truth by construction — decide by it.
+                return self._decide_vote(task_id, votes[-1][0])
+            self.stats.vote_divergences += 1
+            if self.sched.observing:
+                self.sched.record("vote-divergence", task_id, -1, n_votes=len(votes))
+            self._vote_need[task_id] = len(votes) + 1
+        # Solicit one more vote from a worker that has not voted yet and
+        # may actually take the task (a static policy pins each task to
+        # one owner, so voting there degenerates to master arbitration).
+        eligible = [
+            k
+            for k in range(len(self.channels))
+            if k not in self._blacklisted
+            and k not in self._left
+            and k not in self._quarantined
+            and k not in votes
+            and self.policy.eligible(k, task_id)
+        ]
+        if eligible:
+            self._budget_exempt[task_id] = self._budget_exempt.get(task_id, 0) + 1
+            if self.sched.enabled:
+                self.sched.record("redistribute", task_id, max(v[2] for v in votes.values()))
+            self._stack.push(task_id)
+            return None
+        # No fresh worker can break the tie: the master evaluates the
+        # block itself and casts the arbiter vote as worker -1.
+        outputs = self._recompute(task_id)
+        arbiter_epoch = max(v[2] for v in votes.values())
+        return self._record_vote(task_id, outputs, arbiter_epoch, -1, None)
+
+    def _decide_vote(self, task_id: TaskId, winner: str) -> tuple:
+        votes = self._votes.pop(task_id)
+        self._vote_need.pop(task_id, None)
+        for wid, (d, _, _) in votes.items():
+            if d != winner:
+                self._note_divergence(wid)
+        for wid, (d, outputs, epoch) in sorted(votes.items()):
+            if d == winner:
+                return (outputs, epoch, wid, d)
+        raise SchedulerError(f"vote for {task_id!r} decided on a digest nobody cast")
+
+    def _note_divergence(self, worker_id: int) -> None:
+        """Attribute one convicted divergence; quarantine past the
+        threshold. No degradation floor here — a lying last worker is
+        strictly worse than a clean abort."""
+        if worker_id < 0:
+            return  # the master's own arbiter/audit recompute
+        n = self._divergence.get(worker_id, 0) + 1
+        self._divergence[worker_id] = n
+        if worker_id in self._quarantined or n < self.integrity.quarantine_threshold:
+            return
+        self._quarantined.add(worker_id)
+        self.stats.quarantined_workers.append(worker_id)
+        if self.sched.observing:
+            self.sched.record("quarantine", None, -1, worker_id, divergences=n)
+        self._requeue_worker_tasks(worker_id)
+        retired = self._blacklisted | self._left | self._quarantined
+        if len(retired) >= len(self.channels):
+            self._abort(
+                FaultToleranceExhausted(
+                    "every worker quarantined for divergent results "
+                    f"(last: worker {worker_id} after {n} convictions)"
+                )
             )
 
     def _surface_leaks(self, threads: Sequence[threading.Thread]) -> None:
@@ -420,6 +774,25 @@ class MasterPart:
         self.metrics.counter("master.worker_leaks").inc(self.stats.worker_leaks)
         for worker_id, n in sorted(self.stats.tasks_per_worker.items()):
             self.metrics.counter("master.tasks_completed", worker=worker_id).inc(n)
+        if self._digest_on:
+            # Integrity counters exist only when integrity is on, so the
+            # disabled path stays metric-free (zero-cost invariant).
+            self.metrics.counter("integrity.digests_verified").inc(self._digests_verified)
+            self.metrics.counter("integrity.digest_rejects").inc(self.stats.digest_rejects)
+            self.metrics.counter("integrity.audits_passed").inc(self.stats.audits_passed)
+            self.metrics.counter("integrity.audits_convicted").inc(
+                self.stats.audits_convicted
+            )
+            self.metrics.counter("integrity.tainted_recomputes").inc(
+                self.stats.tainted_recomputes
+            )
+            self.metrics.counter("integrity.votes_cast").inc(self.stats.votes_cast)
+            self.metrics.counter("integrity.vote_divergences").inc(
+                self.stats.vote_divergences
+            )
+            self.metrics.counter("integrity.quarantined_workers").inc(
+                len(self.stats.quarantined_workers)
+            )
 
     # -- per-slave worker thread (Fig 9 steps d-f) ------------------------------------
 
@@ -457,7 +830,11 @@ class MasterPart:
                 ended = True
                 continue
             if isinstance(msg, IdleSignal):
-                if worker_id in self._blacklisted or worker_id in self._left:
+                if (
+                    worker_id in self._blacklisted
+                    or worker_id in self._left
+                    or worker_id in self._quarantined
+                ):
                     # Retired worker: no further assignments; let it exit.
                     self._try_send_end(channel)
                     ended = True
@@ -480,7 +857,11 @@ class MasterPart:
                     ended = True
                     continue
                 epoch = self._register.register(task_id, worker_id, self.clock.now())
-                if worker_id in self._blacklisted or worker_id in self._left:
+                if (
+                    worker_id in self._blacklisted
+                    or worker_id in self._left
+                    or worker_id in self._quarantined
+                ):
                     # Blacklisted while we were popping: registering first
                     # and re-checking closes the race with the eviction
                     # scan — whichever side wins the cancel re-queues the
@@ -509,7 +890,11 @@ class MasterPart:
                         task_id, epoch, worker_id, self.clock.now(), lease
                     )
                 assign = TaskAssign(
-                    task_id=task_id, epoch=epoch, inputs=inputs, lease=lease
+                    task_id=task_id,
+                    epoch=epoch,
+                    inputs=inputs,
+                    lease=lease,
+                    digest=content_digest(inputs) if self._digest_on else None,
                 )
                 self._last_progress = self.clock.now()
                 try:
@@ -521,6 +906,43 @@ class MasterPart:
                         "send", task_id, epoch, worker_id, nbytes=message_nbytes(assign)
                     )
             elif isinstance(msg, TaskResult):
+                if (
+                    self._digest_on
+                    and msg.digest is not None
+                    and content_digest(msg.outputs) != msg.digest
+                ):
+                    # The payload no longer matches the digest the slave
+                    # stamped: in-transit corruption. Reject the result
+                    # and re-queue the task — never merge corrupt data
+                    # into state. The retry is charged like a timeout, so
+                    # a link that corrupts the same task every time ends
+                    # in a clean budget-exhausted abort, not a livelock.
+                    with self._results_lock:
+                        self.stats.digest_rejects += 1
+                    if self.sched.observing:
+                        self.sched.record(
+                            "digest-reject", msg.task_id, msg.epoch, worker_id,
+                            hop="result",
+                        )
+                    if self._register.cancel(msg.task_id, msg.epoch):
+                        self._leases.drop(msg.task_id, msg.epoch)
+                        attempts = self._register.attempts(msg.task_id)
+                        charged = attempts - self._budget_exempt.get(msg.task_id, 0)
+                        if charged > self.max_retries + 1:
+                            self._abort(
+                                FaultToleranceExhausted(
+                                    f"sub-task {msg.task_id} rejected for digest "
+                                    f"mismatch on {charged} budgeted dispatches"
+                                )
+                            )
+                            return
+                        self.stats.faults_recovered += 1
+                        if self.sched.enabled:
+                            self.sched.record(
+                                "redistribute", msg.task_id, msg.epoch
+                            )
+                        self._stack.push(msg.task_id)
+                    continue
                 if self._register.finish(msg.task_id, msg.epoch):
                     self._leases.drop(msg.task_id, msg.epoch)
                     if self.sched.observing:
@@ -547,7 +969,14 @@ class MasterPart:
                             elapsed=msg.elapsed,
                         )
                     with self._results_lock:
-                        self._result_buffer[msg.task_id] = (msg.outputs, msg.epoch)
+                        if self._digest_on and msg.digest is not None:
+                            self._digests_verified += 1
+                        self._result_buffer[msg.task_id] = (
+                            msg.outputs,
+                            msg.epoch,
+                            worker_id,
+                            msg.digest if self._digest_on else None,
+                        )
                     self._finished.push(msg.task_id)
                     self._last_progress = self.clock.now()
                     self._durations.append(max(0.0, msg.elapsed))

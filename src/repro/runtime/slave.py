@@ -24,6 +24,8 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+import numpy as np
+
 from repro.algorithms.problem import DPProblem
 from repro.check.lock_lint import make_lock
 from repro.cluster.faults import FaultPlan, WorkerFaultPlan
@@ -89,6 +91,7 @@ class SlavePart:
         obs: Optional[EventRecorder] = None,
         heartbeat_interval: Optional[float] = None,
         leave_after: Optional[int] = None,
+        integrity: str = "digest",
     ) -> None:
         self.slave_id = slave_id
         self.channel = channel
@@ -123,6 +126,13 @@ class SlavePart:
         #: sub-tasks — elastic-membership departure, used by tests and
         #: scale-down scenarios. None = serve until the end signal.
         self.leave_after = leave_after
+        #: Integrity mode (``RunConfig.integrity``). Anything but "off"
+        #: makes this slave verify the digest on every TaskAssign (a
+        #: mismatch is discarded; the master's timeout redistributes) and
+        #: stamp a digest on every TaskResult. "off" computes no digests
+        #: at all — the zero-cost path.
+        self.integrity = integrity
+        self._digest_on = integrity != "off"
         #: The channel is shared between the protocol loop and the
         #: heartbeat thread; pipe/queue sends are not atomic, so every
         #: send goes through this lock.
@@ -148,8 +158,11 @@ class SlavePart:
 
     def run(self) -> SlaveStats:
         """Serve sub-tasks until the end signal (or stop event)."""
+        from repro.comm.serialization import content_digest
+
         death_point = self.worker_fault_plan.death_point(self.slave_id)
         slow_factor = self.worker_fault_plan.slow_factor(self.slave_id)
+        lie_point = self.worker_fault_plan.lie_point(self.slave_id)
         # Re-announce idleness when no reply arrives in time: an idle
         # signal (or its answer) lost in transit would otherwise silence
         # this slave forever. Duplicated announcements are safe — the
@@ -177,6 +190,16 @@ class SlavePart:
                 if isinstance(msg, EndSignal):
                     break
                 assert isinstance(msg, TaskAssign), f"unexpected message {msg!r}"
+                if (
+                    self._digest_on
+                    and msg.digest is not None
+                    and content_digest(msg.inputs) != msg.digest
+                ):
+                    # The assignment was mutated in transit (chaos corrupt
+                    # fault). Discard it — the master's overtime/lease scan
+                    # redistributes the task, exactly as for a lost message.
+                    self._emit("digest-reject", msg.task_id, msg.epoch, hop="assign")
+                    continue
                 if death_point is not None and self.stats.tasks >= death_point:
                     # Worker-level fault: the slave dies mid-run, holding an
                     # assigned sub-task it will never answer. The master's
@@ -213,6 +236,16 @@ class SlavePart:
                     )
                     time.sleep(penalty)
                     elapsed += penalty
+                if lie_point is not None and self.stats.tasks >= lie_point:
+                    # Silent data corruption: return a plausible-but-wrong
+                    # block. The digest below is computed over the *wrong*
+                    # data, so it is self-consistent — receive-side
+                    # verification passes and only a semantic defense
+                    # (audit recompute, voting) can convict this worker.
+                    outputs = _lie_about(outputs)
+                    self._emit(
+                        "worker-liar", msg.task_id, msg.epoch, after_tasks=lie_point
+                    )
                 self.stats.tasks += 1
                 self.stats.compute_seconds += elapsed
                 try:
@@ -223,6 +256,7 @@ class SlavePart:
                             slave_id=self.slave_id,
                             outputs=outputs,
                             elapsed=elapsed,
+                            digest=content_digest(outputs) if self._digest_on else None,
                         )
                     )
                 except ChannelClosed:
@@ -400,6 +434,27 @@ class SlavePart:
         if parser.is_done() and not self.stop_event.is_set():
             sched.check(inner.abstract, title=f"slave{self.slave_id}-trace")
         return evaluator.outputs()
+
+
+def _lie_about(outputs: Dict[str, object]) -> Dict[str, object]:
+    """A liar worker's version of ``outputs``: one cell off by one.
+
+    The perturbation is small and type-preserving, so the result stays
+    plausible (right shape, right dtype, right magnitude) — the kind of
+    wrong answer only an audit recompute or a vote can tell apart.
+    """
+    lied: Dict[str, object] = {}
+    corrupted = False
+    for key, value in outputs.items():
+        if not corrupted and isinstance(value, np.ndarray) and value.size:
+            wrong = np.array(value, copy=True)
+            flat = wrong.reshape(-1)
+            flat[0] = flat[0] + 1
+            lied[key] = wrong
+            corrupted = True
+        else:
+            lied[key] = value
+    return lied
 
 
 def slave_process_main(

@@ -90,6 +90,22 @@ class ComputableStack:
                 if not self._cond.wait(timeout=timeout):
                     return None
 
+    def retain(self, keep: Callable[[TaskId], bool]) -> Tuple[TaskId, ...]:
+        """Drop every queued task for which ``keep`` is false.
+
+        Taint invalidation uses this to pull successors of a revoked
+        commit off the stack before a worker can pop them with stale
+        inputs. Returns the removed tasks. ``keep`` runs under the
+        stack's condition — it must be cheap and lock-free.
+        """
+        with self._cond:
+            removed = tuple(t for t in self._items if not keep(t))
+            if removed:
+                self._items = [t for t in self._items if keep(t)]
+                if self._depth_observer is not None:
+                    self._depth_observer(len(self._items))
+            return removed
+
     def snapshot(self) -> Tuple[TaskId, ...]:
         with self._cond:
             return tuple(self._items)

@@ -1,0 +1,132 @@
+"""Fault composition at the channel boundary.
+
+Explicit message-fault rules compose: one message matched by several
+rules suffers them all, in rule order. These tests pin the interesting
+pairings — duplicate+delay (both copies held back), corrupt and bitflip
+each combined with duplicate (every copy carries the same mutation) —
+and the digest consequences that distinguish the two corruption tiers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chaos.channel import ChaosChannel
+from repro.cluster.faults import (
+    DETECTABLE_MESSAGE_KINDS,
+    MESSAGE_FAULT_KINDS,
+    MessageFaultPlan,
+    MessageFaultRule,
+)
+from repro.comm.messages import TaskResult
+from repro.comm.serialization import content_digest
+from repro.comm.transport import ChannelTimeout, channel_pair
+
+
+def chaos_pair(*rules):
+    a, b = channel_pair()
+    return ChaosChannel(a, MessageFaultPlan(rules), endpoint_index=0), b
+
+
+def result(i=0, fill=3.0):
+    outputs = {"block": np.full((2, 3), fill)}
+    return TaskResult(
+        task_id=(i, 0), epoch=0, slave_id=1, outputs=outputs,
+        digest=content_digest(outputs),
+    )
+
+
+class TestDecideAll:
+    def test_explicit_rules_compose_in_order(self):
+        plan = MessageFaultPlan([
+            MessageFaultRule("duplicate", direction="recv", index=0),
+            MessageFaultRule("delay", direction="recv", index=0, delay=0.01),
+        ])
+        kinds = [r.kind for r in plan.decide_all("recv", "TaskResult", (0, 0), 0)]
+        assert kinds == ["duplicate", "delay"]
+
+    def test_random_mode_draws_at_most_one(self):
+        plan = MessageFaultPlan.random(1.0, seed=3, kinds=MESSAGE_FAULT_KINDS)
+        for index in range(20):
+            assert len(plan.decide_all("recv", "TaskResult", (0, 0), index)) == 1
+
+    def test_random_default_kinds_exclude_bitflip(self):
+        """bitflip evades digests by design: random campaigns must opt in,
+        or every non-SDC campaign would silently corrupt results."""
+        assert "bitflip" not in DETECTABLE_MESSAGE_KINDS
+        assert set(DETECTABLE_MESSAGE_KINDS) < set(MESSAGE_FAULT_KINDS)
+        plan = MessageFaultPlan.random(1.0, seed=0)
+        drawn = {
+            plan.decide_all("recv", "TaskResult", (0, 0), i)[0].kind
+            for i in range(200)
+        }
+        assert "bitflip" not in drawn
+        assert drawn <= set(DETECTABLE_MESSAGE_KINDS)
+
+
+class TestDuplicatePlusDelay:
+    def test_both_copies_arrive_after_the_hold(self):
+        a, b = chaos_pair(
+            MessageFaultRule("duplicate", direction="recv", index=0),
+            MessageFaultRule("delay", direction="recv", index=0, delay=0.15),
+        )
+        b.send(result())
+        with pytest.raises(ChannelTimeout):
+            a.recv(timeout=0.03)  # still held
+        first = a.recv(timeout=1.0)
+        second = a.recv(timeout=1.0)
+        assert first == result() and second == result()
+        assert a.duplicated == 1 and a.delayed == 1 and a.faults_injected == 2
+
+
+class TestCorruptPlusDuplicate:
+    def test_both_copies_mutated_with_stale_digest(self):
+        a, b = chaos_pair(
+            MessageFaultRule("corrupt", direction="recv", index=0),
+            MessageFaultRule("duplicate", direction="recv", index=0),
+        )
+        b.send(result())
+        copies = [a.recv(timeout=1.0), a.recv(timeout=1.0)]
+        for msg in copies:
+            # Payload mutated, stamped digest left stale: the receive-side
+            # verify catches this tier.
+            assert not np.array_equal(msg.outputs["block"], result().outputs["block"])
+            assert content_digest(msg.outputs) != msg.digest
+        assert copies[0].digest == copies[1].digest
+        assert a.corrupted == 1 and a.duplicated == 1
+
+    def test_bitflip_copies_restamped_and_self_consistent(self):
+        a, b = chaos_pair(
+            MessageFaultRule("bitflip", direction="recv", index=0),
+            MessageFaultRule("duplicate", direction="recv", index=0),
+        )
+        b.send(result())
+        copies = [a.recv(timeout=1.0), a.recv(timeout=1.0)]
+        for msg in copies:
+            # Payload mutated AND digest recomputed: receive-side verify
+            # passes, so only audit/vote can catch this tier.
+            assert not np.array_equal(msg.outputs["block"], result().outputs["block"])
+            assert content_digest(msg.outputs) == msg.digest
+            assert msg.digest != result().digest
+        assert a.bitflipped == 1 and a.duplicated == 1
+
+
+class TestCorruptDegradesToDrop:
+    def test_payload_free_message_is_lost_not_delivered_clean(self):
+        msg = TaskResult(task_id=(0, 0), epoch=0, slave_id=1, outputs={})
+        a, b = chaos_pair(MessageFaultRule("corrupt", direction="recv", index=0))
+        b.send(msg)
+        with pytest.raises(ChannelTimeout):
+            a.recv(timeout=0.05)
+
+
+class TestSendSideComposition:
+    def test_duplicate_plus_corrupt_on_send(self):
+        a, b = chaos_pair(
+            MessageFaultRule("duplicate", direction="send", index=0),
+            MessageFaultRule("corrupt", direction="send", index=0),
+        )
+        a.send(result())
+        copies = [b.recv(timeout=1.0), b.recv(timeout=1.0)]
+        for msg in copies:
+            assert content_digest(msg.outputs) != msg.digest
+        assert a.duplicated == 1 and a.corrupted == 1

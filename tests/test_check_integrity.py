@@ -1,0 +1,143 @@
+"""Tests for the result-integrity invariant pass and its seeded defects.
+
+Synthetic event streams exercise each diagnostic both ways (violating
+and clean); the fixture section proves ``repro check --selftest`` still
+catches all nine seeded defects, including the three integrity ones.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.check.diagnostics import (
+    COMMIT_WITHOUT_VERIFY,
+    DISPATCH_AFTER_QUARANTINE,
+    TAINT_NOT_RECOMPUTED,
+)
+from repro.check.fixtures import (
+    SELFTEST,
+    liar_quarantine_trace,
+    run_selftest,
+    taint_without_recompute_trace,
+    unverified_commit_case,
+)
+from repro.check.integrity_check import check_integrity_invariants, quarantined_workers
+
+
+@dataclass
+class Ev:
+    """Minimal stand-in for an ObsEvent in synthetic streams."""
+
+    seq: int
+    kind: str
+    task_id: object = None
+    epoch: int = 0
+    worker: int = -1
+
+
+def stream(*specs):
+    return [Ev(seq=i, **spec) for i, spec in enumerate(specs)]
+
+
+class TestDispatchAfterQuarantine:
+    def test_violation_detected(self):
+        report = check_integrity_invariants(liar_quarantine_trace())
+        assert report.has(DISPATCH_AFTER_QUARANTINE)
+
+    def test_clean_run_passes(self):
+        events = stream(
+            dict(kind="assign", task_id=(0, 0), worker=1),
+            dict(kind="commit", task_id=(0, 0), worker=1),
+            dict(kind="quarantine", worker=1),
+            dict(kind="assign", task_id=(0, 1), worker=0),
+            dict(kind="commit", task_id=(0, 1), worker=0),
+        )
+        report = check_integrity_invariants(events)
+        assert report.ok and report.checked > 0
+
+    def test_assign_before_quarantine_is_legal(self):
+        events = stream(
+            dict(kind="assign", task_id=(0, 0), worker=1),
+            dict(kind="quarantine", worker=1),
+            dict(kind="commit", task_id=(0, 0), worker=1),
+        )
+        assert check_integrity_invariants(events).ok
+
+    def test_quarantined_workers_helper(self):
+        assert set(quarantined_workers(liar_quarantine_trace())) == {1}
+
+
+class TestTaintRecompute:
+    def test_violation_detected(self):
+        report = check_integrity_invariants(taint_without_recompute_trace())
+        assert report.has(TAINT_NOT_RECOMPUTED)
+
+    def test_recommit_satisfies_the_taint(self):
+        events = stream(
+            dict(kind="assign", task_id=(0, 0), worker=0),
+            dict(kind="commit", task_id=(0, 0), worker=0),
+            dict(kind="taint-invalidate", task_id=(0, 0)),
+            dict(kind="assign", task_id=(0, 0), epoch=1, worker=1),
+            dict(kind="commit", task_id=(0, 0), epoch=1, worker=1),
+        )
+        assert check_integrity_invariants(events).ok
+
+    def test_aborted_run_waives_trailing_taints(self):
+        report = check_integrity_invariants(
+            taint_without_recompute_trace(), aborted=True
+        )
+        assert report.ok
+
+    def test_commit_before_the_taint_does_not_count(self):
+        events = stream(
+            dict(kind="commit", task_id=(0, 0), worker=0),
+            dict(kind="commit", task_id=(0, 1), worker=0),
+            dict(kind="taint-invalidate", task_id=(0, 0)),
+        )
+        report = check_integrity_invariants(events)
+        assert report.has(TAINT_NOT_RECOMPUTED)
+
+
+class TestCommitWithoutVerify:
+    def test_violation_detected(self):
+        events, metrics = unverified_commit_case()
+        report = check_integrity_invariants(events, metrics=metrics)
+        assert report.has(COMMIT_WITHOUT_VERIFY)
+
+    def test_matching_counts_pass(self):
+        events, _ = unverified_commit_case()
+        metrics = {"counters": {"integrity.digests_verified": 3}}
+        assert check_integrity_invariants(events, metrics=metrics).ok
+
+    def test_rule_dormant_without_the_counter(self):
+        events, _ = unverified_commit_case()
+        assert check_integrity_invariants(events, metrics=None).ok
+        assert check_integrity_invariants(events, metrics={"counters": {}}).ok
+
+    def test_masterside_commits_exempt(self):
+        # A replayed/arbiter commit has no assign record: not wire traffic.
+        events = stream(
+            dict(kind="commit", task_id=(0, 0), worker=-1),
+            dict(kind="assign", task_id=(0, 1), worker=0),
+            dict(kind="commit", task_id=(0, 1), worker=0),
+        )
+        metrics = {"counters": {"integrity.digests_verified": 1}}
+        assert check_integrity_invariants(events, metrics=metrics).ok
+
+
+class TestSelftest:
+    def test_all_nine_fixtures_detected(self):
+        results = run_selftest()
+        assert len(results) == 9
+        missed = [name for name, _, detected in results if not detected]
+        assert not missed, f"selftest blind to: {missed}"
+
+    @pytest.mark.parametrize(
+        "name",
+        ["liar-quarantine-dispatch", "taint-never-recomputed", "commit-without-verify"],
+    )
+    def test_integrity_fixture_reports_only_its_own_code(self, name):
+        code, runner = SELFTEST[name]
+        report = runner()
+        assert report.has(code)
+        assert set(report.codes()) == {code}

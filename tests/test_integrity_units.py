@@ -1,0 +1,184 @@
+"""Unit tests for the integrity policy, taint invalidation in the DAG
+parser, and taint-revocation records in the durable journal."""
+
+import numpy as np
+import pytest
+
+from repro import RunConfig
+from repro.algorithms import EditDistance
+from repro.comm.serialization import content_digest
+from repro.dag.library import WavefrontPattern
+from repro.dag.parser import DAGParser, VertexState
+from repro.durable import CommitJournal, scan_journal
+from repro.integrity import IntegrityPolicy, fold_commit, run_digest_hex
+from repro.utils.errors import ConfigError, SchedulerError
+
+
+class TestIntegrityPolicy:
+    def test_mode_properties(self):
+        assert not IntegrityPolicy(mode="off").digest_on
+        assert IntegrityPolicy(mode="digest").digest_on
+        assert IntegrityPolicy(mode="audit").audit_on
+        assert IntegrityPolicy(mode="vote").vote_on
+        assert IntegrityPolicy(mode="vote").digest_on
+
+    def test_from_config_resolves_knobs(self):
+        cfg = RunConfig(
+            integrity="audit", audit_fraction=0.5, vote_k=3, quarantine_threshold=4
+        )
+        policy = cfg.integrity_policy
+        assert policy.mode == "audit"
+        assert policy.audit_fraction == 0.5
+        assert policy.vote_k == 3
+        assert policy.quarantine_threshold == 4
+
+    def test_config_rejects_bad_knobs(self):
+        with pytest.raises(ConfigError):
+            RunConfig(integrity="paranoid")
+        with pytest.raises(ConfigError):
+            RunConfig(audit_fraction=1.5)
+        with pytest.raises(ConfigError):
+            RunConfig(vote_k=1)
+        with pytest.raises(ConfigError):
+            RunConfig(quarantine_threshold=0)
+
+    def test_should_audit_is_deterministic_and_seedless(self):
+        policy = IntegrityPolicy(mode="audit", audit_fraction=0.5)
+        tasks = [(i, j) for i in range(20) for j in range(20)]
+        first = [policy.should_audit(t) for t in tasks]
+        assert first == [policy.should_audit(t) for t in tasks]
+        hit = sum(first)
+        assert 0 < hit < len(tasks)  # a genuine sample, not all-or-nothing
+
+    def test_should_audit_extremes(self):
+        tasks = [(i, 0) for i in range(50)]
+        full = IntegrityPolicy(mode="audit", audit_fraction=1.0)
+        never = IntegrityPolicy(mode="audit", audit_fraction=0.0)
+        off = IntegrityPolicy(mode="digest", audit_fraction=1.0)
+        assert all(full.should_audit(t) for t in tasks)
+        assert not any(never.should_audit(t) for t in tasks)
+        assert not any(off.should_audit(t) for t in tasks)
+
+
+class TestParserInvalidate:
+    def make_parser(self, rows=3, cols=3):
+        return DAGParser(WavefrontPattern(rows, cols))
+
+    def drain(self, parser):
+        return parser.run_all()
+
+    def test_invalidate_single_sink_restores_computability(self):
+        parser = self.make_parser()
+        self.drain(parser)
+        assert parser.is_done()
+        frontier = parser.invalidate([(2, 2)])
+        assert frontier == [(2, 2)]
+        assert parser.state((2, 2)) is VertexState.COMPUTABLE
+        assert parser.n_remaining == 1
+        assert parser.complete((2, 2)) == []
+        assert parser.is_done()
+
+    def test_invalidate_closure_recomputes_in_dependency_order(self):
+        parser = self.make_parser()
+        self.drain(parser)
+        # Closure of (1, 1): itself plus all DONE successors.
+        closure = [(1, 1), (1, 2), (2, 1), (2, 2)]
+        frontier = parser.invalidate(closure)
+        assert frontier == [(1, 1)]  # only the root is computable again
+        for vid in closure[1:]:
+            assert parser.state(vid) is VertexState.BLOCKED
+        # Recommitting the root unblocks the rest, exactly as a fresh parse.
+        order = self.drain(parser)
+        assert order[0] == (1, 1)
+        assert set(order) == set(closure)
+        assert parser.is_done()
+
+    def test_invalidate_rejects_non_downward_closed_sets(self):
+        parser = self.make_parser()
+        self.drain(parser)
+        with pytest.raises(SchedulerError):
+            parser.invalidate([(1, 1)])  # (1, 2) etc. are DONE dependents
+
+    def test_invalidate_rejects_uncommitted_vertices(self):
+        parser = self.make_parser()
+        with pytest.raises(SchedulerError):
+            parser.invalidate([(0, 0)])
+
+
+class TestJournalInvalidate:
+    def open_journal(self, tmp_path):
+        path = str(tmp_path / "journal")
+        journal = CommitJournal.create(path, fsync=False, checkpoint_interval=10_000)
+        journal.begin(EditDistance.random(8, 8, seed=0), RunConfig(backend="serial"))
+        return path, journal
+
+    def commit(self, journal, task, fill):
+        outputs = {"block": np.full((2, 2), float(fill))}
+        journal.commit(task, 0, outputs, digest=content_digest(outputs))
+        return content_digest(outputs)
+
+    def test_invalidate_record_revokes_commits_and_digest(self, tmp_path):
+        path, journal = self.open_journal(tmp_path)
+        d00 = self.commit(journal, (0, 0), 1)
+        self.commit(journal, (0, 1), 2)
+        journal.invalidate([(0, 1)])
+        journal.close()
+
+        scan = scan_journal(path)
+        assert scan.committed == {(0, 0): 0}
+        assert scan.invalidations == [((0, 1),)]
+        assert scan.run_digest == run_digest_hex(fold_commit(0, (0, 0), d00))
+
+    def test_recommit_after_invalidate_restores_the_fold(self, tmp_path):
+        path, journal = self.open_journal(tmp_path)
+        self.commit(journal, (0, 0), 1)
+        tainted = self.commit(journal, (0, 1), 99)  # the lied value
+        journal.invalidate([(0, 1)])
+        honest = self.commit(journal, (0, 1), 2)  # the recompute
+        journal.close()
+
+        scan = scan_journal(path)
+        assert scan.committed == {(0, 0): 0, (0, 1): 0}
+        assert tainted != honest
+        assert scan.commit_digests[(0, 1)] == honest
+        # The fold holds exactly the surviving commits.
+        acc = 0
+        for task, digest in scan.commit_digests.items():
+            acc = fold_commit(acc, task, digest)
+        assert scan.run_digest == run_digest_hex(acc)
+
+    def test_checkpoint_round_trips_run_digest(self, tmp_path):
+        path, journal = self.open_journal(tmp_path)
+        d = self.commit(journal, (0, 0), 1)
+        acc = fold_commit(0, (0, 0), d)
+        journal.checkpoint(
+            {"dp": np.zeros((2, 2))},
+            {(0, 0): 0},
+            {(0, 0): 1},
+            run_digest=run_digest_hex(acc),
+            commit_digests={(0, 0): d},
+        )
+        journal.close()
+
+        scan = scan_journal(path)
+        assert scan.run_digest == run_digest_hex(acc)
+        assert scan.commit_digests == {(0, 0): d}
+
+    def test_invalidate_after_checkpoint_unfolds_from_the_stored_acc(self, tmp_path):
+        path, journal = self.open_journal(tmp_path)
+        d00 = self.commit(journal, (0, 0), 1)
+        d01 = self.commit(journal, (0, 1), 2)
+        acc = fold_commit(fold_commit(0, (0, 0), d00), (0, 1), d01)
+        journal.checkpoint(
+            None,
+            {(0, 0): 0, (0, 1): 0},
+            {},
+            run_digest=run_digest_hex(acc),
+            commit_digests={(0, 0): d00, (0, 1): d01},
+        )
+        journal.invalidate([(0, 1)])
+        journal.close()
+
+        scan = scan_journal(path)
+        assert scan.committed == {(0, 0): 0}
+        assert scan.run_digest == run_digest_hex(fold_commit(0, (0, 0), d00))
