@@ -160,7 +160,13 @@ class _Node:
 class _SimulatedRun:
     """One end-to-end simulated schedule."""
 
-    def __init__(self, problem: DPProblem, config: RunConfig, resume=None) -> None:
+    def __init__(
+        self,
+        problem: DPProblem,
+        config: RunConfig,
+        resume=None,
+        evq: Optional[EventQueue] = None,
+    ) -> None:
         self.problem = problem
         self.config = config
         proc_size, thread_size = config.partitions_for(problem)
@@ -187,7 +193,11 @@ class _SimulatedRun:
             )
         self.thread_policy_name = config.thread_scheduler
 
-        self.evq = EventQueue()
+        #: Injectable for model checking: ``repro.check.explore`` passes a
+        #: :class:`~repro.cluster.simcore.ControlledEventQueue` to
+        #: enumerate message-delivery orders. Every event scheduled below
+        #: carries a structural label for that purpose.
+        self.evq = evq if evq is not None else EventQueue()
         self.nodes = [_Node(spec=s) for s in self.cluster.compute_nodes]
         self.master_nic_free = 0.0
         self.master_cpu_free = 0.0
@@ -411,6 +421,7 @@ class _SimulatedRun:
         self.evq.at(
             now + self.config.task_timeout,
             lambda bid=bid, epoch=epoch: self._timeout(bid, epoch),
+            label=("timeout", bid, epoch),
         )
         return epoch, start, start + xfer
 
@@ -438,7 +449,7 @@ class _SimulatedRun:
                         "digest-reject", bid, epoch=epoch, node=k,
                         scope="message", hop="assign",
                     )
-                self.evq.at(xfer_done, lambda k=k: self._node_idle(k))
+                self.evq.at(xfer_done, lambda k=k: self._node_idle(k), label=("idle", k))
                 return
             if rule.kind in ("corrupt", "bitflip"):
                 # Undetected input mutation: ``corrupt`` with digests off
@@ -490,11 +501,11 @@ class _SimulatedRun:
         if fault is not None and fault.kind == "crash":
             crash_at = compute_start + 0.5 * compute
             node.busy_until = crash_at
-            self.evq.at(crash_at, lambda k=k: self._node_idle(k))
+            self.evq.at(crash_at, lambda k=k: self._node_idle(k), label=("idle", k))
         elif fault is not None and fault.kind == "hang":
             recover_at = compute_start + 2.0 * self.config.task_timeout
             node.busy_until = recover_at
-            self.evq.at(recover_at, lambda k=k: self._node_idle(k))
+            self.evq.at(recover_at, lambda k=k: self._node_idle(k), label=("idle", k))
         else:
             done = compute_start + compute
             node.busy_until = done
@@ -510,7 +521,9 @@ class _SimulatedRun:
             # would wrongly serialize every other node's input transfer
             # behind this task.
             self.evq.at(
-                done, lambda bid=bid, epoch=epoch, k=k: self._compute_done(bid, epoch, k)
+                done,
+                lambda bid=bid, epoch=epoch, k=k: self._compute_done(bid, epoch, k),
+                label=("compute-done", bid, epoch, k),
             )
 
     def _compute_done(self, bid: TaskId, epoch: int, k: int) -> None:
@@ -549,7 +562,7 @@ class _SimulatedRun:
             if rule.kind == "drop":
                 # The result never reaches the master: the registration
                 # rides the overtime check; the node itself serves on.
-                self.evq.at(arrive, lambda k=k: self._node_idle(k))
+                self.evq.at(arrive, lambda k=k: self._node_idle(k), label=("idle", k))
                 return
             if rule.kind == "corrupt":
                 if self.integrity.digest_on:
@@ -557,7 +570,9 @@ class _SimulatedRun:
                     # reject, charge the retry budget, requeue at once —
                     # no overtime wait.
                     self.evq.at(
-                        arrive, lambda: self._digest_reject(bid, epoch, k)
+                        arrive,
+                        lambda: self._digest_reject(bid, epoch, k),
+                        label=("digest-reject", bid, epoch, k),
                     )
                     return
                 self.live_taint[(bid, epoch)] = "result-corrupt"
@@ -567,8 +582,14 @@ class _SimulatedRun:
                 arrive += rule.delay
             elif rule.kind == "duplicate":
                 self.messages += 1
-                self.evq.at(arrive, lambda: self._result_echo(bid, epoch, k))
-        self.evq.at(arrive, lambda: self._result(bid, epoch, k))
+                self.evq.at(
+                    arrive,
+                    lambda: self._result_echo(bid, epoch, k),
+                    label=("result-echo", bid, epoch, k),
+                )
+        self.evq.at(
+            arrive, lambda: self._result(bid, epoch, k), label=("result", bid, epoch, k)
+        )
 
     def _result_echo(self, bid: TaskId, epoch: int, k: int) -> None:
         """The second copy of a duplicated result: always epoch-stale by
@@ -799,7 +820,11 @@ class _SimulatedRun:
                 self.obs.emit(
                     "backoff", bid, epoch=epoch, scope="task", delay=delay
                 )
-            self.evq.at(self.evq.now + delay, lambda bid=bid: self._requeue(bid))
+            self.evq.at(
+                self.evq.now + delay,
+                lambda bid=bid: self._requeue(bid),
+                label=("requeue", bid),
+            )
         else:
             self._requeue(bid)
 
@@ -841,7 +866,7 @@ class _SimulatedRun:
 
         wall_start = _time.perf_counter()
         for k in range(len(self.nodes)):
-            self.evq.at(0.0, lambda k=k: self._node_idle(k))
+            self.evq.at(0.0, lambda k=k: self._node_idle(k), label=("idle", k))
         try:
             self.evq.run()
             if self.failure is None and self.parser.is_done():

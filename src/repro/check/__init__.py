@@ -24,32 +24,65 @@ else in this package. ``repro.check`` is the layer that verifies it:
 - :mod:`repro.check.integrity_check` — result-integrity invariants over
   the telemetry stream (no dispatch after quarantine; every taint
   recomputed; no commit without digest verification), asserted by every
-  SDC campaign run.
+  SDC campaign run;
+- :mod:`repro.check.protocol` — a machine-checked state-machine
+  specification of the master/slave wire protocol, static analyses over
+  it (reachability, unhandled messages, commit-without-verify), and
+  trace conformance replaying observed runs against the spec;
+- :mod:`repro.check.explore` — a systematic concurrency explorer that
+  drives the simulated backend through every message-delivery order
+  (with partial-order reduction and bounded fault injection), checking
+  all of the above invariants on every interleaving;
+- :mod:`repro.check.ast_lint` — source-level lints for the repo's
+  concurrency and clock discipline (no raw ``threading.Lock()``, no
+  direct wall-clock reads in scheduling code).
 
 Run everything from the command line with ``python -m repro check`` (see
 ``docs/static_analysis.md``), or enable the trace validator for any run
 by setting ``REPRO_VERIFY=1`` / ``RunConfig(verify=True)``.
 """
 
+from repro.check.ast_lint import check_clock_discipline, check_lock_discipline
 from repro.check.chaos_check import check_fault_invariants
 from repro.check.diagnostics import CheckReport, Diagnostic
 from repro.check.durable_check import check_resume_invariants
 from repro.check.integrity_check import check_integrity_invariants
 from repro.check.lock_lint import LockLint, lock_lint_session, make_condition, make_lock, note_blocking
 from repro.check.pattern_check import check_partition, check_pattern
+from repro.check.protocol import (
+    ProtocolSpec,
+    Transition,
+    build_protocol_spec,
+    check_protocol_conformance,
+    check_protocol_spec,
+)
 from repro.check.trace_check import SchedEvent, TraceRecorder, check_trace
+
+# NOTE: repro.check.explore is deliberately NOT imported here. It needs
+# repro.cluster.faults at module level, which pulls repro.comm and (via
+# the transport) repro.obs — and repro.obs imports back into this
+# package (trace_check, lock_lint). Importing explore eagerly would
+# recreate the init cycle the TYPE_CHECKING guard in trace_check broke.
+# Import it as ``from repro.check.explore import ...`` at use sites.
 
 __all__ = [
     "CheckReport",
     "Diagnostic",
-    "check_fault_invariants",
-    "check_integrity_invariants",
-    "check_resume_invariants",
     "LockLint",
+    "ProtocolSpec",
     "SchedEvent",
     "TraceRecorder",
+    "Transition",
+    "build_protocol_spec",
+    "check_clock_discipline",
+    "check_fault_invariants",
+    "check_integrity_invariants",
+    "check_lock_discipline",
     "check_partition",
     "check_pattern",
+    "check_protocol_conformance",
+    "check_protocol_spec",
+    "check_resume_invariants",
     "check_trace",
     "lock_lint_session",
     "make_condition",

@@ -1,0 +1,180 @@
+"""AST lints enforcing the repo's concurrency and clock discipline.
+
+Two project rules exist that no type checker sees:
+
+- **Lock discipline** — locks and condition variables must come from
+  :func:`repro.check.lock_lint.make_lock` / ``make_condition`` so the
+  lock-order lint can observe them; a raw ``threading.Lock()`` is
+  invisible to deadlock detection. Only ``lock_lint`` itself may
+  construct raw primitives (it *is* the factory).
+- **Clock discipline** — scheduling code under ``repro/runtime`` and
+  ``repro/backends`` must read time through the injected clock
+  (:mod:`repro.obs.clock`), never ``time.time()``/``time.monotonic()``
+  directly: a direct read breaks the simulated backend's sim-time and
+  makes timeout logic untestable. ``time.perf_counter()`` stays legal —
+  it only measures wall-clock cost for reports, it never drives logic.
+
+Both lints are source-level (``ast``), so they catch violations in
+code paths tests never execute. Wired into ``repro check
+--all-builtin``; the seeded fixtures in :mod:`repro.check.fixtures`
+prove each rule actually fires.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.check import diagnostics as D
+from repro.check.diagnostics import CheckReport
+
+__all__ = [
+    "lint_lock_discipline",
+    "lint_clock_discipline",
+    "check_lock_discipline",
+    "check_clock_discipline",
+    "source_root",
+]
+
+_BANNED_LOCK_ATTRS = ("Lock", "Condition")
+_BANNED_CLOCK_ATTRS = ("time", "monotonic")
+
+
+class _ImportTracker(ast.NodeVisitor):
+    """Resolves which local names alias a watched module or symbol."""
+
+    def __init__(self, module: str, symbols: Tuple[str, ...]) -> None:
+        self.module = module
+        self.symbols = symbols
+        #: Local aliases of the module itself (``import time as _time``).
+        self.module_aliases: Set[str] = set()
+        #: Local alias -> watched symbol (``from time import monotonic as mono``).
+        self.symbol_aliases: Dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for a in node.names:
+            if a.name == self.module:
+                self.module_aliases.add(a.asname or a.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == self.module:
+            for a in node.names:
+                if a.name in self.symbols:
+                    self.symbol_aliases[a.asname or a.name] = a.name
+        self.generic_visit(node)
+
+    def banned_call(self, node: ast.Call) -> Optional[str]:
+        """The watched symbol this call resolves to, or None."""
+        f = node.func
+        if (
+            isinstance(f, ast.Attribute)
+            and f.attr in self.symbols
+            and isinstance(f.value, ast.Name)
+            and f.value.id in self.module_aliases
+        ):
+            return f.attr
+        if isinstance(f, ast.Name) and f.id in self.symbol_aliases:
+            return self.symbol_aliases[f.id]
+        return None
+
+
+def _lint(
+    source: str,
+    path: str,
+    module: str,
+    symbols: Tuple[str, ...],
+) -> List[Tuple[int, str]]:
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:  # unparseable file is its own finding
+        return [(exc.lineno or 0, f"cannot parse: {exc.msg}")]
+    tracker = _ImportTracker(module, symbols)
+    tracker.visit(tree)
+    out: List[Tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            hit = tracker.banned_call(node)
+            if hit is not None:
+                out.append((node.lineno, f"{module}.{hit}()"))
+    return out
+
+
+def lint_lock_discipline(source: str, path: str = "<string>") -> List[Tuple[int, str]]:
+    """(line, what) for every raw ``threading.Lock/Condition`` construction."""
+    return _lint(source, path, "threading", _BANNED_LOCK_ATTRS)
+
+
+def lint_clock_discipline(source: str, path: str = "<string>") -> List[Tuple[int, str]]:
+    """(line, what) for every direct ``time.time/monotonic`` read."""
+    return _lint(source, path, "time", _BANNED_CLOCK_ATTRS)
+
+
+def source_root() -> str:
+    """The installed ``repro`` package directory this lint scans."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _py_files(root: str, subdirs: Optional[Iterable[str]] = None) -> List[str]:
+    roots = [root] if subdirs is None else [os.path.join(root, d) for d in subdirs]
+    out: List[str] = []
+    for r in roots:
+        for dirpath, _dirs, files in os.walk(r):
+            out.extend(
+                os.path.join(dirpath, f) for f in files if f.endswith(".py")
+            )
+    return sorted(out)
+
+
+def check_lock_discipline(
+    root: Optional[str] = None, title: str = "lint:lock-discipline"
+) -> CheckReport:
+    """Scan the whole package for raw lock construction.
+
+    ``repro/check/lock_lint.py`` is exempt: it is the factory the rule
+    funnels everyone through.
+    """
+    root = root or source_root()
+    exempt = os.path.join("check", "lock_lint.py")
+    report = CheckReport(title=title)
+    for path in _py_files(root):
+        if path.endswith(exempt):
+            continue
+        report.checked += 1
+        with open(path, encoding="utf-8") as fh:
+            source = fh.read()
+        rel = os.path.relpath(path, root)
+        for line, what in lint_lock_discipline(source, path):
+            report.add(
+                D.RAW_LOCK_CONSTRUCTION,
+                f"raw {what} at {rel}:{line} — use "
+                f"repro.check.lock_lint.make_lock/make_condition so the "
+                f"lock-order lint can see it",
+                f"{rel}:{line}",
+            )
+    return report
+
+
+def check_clock_discipline(
+    root: Optional[str] = None,
+    subdirs: Tuple[str, ...] = ("runtime", "backends"),
+    title: str = "lint:clock-discipline",
+) -> CheckReport:
+    """Scan scheduling code for direct wall-clock reads."""
+    root = root or source_root()
+    report = CheckReport(title=title)
+    for path in _py_files(root, subdirs):
+        report.checked += 1
+        with open(path, encoding="utf-8") as fh:
+            source = fh.read()
+        rel = os.path.relpath(path, root)
+        for line, what in lint_clock_discipline(source, path):
+            report.add(
+                D.UNINJECTED_CLOCK,
+                f"direct {what} at {rel}:{line} — scheduling code must read "
+                f"the injected clock (repro.obs.clock) so simulated time and "
+                f"tests stay deterministic",
+                f"{rel}:{line}",
+            )
+    return report

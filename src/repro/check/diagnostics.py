@@ -48,6 +48,24 @@ COMMIT_WITHOUT_VERIFY = "commit-without-verify"
 LOCK_CYCLE = "lock-cycle"
 BLOCKING_WHILE_LOCKED = "blocking-while-locked"
 
+# -- protocol-spec static analysis codes ----------------------------------------
+PROTOCOL_UNREACHABLE_STATE = "protocol-unreachable-state"
+PROTOCOL_UNHANDLED_MESSAGE = "protocol-unhandled-message"
+PROTOCOL_COMMIT_WITHOUT_VERIFY = "protocol-commit-without-verify"
+PROTOCOL_CONFLICT = "protocol-conflicting-transitions"
+PROTOCOL_MESSAGE_MISMATCH = "protocol-message-mismatch"
+
+# -- protocol trace-conformance codes -------------------------------------------
+PROTOCOL_ILLEGAL_TRANSITION = "protocol-illegal-transition"
+
+# -- interleaving-explorer codes ------------------------------------------------
+EXPLORE_DEADLOCK = "explore-deadlock"
+EXPLORE_ORACLE_MISMATCH = "explore-oracle-mismatch"
+
+# -- AST lint codes -------------------------------------------------------------
+RAW_LOCK_CONSTRUCTION = "raw-lock-construction"
+UNINJECTED_CLOCK = "uninjected-clock"
+
 SEVERITIES = ("error", "warning")
 
 

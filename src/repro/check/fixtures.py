@@ -1,36 +1,60 @@
 """Seeded defect fixtures — known-bad inputs every check pass must catch.
 
-Nine fixtures, one per diagnostic family the verifier exists for:
+Sixteen fixtures, one per diagnostic family the verifier exists for:
 
-1. a cyclic "pattern"                          -> ``pattern-cycle``
-2. a pattern with an out-of-bounds dependency  -> ``dep-out-of-bounds``
-3. a pattern whose data deps drop a topo dep   -> ``data-superset-violation``
-4. a trace committing a block too early        -> ``early-commit``
-5. a trace committing a block twice            -> ``duplicate-commit``
-6. a deliberate ABBA lock inversion            -> ``lock-cycle``
-7. a liar worker re-dispatched after its
-   quarantine                                  -> ``dispatch-after-quarantine``
-8. a tainted commit never recomputed           -> ``taint-not-recomputed``
-9. more worker commits than digest checks      -> ``commit-without-verify``
+1.  a cyclic "pattern"                          -> ``pattern-cycle``
+2.  a pattern with an out-of-bounds dependency  -> ``dep-out-of-bounds``
+3.  a pattern whose data deps drop a topo dep   -> ``data-superset-violation``
+4.  a trace committing a block too early        -> ``early-commit``
+5.  a trace committing a block twice            -> ``duplicate-commit``
+6.  a deliberate ABBA lock inversion            -> ``lock-cycle``
+7.  a liar worker re-dispatched after its
+    quarantine                                  -> ``dispatch-after-quarantine``
+8.  a tainted commit never recomputed           -> ``taint-not-recomputed``
+9.  more worker commits than digest checks      -> ``commit-without-verify``
+10. a protocol spec that forgot to handle
+    TaskAssign                                  -> ``protocol-unhandled-message``
+11. a spec whose compute path was disconnected  -> ``protocol-unreachable-state``
+12. a spec with digest verification removed     -> ``protocol-commit-without-verify``
+13. an event stream committing a cancelled
+    dispatch                                    -> ``protocol-illegal-transition``
+14. a master that merges reordering-delayed
+    stale results — caught only by systematic
+    interleaving exploration                    -> ``duplicate-commit``
+15. a raw ``threading.Lock()`` construction     -> ``raw-lock-construction``
+16. a direct ``time.monotonic()`` read in
+    scheduling code                             -> ``uninjected-clock``
 
 They serve two purposes: negative-path tests (each must be *rejected*,
 with the named diagnostic), and the ``repro check --selftest`` CLI verb,
 which proves in CI that the verifier still has teeth. The broken
 patterns subclass :class:`DAGPattern` directly because the public
-constructors (by design) refuse to build them.
+constructors (by design) refuse to build them; the broken protocol
+specs are built by the surgery helpers in :mod:`repro.check.protocol`;
+fixture 14 re-runs the bounded explorer against a seeded-defect master
+(:func:`repro.check.explore.reorder_double_commit_model`) whose bug a
+randomized chaos campaign provably cannot time.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Callable, Dict, Iterator, List, Tuple
 
 from repro.check import diagnostics as D
+from repro.check.ast_lint import lint_clock_discipline, lint_lock_discipline
 from repro.check.diagnostics import CheckReport
 from repro.check.integrity_check import check_integrity_invariants
 from repro.check.lock_lint import lock_lint_session, make_lock
 from repro.check.pattern_check import check_pattern
+from repro.check.protocol import (
+    build_protocol_spec,
+    check_protocol_conformance,
+    check_protocol_spec,
+    drop_transitions,
+    strip_guard,
+)
 from repro.check.trace_check import SchedEvent, check_trace
 from repro.dag.library import WavefrontPattern
 from repro.dag.pattern import DAGPattern, VertexId
@@ -39,9 +63,9 @@ from repro.dag.pattern import DAGPattern, VertexId
 class _ListPattern(DAGPattern):
     """Minimal adjacency-backed pattern that skips all validation."""
 
-    def __init__(self, preds: dict) -> None:
+    def __init__(self, preds: Dict[VertexId, Tuple[VertexId, ...]]) -> None:
         self._preds = {k: tuple(v) for k, v in preds.items()}
-        self._succs: dict = {k: [] for k in self._preds}
+        self._succs: Dict[VertexId, List[VertexId]] = {k: [] for k in self._preds}
         for v, ps in self._preds.items():
             for p in ps:
                 if p in self._succs:
@@ -170,7 +194,7 @@ def liar_quarantine_trace() -> List[_ObsLike]:
     anyway (an eligibility check that forgot the quarantine set).
     """
 
-    def ev(seq: int, kind: str, task, worker: int, epoch: int = 0) -> _ObsLike:
+    def ev(seq: int, kind: str, task: object, worker: int, epoch: int = 0) -> _ObsLike:
         return _ObsLike(kind=kind, task_id=task, epoch=epoch, worker=worker, seq=seq)
 
     return [
@@ -194,7 +218,7 @@ def taint_without_recompute_trace() -> List[_ObsLike]:
     """A conviction whose invalidated block is never recomputed: the run
     'finishes' with the tainted region simply missing from the state."""
 
-    def ev(seq: int, kind: str, task, worker: int, epoch: int = 0) -> _ObsLike:
+    def ev(seq: int, kind: str, task: object, worker: int, epoch: int = 0) -> _ObsLike:
         return _ObsLike(kind=kind, task_id=task, epoch=epoch, worker=worker, seq=seq)
 
     return [
@@ -206,10 +230,10 @@ def taint_without_recompute_trace() -> List[_ObsLike]:
     ]
 
 
-def unverified_commit_case() -> Tuple[List[_ObsLike], dict]:
+def unverified_commit_case() -> Tuple[List[_ObsLike], Dict[str, Dict[str, int]]]:
     """Three worker commits but only two receive-side digest checks."""
 
-    def ev(seq: int, kind: str, task, worker: int) -> _ObsLike:
+    def ev(seq: int, kind: str, task: object, worker: int) -> _ObsLike:
         return _ObsLike(kind=kind, task_id=task, epoch=0, worker=worker, seq=seq)
 
     events = [
@@ -224,8 +248,102 @@ def unverified_commit_case() -> Tuple[List[_ObsLike], dict]:
     return events, metrics
 
 
+def unhandled_taskassign_spec_report() -> CheckReport:
+    """A slave that forgot its TaskAssign handler: the receivable
+    declaration survives, the transitions are gone."""
+    spec = drop_transitions(build_protocol_spec(), "slave", "awaiting", "TaskAssign")
+    return check_protocol_spec(spec, title="fixture:unhandled-taskassign")
+
+
+def disconnected_compute_spec_report() -> CheckReport:
+    """Dropping compute-done strands the slave's ``reporting`` state."""
+    spec = drop_transitions(build_protocol_spec(), "slave", "computing", "compute-done")
+    return check_protocol_spec(spec, title="fixture:disconnected-compute")
+
+
+def unverified_commit_spec_report() -> CheckReport:
+    """The digest-verified guard deleted everywhere: commits become
+    reachable on unverified payloads."""
+    spec = strip_guard(build_protocol_spec(), "digest-verified")
+    return check_protocol_spec(spec, title="fixture:unverified-commit-spec")
+
+
+def cancelled_commit_stream_report() -> CheckReport:
+    """An observed stream that commits an epoch fault tolerance already
+    cancelled — illegal in the master-dispatch machine."""
+
+    def ev(seq: int, kind: str, epoch: int, worker: int) -> _ObsLike:
+        return _ObsLike(kind=kind, task_id=(0, 0), epoch=epoch, worker=worker, seq=seq)
+
+    stream = [
+        ev(0, "assign", 0, 0),
+        ev(1, "redistribute", 0, -1),
+        ev(2, "commit", 0, 0),  # the cancelled dispatch lands anyway
+    ]
+    return check_protocol_conformance(stream, title="fixture:cancelled-commit")
+
+
+def reorder_double_commit_report() -> CheckReport:
+    """Exhaustively explore a 1x1 instance under a result delayed onto
+    its own overtime check, against the seeded broken master. One of the
+    two delivery orders double-commits; randomized chaos (delay 0.05 s
+    vs. a 30 s timeout) can essentially never construct the tie."""
+    from repro.check.explore import (
+        ExploreConfig,
+        Scenario,
+        TargetedFaultPlan,
+        TargetedFaultRule,
+        reorder_double_commit_model,
+        run_exploration,
+    )
+
+    cfg = ExploreConfig(rows=1, cols=1, workers=1)
+    scenario = Scenario(
+        "delay-result-n0-i0",
+        TargetedFaultPlan(
+            (TargetedFaultRule("delay", "recv", 0, 0, delay=cfg.task_timeout - 1.0),)
+        ),
+    )
+    result = run_exploration(
+        cfg, scenarios=[scenario], model_factory=reorder_double_commit_model
+    )
+    return result.report("fixture:reorder-double-commit")
+
+
+_RAW_LOCK_SNIPPET = """\
+import threading
+
+class Recorder:
+    def __init__(self):
+        self._lock = threading.Lock()  # invisible to the lock-order lint
+"""
+
+_RAW_CLOCK_SNIPPET = """\
+import time
+
+def overtime(deadline):
+    return time.monotonic() > deadline  # breaks under simulated time
+"""
+
+
+def raw_lock_snippet_report() -> CheckReport:
+    report = CheckReport(title="fixture:raw-lock")
+    for line, what in lint_lock_discipline(_RAW_LOCK_SNIPPET, "<fixture>"):
+        report.checked += 1
+        report.add(D.RAW_LOCK_CONSTRUCTION, f"raw {what} at <fixture>:{line}")
+    return report
+
+
+def raw_clock_snippet_report() -> CheckReport:
+    report = CheckReport(title="fixture:raw-clock")
+    for line, what in lint_clock_discipline(_RAW_CLOCK_SNIPPET, "<fixture>"):
+        report.checked += 1
+        report.add(D.UNINJECTED_CLOCK, f"direct {what} at <fixture>:{line}")
+    return report
+
+
 #: name -> (expected diagnostic code, runner returning the CheckReport).
-SELFTEST: dict = {
+SELFTEST: Dict[str, Tuple[str, Callable[[], CheckReport]]] = {
     "cyclic-pattern": (D.PATTERN_CYCLE, lambda: check_pattern(cyclic_pattern())),
     "out-of-bounds-dep": (D.DEP_OUT_OF_BOUNDS, lambda: check_pattern(out_of_bounds_pattern())),
     "data-deps-gap": (D.DATA_SUPERSET_VIOLATION, lambda: check_pattern(data_gap_pattern())),
@@ -250,6 +368,28 @@ SELFTEST: dict = {
         D.COMMIT_WITHOUT_VERIFY,
         lambda: check_integrity_invariants(*unverified_commit_case()),
     ),
+    "protocol-unhandled-taskassign": (
+        D.PROTOCOL_UNHANDLED_MESSAGE,
+        unhandled_taskassign_spec_report,
+    ),
+    "protocol-disconnected-compute": (
+        D.PROTOCOL_UNREACHABLE_STATE,
+        disconnected_compute_spec_report,
+    ),
+    "protocol-unverified-commit": (
+        D.PROTOCOL_COMMIT_WITHOUT_VERIFY,
+        unverified_commit_spec_report,
+    ),
+    "protocol-cancelled-commit-stream": (
+        D.PROTOCOL_ILLEGAL_TRANSITION,
+        cancelled_commit_stream_report,
+    ),
+    "explore-reorder-double-commit": (
+        D.DUPLICATE_COMMIT,
+        reorder_double_commit_report,
+    ),
+    "raw-lock-construction": (D.RAW_LOCK_CONSTRUCTION, raw_lock_snippet_report),
+    "uninjected-clock": (D.UNINJECTED_CLOCK, raw_clock_snippet_report),
 }
 
 

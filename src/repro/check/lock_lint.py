@@ -38,7 +38,7 @@ _ACTIVE: Optional["LockLint"] = None
 #: lock's entire purpose (e.g. making a non-atomic pipe send atomic), so
 #: the blocking-while-locked lint exempts that pairing. Any other lock
 #: held at the same time still flags.
-_GUARDS: Dict[str, frozenset] = {}
+_GUARDS: Dict[str, frozenset[str]] = {}
 
 
 class LockLint:
@@ -140,7 +140,7 @@ class LockLint:
 def _find_cycles(adjacency: Dict[str, Set[str]]) -> List[List[str]]:
     """Elementary cycles of a small digraph, deduplicated by node set."""
     cycles: List[List[str]] = []
-    seen_sets: Set[frozenset] = set()
+    seen_sets: Set[frozenset[str]] = set()
     for start in sorted(adjacency):
         stack: List[Tuple[str, Iterator[str]]] = [(start, iter(sorted(adjacency[start])))]
         path = [start]
@@ -223,7 +223,7 @@ def active_session() -> Optional[LockLint]:
     return _ACTIVE
 
 
-def make_lock(name: str, guards: Tuple[str, ...] = ()):
+def make_lock(name: str, guards: Tuple[str, ...] = ()) -> threading.Lock | _TracedLock:
     """A lock for role ``name``: plain, or instrumented inside a session.
 
     ``guards`` declares blocking-call descriptions this lock exists to

@@ -20,7 +20,7 @@ detection), so the verifier is usable on cell-level grids too.
 from __future__ import annotations
 
 import random
-from typing import Dict, FrozenSet, List
+from typing import Dict, FrozenSet, List, Set
 
 from repro.check import diagnostics as D
 from repro.check.diagnostics import CheckReport
@@ -189,7 +189,7 @@ def _ancestors(
     cached = cache.get(vid)
     if cached is not None:
         return cached
-    out: set = set()
+    out: Set[VertexId] = set()
     stack = list(pattern.predecessors(vid))
     while stack:
         p = stack.pop()

@@ -11,7 +11,7 @@ pattern or algorithm is covered automatically once registered.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 from repro.check.diagnostics import CheckReport, merge_reports
 from repro.check.pattern_check import check_partition, check_pattern
@@ -59,7 +59,7 @@ def builtin_algorithm_cases(size: int = 24, seed: int = 0) -> Dict[str, Callable
     }
 
 
-def check_algorithm(problem, *, block: int = 7, thread_block: int = 3) -> CheckReport:
+def check_algorithm(problem: Any, *, block: int = 7, thread_block: int = 3) -> CheckReport:
     """Verify one algorithm's pattern, partition, and a sub-partition."""
     reports: List[CheckReport] = []
     pattern = problem.pattern()
@@ -75,9 +75,18 @@ def check_algorithm(problem, *, block: int = 7, thread_block: int = 3) -> CheckR
 
 def run_builtin_checks(*, algo_size: int = 24, seed: int = 0) -> List[Tuple[str, CheckReport]]:
     """Verify every built-in pattern and algorithm; returns (name, report)."""
+    from repro.check.ast_lint import check_clock_discipline, check_lock_discipline
+    from repro.check.protocol import check_protocol_spec
+
     results: List[Tuple[str, CheckReport]] = []
     for name, factory in builtin_pattern_cases().items():
         results.append((f"pattern:{name}", check_pattern(factory(), samples=128)))
     for name, factory in builtin_algorithm_cases(algo_size, seed).items():
         results.append((f"algorithm:{name}", check_algorithm(factory())))
+    # Source-level discipline lints and the wire-protocol spec analyses
+    # ride every --all-builtin sweep: they are static (no run needed) and
+    # cheap next to the pattern checks above.
+    results.append(("lint:lock-discipline", check_lock_discipline()))
+    results.append(("lint:clock-discipline", check_clock_discipline()))
+    results.append(("protocol:spec", check_protocol_spec()))
     return results

@@ -27,14 +27,19 @@ to end with ``RunConfig(verify=True)`` or ``REPRO_VERIFY=1``.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.check import diagnostics as D
 from repro.check.diagnostics import CheckReport
-from repro.comm.messages import TaskId
+from repro.check.lock_lint import make_lock
 from repro.dag.pattern import DAGPattern
+
+if TYPE_CHECKING:
+    # Type-only: importing repro.comm at runtime would cycle through
+    # repro.obs right back into this module when ``repro.check`` is the
+    # first package imported.
+    from repro.comm.messages import TaskId
 
 EVENT_KINDS = ("assign", "commit", "redistribute", "stale-drop")
 
@@ -72,7 +77,7 @@ class TraceRecorder:
 
     def __init__(self) -> None:
         self._events: List[SchedEvent] = []
-        self._lock = threading.Lock()
+        self._lock = make_lock("check.trace_recorder")
 
     def record(
         self, kind: str, task_id: TaskId, epoch: int, worker: int = -1, time: float = 0.0

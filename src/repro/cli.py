@@ -352,6 +352,44 @@ def cmd_check(args: argparse.Namespace) -> int:
                 f"unknown algorithm {args.algo!r}; choose from {', '.join(sorted(cases))}"
             )
         show(f"algorithm:{args.algo}", check_algorithm(cases[args.algo]()))
+    elif args.protocol:
+        from repro.check.protocol import check_protocol_spec, conformance_cases
+
+        show("protocol:spec", check_protocol_spec())
+        for name, report in conformance_cases(size=args.size, seed=args.seed):
+            show(name, report)
+    elif args.explore or args.replay is not None:
+        from repro.check.explore import (
+            ExploreConfig,
+            check_exploration,
+            replay_counterexample,
+            scenario_by_name,
+        )
+
+        rows, cols = args.explore_grid
+        cfg = ExploreConfig(rows=rows, cols=cols, workers=args.explore_workers)
+        if args.replay is not None:
+            from repro.obs.export import read_trace
+
+            try:
+                _events, _metrics, meta = read_trace(args.replay)
+                scenario = scenario_by_name(cfg, str(meta["scenario"]))
+                choices = [int(c) for c in meta["choices"]]
+            except (OSError, ValueError, KeyError) as exc:
+                raise SystemExit(
+                    f"cannot replay {args.replay!r}: {exc}"
+                ) from exc
+            show(
+                f"explore:replay:{scenario.name}",
+                replay_counterexample(cfg, scenario, choices),
+            )
+        else:
+            report, result = check_exploration(cfg, artifact_dir=args.artifact_dir)
+            print(f"  exploration: {result.summary()}")
+            for ce in result.violations:
+                where = f" -> {ce.trace_path}" if ce.trace_path else ""
+                print(f"       counterexample {ce.scenario} choices={list(ce.choices)}{where}")
+            show("protocol:explore", report)
     else:  # --all-builtin (the default)
         for name, report in run_builtin_checks(algo_size=args.size, seed=args.seed):
             show(name, report)
@@ -505,8 +543,43 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="prove the checkers catch seeded defects",
     )
+    target.add_argument(
+        "--protocol",
+        action="store_true",
+        help="check the wire-protocol spec and replay observed runs against it",
+    )
+    target.add_argument(
+        "--explore",
+        action="store_true",
+        help="systematically explore message-delivery orders of the simulated protocol",
+    )
     chk_p.add_argument("--size", type=int, default=24, help="instance / pattern size")
     chk_p.add_argument("--seed", type=int, default=0, help="instance seed")
+    chk_p.add_argument(
+        "--artifact-dir",
+        default=None,
+        help="--explore: write violating interleavings here as replayable trace JSON",
+    )
+    chk_p.add_argument(
+        "--replay",
+        default=None,
+        metavar="TRACE",
+        help="--explore: re-execute one exported counterexample trace",
+    )
+    chk_p.add_argument(
+        "--explore-grid",
+        type=int,
+        nargs=2,
+        default=(3, 3),
+        metavar=("ROWS", "COLS"),
+        help="--explore: block grid of the explored wavefront (default 3 3)",
+    )
+    chk_p.add_argument(
+        "--explore-workers",
+        type=int,
+        default=2,
+        help="--explore: computing nodes of the explored cluster (default 2)",
+    )
     chk_p.set_defaults(fn=cmd_check)
 
     cal_p = sub.add_parser("calibrate", help="fit the simulator to this machine")

@@ -5,15 +5,25 @@ executed in time order with FIFO tie-breaking (a monotone sequence number
 makes runs bit-for-bit reproducible). Model code composes behaviour out
 of ``at``/``after`` plus plain Python state; there are no coroutine
 processes to keep the scheduler transparent and debuggable.
+
+Events may carry an optional ``label`` — an arbitrary hashable value
+identifying *what* the event is (``("timeout", task, epoch)``, ...).
+Labels are inert in the base queue; :class:`ControlledEventQueue` exposes
+them to an external chooser so a model checker can enumerate the
+delivery order of simultaneous events (see :mod:`repro.check.explore`).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple
 
 from repro.utils.errors import ReproError
+
+#: One schedulable event: (when, handle, callback, label). The handle is
+#: the tuple comparator's tie-breaker, so callbacks never get compared.
+_Event = Tuple[float, int, Callable[[], None], object]
 
 
 class SimulationError(ReproError):
@@ -25,7 +35,7 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._heap: List[_Event] = []
         self._seq = itertools.count()
         self._cancelled: set[int] = set()
 
@@ -41,19 +51,19 @@ class EventQueue:
 
         return SimClock(self)
 
-    def at(self, when: float, fn: Callable[[], None]) -> int:
+    def at(self, when: float, fn: Callable[[], None], label: object = None) -> int:
         """Schedule ``fn`` at absolute time ``when``; returns a handle."""
         if when < self._now:
             raise SimulationError(f"cannot schedule at {when} < now {self._now}")
         handle = next(self._seq)
-        heapq.heappush(self._heap, (when, handle, fn))
+        heapq.heappush(self._heap, (when, handle, fn, label))
         return handle
 
-    def after(self, delay: float, fn: Callable[[], None]) -> int:
+    def after(self, delay: float, fn: Callable[[], None], label: object = None) -> int:
         """Schedule ``fn`` after ``delay`` seconds; returns a handle."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.at(self._now + delay, fn)
+        return self.at(self._now + delay, fn, label)
 
     def cancel(self, handle: int) -> None:
         """Cancel a scheduled event by handle (idempotent, O(1))."""
@@ -67,7 +77,7 @@ class EventQueue:
         """
         executed = 0
         while self._heap:
-            when, handle, fn = self._heap[0]
+            when, handle, fn, _label = self._heap[0]
             if until is not None and when > until:
                 self._now = until
                 return
@@ -82,4 +92,88 @@ class EventQueue:
                 raise SimulationError(f"exceeded {max_events} events — runaway simulation?")
 
     def empty(self) -> bool:
-        return not any(h not in self._cancelled for _, h, _ in self._heap)
+        return not any(h not in self._cancelled for _, h, _, _ in self._heap)
+
+    def pending_labels(self) -> List[Tuple[float, object]]:
+        """(when, label) of every live scheduled event, soonest first.
+
+        Part of the model-checking surface: the explorer folds the pending
+        event set into its state fingerprint so two interleavings only
+        merge when their *futures* agree too.
+        """
+        return sorted(
+            (when, label)
+            for when, h, _fn, label in self._heap
+            if h not in self._cancelled
+        )
+
+
+class Chooser(Protocol):
+    """Delivery-order policy for simultaneous events.
+
+    ``choose`` receives the tie set — every live event scheduled at the
+    current minimum time, in handle (FIFO) order — and returns the index
+    of the event to execute next. The remaining ties are re-offered
+    (together with any events the executed callback scheduled at the same
+    time) on the next step, so a chooser enumerates *all* delivery orders
+    of concurrent messages, not just rotations of one.
+    """
+
+    def choose(self, ties: Sequence[Tuple[int, object]]) -> int:
+        """Pick from ``[(handle, label), ...]``; returns an index."""
+        ...
+
+
+class ControlledEventQueue(EventQueue):
+    """An :class:`EventQueue` whose tie-breaking is externally controlled.
+
+    The base queue resolves simultaneous events FIFO — one fixed
+    interleaving. This queue hands every tie set (size > 1) to a
+    :class:`Chooser`, which is how :mod:`repro.check.explore` drives the
+    simulated backend through *every* message-delivery order: with a
+    zero-cost cluster model, concurrently-in-flight protocol messages
+    land at equal times, so choosing among ties is exactly choosing the
+    delivery order. With no chooser (or singleton ties) behaviour is
+    identical to the base queue.
+    """
+
+    def __init__(self, chooser: Optional[Chooser] = None) -> None:
+        super().__init__()
+        self.chooser = chooser
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
+        executed = 0
+        while self._heap:
+            when0 = self._heap[0][0]
+            if until is not None and when0 > until:
+                self._now = until
+                return
+            # Collect the full tie set at the minimum time, skipping
+            # cancelled entries (identical semantics to the base loop).
+            ties: List[_Event] = []
+            while self._heap and self._heap[0][0] == when0:
+                ev = heapq.heappop(self._heap)
+                if ev[1] in self._cancelled:
+                    self._cancelled.discard(ev[1])
+                    continue
+                ties.append(ev)
+            if not ties:
+                continue
+            idx = 0
+            if self.chooser is not None and len(ties) > 1:
+                idx = self.chooser.choose([(h, label) for _, h, _, label in ties])
+                if not 0 <= idx < len(ties):
+                    raise SimulationError(
+                        f"chooser returned {idx} for a tie set of {len(ties)}"
+                    )
+            chosen = ties.pop(idx)
+            # Unexecuted ties go back on the heap: they re-tie with
+            # whatever the chosen callback schedules "now", giving the
+            # chooser a fresh decision each step.
+            for ev in ties:
+                heapq.heappush(self._heap, ev)
+            self._now = when0
+            chosen[2]()
+            executed += 1
+            if executed > max_events:
+                raise SimulationError(f"exceeded {max_events} events — runaway simulation?")

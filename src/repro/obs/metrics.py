@@ -12,8 +12,9 @@ the hot path to one lock + one add.
 
 from __future__ import annotations
 
-import threading
 from typing import Dict, List, Optional, Tuple
+
+from repro.check.lock_lint import make_lock
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
@@ -36,7 +37,7 @@ class Counter:
 
     def __init__(self) -> None:
         self._value = 0.0
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.metrics.counter")
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
@@ -57,7 +58,7 @@ class Gauge:
 
     def __init__(self) -> None:
         self._value = 0.0
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.metrics.gauge")
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -88,7 +89,7 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.metrics.histogram")
 
     def observe(self, value: float) -> None:
         v = float(value)
@@ -119,7 +120,7 @@ class MetricsRegistry:
     """Get-or-create registry of named, labelled instruments."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.metrics.registry")
         self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
         self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
         self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}

@@ -179,11 +179,11 @@ class EventRecorder:
     enabled = True
 
     def __init__(self, clock: Optional[Clock] = None) -> None:
-        import threading
+        from repro.check.lock_lint import make_lock
 
         self.clock = ensure_clock(clock)
         self._events: List[ObsEvent] = []
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.event_recorder")
 
     def emit(
         self,

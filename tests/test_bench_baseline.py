@@ -1,0 +1,64 @@
+"""The committed performance baseline (BENCH_BASELINE.json)."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "BENCH_BASELINE.json"
+
+
+@pytest.fixture(autouse=True)
+def _repo_on_path():
+    sys.path.insert(0, str(REPO_ROOT))
+    yield
+    sys.path.remove(str(REPO_ROOT))
+
+
+def test_baseline_file_is_committed_and_well_formed():
+    doc = json.loads(BASELINE.read_text())
+    assert doc["schema"] == "repro-bench-baseline-1"
+    assert doc["entries"], "baseline must have at least one recorded entry"
+    for entry in doc["entries"]:
+        assert entry["label"]
+        for backend in ("serial", "threads", "processes", "simulated"):
+            m = entry["backends"][backend]
+            assert m["wall_time_s"] > 0
+            assert m["makespan_s"] > 0
+            assert m["messages"] >= 0
+            assert m["bytes_to_slaves"] >= 0
+            assert m["bytes_to_master"] >= 0
+
+
+def test_serial_backend_sends_nothing():
+    doc = json.loads(BASELINE.read_text())
+    serial = doc["entries"][-1]["backends"]["serial"]
+    assert serial["messages"] == 0
+    assert serial["bytes_to_slaves"] == 0
+    assert serial["bytes_to_master"] == 0
+
+
+def test_simulated_wire_counters_reproduce():
+    """The simulator is deterministic: the committed wire counters must
+    reproduce exactly, or the protocol's on-wire behaviour changed and
+    the baseline needs a new entry."""
+    from benchmarks.bench_baseline import measure_backend
+
+    doc = json.loads(BASELINE.read_text())
+    recorded = doc["entries"][-1]["backends"]["simulated"]
+    current = measure_backend("simulated")
+    for key in ("messages", "bytes_to_slaves", "bytes_to_master"):
+        assert current[key] == recorded[key], (
+            f"simulated {key} drifted from the committed baseline: "
+            f"{recorded[key]} -> {current[key]}; if intentional, record a "
+            "new entry with benchmarks/bench_baseline.py --write"
+        )
+
+
+def test_workload_is_pinned():
+    from benchmarks.bench_baseline import STANDARD
+
+    doc = json.loads(BASELINE.read_text())
+    assert doc["workload"] == STANDARD

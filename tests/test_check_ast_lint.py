@@ -1,0 +1,84 @@
+"""The lock- and clock-discipline source lints."""
+
+from repro.check.ast_lint import (
+    check_clock_discipline,
+    check_lock_discipline,
+    lint_clock_discipline,
+    lint_lock_discipline,
+)
+
+
+class TestLockLint:
+    def test_direct_construction_flagged(self):
+        src = "import threading\nlock = threading.Lock()\n"
+        hits = lint_lock_discipline(src, "<t>")
+        assert [line for line, _ in hits] == [2]
+
+    def test_condition_flagged(self):
+        src = "import threading\ncond = threading.Condition()\n"
+        assert lint_lock_discipline(src, "<t>")
+
+    def test_module_alias_resolved(self):
+        src = "import threading as _t\nlock = _t.Lock()\n"
+        assert lint_lock_discipline(src, "<t>")
+
+    def test_symbol_import_resolved(self):
+        src = "from threading import Lock as L\nlock = L()\n"
+        assert lint_lock_discipline(src, "<t>")
+
+    def test_make_lock_is_clean(self):
+        src = (
+            "from repro.check.lock_lint import make_lock\n"
+            "lock = make_lock('worker-pool')\n"
+        )
+        assert not lint_lock_discipline(src, "<t>")
+
+    def test_other_threading_api_is_clean(self):
+        src = "import threading\nt = threading.Thread(target=print)\nev = threading.Event()\n"
+        assert not lint_lock_discipline(src, "<t>")
+
+    def test_syntax_error_reported_not_raised(self):
+        hits = lint_lock_discipline("def broken(:\n", "<t>")
+        assert hits and "syntax" in hits[0][1].lower()
+
+
+class TestClockLint:
+    def test_time_time_flagged(self):
+        src = "import time\nnow = time.time()\n"
+        assert lint_clock_discipline(src, "<t>")
+
+    def test_monotonic_flagged(self):
+        src = "import time as _t\ndeadline = _t.monotonic() + 5\n"
+        assert lint_clock_discipline(src, "<t>")
+
+    def test_from_import_flagged(self):
+        src = "from time import monotonic\nx = monotonic()\n"
+        assert lint_clock_discipline(src, "<t>")
+
+    def test_perf_counter_allowed(self):
+        # Wall-time *measurement* is fine; scheduling decisions are not.
+        src = "import time\nt0 = time.perf_counter()\n"
+        assert not lint_clock_discipline(src, "<t>")
+
+    def test_sleep_allowed(self):
+        src = "import time\ntime.sleep(0.1)\n"
+        assert not lint_clock_discipline(src, "<t>")
+
+
+class TestTreeWideChecks:
+    def test_runtime_tree_has_lock_discipline(self):
+        report = check_lock_discipline()
+        assert report.ok, [d.message for d in report.diagnostics]
+        assert report.checked > 50  # whole package scanned
+
+    def test_scheduling_tree_has_clock_discipline(self):
+        report = check_clock_discipline()
+        assert report.ok, [d.message for d in report.diagnostics]
+        assert report.checked >= 10  # runtime/ + backends/
+
+    def test_lints_scoped_to_real_source_root(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import threading\nlock = threading.Lock()\n")
+        report = check_lock_discipline(root=str(tmp_path))
+        assert not report.ok
+        assert any("bad.py" in d.subject for d in report.diagnostics)

@@ -49,6 +49,69 @@ class TestCheckCommand:
         capsys.readouterr()
 
 
+class TestExitCodeContract:
+    """The documented contract: 0 clean, 1 failed checks, 2 usage error."""
+
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["check", "--pattern", "wavefront", "--size", "6"]) == 0
+        capsys.readouterr()
+
+    def test_failed_checks_exit_one(self, capsys, monkeypatch):
+        import repro.check.fixtures as fixtures
+
+        monkeypatch.setattr(
+            fixtures, "run_selftest",
+            lambda: [("blind-spot", "some-code", False)],
+        )
+        assert main(["check", "--selftest"]) == 1
+        out = capsys.readouterr().out
+        assert "MISS" in out
+        assert "1 failed" in out
+
+    def test_usage_error_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["check", "--no-such-flag"])
+        assert exc.value.code == 2
+        capsys.readouterr()
+
+    def test_conflicting_targets_exit_two(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["check", "--selftest", "--protocol"])
+        assert exc.value.code == 2
+        capsys.readouterr()
+
+    def test_selftest_covers_the_fixture_floor(self, capsys):
+        assert main(["check", "--selftest"]) == 0
+        out = capsys.readouterr().out
+        fixtures = [line for line in out.splitlines() if "(expects [" in line]
+        assert len(fixtures) >= 12  # issue floor; currently 16
+
+
+class TestProtocolAndExplore:
+    def test_protocol_target(self, capsys):
+        assert main(["check", "--protocol", "--size", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "protocol:spec" in out
+        assert "protocol:conformance:simulated" in out
+        assert "protocol:conformance:threads" in out
+
+    def test_explore_target(self, capsys, tmp_path):
+        assert main([
+            "check", "--explore", "--explore-grid", "2", "2",
+            "--artifact-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "exploration:" in out
+        assert "exhaustive" in out
+        assert "protocol:explore" in out
+        assert not list(tmp_path.iterdir())  # clean run: no artifacts
+
+    def test_replay_of_unreadable_trace_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["check", "--replay", "/nonexistent/trace.json"])
+        capsys.readouterr()
+
+
 class TestVerifyFlag:
     def test_run_verify(self, capsys):
         assert main([

@@ -2,7 +2,7 @@
 
 Synthetic event streams exercise each diagnostic both ways (violating
 and clean); the fixture section proves ``repro check --selftest`` still
-catches all nine seeded defects, including the three integrity ones.
+catches every seeded defect, including the three integrity ones.
 """
 
 from dataclasses import dataclass
@@ -126,9 +126,9 @@ class TestCommitWithoutVerify:
 
 
 class TestSelftest:
-    def test_all_nine_fixtures_detected(self):
+    def test_all_fixtures_detected(self):
         results = run_selftest()
-        assert len(results) == 9
+        assert len(results) >= 12  # issue floor; currently 16
         missed = [name for name, _, detected in results if not detected]
         assert not missed, f"selftest blind to: {missed}"
 

@@ -1,0 +1,200 @@
+"""The machine-checked wire-protocol spec and its analyses."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.check import diagnostics as D
+from repro.check.protocol import (
+    build_protocol_spec,
+    check_protocol_conformance,
+    check_protocol_spec,
+    conformance_cases,
+    drop_transitions,
+    strip_guard,
+    wire_message_kinds,
+)
+
+
+@dataclass
+class Ev:
+    """Duck-typed stand-in for an ObsEvent."""
+
+    seq: int
+    kind: str
+    task_id: object = None
+    epoch: int = 0
+    worker: int = -1
+    scope: str = "task"
+
+
+def stream(*specs):
+    return [Ev(seq=i, **spec) for i, spec in enumerate(specs)]
+
+
+class TestSpecStatics:
+    def test_real_spec_is_clean(self):
+        report = check_protocol_spec()
+        assert report.ok, [d.message for d in report.diagnostics]
+        assert report.checked > 40
+
+    def test_vocabulary_matches_message_classes(self):
+        spec = build_protocol_spec()
+        assert set(spec.messages) == set(wire_message_kinds())
+
+    def test_every_role_state_reachable(self):
+        # Indirectly covered by the clean run; assert the analysis is
+        # actually exercised by checking the counter moves per state.
+        spec = build_protocol_spec()
+        n_states = sum(len(r.states) for r in spec.roles)
+        assert n_states >= 15
+
+    def test_dropped_handler_flags_unhandled_message(self):
+        spec = drop_transitions(build_protocol_spec(), "slave", "awaiting", "TaskAssign")
+        report = check_protocol_spec(spec)
+        assert report.has(D.PROTOCOL_UNHANDLED_MESSAGE)
+
+    def test_disconnected_state_flags_unreachable(self):
+        spec = drop_transitions(
+            build_protocol_spec(), "slave", "computing", "compute-done"
+        )
+        report = check_protocol_spec(spec)
+        assert report.has(D.PROTOCOL_UNREACHABLE_STATE)
+
+    def test_stripped_verify_guard_flags_commit(self):
+        spec = strip_guard(build_protocol_spec(), "digest-verified")
+        report = check_protocol_spec(spec)
+        assert report.has(D.PROTOCOL_COMMIT_WITHOUT_VERIFY)
+
+    def test_phantom_message_flags_mismatch(self):
+        from dataclasses import replace
+
+        spec = build_protocol_spec()
+        spec = replace(spec, messages=spec.messages + ("GhostPacket",))
+        report = check_protocol_spec(spec)
+        assert report.has(D.PROTOCOL_MESSAGE_MISMATCH)
+
+    def test_surgery_helpers_do_not_mutate_input(self):
+        spec = build_protocol_spec()
+        n = len(spec.transitions)
+        drop_transitions(spec, "slave", "awaiting", "TaskAssign")
+        strip_guard(spec, "digest-verified")
+        assert len(spec.transitions) == n
+        assert check_protocol_spec(spec).ok
+
+
+class TestStrictConformance:
+    def test_clean_dispatch_cycle(self):
+        events = stream(
+            dict(kind="assign", task_id=(0, 0), worker=0),
+            dict(kind="result", task_id=(0, 0), worker=0),
+            dict(kind="commit", task_id=(0, 0), worker=0),
+        )
+        assert check_protocol_conformance(events).ok
+
+    def test_commit_of_cancelled_epoch_flags(self):
+        events = stream(
+            dict(kind="assign", task_id=(0, 0), worker=0),
+            dict(kind="redistribute", task_id=(0, 0)),
+            dict(kind="commit", task_id=(0, 0), worker=0),
+        )
+        report = check_protocol_conformance(events)
+        assert report.has(D.PROTOCOL_ILLEGAL_TRANSITION)
+
+    def test_reassign_after_cancel_needs_fresh_epoch(self):
+        ok = stream(
+            dict(kind="assign", task_id=(0, 0), worker=0),
+            dict(kind="redistribute", task_id=(0, 0)),
+            dict(kind="assign", task_id=(0, 0), epoch=1, worker=1),
+            dict(kind="commit", task_id=(0, 0), epoch=1, worker=1),
+        )
+        assert check_protocol_conformance(ok).ok
+        stale = stream(
+            dict(kind="assign", task_id=(0, 0), worker=0),
+            dict(kind="redistribute", task_id=(0, 0)),
+            dict(kind="assign", task_id=(0, 0), epoch=0, worker=1),
+        )
+        assert check_protocol_conformance(stale).has(D.PROTOCOL_ILLEGAL_TRANSITION)
+
+    def test_stale_drop_is_legal_everywhere_settled(self):
+        events = stream(
+            dict(kind="assign", task_id=(0, 0), worker=0),
+            dict(kind="redistribute", task_id=(0, 0)),
+            dict(kind="assign", task_id=(0, 0), epoch=1, worker=1),
+            dict(kind="commit", task_id=(0, 0), epoch=1, worker=1),
+            dict(kind="stale-drop", task_id=(0, 0), epoch=0, worker=0),
+        )
+        assert check_protocol_conformance(events).ok
+
+    def test_dispatch_to_retired_worker_flags(self):
+        events = stream(
+            dict(kind="quarantine", worker=1),
+            dict(kind="assign", task_id=(0, 0), worker=1),
+        )
+        report = check_protocol_conformance(events)
+        assert report.has(D.PROTOCOL_ILLEGAL_TRANSITION)
+
+    def test_taint_invalidate_reopens_dispatch(self):
+        events = stream(
+            dict(kind="assign", task_id=(0, 0), worker=0),
+            dict(kind="commit", task_id=(0, 0), worker=0),
+            dict(kind="taint-invalidate", task_id=(0, 0)),
+            dict(kind="assign", task_id=(0, 0), epoch=1, worker=1),
+            dict(kind="commit", task_id=(0, 0), epoch=1, worker=1),
+        )
+        assert check_protocol_conformance(events).ok
+
+    def test_subtask_scope_events_are_out_of_scope(self):
+        # Thread-level (subtask) kinds share names with the task-level
+        # protocol but belong to a different machine: never replayed.
+        events = stream(
+            dict(kind="assign", task_id=(0, 0), worker=0),
+            dict(kind="commit", task_id=(0, 0), worker=0, scope="subtask"),
+            dict(kind="commit", task_id=(0, 0), worker=0),
+        )
+        assert check_protocol_conformance(events).ok
+
+
+class TestRelaxedConformance:
+    def test_racy_record_order_tolerated(self):
+        # FT thread logs the redistribute before the assign it chased;
+        # relaxed mode must not flag the order, only real violations.
+        events = stream(
+            dict(kind="redistribute", task_id=(0, 0), epoch=0),
+            dict(kind="assign", task_id=(0, 0), epoch=0, worker=0),
+            dict(kind="assign", task_id=(0, 0), epoch=1, worker=1),
+            dict(kind="commit", task_id=(0, 0), epoch=1, worker=1),
+        )
+        assert check_protocol_conformance(events, strict=False).ok
+
+    def test_commit_of_redistributed_epoch_still_flags(self):
+        events = stream(
+            dict(kind="assign", task_id=(0, 0), worker=0),
+            dict(kind="redistribute", task_id=(0, 0)),
+            dict(kind="commit", task_id=(0, 0), worker=0),
+        )
+        report = check_protocol_conformance(events, strict=False)
+        assert report.has(D.PROTOCOL_ILLEGAL_TRANSITION)
+
+    def test_never_assigned_commit_flags(self):
+        events = stream(dict(kind="commit", task_id=(0, 0), worker=0))
+        report = check_protocol_conformance(events, strict=False)
+        assert report.has(D.PROTOCOL_ILLEGAL_TRANSITION)
+
+    def test_double_commit_without_taint_flags(self):
+        events = stream(
+            dict(kind="assign", task_id=(0, 0), worker=0),
+            dict(kind="commit", task_id=(0, 0), worker=0),
+            dict(kind="assign", task_id=(0, 0), epoch=1, worker=1),
+            dict(kind="commit", task_id=(0, 0), epoch=1, worker=1),
+        )
+        report = check_protocol_conformance(events, strict=False)
+        assert report.has(D.PROTOCOL_ILLEGAL_TRANSITION)
+
+
+@pytest.mark.slow
+class TestObservedRuns:
+    def test_real_backends_conform(self):
+        for name, report in conformance_cases(size=20, seed=0):
+            assert report.ok, (name, [d.message for d in report.diagnostics])
+            assert report.checked > 0
