@@ -1,10 +1,11 @@
 """Performance-trajectory baseline: wall time and bytes on the wire.
 
-One standard workload — the wavefront edit-distance instance below —
-measured on all four backends, with the results committed to
-``BENCH_BASELINE.json`` at the repo root. Each entry in that file is one
-recorded revision, so the file accumulates the project's performance
-trajectory over time instead of a single mutable number.
+One standard workload — the wavefront edit-distance instance defined in
+:mod:`repro.analysis.trajectory` — measured on all four backends, with
+the results committed to ``BENCH_BASELINE.json`` at the repo root. Each
+entry in that file is one recorded revision, so the file accumulates the
+project's performance trajectory over time instead of a single mutable
+number.
 
 Three verbs::
 
@@ -18,87 +19,56 @@ serial backend sends nothing), so ``--check`` requires them equal to the
 latest recorded entry. The threads/processes backends' message counts
 depend on poll timing and their wall times on machine load, so those are
 reported but only sanity-bounded, never compared exactly.
+
+For a tolerance-based gate (ratio-normalized makespans, configurable
+headroom, exit code 3 on regression) use ``repro perf --against
+BENCH_BASELINE.json --check`` instead — both front-ends share
+:mod:`repro.analysis.trajectory`.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
-import time
-from typing import Dict
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro import EasyHPS, RunConfig  # noqa: E402
-from repro.algorithms import EditDistance  # noqa: E402
-
-BASELINE_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_BASELINE.json")
-SCHEMA = "repro-bench-baseline-1"
-
-#: The standard workload: small enough for CI, large enough that the
-#: dispatch/commit path dominates interpreter startup.
-STANDARD = dict(
-    algorithm="edit-distance",
-    size=240,
-    seed=0,
-    nodes=3,
-    threads_per_node=2,
-    process_partition=40,
-    thread_partition=10,
+from repro.analysis.trajectory import (  # noqa: E402
+    BACKENDS,
+    DETERMINISTIC,
+    SCHEMA,
+    STANDARD,
+    append_entry,
+    format_measurement,
+    git_describe_label,
+    load_trajectory,
+    measure,
+    measure_backend,
 )
 
-BACKENDS = ("serial", "threads", "processes", "simulated")
+__all__ = [
+    "BACKENDS",
+    "BASELINE_PATH",
+    "DETERMINISTIC",
+    "SCHEMA",
+    "STANDARD",
+    "load_baseline",
+    "measure",
+    "measure_backend",
+]
 
-#: Deterministic backends: wire counters must reproduce bit-for-bit.
-DETERMINISTIC = ("serial", "simulated")
-
-
-def measure_backend(backend: str) -> Dict[str, object]:
-    problem = EditDistance.random(STANDARD["size"], seed=STANDARD["seed"])
-    config = RunConfig(
-        nodes=STANDARD["nodes"],
-        threads_per_node=STANDARD["threads_per_node"],
-        backend=backend,
-        process_partition=STANDARD["process_partition"],
-        thread_partition=STANDARD["thread_partition"],
-    )
-    t0 = time.perf_counter()
-    run = EasyHPS(config).run(problem)
-    wall = time.perf_counter() - t0
-    rep = run.report
-    return {
-        "wall_time_s": round(wall, 6),
-        "makespan_s": round(rep.makespan, 6),
-        "messages": rep.messages,
-        "bytes_to_slaves": rep.bytes_to_slaves,
-        "bytes_to_master": rep.bytes_to_master,
-    }
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_BASELINE.json")
 
 
-def measure() -> Dict[str, Dict[str, object]]:
-    return {backend: measure_backend(backend) for backend in BACKENDS}
-
-
-def load_baseline() -> Dict[str, object]:
-    if not os.path.exists(BASELINE_PATH):
-        return {"schema": SCHEMA, "workload": dict(STANDARD), "entries": []}
-    with open(BASELINE_PATH, encoding="utf-8") as fh:
-        return json.load(fh)
+def load_baseline() -> dict:
+    return load_trajectory(BASELINE_PATH)
 
 
 def cmd_write(label: str) -> int:
-    doc = load_baseline()
-    doc["schema"] = SCHEMA
-    doc["workload"] = dict(STANDARD)
-    entry = {"label": label, "backends": measure()}
-    doc.setdefault("entries", []).append(entry)
-    with open(BASELINE_PATH, "w", encoding="utf-8") as fh:
-        json.dump(doc, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"recorded entry {label!r} -> {os.path.normpath(BASELINE_PATH)}")
-    _print(entry["backends"])
+    entry = append_entry(BASELINE_PATH, label=label)
+    print(f"recorded entry {entry['label']!r} -> {os.path.normpath(BASELINE_PATH)}")
+    print(format_measurement(entry["backends"]))
     return 0
 
 
@@ -110,7 +80,7 @@ def cmd_check() -> int:
         return 1
     latest = entries[-1]["backends"]
     current = measure()
-    _print(current)
+    print(format_measurement(current))
     failures = []
     for backend in DETERMINISTIC:
         for key in ("messages", "bytes_to_slaves", "bytes_to_master"):
@@ -126,27 +96,22 @@ def cmd_check() -> int:
     return 0
 
 
-def _print(measured: Dict[str, Dict[str, object]]) -> None:
-    for backend, m in measured.items():
-        print(
-            f"  {backend:10s} wall={m['wall_time_s']:8.3f}s "
-            f"makespan={m['makespan_s']:8.3f}s msgs={m['messages']:6d} "
-            f"out={m['bytes_to_slaves']:9d}B back={m['bytes_to_master']:9d}B"
-        )
-
-
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     verb = ap.add_mutually_exclusive_group()
     verb.add_argument("--write", action="store_true", help="append an entry to BENCH_BASELINE.json")
     verb.add_argument("--check", action="store_true", help="compare against the latest entry")
-    ap.add_argument("--label", default="dev", help="entry label for --write (e.g. a PR or tag)")
+    ap.add_argument(
+        "--label",
+        default=None,
+        help="entry label for --write (defaults to `git describe` output)",
+    )
     args = ap.parse_args()
     if args.write:
-        return cmd_write(args.label)
+        return cmd_write(args.label if args.label is not None else git_describe_label())
     if args.check:
         return cmd_check()
-    _print(measure())
+    print(format_measurement(measure()))
     return 0
 
 

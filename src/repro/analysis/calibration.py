@@ -5,16 +5,25 @@ To make simulated makespans comparable to *this machine's* real compute
 capability, :func:`calibrate_node` times actual block evaluations of a
 problem and fits the rate; :func:`calibration_report` shows the per-block
 fit quality so a bad cost model is visible instead of silently absorbed.
+
+The communication side is calibrated from *traces* rather than re-runs:
+instrumented channels stamp every ``msg-send`` with measured serialize +
+transport durations, and :func:`fit_link` least-squares those
+latency-vs-size samples into the simulator's alpha+beta
+:class:`~repro.cluster.network.LinkModel`. :func:`link_fit_report` diffs
+the fit against a reference model so a simulated network that no longer
+matches the measured one is visible.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.algorithms.problem import DPProblem
 from repro.cluster.machine import NodeSpec
+from repro.cluster.network import LinkModel
 from repro.dag.partition import BlockShape
 from repro.dag.pattern import VertexId
 from repro.utils.errors import ConfigError
@@ -107,6 +116,111 @@ def calibrate_node(
     rate = fit_rate(samples)
     spec = base or NodeSpec(threads=1)
     return replace(spec, flops_per_second=rate), samples
+
+
+@dataclass(frozen=True)
+class LinkSample:
+    """One observed message: payload size and end-to-end cost seconds."""
+
+    nbytes: int
+    seconds: float
+
+
+def link_samples_from_events(events: Iterable) -> List[LinkSample]:
+    """Extract latency-vs-size samples from a recorded event stream.
+
+    Prefers instrumented-channel ``msg-send`` events (real backends:
+    ``t_ser + t_wire`` measured durations); falls back to the simulated
+    backend's task-scope ``send`` spans (reserved link occupancy). Only
+    samples with positive size and duration survive — the fit divides
+    by byte spread.
+    """
+    real: List[LinkSample] = []
+    sim: List[LinkSample] = []
+    for ev in events:
+        data = getattr(ev, "data", None)
+        if not data:
+            continue
+        if ev.scope == "message" and ev.kind == "msg-send":
+            t_wire = data.get("t_wire")
+            if t_wire is None:
+                continue
+            secs = float(t_wire) + float(data.get("t_ser", 0.0) or 0.0)
+            nbytes = int(data.get("nbytes", 0) or 0)
+            if nbytes > 0 and secs > 0:
+                real.append(LinkSample(nbytes=nbytes, seconds=secs))
+        elif ev.scope == "task" and ev.kind == "send":
+            span = ev.span()
+            nbytes = int(data.get("nbytes", 0) or 0)
+            if span is not None and nbytes > 0 and span[1] > span[0]:
+                sim.append(LinkSample(nbytes=nbytes, seconds=span[1] - span[0]))
+    return real if real else sim
+
+
+def fit_link(samples: Sequence[LinkSample]) -> LinkModel:
+    """Least-squares alpha+beta fit: ``seconds = latency + nbytes / bandwidth``.
+
+    The slope is clamped positive (a descending fit means the sizes do
+    not explain the durations — the latency term then carries the mean)
+    and the intercept is clamped non-negative.
+    """
+    if len(samples) < 2:
+        raise ConfigError(f"link fit needs >= 2 samples, got {len(samples)}")
+    n = float(len(samples))
+    mean_x = sum(s.nbytes for s in samples) / n
+    mean_y = sum(s.seconds for s in samples) / n
+    sxx = sum((s.nbytes - mean_x) ** 2 for s in samples)
+    if sxx <= 0:
+        raise ConfigError(
+            "link fit needs spread in message sizes (all samples are "
+            f"{samples[0].nbytes} bytes)"
+        )
+    sxy = sum((s.nbytes - mean_x) * (s.seconds - mean_y) for s in samples)
+    slope = max(sxy / sxx, 0.0)
+    latency = max(mean_y - slope * mean_x, 0.0)
+    bandwidth = 1.0 / slope if slope > 0 else 1e15
+    return LinkModel(latency=latency, bandwidth=bandwidth)
+
+
+def link_fit_report(
+    samples: Sequence[LinkSample], reference: Optional[LinkModel] = None
+) -> str:
+    """The fitted link model, its residuals, and the diff vs a reference.
+
+    ``reference`` is the simulated cluster's configured link; the
+    per-sample mean absolute relative error against both models says
+    whether the simulator's network still matches the measured one.
+    """
+    fitted = fit_link(samples)
+    lines = [
+        f"link fit over {len(samples)} messages "
+        f"({min(s.nbytes for s in samples)}..{max(s.nbytes for s in samples)} bytes):",
+        f"  fitted  : latency {fitted.latency:.4g} s, "
+        f"bandwidth {fitted.bandwidth:.4g} B/s",
+        f"  fit MARE: {_link_mare(samples, fitted):.1%} "
+        "(mean |predicted - observed| / observed)",
+    ]
+    if reference is not None:
+        lines.append(
+            f"  reference: latency {reference.latency:.4g} s, "
+            f"bandwidth {reference.bandwidth:.4g} B/s "
+            f"(MARE {_link_mare(samples, reference):.1%})"
+        )
+        lat_x = fitted.latency / reference.latency if reference.latency > 0 else float("inf")
+        bw_x = fitted.bandwidth / reference.bandwidth
+        lines.append(
+            f"  fitted vs reference: latency {lat_x:.3g}x, bandwidth {bw_x:.3g}x"
+        )
+    return "\n".join(lines)
+
+
+def _link_mare(samples: Sequence[LinkSample], model: LinkModel) -> float:
+    errs = [
+        abs(model.transfer_time(s.nbytes) - s.seconds) / s.seconds
+        for s in samples
+        if s.seconds > 0
+    ]
+    return sum(errs) / len(errs) if errs else 0.0
 
 
 def calibration_report(samples: Sequence[CalibrationSample]) -> str:

@@ -124,24 +124,45 @@ def _drain(
             recorder.emit("commit", bid, epoch=0, node=0, worker=0)
             if metrics is not None:
                 metrics.counter("serial.tasks_completed").inc()
-        digest = content_digest(outputs) if digest_on else None
+        digest = None
         if digest_on:
+            if recorder is not None:
+                d0 = recorder.clock.now()
+                digest = content_digest(outputs)
+                d1 = recorder.clock.now()
+                recorder.emit(
+                    "digest-compute", bid, epoch=0, node=0, worker=0,
+                    t0=d0, t1=d1, hop="commit",
+                )
+            else:
+                digest = content_digest(outputs)
             digest_acc = fold_commit(digest_acc, bid, digest)
             digests[bid] = digest
         if journal is not None:
-            journal.commit(bid, 0, outputs, digest=digest)  # write-ahead of the merge
+            if recorder is not None:
+                j0 = recorder.clock.now()
+                jbytes = journal.commit(bid, 0, outputs, digest=digest)
+                j1 = recorder.clock.now()
+                recorder.emit(
+                    "journal-write", bid, epoch=0, node=0, worker=0,
+                    t0=j0, t1=j1, nbytes=jbytes,
+                )
+            else:
+                journal.commit(bid, 0, outputs, digest=digest)  # write-ahead of the merge
         problem.apply_result(state, partition, bid, outputs)
         committed[bid] = 0
         if journal is not None and journal.should_checkpoint():
             snapshot = {k: np.array(v, copy=True) for k, v in state.items()}
+            c0 = recorder.clock.now() if recorder is not None else 0.0
             nbytes = journal.checkpoint(
                 snapshot, committed, {t: 1 for t in committed},
                 run_digest=run_digest_hex(digest_acc) if digest_on else None,
                 commit_digests=dict(digests) if digest_on else None,
             )
             if recorder is not None:
+                c1 = recorder.clock.now()
                 recorder.emit(
-                    "checkpoint", None, node=0,
+                    "checkpoint", None, node=0, t0=c0, t1=c1,
                     n_committed=len(committed), nbytes=nbytes,
                 )
     return n_subtasks, digest_acc

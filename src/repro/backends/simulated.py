@@ -286,6 +286,12 @@ class _SimulatedRun:
         from repro.backends.threads import open_journal
 
         self.journal = open_journal(config, problem, resume)
+        #: task -> sim-time when it became dispatchable; consumed at
+        #: assign time for the ``queue-wait`` span. Only kept while
+        #: observing so the disabled path stays allocation-free.
+        self.ready_at: Dict[TaskId, float] = (
+            {bid: self.evq.now for bid in self.ready} if self.obs is not None else {}
+        )
 
     # -- cost helpers ----------------------------------------------------------
 
@@ -396,6 +402,12 @@ class _SimulatedRun:
         self.attempts[bid] = epoch + 1
         self.registered[bid] = epoch
         self.dispatched_to[bid] = k
+        if self.sched.observing:
+            ready_at = self.ready_at.pop(bid, None)
+            if ready_at is not None:
+                self.sched.record(
+                    "queue-wait", bid, epoch, k, ts=now, t0=ready_at, t1=now,
+                )
         if self.sched.enabled:
             self.sched.record("assign", bid, epoch, k, ts=now)
         if self.config.data_reuse:
@@ -641,10 +653,16 @@ class _SimulatedRun:
         if self.journal is not None:
             # Write-ahead of the (modeled) merge; the fsync'd append
             # occupies the master CPU for ``journal_latency`` sim-seconds.
-            self.journal.commit(bid, epoch, None)
-            self.master_cpu_free = (
-                max(self.master_cpu_free, self.evq.now) + self.config.journal_latency
-            )
+            jbytes = self.journal.commit(bid, epoch, None)
+            j0 = max(self.master_cpu_free, self.evq.now)
+            self.master_cpu_free = j0 + self.config.journal_latency
+            if self.obs is not None:
+                # The modeled fsync'd append occupies [j0, j0 + latency)
+                # on the master CPU, in sim-time.
+                self.obs.emit(
+                    "journal-write", bid, epoch=epoch, node=-1, scope="task",
+                    t0=j0, t1=self.master_cpu_free, nbytes=jbytes,
+                )
         self.committed[bid] = epoch
         if self.sched.enabled:
             if self.sched.observing:
@@ -657,10 +675,12 @@ class _SimulatedRun:
             self.sched.record("commit", bid, epoch, k)
         if self.journal is not None and self.journal.should_checkpoint():
             nbytes = self.journal.checkpoint(None, self.committed, dict(self.attempts))
+            c0 = self.master_cpu_free
             self.master_cpu_free += self.config.journal_latency
             if self.obs is not None:
                 self.obs.emit(
                     "checkpoint", None, node=-1, scope="task",
+                    t0=c0, t1=self.master_cpu_free,
                     n_committed=len(self.committed), nbytes=nbytes,
                 )
         self.nodes[k].tasks_done += 1
@@ -671,6 +691,9 @@ class _SimulatedRun:
         fresh = self.parser.complete(bid)
         if fresh:
             self.ready.extend(fresh)
+            if self.obs is not None:
+                for nb in fresh:
+                    self.ready_at[nb] = self.evq.now
         self._integrity_check(bid, epoch, k, taint)
         if self.ready:
             for j, node in enumerate(self.nodes):
@@ -793,6 +816,9 @@ class _SimulatedRun:
             if all(p in self.committed for p in pattern.predecessors(t))
         ]
         self.ready.extend(frontier)
+        if self.obs is not None:
+            for nb in frontier:
+                self.ready_at[nb] = self.evq.now
 
     def _timeout(self, bid: TaskId, epoch: int) -> None:
         self._account()
@@ -831,6 +857,8 @@ class _SimulatedRun:
     def _requeue(self, bid: TaskId) -> None:
         """Put a recovered sub-task back on offer and wake parked nodes."""
         self.ready.append(bid)
+        if self.obs is not None:
+            self.ready_at[bid] = self.evq.now
         for j, node in enumerate(self.nodes):
             if node.parked_since is not None:
                 self._node_idle(j)

@@ -9,6 +9,11 @@ Commands:
                   optionally rendering the schedule as a Gantt chart;
 - ``stats``     — digest a telemetry trace file (``--trace-out``):
                   per-worker busy/idle, bytes on wire, fault counts;
+- ``perf``      — profile trace files (critical path, scheduling
+                  efficiency, per-lane time attribution, link-model
+                  calibration, what-if replay) and/or gate a fresh
+                  measurement against ``BENCH_BASELINE.json``
+                  (``--against ... --check`` exits 3 on regression);
 - ``check``     — run the static verifier (:mod:`repro.check`) over
                   built-in patterns/algorithms, one pattern, or one
                   algorithm; ``--selftest`` proves the checkers catch
@@ -123,8 +128,13 @@ def _build_problem(args: argparse.Namespace) -> DPProblem:
     return factory(args.size, args.seed)
 
 
-def _export_trace(report, trace_out: str | None) -> None:
-    """Write the report's telemetry to a Perfetto-loadable trace file."""
+def _export_trace(report, trace_out: str | None, extra_meta: dict | None = None) -> None:
+    """Write the report's telemetry to a Perfetto-loadable trace file.
+
+    ``extra_meta`` carries the workload coordinates (size, seed,
+    partition) that let ``repro perf`` rebuild the DP DAG from the trace
+    file alone for critical-path analysis.
+    """
     if not trace_out:
         return
     if report.events is None:
@@ -132,19 +142,28 @@ def _export_trace(report, trace_out: str | None) -> None:
         return
     from repro.obs import write_trace
 
-    write_trace(
-        trace_out,
-        report.events,
-        metrics=report.metrics,
-        meta={
-            "backend": report.backend,
-            "algorithm": report.algorithm,
-            "scheduler": report.scheduler,
-            "nodes": report.nodes,
-        },
-    )
+    meta = {
+        "backend": report.backend,
+        "algorithm": report.algorithm,
+        "scheduler": report.scheduler,
+        "nodes": report.nodes,
+    }
+    if extra_meta:
+        meta.update(extra_meta)
+    write_trace(trace_out, report.events, metrics=report.metrics, meta=meta)
     print(f"trace written: {trace_out} ({len(report.events)} events; "
           f"open at https://ui.perfetto.dev or `repro stats {trace_out}`)")
+
+
+def _workload_meta(args: argparse.Namespace, config: RunConfig, problem: DPProblem) -> dict:
+    """The workload coordinates ``repro perf`` needs to rebuild the DAG."""
+    proc, thread = config.partitions_for(problem)
+    return {
+        "size": args.size,
+        "seed": args.seed,
+        "process_partition": list(proc),
+        "thread_partition": list(thread),
+    }
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -169,7 +188,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"result: {run.value!r}"[:500])
     if args.journal:
         print(f"journal written: {args.journal} (continue with `repro resume {args.journal}`)")
-    _export_trace(run.report, args.trace_out)
+    _export_trace(run.report, args.trace_out, _workload_meta(args, config, problem))
     return 0
 
 
@@ -276,7 +295,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         from repro.analysis.gantt import render_gantt
 
         print(render_gantt(run.report.trace, width=72, makespan=run.report.makespan))
-    _export_trace(run.report, args.trace_out)
+    _export_trace(run.report, args.trace_out, _workload_meta(args, config, problem))
     return 0
 
 
@@ -294,6 +313,108 @@ def cmd_stats(args: argparse.Namespace) -> int:
         if bits:
             title = "/".join(bits)
     print(text_summary(events, metrics, title=title))
+    return 0
+
+
+def _pattern_from_meta(meta: dict | None):
+    """Rebuild the trace's process-level DAG pattern from its workload
+    metadata, or None when the trace predates the metadata (the profile
+    then skips critical-path analysis instead of failing)."""
+    if not meta:
+        return None
+    algo = meta.get("algorithm")
+    size = meta.get("size")
+    pp = meta.get("process_partition")
+    if algo is None or size is None or pp is None:
+        return None
+    _register_algorithms()
+    factory = ALGORITHMS.get(str(algo))
+    if factory is None:
+        return None
+    try:
+        problem = factory(int(size), int(meta.get("seed", 0)))
+        shape = tuple(int(v) for v in pp) if isinstance(pp, (list, tuple)) else int(pp)
+        return problem.build_partition(shape).abstract
+    except Exception as exc:  # noqa: BLE001 - diagnostics beat a traceback here
+        print(f"cannot rebuild DAG from trace metadata: {exc}", file=sys.stderr)
+        return None
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    """Profile traces and/or gate against the performance trajectory.
+
+    ``repro perf trace.json ...`` prints, per trace: the critical path
+    and scheduling efficiency, the per-lane time-attribution table, the
+    queue-wait distribution, a link-model fit vs the simulator's
+    default, and what-if replay bounds.
+
+    ``repro perf --against BENCH_BASELINE.json [--check] [--write]``
+    measures the standard workload and compares; ``--check`` exits
+    3 on regression (0 when clean), ``--write`` appends the measurement
+    as a new trajectory entry.
+    """
+    from repro.analysis.calibration import fit_link, link_fit_report, link_samples_from_events
+    from repro.cluster.network import INFINIBAND_QDR
+    from repro.obs import read_trace
+    from repro.obs.prof import build_profile, format_perf_report
+    from repro.utils.errors import ConfigError
+
+    if not args.traces and not args.against:
+        raise SystemExit("nothing to do: give trace files and/or --against BASELINE")
+
+    for path in args.traces:
+        try:
+            events, _metrics, meta = read_trace(path)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read trace {path!r}: {exc}") from exc
+        pattern = _pattern_from_meta(meta)
+        title = f"perf {path}"
+        if meta:
+            bits = [str(meta.get(k)) for k in ("algorithm", "backend") if meta.get(k)]
+            if bits:
+                title = f"perf {path} [{'/'.join(bits)}]"
+        prof = build_profile(events, pattern)
+        print(format_perf_report(prof, title=title, pattern=pattern))
+        samples = link_samples_from_events(events)
+        try:
+            fit_link(samples)
+        except ConfigError:
+            pass  # too few / degenerate samples; skip the link section
+        else:
+            print(link_fit_report(samples, reference=INFINIBAND_QDR))
+            print("  (reference = the simulator's default InfiniBand QDR link)")
+        print()
+
+    if args.against:
+        from repro.analysis import trajectory
+
+        measured = trajectory.measure()
+        print(trajectory.format_measurement(measured))
+        if args.write:
+            entry = trajectory.append_entry(args.against, label=args.label, measured=measured)
+            print(f"recorded entry {entry['label']!r} -> {args.against}")
+        max_ms = (
+            args.max_makespan_regress
+            if args.max_makespan_regress is not None
+            else trajectory.DEFAULT_MAKESPAN_REGRESS
+        )
+        max_b = (
+            args.max_bytes_regress
+            if args.max_bytes_regress is not None
+            else trajectory.DEFAULT_BYTES_REGRESS
+        )
+        try:
+            result = trajectory.check_against(
+                args.against,
+                max_makespan_regress=max_ms,
+                max_bytes_regress=max_b,
+                measured=measured,
+            )
+        except ConfigError as exc:
+            raise SystemExit(str(exc)) from exc
+        print(result.describe())
+        if args.check and not result.ok:
+            return EXIT_FAULT_EXHAUSTED
     return 0
 
 
@@ -528,6 +649,46 @@ def build_parser() -> argparse.ArgumentParser:
     stats_p = sub.add_parser("stats", help="digest a telemetry trace file")
     stats_p.add_argument("trace", help="trace JSON written by --trace-out")
     stats_p.set_defaults(fn=cmd_stats)
+
+    perf_p = sub.add_parser(
+        "perf",
+        help="profile traces (critical path, attribution, calibration) "
+             "and gate against the performance trajectory",
+    )
+    perf_p.add_argument(
+        "traces", nargs="*",
+        help="trace JSON files written by --trace-out; each gets a full profile",
+    )
+    perf_p.add_argument(
+        "--against", metavar="BASELINE", default=None,
+        help="measure the standard workload and compare to the latest "
+             "entry of this trajectory file (BENCH_BASELINE.json)",
+    )
+    perf_p.add_argument(
+        "--check", action="store_true",
+        help="with --against: exit 3 when the measurement regresses "
+             "beyond the tolerances",
+    )
+    perf_p.add_argument(
+        "--write", action="store_true",
+        help="with --against: append the measurement as a new trajectory entry",
+    )
+    perf_p.add_argument(
+        "--label", default=None,
+        help="entry label for --write (defaults to `git describe` output)",
+    )
+    perf_p.add_argument(
+        "--max-makespan-regress", type=float, metavar="FRAC",
+        default=None,
+        help="allowed fractional makespan regression (default 0.75; "
+             "real backends compare as ratios to serial)",
+    )
+    perf_p.add_argument(
+        "--max-bytes-regress", type=float, metavar="FRAC", default=None,
+        help="allowed fractional increase of deterministic wire counters "
+             "(default 0: none)",
+    )
+    perf_p.set_defaults(fn=cmd_perf)
 
     chk_p = sub.add_parser("check", help="statically verify patterns/partitions")
     target = chk_p.add_mutually_exclusive_group()

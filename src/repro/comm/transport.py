@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import multiprocessing.connection
 import queue
+import time
 from typing import Optional, Tuple
 
 from repro.check.lock_lint import note_blocking
@@ -73,11 +74,20 @@ class Channel:
         if not isinstance(msg, Message):
             raise TransportError(f"can only send Message instances, got {type(msg).__name__}")
         note_blocking("channel.send")  # lock-lint hook, no-op unless linting
-        self._send(msg)
-        nbytes = message_nbytes(msg)
-        self.sent_messages += 1
-        self.sent_bytes += nbytes
         if self._obs.enabled:
+            # t_wire / t_ser are *durations* (perf_counter deltas), not
+            # timestamps — the event's ``ts`` stays in the recorder's
+            # clock domain while the costs are wall-clock seconds.
+            # t_wire covers the transport handoff (pickle + pipe write
+            # for processes, queue put for threads); t_ser times the
+            # canonical-pickle sizing pass, a serialization-cost proxy.
+            w0 = time.perf_counter()
+            self._send(msg)
+            w1 = time.perf_counter()
+            nbytes = message_nbytes(msg)
+            s1 = time.perf_counter()
+            self.sent_messages += 1
+            self.sent_bytes += nbytes
             self._obs.emit(
                 "msg-send",
                 getattr(msg, "task_id", None),
@@ -87,7 +97,14 @@ class Channel:
                 nbytes=nbytes,
                 type=type(msg).__name__,
                 endpoint=self.endpoint,
+                t_wire=w1 - w0,
+                t_ser=s1 - w1,
             )
+        else:
+            self._send(msg)
+            nbytes = message_nbytes(msg)
+            self.sent_messages += 1
+            self.sent_bytes += nbytes
 
     def recv(self, timeout: Optional[float] = None) -> Message:
         """Receive the next message, waiting at most ``timeout`` seconds."""

@@ -192,12 +192,17 @@ class CommitJournal:
         epoch: int,
         outputs: Optional[Dict[str, Any]],
         digest: Optional[str] = None,
-    ) -> None:
-        """Append one committed sub-task (write-ahead of the state merge)."""
-        self._write(_encode({
+    ) -> int:
+        """Append one committed sub-task (write-ahead of the state merge).
+
+        Returns the framed record size in bytes so callers can account
+        the journal's wire cost (the ``journal-write`` telemetry span).
+        """
+        raw = _encode({
             "type": "commit", "task": task_id, "epoch": epoch,
             "outputs": outputs, "digest": digest,
-        }))
+        })
+        self._write(raw)
         self.commits_written += 1
         self.commits_since_checkpoint += 1
         if self.kill_after is not None and self.commits_written >= self.kill_after:
@@ -210,6 +215,7 @@ class CommitJournal:
                 f"injected master crash after commit #{self.commits_written} "
                 f"(journal {self.path!r})"
             )
+        return len(raw)
 
     def invalidate(self, task_ids) -> None:
         """Append a taint-revocation of previously committed sub-tasks.

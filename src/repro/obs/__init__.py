@@ -12,7 +12,9 @@ One subsystem, four pieces (see ``docs/observability.md``):
 - **exporters** (:mod:`repro.obs.export`, :mod:`repro.obs.stats`) —
   Perfetto/Chrome JSON, the ``repro stats`` digest, and bridges feeding
   :mod:`repro.analysis.gantt` and :mod:`repro.check.trace_check` from
-  the same stream.
+  the same stream;
+- **profiling** (:mod:`repro.obs.prof`) — post-hoc critical-path
+  analysis, time attribution, and what-if replay (``repro perf``).
 
 Enable end to end with ``RunConfig(observe=True)`` (or ``trace=True``,
 which implies event recording) and export with
@@ -28,12 +30,20 @@ from repro.obs.export import (
     write_trace,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.prof import (
+    PerfProfile,
+    TaskProfile,
+    build_profile,
+    format_perf_report,
+    replay_schedule,
+)
 from repro.obs.recorder import (
     DURABLE_KINDS,
     INTEGRITY_KINDS,
     LIFECYCLE_KINDS,
     MESSAGE_KINDS,
     NULL_RECORDER,
+    PROF_KINDS,
     SCOPES,
     EventRecorder,
     NullRecorder,
@@ -57,11 +67,17 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PerfProfile",
+    "TaskProfile",
+    "build_profile",
+    "format_perf_report",
+    "replay_schedule",
     "DURABLE_KINDS",
     "INTEGRITY_KINDS",
     "LIFECYCLE_KINDS",
     "MESSAGE_KINDS",
     "NULL_RECORDER",
+    "PROF_KINDS",
     "SCOPES",
     "EventRecorder",
     "NullRecorder",

@@ -75,25 +75,39 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary: count / total / min / max / mean.
+    """Streaming summary: count / total / min / max / mean + percentiles.
 
-    Full bucketing is overkill for run reports; the moments cover the
-    paper's questions (how long do sub-tasks run, how deep does the
-    computable stack get) without per-observation allocation.
+    The moments cover most of the paper's questions (how long do
+    sub-tasks run, how deep does the computable stack get); a bounded
+    reservoir of systematically-thinned observations additionally backs
+    :meth:`percentile`, so the snapshot reports p50/p95/p99 without
+    unbounded per-observation storage. When the reservoir fills, every
+    second sample is dropped and the keep-stride doubles — a uniform
+    systematic subsample of the whole observation sequence.
     """
 
-    __slots__ = ("count", "total", "min", "max", "_lock")
+    #: Reservoir capacity before the stride doubles.
+    SAMPLE_CAP = 2048
+
+    __slots__ = ("count", "total", "min", "max", "_samples", "_stride", "_lock")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._samples: List[float] = []
+        self._stride = 1
         self._lock = make_lock("obs.metrics.histogram")
 
     def observe(self, value: float) -> None:
         v = float(value)
         with self._lock:
+            if self.count % self._stride == 0:
+                self._samples.append(v)
+                if len(self._samples) > self.SAMPLE_CAP:
+                    self._samples = self._samples[::2]
+                    self._stride *= 2
             self.count += 1
             self.total += v
             self.min = v if self.min is None or v < self.min else self.min
@@ -104,6 +118,24 @@ class Histogram:
         with self._lock:
             return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (0 <= q <= 1) of the retained samples,
+        linearly interpolated; 0.0 before any observation."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            return self._percentile_locked(q)
+
+    def _percentile_locked(self, q: float) -> float:
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        pos = q * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
     def summary(self) -> Dict[str, float]:
         with self._lock:
             mean = self.total / self.count if self.count else 0.0
@@ -113,6 +145,9 @@ class Histogram:
                 "min": self.min if self.min is not None else 0.0,
                 "max": self.max if self.max is not None else 0.0,
                 "mean": mean,
+                "p50": self._percentile_locked(0.50),
+                "p95": self._percentile_locked(0.95),
+                "p99": self._percentile_locked(0.99),
             }
 
 

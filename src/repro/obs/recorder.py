@@ -102,6 +102,25 @@ DURABLE_KINDS = (
     "worker-leave",
 )
 
+#: Profiling span kinds (:mod:`repro.obs.prof`): where a sub-task's time
+#: goes besides compute and transfer. All three carry ``t0``/``t1`` span
+#: extents in ``data``:
+#:
+#: - ``queue-wait`` — the task sat dispatchable on the master's
+#:   computable stack from ``t0`` (pushed) to ``t1`` (assigned);
+#: - ``journal-write`` — one write-ahead journal append (fsync
+#:   included), with the framed record size in ``nbytes``;
+#: - ``digest-compute`` — one canonical content-digest computation
+#:   (``hop`` says which: ``assign``, ``verify``, ``commit``, ``audit``).
+#:
+#: Only emitted while observing, like every other kind — the disabled
+#: path computes no timestamps and allocates nothing.
+PROF_KINDS = (
+    "queue-wait",
+    "journal-write",
+    "digest-compute",
+)
+
 
 @dataclass(frozen=True)
 class ObsEvent:

@@ -3,6 +3,10 @@
 Answers the questions the paper's figures ask of a schedule — who was
 busy, who idled, how much data crossed the wire, how often fault
 tolerance fired — from a saved trace file alone, with no re-run.
+
+The fold is deliberately tolerant: a *partial* trace (a run that
+aborted, a journal-resumed prefix, a file truncated mid-export) still
+produces a digest, annotated with what is missing, rather than raising.
 """
 
 from __future__ import annotations
@@ -10,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Sequence
 
+from repro.obs.metrics import Histogram
 from repro.obs.recorder import ObsEvent
 
 
@@ -44,10 +49,42 @@ class RunStats:
     messages_sent: int = 0
     messages_received: int = 0
     subtask_events: int = 0
+    #: Coverage: distinct tasks ever assigned, and how many of those
+    #: never reached ``commit`` in this trace (non-zero marks a partial
+    #: trace — an aborted run or a truncated export).
+    tasks_assigned: int = 0
+    tasks_incomplete: int = 0
+    #: Raw event count per kind — the coverage footnote for partial
+    #: traces, and a cheap sanity check that expected kinds are present.
+    kind_counts: Dict[str, int] = field(default_factory=dict)
+    #: Queue-wait seconds per assignment (``queue-wait`` spans), when
+    #: the trace carries them.
+    queue_wait: Optional[Histogram] = None
+    #: Per-message latency seconds: ``t_ser + t_wire`` from instrumented
+    #: channels, or the simulated backend's reserved ``send`` spans.
+    msg_latency: Optional[Histogram] = None
 
     @property
     def tasks_per_second(self) -> float:
         return self.tasks_committed / self.extent if self.extent > 0 else 0.0
+
+
+def _ev_float(ev: ObsEvent, key: str) -> Optional[float]:
+    """``ev.data[key]`` as a float, or None when absent/malformed."""
+    if ev.data is None:
+        return None
+    raw = ev.data.get(key)
+    if raw is None:
+        return None
+    try:
+        return float(raw)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return None
+
+
+def _ev_nbytes(ev: ObsEvent) -> int:
+    value = _ev_float(ev, "nbytes")
+    return int(value) if value is not None else 0
 
 
 def compute_stats(events: Iterable[ObsEvent]) -> RunStats:
@@ -58,6 +95,10 @@ def compute_stats(events: Iterable[ObsEvent]) -> RunStats:
     message-scope events (exact, per endpoint) and fall back to the
     task-scope ``send``/``result`` payload accounting when channels were
     not instrumented (e.g. the simulated backend).
+
+    Never raises on partial traces: missing spans, absent payload
+    fields, and tasks that never committed all degrade to coverage
+    annotations on the result.
     """
     stats = RunStats()
     t_min: Optional[float] = None
@@ -66,13 +107,22 @@ def compute_stats(events: Iterable[ObsEvent]) -> RunStats:
     msg_recv_bytes = 0
     task_send_bytes = 0
     task_result_bytes = 0
+    assigned: set = set()
+    committed: set = set()
+    queue_wait = Histogram()
+    msg_latency = Histogram()
+    sim_send_latency = Histogram()
 
     for ev in events:
+        stats.kind_counts[ev.kind] = stats.kind_counts.get(ev.kind, 0) + 1
         if ev.scope == "message":
-            nbytes = int(ev.data.get("nbytes", 0)) if ev.data else 0
+            nbytes = _ev_nbytes(ev)
             if ev.kind == "msg-send":
                 stats.messages_sent += 1
                 msg_sent_bytes += nbytes
+                t_wire = _ev_float(ev, "t_wire")
+                if t_wire is not None:
+                    msg_latency.observe(t_wire + (_ev_float(ev, "t_ser") or 0.0))
             elif ev.kind == "msg-recv":
                 stats.messages_received += 1
                 msg_recv_bytes += nbytes
@@ -92,16 +142,26 @@ def compute_stats(events: Iterable[ObsEvent]) -> RunStats:
             node.tasks += 1
             if span is not None:
                 node.busy_seconds += span[1] - span[0]
+        elif ev.kind == "assign":
+            if ev.task_id is not None:
+                assigned.add(ev.task_id)
         elif ev.kind == "commit":
             stats.tasks_committed += 1
+            if ev.task_id is not None:
+                committed.add(ev.task_id)
         elif ev.kind == "redistribute":
             stats.redistributes += 1
         elif ev.kind == "stale-drop":
             stats.stale_drops += 1
-        elif ev.kind == "send" and ev.data:
-            task_send_bytes += int(ev.data.get("nbytes", 0))
-        elif ev.kind == "result" and ev.data:
-            task_result_bytes += int(ev.data.get("nbytes", 0))
+        elif ev.kind == "queue-wait":
+            if span is not None:
+                queue_wait.observe(span[1] - span[0])
+        elif ev.kind == "send":
+            task_send_bytes += _ev_nbytes(ev)
+            if span is not None:
+                sim_send_latency.observe(span[1] - span[0])
+        elif ev.kind == "result":
+            task_result_bytes += _ev_nbytes(ev)
 
     if t_min is not None and t_max is not None:
         stats.extent = t_max - t_min
@@ -113,7 +173,23 @@ def compute_stats(events: Iterable[ObsEvent]) -> RunStats:
     else:
         stats.bytes_to_slaves = task_send_bytes
         stats.bytes_to_master = task_result_bytes
+    stats.tasks_assigned = len(assigned)
+    stats.tasks_incomplete = len(assigned - committed)
+    if queue_wait.count:
+        stats.queue_wait = queue_wait
+    if msg_latency.count:
+        stats.msg_latency = msg_latency
+    elif sim_send_latency.count:
+        stats.msg_latency = sim_send_latency
     return stats
+
+
+def _percentile_line(label: str, hist: Histogram) -> str:
+    s = hist.summary()
+    return (
+        f"  {label}: mean {s['mean']:.3g} s, p50 {s['p50']:.3g} s, "
+        f"p95 {s['p95']:.3g} s, p99 {s['p99']:.3g} s ({hist.count} samples)"
+    )
 
 
 def format_stats(stats: RunStats, *, title: str = "run stats") -> str:
@@ -131,8 +207,19 @@ def format_stats(stats: RunStats, *, title: str = "run stats") -> str:
             f"  messages      : {stats.messages_sent} sent, "
             f"{stats.messages_received} received"
         )
+    if stats.queue_wait is not None:
+        lines.append(_percentile_line("queue wait    ", stats.queue_wait))
+    if stats.msg_latency is not None:
+        lines.append(_percentile_line("msg latency   ", stats.msg_latency))
     if stats.subtask_events:
         lines.append(f"  subtask events: {stats.subtask_events}")
+    if stats.tasks_incomplete:
+        lines.append(
+            f"  coverage      : PARTIAL trace — {stats.tasks_incomplete} of "
+            f"{stats.tasks_assigned} assigned tasks never committed"
+        )
+        kinds = ", ".join(f"{k}={n}" for k, n in sorted(stats.kind_counts.items()))
+        lines.append(f"  event kinds   : {kinds}")
     if stats.nodes:
         lines.append("  per-worker busy/idle:")
         for k in sorted(stats.nodes):

@@ -232,7 +232,14 @@ class MasterPart:
         self._results_lock = make_lock("master.results")
         #: task -> (outputs, epoch, worker_id, digest) awaiting commit.
         self._result_buffer: Dict[TaskId, tuple] = {}
-        self._stack = ComputableStack(depth_observer=self._make_depth_observer())
+        #: task -> clock reading when it became dispatchable (pushed on
+        #: the computable stack); consumed at assign time to emit the
+        #: ``queue-wait`` profiling span. Only stamped while observing.
+        self._ready_at: Dict[TaskId, float] = {}
+        self._stack = ComputableStack(
+            depth_observer=self._make_depth_observer(),
+            push_observer=self._note_ready if self.sched.observing else None,
+        )
         self._finished = FinishedStack()
         self._overtime = OvertimeQueue()
         self._register = RegisterTable()
@@ -358,6 +365,29 @@ class MasterPart:
 
         return observe
 
+    def _note_ready(self, task_id: TaskId) -> None:
+        """Stamp the instant a task became dispatchable (stack push).
+
+        Consumed at assign time to emit the ``queue-wait`` span; only
+        wired as the stack's push observer while observing, so the
+        disabled path takes no stamps and keeps no table.
+        """
+        self._ready_at[task_id] = self.clock.now()
+
+    def _timed_digest(
+        self, payload, task_id: TaskId, epoch: int, worker_id: int, hop: str
+    ):
+        """``content_digest`` plus a ``digest-compute`` span when observing."""
+        if not self.sched.observing:
+            return content_digest(payload)
+        t0 = self.clock.now()
+        digest = content_digest(payload)
+        t1 = self.clock.now()
+        self.sched.record(
+            "digest-compute", task_id, epoch, worker_id, ts=t1, t0=t0, t1=t1, hop=hop
+        )
+        return digest
+
     # -- public entry ----------------------------------------------------------
 
     def run(self) -> Dict[str, np.ndarray]:
@@ -481,6 +511,7 @@ class MasterPart:
         assert self.journal is not None
         with self._state_lock:
             snapshot = {k: np.array(v, copy=True) for k, v in self.state.items()}
+        t0 = self.clock.now() if self.sched.observing else 0.0
         nbytes = self.journal.checkpoint(
             snapshot,
             self._committed,
@@ -490,8 +521,9 @@ class MasterPart:
         )
         self.stats.checkpoints += 1
         if self.sched.observing:
+            t1 = self.clock.now()
             self.sched.record(
-                "checkpoint", None, -1,
+                "checkpoint", None, -1, ts=t1, t0=t0, t1=t1,
                 n_committed=len(self._committed), nbytes=nbytes,
             )
 
@@ -516,7 +548,16 @@ class MasterPart:
             # Write-ahead: the journal record lands (and fsyncs) before
             # the state merge, so a crash between the two replays this
             # commit instead of losing it.
-            self.journal.commit(task_id, epoch, outputs, digest=digest)
+            if self.sched.observing:
+                j0 = self.clock.now()
+                jbytes = self.journal.commit(task_id, epoch, outputs, digest=digest)
+                j1 = self.clock.now()
+                self.sched.record(
+                    "journal-write", task_id, epoch,
+                    ts=j1, t0=j0, t1=j1, nbytes=jbytes,
+                )
+            else:
+                self.journal.commit(task_id, epoch, outputs, digest=digest)
         with self._state_lock:
             self.problem.apply_result(self.state, self.partition, task_id, outputs)
         self._committed[task_id] = epoch
@@ -558,7 +599,9 @@ class MasterPart:
         is caught by its own audit, not this one.
         """
         expected = self._recompute(task_id)
-        if content_digest(expected) == content_digest(outputs):
+        expected_digest = self._timed_digest(expected, task_id, epoch, worker_id, "audit")
+        got_digest = self._timed_digest(outputs, task_id, epoch, worker_id, "audit")
+        if expected_digest == got_digest:
             self.stats.audits_passed += 1
             if self.sched.observing:
                 self.sched.record("audit-pass", task_id, epoch, worker_id)
@@ -652,7 +695,7 @@ class MasterPart:
         ``(outputs, epoch, worker, digest)`` once a quorum decides, else
         None (the task was re-queued for another voter)."""
         if digest is None:
-            digest = content_digest(outputs)
+            digest = self._timed_digest(outputs, task_id, epoch, worker_id, "vote")
         votes = self._votes.setdefault(task_id, {})
         votes[worker_id] = (digest, outputs, epoch)
         self.stats.votes_cast += 1
@@ -872,6 +915,16 @@ class MasterPart:
                     self._try_send_end(channel)
                     ended = True
                     continue
+                if self.sched.observing:
+                    # queue-wait span first, so the task's "assign" (which
+                    # closes the wait) serializes after it in the stream.
+                    now = self.clock.now()
+                    ready_at = self._ready_at.pop(task_id, None)
+                    if ready_at is not None:
+                        self.sched.record(
+                            "queue-wait", task_id, epoch, worker_id,
+                            ts=now, t0=ready_at, t1=now,
+                        )
                 if self.sched.enabled:
                     self.sched.record("assign", task_id, epoch, worker_id)
                 with self._state_lock:
@@ -894,7 +947,11 @@ class MasterPart:
                     epoch=epoch,
                     inputs=inputs,
                     lease=lease,
-                    digest=content_digest(inputs) if self._digest_on else None,
+                    digest=(
+                        self._timed_digest(inputs, task_id, epoch, worker_id, "assign")
+                        if self._digest_on
+                        else None
+                    ),
                 )
                 self._last_progress = self.clock.now()
                 try:
@@ -909,7 +966,9 @@ class MasterPart:
                 if (
                     self._digest_on
                     and msg.digest is not None
-                    and content_digest(msg.outputs) != msg.digest
+                    and self._timed_digest(
+                        msg.outputs, msg.task_id, msg.epoch, worker_id, "verify"
+                    ) != msg.digest
                 ):
                     # The payload no longer matches the digest the slave
                     # stamped: in-transit corruption. Reject the result

@@ -32,28 +32,43 @@ class ComputableStack:
 
     ``depth_observer`` (optional) is called with the new depth after
     every mutation — the observability layer wires it to a queue-depth
-    gauge/histogram. It runs under the stack's condition, so observers
-    must be cheap and must not touch runtime locks.
+    gauge/histogram. ``push_observer`` (optional) is called with each
+    task id as it lands on the stack — the profiler wires it to a
+    ready-timestamp table so the ``queue-wait`` span covers *every* push
+    site (initial frontier, commit fan-out, fault re-queues, taint
+    recompute) without the master chasing each one. Both run under the
+    stack's condition, so observers must be cheap and must not touch
+    runtime locks.
     """
 
     def __init__(
-        self, depth_observer: Optional[Callable[[int], None]] = None
+        self,
+        depth_observer: Optional[Callable[[int], None]] = None,
+        push_observer: Optional[Callable[[TaskId], None]] = None,
     ) -> None:
         self._items: List[TaskId] = []
         self._cond = make_condition("pool.computable-stack")
         self._closed = False
         self._depth_observer = depth_observer
+        self._push_observer = push_observer
 
     def push(self, task_id: TaskId) -> None:
         with self._cond:
             self._items.append(task_id)
+            if self._push_observer is not None:
+                self._push_observer(task_id)
             if self._depth_observer is not None:
                 self._depth_observer(len(self._items))
             self._cond.notify_all()
 
     def push_many(self, task_ids: Iterable[TaskId]) -> None:
         with self._cond:
-            self._items.extend(task_ids)
+            if self._push_observer is None:
+                self._items.extend(task_ids)
+            else:
+                for task_id in task_ids:
+                    self._items.append(task_id)
+                    self._push_observer(task_id)
             if self._depth_observer is not None:
                 self._depth_observer(len(self._items))
             self._cond.notify_all()

@@ -8,7 +8,7 @@ import pytest
 from repro.algorithms import SmithWatermanGG
 from repro.check.trace_check import check_trace
 from repro.obs.export import read_trace, to_sched_events, write_trace
-from repro.obs.recorder import NULL_RECORDER
+from repro.obs.recorder import LIFECYCLE_KINDS, NULL_RECORDER
 from repro.runtime.config import RunConfig
 from repro.runtime.system import EasyHPS
 
@@ -32,9 +32,11 @@ def _run(backend, **overrides):
 
 
 def _per_task_kinds(events):
+    # Lifecycle kinds only: the stream also carries task-scoped profiling
+    # spans (queue-wait, digest-compute, journal-write) when observing.
     out = {}
     for ev in sorted(events, key=lambda e: e.seq):
-        if ev.scope == "task" and ev.task_id is not None:
+        if ev.scope == "task" and ev.task_id is not None and ev.kind in LIFECYCLE_KINDS:
             out.setdefault((ev.task_id, ev.epoch), []).append(ev.kind)
     return out
 
