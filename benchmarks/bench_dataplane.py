@@ -1,0 +1,185 @@
+"""Data-plane benchmark: what zero-copy shm + batched dispatch buy.
+
+The claim this benchmark gates (PR 8): on the standard workload the
+processes backend's **serialize + wire lane time on the master** drops
+by at least 30% when the zero-copy shared-memory block transport and
+batched wavefront dispatch are both on, versus both off.
+
+The lane metric comes from :func:`repro.obs.prof.build_profile` over an
+observed run's event stream — the same attribution ``repro perf``
+prints. It is symmetric by construction: the inline path counts pickle
+(send), pipe write, pipe read, and unpickle (recv); the zero-copy path
+counts segment park (send) and ``shm-attach`` rehydration (recv). Both
+directions of both paths are attributed, so the comparison measures the
+transport, not the instrumentation.
+
+Three verbs::
+
+    python benchmarks/bench_dataplane.py             # measure and print
+    python benchmarks/bench_dataplane.py --write --label <rev>  # append
+    python benchmarks/bench_dataplane.py --check     # gate: >=30% or fail
+
+``--write`` appends one entry to ``BENCH_BASELINE.json`` with the usual
+four-backend measurement (so the deterministic wire counters stay
+gated) plus a ``dataplane`` section carrying the lane numbers; the
+perf-gate CLI ignores keys it does not know, so older tooling keeps
+working against the new entries.
+
+The workload is the standard trajectory instance (edit-distance 240,
+process partition 40) with two data-plane-specific pins. The thread
+partition equals the process partition, so worker-side subtask fan-out
+does not add scheduler noise to the tens-of-milliseconds master lane
+being measured. And ``repro.comm.shm.SHM_MIN_BYTES`` is pinned to
+8 KiB: the workload's block results are 40x40 float64 (12.8 KB), so
+they ride segments, while the sub-kilobyte halo strips stay inline —
+parking those costs more in segment syscalls than the copy they avoid.
+Workers inherit the override through the fork start method.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis.trajectory import (  # noqa: E402
+    STANDARD,
+    append_entry,
+    format_measurement,
+    git_describe_label,
+    measure,
+)
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_BASELINE.json")
+
+#: The gate: lane time with shm+batching on must be at least this much
+#: below the off configuration.
+MIN_REDUCTION = 0.30
+
+#: Segment threshold for the measured runs (see module docstring).
+SHM_MIN_BYTES = 8192
+
+#: Lane times are summed over this many runs per configuration to
+#: smooth scheduler noise; the standard workload keeps each run short.
+REPEATS = 3
+
+
+def _lane_once(shm: bool, batch: bool):
+    """One observed processes run; returns (serialize+wire seconds, msgs)."""
+    from repro import EasyHPS, RunConfig
+    from repro.algorithms import EditDistance
+    from repro.obs.prof import build_profile
+
+    problem = EditDistance.random(STANDARD["size"], seed=STANDARD["seed"])
+    config = RunConfig(
+        backend="processes",
+        nodes=STANDARD["nodes"],
+        threads_per_node=STANDARD["threads_per_node"],
+        process_partition=STANDARD["process_partition"],
+        thread_partition=STANDARD["process_partition"],  # see docstring
+        observe=True,
+        shm=shm,
+        batch_wave=batch,
+        max_batch=8,
+    )
+    run = EasyHPS(config).run(problem)
+    master = build_profile(run.report.events).attribution[-1]
+    return master["serialize"] + master["wire"], run.report.messages
+
+
+def measure_dataplane(repeats: int = REPEATS):
+    """The off-vs-on lane comparison; returns a JSON-ready dict."""
+    import repro.comm.shm as shm_mod
+
+    prev = shm_mod.SHM_MIN_BYTES
+    shm_mod.SHM_MIN_BYTES = SHM_MIN_BYTES
+    try:
+        off_s = on_s = 0.0
+        msgs_off = msgs_on = 0
+        for _ in range(repeats):
+            t, m = _lane_once(shm=False, batch=False)
+            off_s += t
+            msgs_off = m
+            t, m = _lane_once(shm=True, batch=True)
+            on_s += t
+            msgs_on = m
+    finally:
+        shm_mod.SHM_MIN_BYTES = prev
+    return {
+        "backend": "processes",
+        "lane": "serialize+wire (master)",
+        "repeats": repeats,
+        "shm_min_bytes": SHM_MIN_BYTES,
+        "lane_off_s": round(off_s, 6),
+        "lane_on_s": round(on_s, 6),
+        "reduction": round(1.0 - on_s / off_s, 4),
+        "messages_off": msgs_off,
+        "messages_on": msgs_on,
+    }
+
+
+def format_dataplane(d) -> str:
+    return (
+        f"  dataplane  lane(serialize+wire, {d['repeats']} runs): "
+        f"off={d['lane_off_s'] * 1000:7.1f}ms/{d['messages_off']}msgs "
+        f"on={d['lane_on_s'] * 1000:7.1f}ms/{d['messages_on']}msgs "
+        f"reduction={d['reduction']:+.1%}"
+    )
+
+
+def cmd_write(label: str) -> int:
+    dataplane = measure_dataplane()
+    entry = append_entry(BASELINE_PATH, label=label, measured=measure())
+    entry["dataplane"] = dataplane
+    # append_entry already wrote the file; re-write with the extra section.
+    import json
+
+    with open(BASELINE_PATH, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    doc["entries"][-1] = entry
+    with open(BASELINE_PATH, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"recorded entry {entry['label']!r} -> {os.path.normpath(BASELINE_PATH)}")
+    print(format_measurement(entry["backends"]))
+    print(format_dataplane(dataplane))
+    return 0
+
+
+def cmd_check() -> int:
+    dataplane = measure_dataplane()
+    print(format_dataplane(dataplane))
+    if dataplane["reduction"] < MIN_REDUCTION:
+        print(
+            f"dataplane gate FAILED: reduction {dataplane['reduction']:+.1%} "
+            f"< required {MIN_REDUCTION:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"dataplane gate PASSED (>= {MIN_REDUCTION:.0%} lane reduction)")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    verb = ap.add_mutually_exclusive_group()
+    verb.add_argument("--write", action="store_true", help="append an entry to BENCH_BASELINE.json")
+    verb.add_argument("--check", action="store_true", help="gate: fail unless reduction >= 30%")
+    ap.add_argument(
+        "--label",
+        default=None,
+        help="entry label for --write (defaults to `git describe` output)",
+    )
+    args = ap.parse_args()
+    if args.write:
+        return cmd_write(args.label if args.label is not None else git_describe_label())
+    if args.check:
+        return cmd_check()
+    print(format_dataplane(measure_dataplane()))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

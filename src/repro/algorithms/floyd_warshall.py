@@ -37,12 +37,21 @@ from repro.utils.errors import PatternError
 class FloydWarshallPattern(DAGPattern):
     """The staged blocked-FW DAG: vertices ``(t, i, j)`` over a B x B grid.
 
-    Dependencies (all also data dependencies):
+    Dependencies:
 
     - every vertex needs its previous-round self ``(t-1, i, j)``;
     - phase-3 vertices (``i != t and j != t``) need the round's row block
       ``(t, t, j)`` and column block ``(t, i, t)``;
-    - row/column vertices need the round's pivot ``(t, t, t)``.
+    - row/column vertices need the round's pivot ``(t, t, t)``;
+    - **anti-dependence (WAR) edges**: a vertex that overwrites a strip
+      region other round-``t-1`` vertices read in place — the round's
+      pivot block ``(t, t-1, t-1)``, row blocks ``(t, t-1, j)``, column
+      blocks ``(t, i, t-1)`` — waits for every round-``t-1`` reader of
+      that region. Without these edges an in-place state store lets a
+      round-``t`` write land while a round-``t-1`` reader is still
+      queued, which keeps min-plus *correct* (relaxation is monotone)
+      but makes the committed bits schedule-dependent; with them, every
+      backend commits bit-identical regions in any execution order.
     """
 
     def __init__(self, b: int) -> None:
@@ -69,6 +78,18 @@ class FloydWarshallPattern(DAGPattern):
         preds: List[VertexId] = []
         if t > 0:
             preds.append((t - 1, i, j))
+            p = t - 1
+            if i == p and j == p:
+                # Overwrites round p's pivot region: wait for its readers,
+                # the round-p row and column blocks.
+                preds.extend((p, p, jj) for jj in range(self.b) if jj != p)
+                preds.extend((p, ii, p) for ii in range(self.b) if ii != p)
+            elif i == p:
+                # Overwrites row strip R(p, j): read by phase-3 column j.
+                preds.extend((p, ii, j) for ii in range(self.b) if ii != p)
+            elif j == p:
+                # Overwrites column strip R(i, p): read by phase-3 row i.
+                preds.extend((p, i, jj) for jj in range(self.b) if jj != p)
         if i != t and j != t:
             preds.append((t, t, j))
             preds.append((t, i, t))
@@ -88,6 +109,14 @@ class FloydWarshallPattern(DAGPattern):
             succs.extend((t, ii, j) for ii in range(self.b) if ii != t)
         elif j == t:  # column block (t, i, t): feeds phase 3 of row i
             succs.extend((t, i, jj) for jj in range(self.b) if jj != t)
+        if t + 1 < self.b:
+            # Mirror of the WAR edges: this vertex's in-place strip reads
+            # gate the round-(t+1) writers of those strips.
+            if i != t and j != t:
+                succs.append((t + 1, t, j))
+                succs.append((t + 1, i, t))
+            elif (i == t) != (j == t):
+                succs.append((t + 1, t, t))
         return tuple(succs)
 
     def _key(self) -> tuple:

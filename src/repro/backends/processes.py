@@ -20,6 +20,7 @@ from repro.algorithms.problem import DPProblem
 from repro.analysis.report import RunReport
 from repro.backends.threads import open_journal
 from repro.chaos.channel import ChaosChannel
+from repro.comm.shm import BlockStore, ShmChannel, run_prefix, sweep_segments
 from repro.comm.transport import PipeChannel
 from repro.obs import EventRecorder, MetricsRegistry, to_gantt_trace
 from repro.runtime.config import RunConfig
@@ -57,6 +58,14 @@ def run_processes(
     # fork is faster and keeps the problem object shared copy-on-write;
     # fall back to spawn where fork is unavailable (macOS default, Windows).
     ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+
+    # Zero-copy data plane (``config.shm``): one run-wide segment prefix,
+    # one master-side block store (assign payloads), one store per slave
+    # process (result payloads, built inside slave_process_main). The
+    # master sweeps the prefix at teardown as the leak backstop.
+    shm_prefix = run_prefix() if config.shm else None
+    store = BlockStore(shm_prefix) if shm_prefix is not None else None
+
     master_channels = []
     procs = []
     options = dict(
@@ -71,10 +80,21 @@ def run_processes(
         verify=config.verify,
         heartbeat_interval=config.heartbeat_interval,
         integrity=config.integrity,
+        shm_prefix=shm_prefix,
     )
     for k in range(config.n_slaves):
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         channel = PipeChannel(parent_conn)
+        if store is not None:
+            # The shm wrapper sits directly on the pipe; chaos (below)
+            # wraps *outside* it, so injected faults mutate the decoded
+            # arrays the runtime sees, never the opaque segment refs.
+            # Instrumented on its own: per-message telemetry accrues on
+            # the outermost wrapper, but the ``shm-attach`` span is
+            # emitted by this layer regardless of what wraps it.
+            channel = ShmChannel(channel, store)
+            if recorder is not None:
+                channel.instrument(recorder, endpoint=f"slave{k}")
         if config.message_fault_plan:
             # Chaos wraps the master-side endpoint only — the plan never
             # crosses the pipe, and both directions are still covered.
@@ -125,6 +145,9 @@ def run_processes(
         quarantine_threshold=config.quarantine_threshold,
         run_digest=resume.run_digest if resume is not None else None,
         commit_digests=resume.scan.commit_digests if resume is not None else None,
+        batch_wave=config.batch_wave,
+        max_batch=config.max_batch,
+        block_store=store,
     )
 
     started = time.perf_counter()
@@ -141,6 +164,12 @@ def run_processes(
                 p.join(timeout=5.0)
         for ch in master_channels:
             ch.close()
+        if shm_prefix is not None:
+            # Backstop after the fleet is gone: unlink any segment of this
+            # run still in /dev/shm (undelivered assigns were already
+            # released as their dispatches settled; this catches orphans
+            # from slaves killed mid-park).
+            sweep_segments(shm_prefix)
     elapsed = time.perf_counter() - started
 
     report = RunReport(

@@ -384,6 +384,9 @@ class _SimulatedRun:
                 self._try_prefetch(k)
                 return
             # Cancelled (timed out) while waiting: fall through to fresh work.
+        if self.config.batch_wave:
+            self._dispatch_wave(k)
+            return
         idx = self.policy.select_index(k, self.ready)
         picked: Optional[TaskId] = None if idx is None else self.ready.pop(idx)
         if picked is None:
@@ -479,8 +482,9 @@ class _SimulatedRun:
 
     def _try_prefetch(self, k: int) -> None:
         """Overlap the next task's transfer with the running compute
-        (one-deep, prefetch mode only)."""
-        if not self.config.prefetch:
+        (one-deep, prefetch mode only; batching already ships the whole
+        computable wave at once, so the two modes do not compose)."""
+        if not self.config.prefetch or self.config.batch_wave:
             return
         node = self.nodes[k]
         if node.pending is not None or node.busy_until <= self.evq.now:
@@ -537,6 +541,243 @@ class _SimulatedRun:
                 lambda bid=bid, epoch=epoch, k=k: self._compute_done(bid, epoch, k),
                 label=("compute-done", bid, epoch, k),
             )
+
+    # -- batched wavefront dispatch (``config.batch_wave``) -----------------------
+
+    def _dispatch_wave(self, k: int) -> None:
+        """Assign one BatchAssign-equivalent: up to ``max_batch`` eligible
+        ready tasks in ONE modeled envelope and ONE input transfer.
+
+        Per-subtask semantics are preserved exactly as in the real master:
+        every element registers its own epoch, gets its own timeout watch,
+        and commits (or faults) individually — only the link-model α term
+        (one envelope, one master dispatch overhead, 2 messages for the
+        whole wave instead of 2 per task) is amortized.
+        """
+        node = self.nodes[k]
+        wave: List[TaskId] = []
+        while len(wave) < self.config.max_batch:
+            idx = self.policy.select_index(k, self.ready)
+            if idx is None:
+                break
+            wave.append(self.ready.pop(idx))
+        if not wave:
+            node.parked_since = self.evq.now
+            return
+        node.parked_since = None
+        now = self.evq.now
+        in_bytes = MESSAGE_ENVELOPE_BYTES  # ONE envelope for the wave
+        in_each: List[int] = []
+        parts: List[Tuple[TaskId, int]] = []
+        for bid in wave:
+            epoch = self.attempts.get(bid, 0)
+            self.attempts[bid] = epoch + 1
+            self.registered[bid] = epoch
+            self.dispatched_to[bid] = k
+            parts.append((bid, epoch))
+            if self.sched.observing:
+                ready_at = self.ready_at.pop(bid, None)
+                if ready_at is not None:
+                    self.sched.record(
+                        "queue-wait", bid, epoch, k, ts=now, t0=ready_at, t1=now,
+                    )
+            if self.sched.enabled:
+                self.sched.record("assign", bid, epoch, k, ts=now)
+            if self.config.data_reuse:
+                nb = self.problem.cached_input_bytes(self.partition, bid, self.node_done[k])
+            else:
+                nb = self.problem.input_bytes(self.partition, bid)
+            in_bytes += nb
+            in_each.append(nb)
+            self.evq.at(
+                now + self.config.task_timeout,
+                lambda bid=bid, epoch=epoch: self._timeout(bid, epoch),
+                label=("timeout", bid, epoch),
+            )
+        # ONE dispatch overhead and ONE transfer for the whole wave.
+        self.master_cpu_free = max(self.master_cpu_free, now) + self.cluster.master_overhead
+        start = max(self.master_cpu_free, self.master_nic_free, node.nic_free)
+        xfer = self.cluster.link.transfer_time(in_bytes)
+        self.master_nic_free = start + xfer
+        node.nic_free = start + xfer
+        self.messages += 2  # idle signal + the batch assignment
+        self.bytes_to_slaves += in_bytes
+        if self.sched.observing:
+            self.sched.record(
+                "batch-assemble", None, -1, k, node=k, ts=now,
+                t0=now, t1=now, n_tasks=len(parts),
+            )
+            for (bid, epoch), nb in zip(parts, in_each):
+                self.sched.record(
+                    "send", bid, epoch, k, node=k, ts=start,
+                    t0=start, t1=start + xfer, nbytes=nb,
+                )
+        xfer_done = start + xfer
+        rule = None
+        if self.config.message_fault_plan:
+            rule = self.config.message_fault_plan.decide(
+                "send", "BatchAssign", wave[0], node.sent_index, endpoint=k
+            )
+            node.sent_index += 1
+        if rule is not None:
+            bid0, ep0 = parts[0]
+            self._note_msg_fault(rule.kind, bid0, ep0, k, "BatchAssign")
+            if rule.kind == "drop":
+                # The whole envelope never arrives: every registration
+                # rides the overtime check to redistribution.
+                self.evq.at(xfer_done, lambda k=k: self._node_idle(k), label=("idle", k))
+                return
+            if rule.kind == "corrupt" and self.integrity.digest_on:
+                # The slave verifies per-subtask digests and rejects only
+                # the mutated element; the rest of the wave computes.
+                if self.obs is not None:
+                    self.obs.emit(
+                        "digest-reject", bid0, epoch=ep0, node=k,
+                        scope="message", hop="assign",
+                    )
+                parts = parts[1:]
+                if not parts:
+                    self.evq.at(
+                        xfer_done, lambda k=k: self._node_idle(k), label=("idle", k)
+                    )
+                    return
+            elif rule.kind in ("corrupt", "bitflip"):
+                # Undetected input mutation of one element of the wave.
+                self.live_taint[(bid0, ep0)] = f"assign-{rule.kind}"
+            if rule.kind == "delay":
+                xfer_done += rule.delay
+            elif rule.kind == "duplicate":
+                self.messages += 1
+        self._begin_wave_compute(k, parts, xfer_done)
+
+    def _begin_wave_compute(
+        self, k: int, parts: List[Tuple[TaskId, int]], compute_start: float
+    ) -> None:
+        """Sequentially compute one assigned wave (per-subtask faults)."""
+        node = self.nodes[k]
+        slow = self.config.worker_fault_plan.slow_factor(k)
+        t = compute_start
+        survivors: List[Tuple[TaskId, int]] = []
+        for bid, epoch in parts:
+            fault = self.config.fault_plan.lookup(bid, epoch)
+            compute, busy, nsub = self._inner(bid, node.spec)
+            compute += self.cluster.slave_overhead
+            if slow > 1.0:
+                compute *= slow
+                if not node.slow_noted:
+                    node.slow_noted = True
+                    self.faults_injected += 1
+                    if self.obs is not None:
+                        self.obs.emit(
+                            "worker-slow", bid, epoch=epoch, node=k, worker=k,
+                            scope="task", factor=slow,
+                        )
+            if fault is not None and fault.kind == "crash":
+                # This element dies half-way and is skipped — the rest of
+                # the wave still computes (per-subtask semantics); its
+                # registration rides the overtime check.
+                t += 0.5 * compute
+                continue
+            if fault is not None and fault.kind == "hang":
+                # The element stalls past the deadline; skipped, recovered
+                # by its own timeout like the single-dispatch hang.
+                t += 2.0 * self.config.task_timeout
+                continue
+            if self.sched.observing:
+                self.sched.record(
+                    "compute", bid, epoch, k, node=k, ts=t + compute,
+                    t0=t, t1=t + compute,
+                )
+            t += compute
+            self.busy_thread_seconds += busy
+            self.n_subtasks += nsub
+            survivors.append((bid, epoch))
+        node.busy_until = t
+        if not survivors:
+            self.evq.at(t, lambda k=k: self._node_idle(k), label=("idle", k))
+            return
+        self.evq.at(
+            t,
+            lambda: self._wave_done(k, survivors),
+            label=("wave-done", k, survivors[0][0], survivors[0][1]),
+        )
+
+    def _wave_done(self, k: int, parts: List[Tuple[TaskId, int]]) -> None:
+        """The wave finished computing: ship ONE BatchResult envelope."""
+        self._account()
+        node = self.nodes[k]
+        lie_point = self.config.worker_fault_plan.lie_point(k)
+        if lie_point is not None and node.tasks_done >= lie_point:
+            # Past its lie point the node perturbs every element it
+            # returns; each stays self-consistent on the wire.
+            self.faults_injected += 1
+            for bid, epoch in parts:
+                self.live_taint[(bid, epoch)] = "worker-liar"
+            if self.obs is not None:
+                self.obs.emit(
+                    "worker-liar", parts[0][0], epoch=parts[0][1], node=k,
+                    worker=k, scope="task", after_tasks=lie_point,
+                )
+        out_bytes = MESSAGE_ENVELOPE_BYTES + sum(
+            self.problem.output_bytes(self.partition, bid) for bid, _ in parts
+        )
+        send_start = max(self.evq.now, node.nic_free, self.master_nic_free)
+        out_xfer = self.cluster.link.transfer_time(out_bytes)
+        node.nic_free = send_start + out_xfer
+        self.master_nic_free = send_start + out_xfer
+        node.busy_until = send_start + out_xfer
+        self.messages += 1  # ONE result envelope for the whole wave
+        self.bytes_to_master += out_bytes
+        arrive = send_start + out_xfer
+        reject: Optional[Tuple[TaskId, int]] = None
+        rule = None
+        if self.config.message_fault_plan:
+            rule = self.config.message_fault_plan.decide(
+                "recv", "BatchResult", parts[0][0], node.recv_index, endpoint=k
+            )
+            node.recv_index += 1
+        if rule is not None:
+            bid0, ep0 = parts[0]
+            self._note_msg_fault(rule.kind, bid0, ep0, k, "BatchResult")
+            if rule.kind == "drop":
+                # The whole envelope is lost; every element rides the
+                # overtime check while the node serves on.
+                self.evq.at(arrive, lambda k=k: self._node_idle(k), label=("idle", k))
+                return
+            if rule.kind == "corrupt":
+                if self.integrity.digest_on:
+                    # The master verifies per-subtask digests: the mutated
+                    # element is rejected (charged requeue), the rest of
+                    # the wave commits normally.
+                    reject = (bid0, ep0)
+                    parts = parts[1:]
+                else:
+                    self.live_taint[(bid0, ep0)] = "result-corrupt"
+            elif rule.kind == "bitflip":
+                self.live_taint[(bid0, ep0)] = "result-bitflip"
+            if rule.kind == "delay":
+                arrive += rule.delay
+            elif rule.kind == "duplicate":
+                self.messages += 1  # the echo lands element-wise stale
+        self.evq.at(
+            arrive,
+            lambda: self._batch_arrival(k, parts, reject),
+            label=("batch-result", k, parts[0][0] if parts else None),
+        )
+
+    def _batch_arrival(
+        self,
+        k: int,
+        parts: List[Tuple[TaskId, int]],
+        reject: Optional[Tuple[TaskId, int]] = None,
+    ) -> None:
+        """One BatchResult landed: commit every element, then go idle once."""
+        self._account()
+        if reject is not None:
+            self._digest_reject_core(reject[0], reject[1], k)
+        for bid, epoch in parts:
+            self._commit_result(bid, epoch, k)
+        self._node_idle(k)
 
     def _compute_done(self, bid: TaskId, epoch: int, k: int) -> None:
         """Compute finished on node ``k``: ship the result back (Fig 11 g/h)."""
@@ -615,6 +856,13 @@ class _SimulatedRun:
         real master — a link corrupting the same task forever must abort,
         not livelock)."""
         self._account()
+        self._digest_reject_core(bid, epoch, k)
+        self._node_idle(k)
+
+    def _digest_reject_core(self, bid: TaskId, epoch: int, k: int) -> None:
+        """Reject one result without idling the node (shared between the
+        single-result path and a batch arrival, which idles once at the
+        end of the envelope)."""
         if self.registered.get(bid) == epoch:
             del self.registered[bid]
             self.digest_rejects += 1
@@ -634,14 +882,19 @@ class _SimulatedRun:
                 if self.sched.enabled:
                     self.sched.record("redistribute", bid, epoch)
                 self._requeue(bid)
-        self._node_idle(k)
 
     def _result(self, bid: TaskId, epoch: int, k: int) -> None:
         self._account()
+        self._commit_result(bid, epoch, k)
+        self._node_idle(k)  # the node serves on (also after a stale drop)
+
+    def _commit_result(self, bid: TaskId, epoch: int, k: int) -> None:
+        """Land one result at the master: stale-drop or journal + commit +
+        integrity check + ready-wake. Shared between the single-result
+        path and a batch arrival; the caller idles the node afterwards."""
         if self.registered.get(bid) != epoch:
             if self.sched.enabled:
                 self.sched.record("stale-drop", bid, epoch, k, node=k)
-            self._node_idle(k)  # stale result dropped; node serves on
             return
         del self.registered[bid]
         taint = self.live_taint.pop((bid, epoch), None)
@@ -701,7 +954,6 @@ class _SimulatedRun:
                     self._node_idle(j)
                 else:
                     self._try_prefetch(j)
-        self._node_idle(k)
 
     # -- integrity (SDC model) ----------------------------------------------------
 

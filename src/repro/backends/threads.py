@@ -144,6 +144,10 @@ def run_threads(
         quarantine_threshold=config.quarantine_threshold,
         run_digest=resume.run_digest if resume is not None else None,
         commit_digests=resume.scan.commit_digests if resume is not None else None,
+        # Batched wavefront dispatch works on any channel; the shm plane
+        # (``config.shm``) is meaningless in-process and ignored here.
+        batch_wave=config.batch_wave,
+        max_batch=config.max_batch,
     )
 
     slave_threads = [

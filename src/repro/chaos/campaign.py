@@ -99,6 +99,13 @@ class CampaignSpec:
     audit_fraction: float = 1.0
     vote_k: int = 2
     quarantine_threshold: int = 3
+    #: Data-plane knobs under fault pressure: batched wavefront dispatch
+    #: (``BatchAssign``/``BatchResult`` envelopes become the fault
+    #: surface) and the zero-copy shm block transport (leaked segments
+    #: become a campaign invariant).
+    batch_wave: bool = False
+    max_batch: int = 8
+    shm: bool = False
 
     def __post_init__(self) -> None:
         from repro.integrity import INTEGRITY_MODES
@@ -238,6 +245,9 @@ def chaos_config(backend: str, seed: int, spec: CampaignSpec) -> RunConfig:
         retry_backoff=0.01,
         retry_backoff_max=0.25,
         observe=True,
+        batch_wave=spec.batch_wave,
+        max_batch=spec.max_batch,
+        shm=spec.shm,
     )
     if spec.sdc:
         common.update(
@@ -320,6 +330,22 @@ def _execute_one(
             backend, seed, "hang",
             detail=f"run exceeded {spec.run_timeout}s deadline", elapsed=elapsed,
         )
+    if backend == "processes" and spec.shm:
+        # Segment-leak invariant: however the run settled — committed,
+        # aborted mid-wave, or errored — the teardown sweep must have
+        # reclaimed every block segment this master parked. (The hang
+        # path above legitimately still holds segments, so it returns
+        # before this check.)
+        from repro.comm.shm import leaked_segments, sweep_segments
+
+        leaks = leaked_segments(f"repro-{os.getpid()}-")
+        if leaks:
+            sweep_segments(f"repro-{os.getpid()}-")  # don't poison later seeds
+            return RunOutcome(
+                backend, seed, "invariant-violation",
+                detail=f"{len(leaks)} shm segments leaked: {leaks[:3]}",
+                elapsed=elapsed,
+            )
     exc = box.get("exc")
     if isinstance(exc, FaultToleranceExhausted):
         return RunOutcome(

@@ -44,7 +44,7 @@ from typing import Deque, List, Optional, Tuple
 import numpy as np
 
 from repro.cluster.faults import MessageFaultPlan
-from repro.comm.messages import Message, TaskAssign, TaskResult
+from repro.comm.messages import BatchAssign, BatchResult, Message, TaskAssign, TaskResult
 from repro.comm.transport import Channel, ChannelTimeout, DelegatingChannel
 
 
@@ -127,6 +127,21 @@ class ChaosChannel(DelegatingChannel):
         bare signal or an empty input set); the caller degrades the fault
         to a drop.
         """
+        if isinstance(msg, (BatchAssign, BatchResult)):
+            # A batch envelope corrupts like a wire frame would: one byte
+            # in one element. Mutate the first element that carries array
+            # bytes (its own digest goes stale / is restamped); the other
+            # elements of the wave pass verification untouched.
+            field_name = "assigns" if isinstance(msg, BatchAssign) else "results"
+            parts = getattr(msg, field_name)
+            for i, part in enumerate(parts):
+                mutated_part = self._mutate_payload(part, restamp)
+                if mutated_part is not None:
+                    return replace(
+                        msg,
+                        **{field_name: parts[:i] + (mutated_part,) + parts[i + 1:]},
+                    )
+            return None
         if isinstance(msg, TaskAssign):
             field_name = "inputs"
         elif isinstance(msg, TaskResult):

@@ -71,6 +71,11 @@ def check_integrity_invariants(
     last_commit_seq: Dict[Any, int] = {}
 
     for ev in ordered:
+        if getattr(ev, "scope", "task") != "task":
+            # Thread-level (subtask) and message-scope events reuse the
+            # task id space for their local block ids; only task-scope
+            # events describe the wire commits this pass audits.
+            continue
         if ev.kind == "quarantine":
             quarantined_at[ev.worker] = ev.seq
         elif ev.kind == "assign":

@@ -153,20 +153,23 @@ def build_protocol_spec() -> ProtocolSpec:
         name="slave",
         initial="announcing",
         states=("announcing", "awaiting", "computing", "reporting", "stopped"),
-        receivable=(("awaiting", ("TaskAssign", "EndSignal")),),
+        receivable=(("awaiting", ("TaskAssign", "BatchAssign", "EndSignal")),),
     )
     master_control = RoleSpec(
         name="master-control",
         initial="serving",
         states=("serving", "draining", "stopped"),
         receivable=(
-            ("serving", ("IdleSignal", "TaskResult", "Heartbeat", "WorkerLeave")),
-            ("draining", ("IdleSignal", "TaskResult", "Heartbeat", "WorkerLeave")),
+            ("serving", ("IdleSignal", "TaskResult", "BatchResult",
+                         "Heartbeat", "WorkerLeave")),
+            ("draining", ("IdleSignal", "TaskResult", "BatchResult",
+                          "Heartbeat", "WorkerLeave")),
         ),
         ignores=(
             # Shutdown tail: late results/heartbeats after the DAG is done
             # are dropped on the floor by design (the journal has ended).
             ("draining", "TaskResult"),
+            ("draining", "BatchResult"),
             ("draining", "Heartbeat"),
         ),
     )
@@ -218,6 +221,15 @@ def build_protocol_spec() -> ProtocolSpec:
                    guard="digest-ok", message="TaskAssign"),
         Transition("slave", "awaiting", "TaskAssign", "announcing",
                    guard="digest-mismatch", action="reject", message="TaskAssign"),
+        # Batched wavefront dispatch (``batch_wave``): one envelope holds
+        # a whole anti-diagonal wave. Digest verification is per-element —
+        # a mismatched element is rejected individually while the rest of
+        # the wave still computes, so both guards lead to ``computing``.
+        Transition("slave", "awaiting", "BatchAssign", "computing",
+                   guard="digest-ok", message="BatchAssign"),
+        Transition("slave", "awaiting", "BatchAssign", "computing",
+                   guard="digest-mismatch", action="reject-element",
+                   message="BatchAssign"),
         Transition("slave", "awaiting", "EndSignal", "stopped",
                    message="EndSignal"),
         Transition("slave", "awaiting", "leave-point", "stopped",
@@ -225,6 +237,8 @@ def build_protocol_spec() -> ProtocolSpec:
         Transition("slave", "computing", "compute-done", "reporting"),
         Transition("slave", "reporting", "report", "announcing",
                    action="send:TaskResult", message="TaskResult"),
+        Transition("slave", "reporting", "report-batch", "announcing",
+                   action="send:BatchResult", message="BatchResult"),
         # Heartbeat side thread: emits in every serving state.
         Transition("slave", "awaiting", "heartbeat-tick", "awaiting",
                    action="send:Heartbeat", message="Heartbeat"),
@@ -235,6 +249,8 @@ def build_protocol_spec() -> ProtocolSpec:
                    action="dispatch-or-park", message="IdleSignal"),
         Transition("master-control", "serving", "TaskResult", "serving",
                    action="route-to-dispatch", message="TaskResult"),
+        Transition("master-control", "serving", "BatchResult", "serving",
+                   action="route-each-to-dispatch", message="BatchResult"),
         Transition("master-control", "serving", "Heartbeat", "serving",
                    action="renew-leases", message="Heartbeat"),
         Transition("master-control", "serving", "WorkerLeave", "serving",

@@ -9,6 +9,9 @@ identical across all three; see DESIGN.md's substitution table.
 """
 
 from repro.comm.messages import (
+    BatchAssign,
+    BatchResult,
+    BlockRef,
     EndSignal,
     IdleSignal,
     Message,
@@ -31,6 +34,9 @@ __all__ = [
     "IdleSignal",
     "TaskAssign",
     "TaskResult",
+    "BatchAssign",
+    "BatchResult",
+    "BlockRef",
     "EndSignal",
     "Channel",
     "ChannelClosed",

@@ -72,6 +72,55 @@ class TaskResult(Message):
 
 
 @dataclass(frozen=True)
+class BlockRef:
+    """Handle to a DP block parked in a shared-memory segment.
+
+    Not a :class:`Message` — a ``BlockRef`` rides *inside* a task
+    message's payload dict where the ndarray used to be, and the
+    receiving :class:`~repro.comm.shm.ShmChannel` rehydrates it back
+    into an ndarray before the runtime sees the message. The digest of
+    a rehydrated block is bit-identical to the digest of the original
+    array (same dtype/shape/C-order bytes), so the integrity tier never
+    notices the transport changed.
+    """
+
+    #: ``multiprocessing.shared_memory`` segment name (run-prefixed).
+    segment: str
+    #: ``numpy.dtype.str`` of the parked array.
+    dtype: str
+    shape: Tuple[int, ...]
+    #: Byte length of the parked C-order buffer.
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class BatchAssign(Message):
+    """Master -> slave: one computable anti-diagonal wave in one envelope.
+
+    Each element is a fully-formed :class:`TaskAssign` — registered,
+    leased, and digest-stamped individually — so retry/lease/journal
+    semantics stay per-subtask; only the *transport* is amortized (one
+    message envelope for the whole wave, the α term of the link model).
+    """
+
+    assigns: Tuple[TaskAssign, ...]
+
+
+@dataclass(frozen=True)
+class BatchResult(Message):
+    """Slave -> master: every finished sub-task of one assigned wave.
+
+    Mirrors :class:`BatchAssign`: each element is a complete
+    :class:`TaskResult` (own epoch, elapsed, digest) and the master
+    verifies/commits them one by one; a worker that dies mid-wave simply
+    never sends the envelope and every registered subtask times out.
+    """
+
+    slave_id: int
+    results: Tuple[TaskResult, ...]
+
+
+@dataclass(frozen=True)
 class Heartbeat(Message):
     """Slave -> master: periodic liveness beacon (lease renewal).
 

@@ -18,13 +18,21 @@ receive rather than silently merged into the DP table.
 from __future__ import annotations
 
 import hashlib
+import pickle
 import struct
 from numbers import Number
-from typing import Any, Optional
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.comm.messages import Message, TaskAssign, TaskResult
+from repro.comm.messages import (
+    BatchAssign,
+    BatchResult,
+    BlockRef,
+    Message,
+    TaskAssign,
+    TaskResult,
+)
 
 #: Fixed per-message envelope (headers, task id, epoch) in bytes.
 MESSAGE_ENVELOPE_BYTES = 64
@@ -123,6 +131,11 @@ def payload_nbytes(obj: Any) -> int:
         return 0
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes)
+    if isinstance(obj, BlockRef):
+        # A ref stands for the block it points at: the bytes still move
+        # end to end (through the segment instead of the pipe), so byte
+        # counters stay identical whether the shm plane is on or off.
+        return int(obj.nbytes)
     if isinstance(obj, (bytes, bytearray, memoryview)):
         return len(obj)
     if isinstance(obj, str):
@@ -137,9 +150,43 @@ def payload_nbytes(obj: Any) -> int:
 
 
 def message_nbytes(msg: Message) -> int:
-    """Wire size of a protocol message: envelope plus data payload."""
+    """Wire size of a protocol message: envelope plus data payload.
+
+    A batch costs ONE envelope plus the payloads of every subtask it
+    carries — the α-amortization the batching exists for: n messages
+    collapse to one, their β·size payload cost is unchanged.
+    """
     if isinstance(msg, TaskAssign):
         return MESSAGE_ENVELOPE_BYTES + payload_nbytes(msg.inputs)
     if isinstance(msg, TaskResult):
         return MESSAGE_ENVELOPE_BYTES + payload_nbytes(msg.outputs)
+    if isinstance(msg, BatchAssign):
+        return MESSAGE_ENVELOPE_BYTES + sum(
+            payload_nbytes(a.inputs) for a in msg.assigns
+        )
+    if isinstance(msg, BatchResult):
+        return MESSAGE_ENVELOPE_BYTES + sum(
+            payload_nbytes(r.outputs) for r in msg.results
+        )
     return MESSAGE_ENVELOPE_BYTES
+
+
+# -- pickle protocol-5 out-of-band buffer round-trip ------------------------------
+
+
+def oob_dumps(obj: Any) -> Tuple[bytes, List[bytes]]:
+    """Pickle ``obj`` with protocol 5, extracting payload buffers out-of-band.
+
+    Returns ``(payload, buffers)``: the pickle stream plus the raw buffer
+    blocks (contiguous ndarray data, large bytes objects) that a
+    zero-copy transport can ship separately — e.g. written straight into
+    a shared-memory segment instead of being copied into the stream.
+    """
+    buffers: List[pickle.PickleBuffer] = []
+    payload = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+    return payload, [b.raw().tobytes() for b in buffers]
+
+
+def oob_loads(payload: bytes, buffers: Sequence[Any]) -> Any:
+    """Inverse of :func:`oob_dumps`; ``buffers`` may be bytes or memoryviews."""
+    return pickle.loads(payload, buffers=buffers)

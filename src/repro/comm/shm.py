@@ -1,0 +1,353 @@
+"""Zero-copy block transport over ``multiprocessing.shared_memory``.
+
+The processes backend's hot path used to pickle every DP block payload
+through the master<->slave pipes. This module moves the blocks *by
+reference* instead: the sender parks each large ndarray in a
+shared-memory segment and ships a tiny :class:`~repro.comm.messages.BlockRef`
+handle in its place; the receiver attaches the segment, copies the block
+out (one memcpy — the only per-hop copy left), and unlinks it.
+
+Design rules:
+
+- **Transparency.** :class:`ShmChannel` is a
+  :class:`~repro.comm.transport.DelegatingChannel`: it encodes payloads
+  on ``_send`` and rehydrates them on ``_recv``, so the master, the
+  slave, and the chaos layer all keep seeing plain ndarrays. Digests
+  are stamped over arrays before encode and verified after decode, so
+  the integrity tier (digest/audit/vote) is preserved bit-for-bit.
+- **Receiver unlinks.** The receiving side unlinks each segment right
+  after copying out of it, so the steady-state footprint is one wave of
+  blocks, not the whole DP table. Undelivered segments (dropped
+  messages, dead workers) are reclaimed by the sender-side
+  :class:`BlockStore` release hooks and, as the backstop, by the
+  master's end-of-run :func:`sweep_segments` over the run's name prefix.
+- **Failure is a drop, not a crash.** A mid-run attach failure (the
+  segment is gone — e.g. the worker was restarted by a resume, or a
+  duplicate delivery raced the first copy's unlink) surfaces as a
+  :class:`~repro.comm.transport.ChannelTimeout`, i.e. exactly a dropped
+  message: the slave keeps polling, the master's overtime/lease scan
+  cancels the dispatch and requeues it with the normal charged retry
+  budget. Nothing raises out of the runtime.
+
+Only arrays of at least ``REPRO_SHM_MIN_BYTES`` (default 512) go through
+segments; smaller blocks ride the pipe inline, where the fixed segment
+setup cost would exceed the pickle it avoids.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import uuid
+from dataclasses import replace
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.comm.messages import (
+    BatchAssign,
+    BatchResult,
+    BlockRef,
+    Message,
+    TaskAssign,
+    TaskResult,
+)
+from repro.comm.transport import Channel, ChannelTimeout, DelegatingChannel
+
+#: Arrays below this many bytes stay inline in the message (env override
+#: ``REPRO_SHM_MIN_BYTES``). Low by default so small test instances still
+#: exercise the segment path.
+SHM_MIN_BYTES = int(os.environ.get("REPRO_SHM_MIN_BYTES", "512"))
+
+#: Where POSIX shared memory appears as files (Linux); used by the
+#: leak sweep. On platforms without it the sweep degrades to the names
+#: the local store remembers.
+_DEV_SHM = "/dev/shm"
+
+
+def _untrack(name: str) -> None:
+    """Undo the resource tracker's registration of one segment.
+
+    Both creating and attaching a ``SharedMemory`` registers it with the
+    per-process resource tracker (Python < 3.13 has no ``track=False``),
+    which would double-unlink and spam warnings once segments legally
+    outlive their creator. Reclamation here is deterministic — receiver
+    unlink plus the master's prefix sweep — so tracking is noise.
+    """
+    try:
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:
+        pass
+
+
+def run_prefix() -> str:
+    """A fresh per-run segment name prefix (shared by master and slaves)."""
+    return f"repro-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+
+
+class BlockStore:
+    """Sender-side registry of the shared-memory segments one endpoint made.
+
+    Each park records the segment under the run prefix; :meth:`release`
+    and :meth:`sweep` unlink whatever the receiver has not already
+    reclaimed (unlink of a gone segment is a no-op). The master keeps
+    one store and wires its release hooks into commit, requeue, and
+    worker-leave paths; each slave process keeps its own for results.
+    """
+
+    def __init__(self, prefix: str) -> None:
+        self.prefix = prefix
+        self._seq = 0
+        #: segment name -> task_id that parked it (None for results the
+        #: task routing does not track); used by the release hooks.
+        self._live: Dict[str, Any] = {}
+
+    def park(self, array: np.ndarray, owner: Any = None) -> BlockRef:
+        """Copy ``array`` into a fresh segment and return its handle."""
+        block = np.ascontiguousarray(array)
+        self._seq += 1
+        name = f"{self.prefix}-{os.getpid()}-{self._seq}"
+        nbytes = max(1, int(block.nbytes))  # zero-size segments are illegal
+        seg = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+        try:
+            if block.nbytes:
+                view = np.ndarray(block.shape, dtype=block.dtype, buffer=seg.buf)
+                view[...] = block
+                del view
+        finally:
+            seg.close()
+        _untrack(name)
+        self._live[name] = owner
+        return BlockRef(
+            segment=name,
+            dtype=block.dtype.str,
+            shape=tuple(block.shape),
+            nbytes=int(block.nbytes),
+        )
+
+    def forget(self, name: str) -> None:
+        """Stop tracking a segment the receiver is now responsible for."""
+        self._live.pop(name, None)
+
+    def release(self, name: str) -> None:
+        """Unlink one segment if it still exists (idempotent)."""
+        self._live.pop(name, None)
+        _unlink_quiet(name)
+
+    def release_owner(self, owner: Any) -> int:
+        """Unlink every live segment parked for ``owner`` (a task id).
+
+        The master calls this when a dispatch settles — commit, requeue
+        after timeout/lease expiry, worker retirement — so segments for
+        undelivered assigns never outlive the dispatch they served.
+        """
+        names = [n for n, o in self._live.items() if o == owner]
+        for name in names:
+            self.release(name)
+        return len(names)
+
+    def sweep(self) -> int:
+        """Unlink every segment this store still tracks; returns the count."""
+        names = list(self._live)
+        for name in names:
+            self.release(name)
+        return len(names)
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+
+def _unlink_quiet(name: str) -> bool:
+    """Unlink a segment by name; False when it was already gone.
+
+    ``unlink`` also cancels the registration the attach just made, so the
+    tracker books stay balanced; only when unlink loses a race is the
+    registration dropped by hand.
+    """
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError):
+        return False
+    try:
+        seg.close()
+        seg.unlink()
+    except (FileNotFoundError, OSError):
+        _untrack(name)
+        return False
+    return True
+
+
+def leaked_segments(prefix: str) -> List[str]:
+    """Names of run-prefixed segments still present on this host."""
+    try:
+        entries = os.listdir(_DEV_SHM)
+    except OSError:
+        return []
+    return sorted(e for e in entries if e.startswith(prefix))
+
+
+def sweep_segments(prefix: str) -> int:
+    """Force-unlink every remaining segment of one run (the teardown
+    backstop: catches orphans from workers that died mid-park)."""
+    count = 0
+    for name in leaked_segments(prefix):
+        if _unlink_quiet(name):
+            count += 1
+    return count
+
+
+def attach_copy(ref: BlockRef) -> np.ndarray:
+    """Rehydrate one block: attach, copy out, close, unlink.
+
+    Raises ``FileNotFoundError``/``OSError`` when the segment is gone —
+    callers translate that into dropped-message semantics.
+    """
+    dtype = np.dtype(ref.dtype)
+    if not ref.nbytes:
+        return np.empty(ref.shape, dtype=dtype)
+    seg = shared_memory.SharedMemory(name=ref.segment)
+    try:
+        view = np.ndarray(ref.shape, dtype=dtype, buffer=seg.buf)
+        block = np.array(view, copy=True)
+        del view
+    finally:
+        seg.close()
+    try:
+        # Receiver unlinks: destroys the segment and cancels the attach's
+        # tracker registration in one go (balanced books either way).
+        seg.unlink()
+    except (FileNotFoundError, OSError):
+        _untrack(ref.segment)
+    return block
+
+
+# -- payload (en/de)coding ---------------------------------------------------------
+
+
+def _encode_payload(
+    store: BlockStore, payload: Dict[str, Any], owner: Any
+) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for key, value in payload.items():
+        if isinstance(value, np.ndarray) and value.nbytes >= SHM_MIN_BYTES:
+            out[key] = store.park(value, owner=owner)
+        else:
+            out[key] = value
+    return out
+
+
+def _decode_payload(payload: Dict[str, Any]) -> Tuple[Dict[str, Any], int]:
+    """Rehydrate every ref; returns ``(decoded, bytes_attached)``."""
+    out: Dict[str, Any] = {}
+    attached = 0
+    for key, value in payload.items():
+        if isinstance(value, BlockRef):
+            out[key] = attach_copy(value)
+            attached += value.nbytes
+        else:
+            out[key] = value
+    return out, attached
+
+
+class ShmChannel(DelegatingChannel):
+    """Channel wrapper that moves large block payloads through segments.
+
+    Wrap the raw transport on *both* endpoints of a processes-backend
+    connection (the chaos wrapper, when present, goes outside it on the
+    master side, so faults mutate the decoded arrays the runtime sees,
+    not the opaque refs). Assign payloads are parked by the master's
+    store, result payloads by the slave's; each side decodes what the
+    other parked.
+    """
+
+    def __init__(self, inner: Channel, store: BlockStore) -> None:
+        super().__init__(inner)
+        self.store = store
+        #: Attach failures translated into drops (mirrors the chaos
+        #: channel's ``faults_injected`` so reports can count them).
+        self.attach_failures = 0
+        #: Bytes attached while decoding the current message (drives the
+        #: per-message ``shm-attach`` span).
+        self._attached = 0
+
+    # -- encode (send side) --------------------------------------------------
+
+    def _encode(self, msg: Message) -> Message:
+        if isinstance(msg, TaskAssign):
+            return replace(
+                msg, inputs=_encode_payload(self.store, msg.inputs, msg.task_id)
+            )
+        if isinstance(msg, TaskResult):
+            return replace(
+                msg, outputs=_encode_payload(self.store, msg.outputs, msg.task_id)
+            )
+        if isinstance(msg, BatchAssign):
+            return BatchAssign(assigns=tuple(self._encode(a) for a in msg.assigns))
+        if isinstance(msg, BatchResult):
+            return replace(
+                msg, results=tuple(self._encode(r) for r in msg.results)
+            )
+        return msg
+
+    def _send(self, msg: Message) -> None:
+        self.inner._send(self._encode(msg))
+
+    # -- decode (recv side) --------------------------------------------------
+
+    def _decode(self, msg: Message) -> Message:
+        if isinstance(msg, TaskAssign):
+            inputs, n = _decode_payload(msg.inputs)
+            self._attached += n
+            return replace(msg, inputs=inputs) if n else msg
+        if isinstance(msg, TaskResult):
+            outputs, n = _decode_payload(msg.outputs)
+            self._attached += n
+            return replace(msg, outputs=outputs) if n else msg
+        if isinstance(msg, BatchAssign):
+            return BatchAssign(assigns=tuple(self._decode(a) for a in msg.assigns))
+        if isinstance(msg, BatchResult):
+            return replace(msg, results=tuple(self._decode(r) for r in msg.results))
+        return msg
+
+    def _recv(self, timeout: Optional[float]) -> Message:
+        msg = self.inner._recv(timeout)
+        t0 = time.perf_counter()
+        self._attached = 0
+        try:
+            decoded = self._decode(msg)
+        except (FileNotFoundError, OSError) as exc:
+            # The segment is gone (worker restarted by resume, duplicate
+            # delivery racing the first unlink, sweep beat us to it).
+            # Degrade to a dropped message: the sender's retry machinery
+            # — slave re-announce, master overtime requeue with charged
+            # budget — recovers exactly as for a chaos ``drop``.
+            self.attach_failures += 1
+            if self._obs.enabled:
+                self._obs.emit(
+                    "shm-attach",
+                    getattr(msg, "task_id", None),
+                    epoch=getattr(msg, "epoch", -1),
+                    node=getattr(self, "_obs_node", -1),
+                    scope="message",
+                    ok=False,
+                    error=str(exc),
+                    t0=t0,
+                    t1=time.perf_counter(),
+                )
+            raise ChannelTimeout(
+                f"shm attach failed, message dropped: {exc}"
+            ) from exc
+        if self._attached and self._obs.enabled:
+            self._obs.emit(
+                "shm-attach",
+                getattr(msg, "task_id", None),
+                epoch=getattr(msg, "epoch", -1),
+                node=getattr(self, "_obs_node", -1),
+                scope="message",
+                ok=True,
+                nbytes=self._attached,
+                t0=t0,
+                t1=time.perf_counter(),
+            )
+        return decoded

@@ -23,6 +23,7 @@ metrics registry per endpoint.
 from __future__ import annotations
 
 import multiprocessing.connection
+import pickle
 import queue
 import time
 from typing import Optional, Tuple
@@ -116,16 +117,30 @@ class Channel:
         self.received_messages += 1
         self.received_bytes += nbytes
         if self._obs.enabled:
+            # t_read / t_deser are the receive-side wire-copy and
+            # unpickle durations (seconds) for transports that
+            # deserialize (the pipe channel); absent for in-process
+            # queues, which hand the object across directly.
+            t_read, t_deser = self._take_recv_costs()
+            data = dict(
+                nbytes=nbytes,
+                type=type(msg).__name__,
+                endpoint=self.endpoint,
+            )
+            if t_read is not None:
+                data["t_read"] = t_read
+            if t_deser is not None:
+                data["t_deser"] = t_deser
             self._obs.emit(
                 "msg-recv",
                 getattr(msg, "task_id", None),
                 epoch=getattr(msg, "epoch", -1),
                 node=getattr(self, "_obs_node", -1),
                 scope="message",
-                nbytes=nbytes,
-                type=type(msg).__name__,
-                endpoint=self.endpoint,
+                **data,
             )
+        else:
+            self._take_recv_costs()
         return msg
 
     def publish_metrics(self, registry) -> None:
@@ -153,6 +168,22 @@ class Channel:
     def _recv(self, timeout: Optional[float]) -> Message:
         raise NotImplementedError
 
+    def _take_recv_costs(self) -> Tuple[Optional[float], Optional[float]]:
+        """Pop ``(t_read, t_deser)`` of the message just received.
+
+        Transports that copy bytes and unpickle on receive
+        (:class:`PipeChannel`) stash the two durations; the public
+        ``recv`` — possibly on a wrapper several layers up — collects
+        them for the ``msg-recv`` telemetry event. ``t_read`` is the
+        post-poll pipe read (the receive-side wire copy, cleanly
+        separated from blocking wait by the preceding ``poll``);
+        ``t_deser`` is the unpickle. Both None when the transport hands
+        objects across directly (in-process queues).
+        """
+        costs = (getattr(self, "_read_s", None), getattr(self, "_deser_s", None))
+        self._read_s = self._deser_s = None
+        return costs
+
 
 class DelegatingChannel(Channel):
     """A channel that forwards its raw transport hooks to an inner channel.
@@ -174,6 +205,10 @@ class DelegatingChannel(Channel):
 
     def _recv(self, timeout: Optional[float]) -> Message:
         return self.inner._recv(timeout)
+
+    def _take_recv_costs(self) -> Tuple[Optional[float], Optional[float]]:
+        # Prefer the transport's timing; wrappers themselves never stash.
+        return self.inner._take_recv_costs()
 
     def close(self) -> None:
         super().close()
@@ -222,9 +257,21 @@ class PipeChannel(Channel):
         try:
             if not self._conn.poll(timeout):
                 raise ChannelTimeout(f"no message within {timeout}s")
-            return self._conn.recv()
+            # Split the blocking wait (poll), the wire copy (recv_bytes)
+            # and the unpickle so the receive-side costs are measurable
+            # on their own (``Connection.recv`` fuses all three): the
+            # read lands in ``_read_s`` (wire lane), the CPU part in
+            # ``_deser_s`` (serialize lane) for the msg-recv event.
+            r0 = time.perf_counter()
+            buf = self._conn.recv_bytes()
+            r1 = time.perf_counter()
         except (EOFError, BrokenPipeError, OSError) as exc:
             raise ChannelClosed(f"peer gone: {exc}") from exc
+        msg = pickle.loads(buf)
+        d1 = time.perf_counter()
+        self._read_s = r1 - r0
+        self._deser_s = d1 - r1
+        return msg
 
     def close(self) -> None:
         super().close()

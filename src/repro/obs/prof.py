@@ -151,6 +151,25 @@ def build_profile(
                     nbytes = int(_get_float(ev, "nbytes") or 0)
                     secs = (t_wire or 0.0) + (t_ser or 0.0)
                     assign_cost[(ev.task_id, ev.epoch)] = (secs, nbytes)
+            elif ev.kind == "msg-recv":
+                # Receive-side costs (pipe transport): the post-poll
+                # pipe read is the wire copy, the unpickle is
+                # serialization work. Counting both keeps the inline
+                # path and the zero-copy path (whose rehydration lands
+                # below as ``shm-attach``) attributed symmetrically.
+                t_read = _get_float(ev, "t_read")
+                if t_read is not None:
+                    wire += t_read
+                t_deser = _get_float(ev, "t_deser")
+                if t_deser is not None:
+                    serialize += t_deser
+            elif ev.kind == "shm-attach":
+                # Receive-side segment attach+copy of the zero-copy data
+                # plane: rehydration work, so it lands in the serialize
+                # bucket next to the pickle time it replaces.
+                span = ev.span()
+                if span is not None:
+                    serialize += span[1] - span[0]
             continue
         if ev.scope != "task":
             continue

@@ -111,7 +111,15 @@ DURABLE_KINDS = (
 #: - ``journal-write`` — one write-ahead journal append (fsync
 #:   included), with the framed record size in ``nbytes``;
 #: - ``digest-compute`` — one canonical content-digest computation
-#:   (``hop`` says which: ``assign``, ``verify``, ``commit``, ``audit``).
+#:   (``hop`` says which: ``assign``, ``verify``, ``commit``, ``audit``);
+#: - ``shm-attach`` — one message's shared-memory payload attach+copy on
+#:   the receive side (zero-copy data plane, ``config.shm``); ``ok``
+#:   says whether every segment was still mapped, ``nbytes`` the bytes
+#:   rehydrated. Message scope, attributed to the serialize bucket;
+#: - ``batch-assemble`` — the master gathered one ``BatchAssign`` wave
+#:   (``n_tasks`` elements, ``config.batch_wave``). A marker span kept
+#:   out of the attribution buckets: the gather runs inside the dispatch
+#:   path whose cost the per-message lanes already carry.
 #:
 #: Only emitted while observing, like every other kind — the disabled
 #: path computes no timestamps and allocates nothing.
@@ -119,6 +127,8 @@ PROF_KINDS = (
     "queue-wait",
     "journal-write",
     "digest-compute",
+    "shm-attach",
+    "batch-assemble",
 )
 
 

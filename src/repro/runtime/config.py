@@ -264,6 +264,25 @@ class RunConfig:
     quarantine_threshold: int = field(
         default_factory=_env_int("REPRO_QUARANTINE_THRESHOLD", 2)
     )
+    #: Batched wavefront dispatch: an idle worker gets an entire
+    #: computable anti-diagonal wave (up to :attr:`max_batch` sub-tasks)
+    #: in one ``BatchAssign`` envelope and answers with one
+    #: ``BatchResult`` — amortizing the per-message α cost the cluster
+    #: link model charges. Every subtask keeps its own epoch, lease,
+    #: digest, and journal commit, so retry/durability/SDC semantics are
+    #: unchanged. Off by default (one task per message, the paper's
+    #: protocol). Overridable via ``REPRO_BATCH_WAVE``.
+    batch_wave: bool = field(default_factory=_env_bool("REPRO_BATCH_WAVE", False))
+    #: Largest wave one ``BatchAssign`` may carry. Overridable via
+    #: ``REPRO_MAX_BATCH``.
+    max_batch: int = field(default_factory=_env_int("REPRO_MAX_BATCH", 8))
+    #: Zero-copy shared-memory data plane (processes backend only):
+    #: large block payloads move through ``multiprocessing.shared_memory``
+    #: segments as :class:`~repro.comm.messages.BlockRef` handles instead
+    #: of being pickled through the pipe (:mod:`repro.comm.shm`). Other
+    #: backends ignore it (threads already share memory; serial and
+    #: simulated move no real bytes). Overridable via ``REPRO_SHM``.
+    shm: bool = field(default_factory=_env_bool("REPRO_SHM", False))
 
     def __post_init__(self) -> None:
         check_in("backend", self.backend, BACKENDS)
@@ -330,6 +349,9 @@ class RunConfig:
             raise ConfigError(
                 f"quarantine_threshold must be >= 1, got {self.quarantine_threshold}"
             )
+        check_type("batch_wave", self.batch_wave, bool)
+        check_type("shm", self.shm, bool)
+        check_positive("max_batch", self.max_batch)
 
     # -- derived ------------------------------------------------------------
 

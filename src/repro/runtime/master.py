@@ -75,6 +75,8 @@ from repro.algorithms.problem import DPProblem
 from repro.check.lock_lint import make_lock
 from repro.check.trace_check import TraceRecorder
 from repro.comm.messages import (
+    BatchAssign,
+    BatchResult,
     EndSignal,
     Heartbeat,
     IdleSignal,
@@ -84,6 +86,7 @@ from repro.comm.messages import (
     WorkerLeave,
 )
 from repro.comm.serialization import content_digest, message_nbytes
+from repro.comm.shm import BlockStore
 from repro.comm.transport import Channel, ChannelClosed, ChannelTimeout
 from repro.dag.parser import DAGParser
 from repro.dag.partition import Partition
@@ -107,6 +110,13 @@ from repro.utils.errors import (
     SchedulerError,
     WorkerLeakWarning,
 )
+
+
+#: Sentinel returned by :meth:`MasterPart._prepare_assign` when the worker
+#: was retired (blacklist/leave/quarantine) between the pop and the
+#: registration re-check — distinct from None, which means "no eligible
+#: task right now".
+_RETIRED = object()
 
 
 @dataclass
@@ -192,6 +202,9 @@ class MasterPart:
         quarantine_threshold: int = 2,
         run_digest: Optional[str] = None,
         commit_digests: Optional[Dict[TaskId, Optional[str]]] = None,
+        batch_wave: bool = False,
+        max_batch: int = 8,
+        block_store: Optional[BlockStore] = None,
     ) -> None:
         if not channels:
             raise SchedulerError("master needs at least one slave channel")
@@ -215,6 +228,20 @@ class MasterPart:
         self.stall_timeout = (
             stall_timeout if stall_timeout is not None else 2.0 * task_timeout + 1.0
         )
+        #: Batched wavefront dispatch (``RunConfig.batch_wave``): answer an
+        #: idle announcement with up to ``max_batch`` computable sub-tasks
+        #: in ONE BatchAssign envelope. Each sub-task is registered,
+        #: leased, overtime-watched, and digest-stamped individually, so
+        #: retry/lease/journal semantics are unchanged — only the message
+        #: count (the α term) is amortized.
+        self.batch_wave = batch_wave
+        self.max_batch = max(1, int(max_batch))
+        #: Shared-memory block store of the zero-copy data plane (processes
+        #: backend with ``RunConfig.shm``; None elsewhere). The master
+        #: releases a task's parked segments whenever its dispatch settles
+        #: — commit, requeue, worker retirement — and sweeps the rest at
+        #: teardown, so undelivered assigns never leak segments.
+        self.block_store = block_store
 
         self.verify = verify
         #: Unified scheduling instrumentation: the happens-before trace
@@ -374,6 +401,14 @@ class MasterPart:
         """
         self._ready_at[task_id] = self.clock.now()
 
+    def _release_blocks(self, task_id: TaskId) -> None:
+        """Unlink the shm segments parked for a settled dispatch (no-op
+        without a block store). Called before any re-queue push, so a
+        fresh dispatch can never park new segments that this release
+        would then tear out from under it."""
+        if self.block_store is not None:
+            self.block_store.release_owner(task_id)
+
     def _timed_digest(
         self, payload, task_id: TaskId, epoch: int, worker_id: int, hop: str
     ):
@@ -466,6 +501,11 @@ class MasterPart:
                 t.join(timeout=10.0)
             ft.join(timeout=10.0)
             self._surface_leaks([*workers, ft])
+            if self.block_store is not None:
+                # Backstop for segments whose dispatch never settled (e.g.
+                # an abort mid-wave); the processes backend additionally
+                # prefix-sweeps /dev/shm after the slaves exit.
+                self.block_store.sweep()
             for ch in channels:
                 self.stats.messages += ch.sent_messages + ch.received_messages
                 self.stats.bytes_to_slaves += ch.sent_bytes
@@ -561,6 +601,7 @@ class MasterPart:
         with self._state_lock:
             self.problem.apply_result(self.state, self.partition, task_id, outputs)
         self._committed[task_id] = epoch
+        self._release_blocks(task_id)
         if self._digest_on:
             self._run_digest_acc = fold_commit(self._run_digest_acc, task_id, digest)
             self._commit_digests[task_id] = digest
@@ -665,6 +706,7 @@ class MasterPart:
             if not self._register.cancel(task_id, reg.epoch):
                 continue
             self._leases.drop(task_id, reg.epoch)
+            self._release_blocks(task_id)
             self._budget_exempt[task_id] = self._budget_exempt.get(task_id, 0) + 1
             if self.sched.enabled:
                 self.sched.record("redistribute", task_id, reg.epoch)
@@ -839,6 +881,117 @@ class MasterPart:
 
     # -- per-slave worker thread (Fig 9 steps d-f) ------------------------------------
 
+    def _prepare_assign(self, worker_id: int, block: bool):
+        """Pop one eligible task and build its fully-dressed TaskAssign.
+
+        "Fully dressed" means everything a single dispatch gets: a fresh
+        registration epoch, the queue-wait/assign records, the overtime
+        entry, the lease, the extracted inputs, and the content digest —
+        batching amortizes only the envelope, never the semantics.
+
+        Returns the assign; None when no task is currently eligible
+        (``block=False`` polls, ``block=True`` waits for work or close);
+        or :data:`_RETIRED` when the worker was retired during the pop.
+        """
+        task_id = self._stack.pop_eligible(
+            worker_id, self.policy, timeout=None if block else 0
+        )
+        if task_id is None:
+            return None
+        epoch = self._register.register(task_id, worker_id, self.clock.now())
+        if (
+            worker_id in self._blacklisted
+            or worker_id in self._left
+            or worker_id in self._quarantined
+        ):
+            # Retired while we were popping: registering first and
+            # re-checking closes the race with the eviction scan —
+            # whichever side wins the cancel re-queues the task exactly
+            # once, and this worker never runs it (the
+            # no-commit-after-blacklist invariant).
+            if self._register.cancel(task_id, epoch):
+                self._stack.push(task_id)
+            return _RETIRED
+        if self.sched.observing:
+            # queue-wait span first, so the task's "assign" (which
+            # closes the wait) serializes after it in the stream.
+            now = self.clock.now()
+            ready_at = self._ready_at.pop(task_id, None)
+            if ready_at is not None:
+                self.sched.record(
+                    "queue-wait", task_id, epoch, worker_id,
+                    ts=now, t0=ready_at, t1=now,
+                )
+        if self.sched.enabled:
+            self.sched.record("assign", task_id, epoch, worker_id)
+        with self._state_lock:
+            inputs = self.problem.extract_inputs(self.state, self.partition, task_id)
+        self._overtime.push(
+            OvertimeEntry(
+                deadline=self.clock.now() + self.task_timeout,
+                task_id=task_id,
+                epoch=epoch,
+            )
+        )
+        lease = 0.0
+        if self._lease_duration is not None:
+            lease = self._lease_duration
+            self._leases.grant(task_id, epoch, worker_id, self.clock.now(), lease)
+        return TaskAssign(
+            task_id=task_id,
+            epoch=epoch,
+            inputs=inputs,
+            lease=lease,
+            digest=(
+                self._timed_digest(inputs, task_id, epoch, worker_id, "assign")
+                if self._digest_on
+                else None
+            ),
+        )
+
+    def _unwind_assign(self, assign: TaskAssign) -> None:
+        """Undo one prepared-but-never-sent assign (mid-gather retirement):
+        cancel its registration, drop its lease, and re-queue the task
+        budget-free — the task did nothing wrong, its wave fell apart."""
+        if not self._register.cancel(assign.task_id, assign.epoch):
+            return
+        self._leases.drop(assign.task_id, assign.epoch)
+        self._budget_exempt[assign.task_id] = (
+            self._budget_exempt.get(assign.task_id, 0) + 1
+        )
+        if self.sched.enabled:
+            self.sched.record("redistribute", assign.task_id, assign.epoch)
+        self._stack.push(assign.task_id)
+
+    def _gather_wave(self, worker_id: int, first: TaskAssign):
+        """Grow one dispatch into a whole computable wave (``batch_wave``).
+
+        Non-blocking pops drain whatever is computable *right now*, up to
+        ``max_batch`` — the anti-diagonal the DAG currently exposes to
+        this worker. Returns a BatchAssign (single-task waves still ship
+        as a batch so the wire shape is knob-determined, not size-
+        determined), or None when the worker was retired mid-gather and
+        the whole wave was unwound.
+        """
+        t0 = self.clock.now() if self.sched.observing else 0.0
+        assigns = [first]
+        while len(assigns) < self.max_batch:
+            nxt = self._prepare_assign(worker_id, block=False)
+            if nxt is None:
+                break
+            if nxt is _RETIRED:
+                for a in assigns:
+                    self._unwind_assign(a)
+                return None
+            assigns.append(nxt)
+        if self.sched.observing:
+            t1 = self.clock.now()
+            self.sched.record(
+                "batch-assemble", None, -1, worker_id,
+                ts=t1, t0=t0, t1=t1, n_tasks=len(assigns),
+            )
+        return BatchAssign(assigns=tuple(assigns))
+
     def _serve_slave(self, worker_id: int) -> None:
         channel = self.channels[worker_id]
         ended = False
@@ -894,158 +1047,132 @@ class MasterPart:
                     # the overtime check cancels it, and the next
                     # announcement is admitted.
                     continue
-                task_id = self._stack.pop_eligible(worker_id, self.policy)
-                if task_id is None:
+                first = self._prepare_assign(worker_id, block=True)
+                if first is None or first is _RETIRED:
+                    # Pool closed (end of schedule) or the worker retired
+                    # mid-pop; either way this worker gets no more work.
                     self._try_send_end(channel)
                     ended = True
                     continue
-                epoch = self._register.register(task_id, worker_id, self.clock.now())
-                if (
-                    worker_id in self._blacklisted
-                    or worker_id in self._left
-                    or worker_id in self._quarantined
-                ):
-                    # Blacklisted while we were popping: registering first
-                    # and re-checking closes the race with the eviction
-                    # scan — whichever side wins the cancel re-queues the
-                    # task exactly once, and this worker never runs it
-                    # (the no-commit-after-blacklist invariant).
-                    if self._register.cancel(task_id, epoch):
-                        self._stack.push(task_id)
+                outgoing = (
+                    self._gather_wave(worker_id, first) if self.batch_wave else first
+                )
+                if outgoing is None:
+                    # Retired mid-gather; the whole wave was unwound.
                     self._try_send_end(channel)
                     ended = True
                     continue
-                if self.sched.observing:
-                    # queue-wait span first, so the task's "assign" (which
-                    # closes the wait) serializes after it in the stream.
-                    now = self.clock.now()
-                    ready_at = self._ready_at.pop(task_id, None)
-                    if ready_at is not None:
-                        self.sched.record(
-                            "queue-wait", task_id, epoch, worker_id,
-                            ts=now, t0=ready_at, t1=now,
-                        )
-                if self.sched.enabled:
-                    self.sched.record("assign", task_id, epoch, worker_id)
-                with self._state_lock:
-                    inputs = self.problem.extract_inputs(self.state, self.partition, task_id)
-                self._overtime.push(
-                    OvertimeEntry(
-                        deadline=self.clock.now() + self.task_timeout,
-                        task_id=task_id,
-                        epoch=epoch,
-                    )
-                )
-                lease = 0.0
-                if self._lease_duration is not None:
-                    lease = self._lease_duration
-                    self._leases.grant(
-                        task_id, epoch, worker_id, self.clock.now(), lease
-                    )
-                assign = TaskAssign(
-                    task_id=task_id,
-                    epoch=epoch,
-                    inputs=inputs,
-                    lease=lease,
-                    digest=(
-                        self._timed_digest(inputs, task_id, epoch, worker_id, "assign")
-                        if self._digest_on
-                        else None
-                    ),
-                )
                 self._last_progress = self.clock.now()
                 try:
-                    channel.send(assign)
+                    channel.send(outgoing)
                 except ChannelClosed:
                     return
                 if self.sched.observing:
-                    self.sched.record(
-                        "send", task_id, epoch, worker_id, nbytes=message_nbytes(assign)
+                    parts = (
+                        outgoing.assigns
+                        if isinstance(outgoing, BatchAssign)
+                        else (outgoing,)
                     )
+                    for a in parts:
+                        self.sched.record(
+                            "send", a.task_id, a.epoch, worker_id,
+                            nbytes=message_nbytes(a),
+                        )
+            elif isinstance(msg, BatchResult):
+                for part in msg.results:
+                    if not self._handle_result(part, worker_id):
+                        return
             elif isinstance(msg, TaskResult):
-                if (
-                    self._digest_on
-                    and msg.digest is not None
-                    and self._timed_digest(
-                        msg.outputs, msg.task_id, msg.epoch, worker_id, "verify"
-                    ) != msg.digest
-                ):
-                    # The payload no longer matches the digest the slave
-                    # stamped: in-transit corruption. Reject the result
-                    # and re-queue the task — never merge corrupt data
-                    # into state. The retry is charged like a timeout, so
-                    # a link that corrupts the same task every time ends
-                    # in a clean budget-exhausted abort, not a livelock.
-                    with self._results_lock:
-                        self.stats.digest_rejects += 1
-                    if self.sched.observing:
-                        self.sched.record(
-                            "digest-reject", msg.task_id, msg.epoch, worker_id,
-                            hop="result",
+                if not self._handle_result(msg, worker_id):
+                    return
+
+    def _handle_result(self, msg: TaskResult, worker_id: int) -> bool:
+        """Verify and buffer one TaskResult (possibly one element of a
+        BatchResult envelope — identical semantics either way). Returns
+        False when the run was aborted by a budget-exhausted reject."""
+        if (
+            self._digest_on
+            and msg.digest is not None
+            and self._timed_digest(
+                msg.outputs, msg.task_id, msg.epoch, worker_id, "verify"
+            ) != msg.digest
+        ):
+            # The payload no longer matches the digest the slave
+            # stamped: in-transit corruption. Reject the result
+            # and re-queue the task — never merge corrupt data
+            # into state. The retry is charged like a timeout, so
+            # a link that corrupts the same task every time ends
+            # in a clean budget-exhausted abort, not a livelock.
+            with self._results_lock:
+                self.stats.digest_rejects += 1
+            if self.sched.observing:
+                self.sched.record(
+                    "digest-reject", msg.task_id, msg.epoch, worker_id,
+                    hop="result",
+                )
+            if self._register.cancel(msg.task_id, msg.epoch):
+                self._leases.drop(msg.task_id, msg.epoch)
+                self._release_blocks(msg.task_id)
+                attempts = self._register.attempts(msg.task_id)
+                charged = attempts - self._budget_exempt.get(msg.task_id, 0)
+                if charged > self.max_retries + 1:
+                    self._abort(
+                        FaultToleranceExhausted(
+                            f"sub-task {msg.task_id} rejected for digest "
+                            f"mismatch on {charged} budgeted dispatches"
                         )
-                    if self._register.cancel(msg.task_id, msg.epoch):
-                        self._leases.drop(msg.task_id, msg.epoch)
-                        attempts = self._register.attempts(msg.task_id)
-                        charged = attempts - self._budget_exempt.get(msg.task_id, 0)
-                        if charged > self.max_retries + 1:
-                            self._abort(
-                                FaultToleranceExhausted(
-                                    f"sub-task {msg.task_id} rejected for digest "
-                                    f"mismatch on {charged} budgeted dispatches"
-                                )
-                            )
-                            return
-                        self.stats.faults_recovered += 1
-                        if self.sched.enabled:
-                            self.sched.record(
-                                "redistribute", msg.task_id, msg.epoch
-                            )
-                        self._stack.push(msg.task_id)
-                    continue
-                if self._register.finish(msg.task_id, msg.epoch):
-                    self._leases.drop(msg.task_id, msg.epoch)
-                    if self.sched.observing:
-                        # The compute span is synthesized on the master's
-                        # clock from the slave-reported duration, so the
-                        # same events exist whether the slave was a thread
-                        # or a separate OS process.
-                        now = self.sched.now()
-                        self.sched.record(
-                            "compute",
-                            msg.task_id,
-                            msg.epoch,
-                            node=worker_id,
-                            ts=now,
-                            t0=now - max(0.0, msg.elapsed),
-                            t1=now,
-                        )
-                        self.sched.record(
-                            "result",
-                            msg.task_id,
-                            msg.epoch,
-                            worker_id,
-                            nbytes=message_nbytes(msg),
-                            elapsed=msg.elapsed,
-                        )
-                    with self._results_lock:
-                        if self._digest_on and msg.digest is not None:
-                            self._digests_verified += 1
-                        self._result_buffer[msg.task_id] = (
-                            msg.outputs,
-                            msg.epoch,
-                            worker_id,
-                            msg.digest if self._digest_on else None,
-                        )
-                    self._finished.push(msg.task_id)
-                    self._last_progress = self.clock.now()
-                    self._durations.append(max(0.0, msg.elapsed))
-                    self.stats.tasks_per_worker[worker_id] = (
-                        self.stats.tasks_per_worker.get(worker_id, 0) + 1
                     )
-                else:
-                    self.stats.stale_results += 1
-                    if self.sched.enabled:
-                        self.sched.record("stale-drop", msg.task_id, msg.epoch, worker_id)
+                    return False
+                self.stats.faults_recovered += 1
+                if self.sched.enabled:
+                    self.sched.record("redistribute", msg.task_id, msg.epoch)
+                self._stack.push(msg.task_id)
+            return True
+        if self._register.finish(msg.task_id, msg.epoch):
+            self._leases.drop(msg.task_id, msg.epoch)
+            if self.sched.observing:
+                # The compute span is synthesized on the master's
+                # clock from the slave-reported duration, so the
+                # same events exist whether the slave was a thread
+                # or a separate OS process.
+                now = self.sched.now()
+                self.sched.record(
+                    "compute",
+                    msg.task_id,
+                    msg.epoch,
+                    node=worker_id,
+                    ts=now,
+                    t0=now - max(0.0, msg.elapsed),
+                    t1=now,
+                )
+                self.sched.record(
+                    "result",
+                    msg.task_id,
+                    msg.epoch,
+                    worker_id,
+                    nbytes=message_nbytes(msg),
+                    elapsed=msg.elapsed,
+                )
+            with self._results_lock:
+                if self._digest_on and msg.digest is not None:
+                    self._digests_verified += 1
+                self._result_buffer[msg.task_id] = (
+                    msg.outputs,
+                    msg.epoch,
+                    worker_id,
+                    msg.digest if self._digest_on else None,
+                )
+            self._finished.push(msg.task_id)
+            self._last_progress = self.clock.now()
+            self._durations.append(max(0.0, msg.elapsed))
+            self.stats.tasks_per_worker[worker_id] = (
+                self.stats.tasks_per_worker.get(worker_id, 0) + 1
+            )
+        else:
+            self.stats.stale_results += 1
+            if self.sched.enabled:
+                self.sched.record("stale-drop", msg.task_id, msg.epoch, worker_id)
+        return True
 
     def _try_send_end(self, channel: Channel) -> None:
         try:
@@ -1137,6 +1264,7 @@ class MasterPart:
             )
             return False
         self.stats.faults_recovered += 1
+        self._release_blocks(task_id)
         if self.sched.enabled:
             self.sched.record("redistribute", task_id, epoch)
         delay = 0.0
@@ -1198,6 +1326,7 @@ class MasterPart:
             if not self._register.cancel(task_id, reg.epoch):
                 continue
             self._leases.drop(task_id, reg.epoch)
+            self._release_blocks(task_id)
             self._budget_exempt[task_id] = self._budget_exempt.get(task_id, 0) + 1
             self.stats.faults_recovered += 1
             if self.sched.enabled:
@@ -1270,6 +1399,7 @@ class MasterPart:
             if not self._register.cancel(task_id, reg.epoch):
                 continue
             self._leases.drop(task_id, reg.epoch)
+            self._release_blocks(task_id)
             self._speculated.add(task_id)
             self._budget_exempt[task_id] = self._budget_exempt.get(task_id, 0) + 1
             self.stats.speculative_redispatches += 1

@@ -30,6 +30,8 @@ from repro.algorithms.problem import DPProblem
 from repro.check.lock_lint import make_lock
 from repro.cluster.faults import FaultPlan, WorkerFaultPlan
 from repro.comm.messages import (
+    BatchAssign,
+    BatchResult,
     EndSignal,
     Heartbeat,
     IdleSignal,
@@ -189,78 +191,106 @@ class SlavePart:
                     continue  # nothing heard within the window: announce again
                 if isinstance(msg, EndSignal):
                     break
-                assert isinstance(msg, TaskAssign), f"unexpected message {msg!r}"
-                if (
-                    self._digest_on
-                    and msg.digest is not None
-                    and content_digest(msg.inputs) != msg.digest
-                ):
-                    # The assignment was mutated in transit (chaos corrupt
-                    # fault). Discard it — the master's overtime/lease scan
-                    # redistributes the task, exactly as for a lost message.
-                    self._emit("digest-reject", msg.task_id, msg.epoch, hop="assign")
-                    continue
-                if death_point is not None and self.stats.tasks >= death_point:
-                    # Worker-level fault: the slave dies mid-run, holding an
-                    # assigned sub-task it will never answer. The master's
-                    # timeout redistributes the task; if every worker dies the
-                    # stall watchdog aborts cleanly.
-                    self._emit(
-                        "worker-death", msg.task_id, msg.epoch, after_tasks=death_point
-                    )
-                    break
-                fault = self.fault_plan.lookup(msg.task_id, msg.epoch)
-                if fault is not None and fault.kind == "crash":
-                    # The process "dies" without replying; the master's
-                    # overtime check will redistribute. We come back up on the
-                    # next loop iteration, like a restarted worker.
-                    continue
-                if fault is not None and fault.kind == "hang":
-                    # Stall past the master's deadline, then answer late — the
-                    # epoch check must discard this result.
-                    time.sleep(self.hang_duration)
-                self._current = (msg.task_id, msg.epoch)
-                started = time.perf_counter()
-                outputs = self._compute(msg)
-                elapsed = time.perf_counter() - started
-                self._current = None
-                if slow_factor > 1.0:
-                    # Slow-node degradation: stretch the apparent compute time
-                    # by (factor - 1) x elapsed, bounded so a single task can
-                    # at most look one second slower. Enough to trip the
-                    # master's speculation/timeout paths, never a hard hang.
-                    penalty = min((slow_factor - 1.0) * elapsed, 1.0)
-                    self._emit(
-                        "worker-slow", msg.task_id, msg.epoch,
-                        factor=slow_factor, penalty=penalty,
-                    )
-                    time.sleep(penalty)
-                    elapsed += penalty
-                if lie_point is not None and self.stats.tasks >= lie_point:
-                    # Silent data corruption: return a plausible-but-wrong
-                    # block. The digest below is computed over the *wrong*
-                    # data, so it is self-consistent — receive-side
-                    # verification passes and only a semantic defense
-                    # (audit recompute, voting) can convict this worker.
-                    outputs = _lie_about(outputs)
-                    self._emit(
-                        "worker-liar", msg.task_id, msg.epoch, after_tasks=lie_point
-                    )
-                self.stats.tasks += 1
-                self.stats.compute_seconds += elapsed
-                try:
-                    self._send(
+                if isinstance(msg, BatchAssign):
+                    assigns = msg.assigns
+                else:
+                    assert isinstance(msg, TaskAssign), f"unexpected message {msg!r}"
+                    assigns = (msg,)
+                # One envelope, per-subtask semantics: every fault hook
+                # (digest reject, death, crash, hang, slow, lie) fires per
+                # element exactly as it would for a lone TaskAssign — only
+                # the reply envelope is shared.
+                results = []
+                died = False
+                for assign in assigns:
+                    if (
+                        self._digest_on
+                        and assign.digest is not None
+                        and content_digest(assign.inputs) != assign.digest
+                    ):
+                        # The assignment was mutated in transit (chaos corrupt
+                        # fault). Discard it — the master's overtime/lease scan
+                        # redistributes the task, exactly as for a lost message.
+                        self._emit(
+                            "digest-reject", assign.task_id, assign.epoch, hop="assign"
+                        )
+                        continue
+                    if death_point is not None and self.stats.tasks >= death_point:
+                        # Worker-level fault: the slave dies mid-run (possibly
+                        # mid-wave), holding assigned sub-tasks it will never
+                        # answer — the whole envelope is withheld, finished
+                        # elements included. The master's timeout redistributes
+                        # them; if every worker dies the stall watchdog aborts
+                        # cleanly.
+                        self._emit(
+                            "worker-death", assign.task_id, assign.epoch,
+                            after_tasks=death_point,
+                        )
+                        died = True
+                        break
+                    fault = self.fault_plan.lookup(assign.task_id, assign.epoch)
+                    if fault is not None and fault.kind == "crash":
+                        # The process "dies" without replying; the master's
+                        # overtime check will redistribute. We come back up on
+                        # the next sub-task, like a restarted worker.
+                        continue
+                    if fault is not None and fault.kind == "hang":
+                        # Stall past the master's deadline, then answer late —
+                        # the epoch check must discard this result.
+                        time.sleep(self.hang_duration)
+                    self._current = (assign.task_id, assign.epoch)
+                    started = time.perf_counter()
+                    outputs = self._compute(assign)
+                    elapsed = time.perf_counter() - started
+                    self._current = None
+                    if slow_factor > 1.0:
+                        # Slow-node degradation: stretch the apparent compute
+                        # time by (factor - 1) x elapsed, bounded so a single
+                        # task can at most look one second slower. Enough to
+                        # trip the master's speculation/timeout paths, never a
+                        # hard hang.
+                        penalty = min((slow_factor - 1.0) * elapsed, 1.0)
+                        self._emit(
+                            "worker-slow", assign.task_id, assign.epoch,
+                            factor=slow_factor, penalty=penalty,
+                        )
+                        time.sleep(penalty)
+                        elapsed += penalty
+                    if lie_point is not None and self.stats.tasks >= lie_point:
+                        # Silent data corruption: return a plausible-but-wrong
+                        # block. The digest below is computed over the *wrong*
+                        # data, so it is self-consistent — receive-side
+                        # verification passes and only a semantic defense
+                        # (audit recompute, voting) can convict this worker.
+                        outputs = _lie_about(outputs)
+                        self._emit(
+                            "worker-liar", assign.task_id, assign.epoch,
+                            after_tasks=lie_point,
+                        )
+                    self.stats.tasks += 1
+                    self.stats.compute_seconds += elapsed
+                    results.append(
                         TaskResult(
-                            task_id=msg.task_id,
-                            epoch=msg.epoch,
+                            task_id=assign.task_id,
+                            epoch=assign.epoch,
                             slave_id=self.slave_id,
                             outputs=outputs,
                             elapsed=elapsed,
                             digest=content_digest(outputs) if self._digest_on else None,
                         )
                     )
-                except ChannelClosed:
+                if died:
                     break
+                if results:
+                    reply = (
+                        BatchResult(slave_id=self.slave_id, results=tuple(results))
+                        if isinstance(msg, BatchAssign)
+                        else results[0]
+                    )
+                    try:
+                        self._send(reply)
+                    except ChannelClosed:
+                        break
                 if self.leave_after is not None and self.stats.tasks >= self.leave_after:
                     # Elastic departure: announce it so the master retires
                     # this worker immediately instead of timing it out.
@@ -473,7 +503,18 @@ def slave_process_main(
     """
     from repro.comm.transport import PipeChannel
 
+    options = dict(options)
+    shm_prefix = options.pop("shm_prefix", None)
     channel = PipeChannel(conn)
+    store = None
+    if shm_prefix is not None:
+        # Zero-copy data plane: result payloads park in this process's
+        # own run-prefixed store; assign refs parked by the master are
+        # rehydrated (and unlinked) on receive.
+        from repro.comm.shm import BlockStore, ShmChannel
+
+        store = BlockStore(shm_prefix)
+        channel = ShmChannel(channel, store)
     partition = problem.build_partition(process_partition)
     part = SlavePart(
         slave_id=slave_id,
@@ -488,3 +529,8 @@ def slave_process_main(
         part.run()
     finally:
         channel.close()
+        if store is not None:
+            # Results the master never attached (e.g. it aborted first)
+            # would otherwise outlive this process; the master's prefix
+            # sweep is the backstop for anything unlinked here.
+            store.sweep()

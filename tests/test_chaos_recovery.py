@@ -189,6 +189,8 @@ def master_stub(channels=3, threshold=2, task_timeout=0.3, now=100.0):
     stub.sched = StubSched()
     stub._register = RegisterTable()
     stub._stack = ComputableStack()
+    stub.block_store = None
+    stub._release_blocks = lambda task_id: MasterPart._release_blocks(stub, task_id)
     stub._requeue_worker_tasks = lambda worker_id: MasterPart._requeue_worker_tasks(
         stub, worker_id
     )

@@ -77,3 +77,82 @@ def test_numpy_scalars_are_sized():
 
 def test_memoryview_sized():
     assert payload_nbytes(memoryview(b"abcdef")) == 6
+
+
+# -- protocol-5 out-of-band round-trip (zero-copy data plane) ----------------------
+
+from repro.comm.serialization import content_digest, oob_dumps, oob_loads  # noqa: E402
+
+_OOB_DTYPES = ["u1", "i2", "i4", "i8", "f4", "f8", "c8", "?"]
+
+
+@st.composite
+def oob_arrays(draw):
+    """Arbitrary dtypes, shapes, and strides — including zero-size blocks
+    and non-contiguous views, the shapes the block transport must not
+    silently canonicalize differently from the in-band path."""
+    dtype = np.dtype(draw(st.sampled_from(_OOB_DTYPES)))
+    shape = tuple(draw(st.lists(st.integers(0, 5), min_size=0, max_size=3)))
+    n = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    base = np.arange(max(n, 1), dtype=np.int64) % 251
+    arr = base.astype(dtype)[:n].reshape(shape)
+    variant = draw(st.sampled_from(["c", "f", "strided", "transposed"]))
+    if variant == "f" and arr.ndim >= 2:
+        arr = np.asfortranarray(arr)
+    elif variant == "strided" and arr.ndim >= 1 and arr.shape[0] >= 2:
+        arr = arr[::2]
+    elif variant == "transposed" and arr.ndim >= 2:
+        arr = arr.T
+    return arr
+
+
+@given(arr=oob_arrays())
+@settings(max_examples=120, deadline=None)
+def test_oob_roundtrip_preserves_array(arr):
+    payload, buffers = oob_dumps({"x": arr})
+    out = oob_loads(payload, buffers)["x"]
+    assert out.dtype == arr.dtype
+    assert out.shape == arr.shape
+    assert np.array_equal(out, arr)
+
+
+@given(arr=oob_arrays())
+@settings(max_examples=120, deadline=None)
+def test_oob_digest_matches_inband(arr):
+    """The PR 5 canonical digest is transport-invariant: in-band pickling
+    and the out-of-band buffer path must describe identical content."""
+    before = content_digest({"x": arr})
+    payload, buffers = oob_dumps({"x": arr})
+    after = content_digest(oob_loads(payload, buffers))
+    assert after == before
+
+
+@given(arr=oob_arrays())
+@settings(max_examples=60, deadline=None)
+def test_oob_accepts_memoryview_buffers(arr):
+    """Receivers hand back segment views, not bytes copies."""
+    payload, buffers = oob_dumps({"x": arr})
+    out = oob_loads(payload, [memoryview(b) for b in buffers])["x"]
+    assert np.array_equal(out, arr)
+    assert content_digest({"x": out}) == content_digest({"x": arr})
+
+
+@given(arr=oob_arrays(), key=st.text(min_size=1, max_size=8))
+@settings(max_examples=60, deadline=None)
+def test_oob_roundtrip_message_payload(arr, key):
+    """Whole TaskResult envelopes survive the split-stream round trip."""
+    msg = TaskResult((1, 2), 3, 0, {key: arr, "scalar": 7})
+    out = oob_loads(*oob_dumps(msg))
+    assert out.task_id == msg.task_id
+    assert out.outputs["scalar"] == 7
+    assert np.array_equal(out.outputs[key], arr)
+
+
+@given(n=st.integers(0, 3))
+@settings(max_examples=20, deadline=None)
+def test_oob_zero_size_blocks(n):
+    arr = np.empty((n, 0), dtype=np.float64)
+    payload, buffers = oob_dumps({"x": arr})
+    out = oob_loads(payload, buffers)["x"]
+    assert out.shape == (n, 0)
+    assert content_digest({"x": out}) == content_digest({"x": arr})

@@ -1,0 +1,175 @@
+"""Unit tests for the zero-copy shared-memory block transport.
+
+Exercises :mod:`repro.comm.shm` directly — BlockStore park/release
+bookkeeping, attach-side rehydration, digest transparency, the leak
+sweep, and the ShmChannel encode/decode layer over a real channel pair —
+without spinning up the processes backend.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.messages import (
+    BatchAssign,
+    BatchResult,
+    BlockRef,
+    IdleSignal,
+    TaskAssign,
+    TaskResult,
+)
+from repro.comm.serialization import content_digest
+from repro.comm.shm import (
+    SHM_MIN_BYTES,
+    BlockStore,
+    ShmChannel,
+    attach_copy,
+    leaked_segments,
+    run_prefix,
+    sweep_segments,
+)
+from repro.comm.transport import ChannelTimeout, channel_pair
+
+
+@pytest.fixture
+def store():
+    s = BlockStore(run_prefix())
+    yield s
+    s.sweep()
+    sweep_segments(s.prefix)
+    assert leaked_segments(s.prefix) == []
+
+
+def big(seed=0, shape=(64, 64)):
+    """An array comfortably above the inline threshold."""
+    arr = np.random.default_rng(seed).standard_normal(shape)
+    assert arr.nbytes >= SHM_MIN_BYTES
+    return arr
+
+
+class TestBlockStore:
+    def test_park_attach_roundtrip_bitwise(self, store):
+        arr = big()
+        ref = store.park(arr)
+        assert isinstance(ref, BlockRef)
+        out = attach_copy(ref)
+        assert out.dtype == arr.dtype and out.shape == arr.shape
+        assert np.array_equal(out, arr)
+        assert content_digest(out) == content_digest(arr)
+
+    def test_receiver_unlink_reclaims_segment(self, store):
+        ref = store.park(big())
+        attach_copy(ref)
+        assert leaked_segments(store.prefix) == []
+        with pytest.raises((FileNotFoundError, OSError)):
+            attach_copy(ref)  # second attach: segment is gone
+
+    def test_noncontiguous_and_fortran_views(self, store):
+        base = big(1, (64, 128))
+        for arr in (base[::2], base.T, np.asfortranarray(base)):
+            out = attach_copy(store.park(arr))
+            assert np.array_equal(out, arr)
+
+    def test_zero_size_block(self, store):
+        ref = store.park(np.empty((0, 5)))
+        out = attach_copy(ref)
+        assert out.shape == (0, 5) and out.nbytes == 0
+
+    def test_release_owner_reclaims_undelivered(self, store):
+        store.park(big(0), owner=(0, 0))
+        store.park(big(1), owner=(0, 0))
+        store.park(big(2), owner=(1, 1))
+        assert len(store) == 3
+        assert store.release_owner((0, 0)) == 2
+        assert len(store) == 1
+        assert len(leaked_segments(store.prefix)) == 1  # (1, 1) still parked
+
+    def test_sweep_is_idempotent(self, store):
+        store.park(big())
+        assert store.sweep() == 1
+        assert store.sweep() == 0
+        assert leaked_segments(store.prefix) == []
+
+    def test_sweep_segments_catches_untracked_orphans(self, store):
+        ref = store.park(big())
+        store.forget(ref.segment)  # store no longer remembers it
+        assert store.sweep() == 0
+        assert sweep_segments(store.prefix) == 1
+        assert leaked_segments(store.prefix) == []
+
+
+def shm_pair(master_store, slave_store):
+    a, b = channel_pair()
+    return ShmChannel(a, master_store), ShmChannel(b, slave_store)
+
+
+class TestShmChannel:
+    def test_large_assign_rides_segment(self, store):
+        slave_store = BlockStore(run_prefix())
+        a, b = shm_pair(store, slave_store)
+        arr = big()
+        a.send(TaskAssign((0, 0), 0, {"x": arr, "tiny": np.zeros(2)}))
+        msg = b.recv(timeout=1.0)
+        assert np.array_equal(msg.inputs["x"], arr)
+        assert np.array_equal(msg.inputs["tiny"], np.zeros(2))
+        # The wire saw a BlockRef for the big array, not its bytes.
+        assert len(store) == 1  # still tracked until a release hook fires
+        assert leaked_segments(store.prefix) == []  # ...but already unlinked
+
+    def test_small_payloads_stay_inline(self, store):
+        a, b = shm_pair(store, BlockStore(run_prefix()))
+        a.send(TaskAssign((0, 0), 0, {"x": np.zeros(4)}))
+        b.recv(timeout=1.0)
+        assert len(store) == 0  # nothing parked
+
+    def test_non_payload_messages_untouched(self, store):
+        a, b = shm_pair(store, BlockStore(run_prefix()))
+        a.send(IdleSignal(slave_id=3))
+        assert b.recv(timeout=1.0) == IdleSignal(slave_id=3)
+
+    def test_batch_envelopes_encode_per_element(self, store):
+        slave_store = BlockStore(run_prefix())
+        a, b = shm_pair(store, slave_store)
+        arrs = [big(i) for i in range(3)]
+        a.send(
+            BatchAssign(
+                assigns=tuple(
+                    TaskAssign((i, 0), 0, {"x": arrs[i]}) for i in range(3)
+                )
+            )
+        )
+        msg = b.recv(timeout=1.0)
+        assert isinstance(msg, BatchAssign) and len(msg.assigns) == 3
+        for i, part in enumerate(msg.assigns):
+            assert np.array_equal(part.inputs["x"], arrs[i])
+        # Results flow the other way, parked by the slave's store.
+        b.send(
+            BatchResult(
+                slave_id=1,
+                results=tuple(
+                    TaskResult((i, 0), 0, 1, {"y": arrs[i]}) for i in range(3)
+                ),
+            )
+        )
+        back = a.recv(timeout=1.0)
+        for i, part in enumerate(back.results):
+            assert np.array_equal(part.outputs["y"], arrs[i])
+        assert leaked_segments(slave_store.prefix) == []
+
+    def test_gone_segment_is_a_dropped_message(self, store):
+        a, b = shm_pair(store, BlockStore(run_prefix()))
+        a.send(TaskAssign((0, 0), 0, {"x": big()}))
+        store.sweep()  # simulate the segment vanishing mid-flight
+        with pytest.raises(ChannelTimeout):
+            b.recv(timeout=1.0)
+        assert b.attach_failures == 1
+        b.send(IdleSignal(slave_id=1))  # channel still usable afterwards
+        assert a.recv(timeout=1.0) == IdleSignal(slave_id=1)
+
+    def test_digest_survives_the_segment_hop(self, store):
+        """Stamped content digests verify against rehydrated arrays."""
+        a, b = shm_pair(store, BlockStore(run_prefix()))
+        arr = big()
+        digest = content_digest({"x": arr})
+        a.send(TaskAssign((0, 0), 0, {"x": arr}, digest=digest))
+        msg = b.recv(timeout=1.0)
+        assert content_digest(msg.inputs) == msg.digest == digest

@@ -136,6 +136,35 @@ class TestParallelResume:
         _, run = resume_run(path)  # raises CheckError if priming is broken
         assert_states_equal(oracle_state(problem), run.state)
 
+    def test_resume_journal_written_with_shm_and_batching(self, tmp_path):
+        """A journal written with the zero-copy shm plane and wavefront
+        batching on resumes under the same config: replayed commits skip,
+        the remainder recomputes over BatchAssign envelopes carrying
+        BlockRefs, and the crash leaves no orphan segments behind."""
+        import os
+
+        from repro.comm.shm import leaked_segments
+
+        problem = EditDistance.random(48, 48, seed=5)
+        path = str(tmp_path / "j")
+        config = RunConfig(
+            backend="processes", nodes=3, journal_path=path, journal_fsync=False,
+            checkpoint_interval=4, journal_kill_after=6, observe=True,
+            shm=True, batch_wave=True, max_batch=4,
+        )
+        with pytest.raises(MasterCrash):
+            EasyHPS(config).run(problem)
+        # The crashed run's teardown sweep reclaimed its segments.
+        assert leaked_segments(f"repro-{os.getpid()}-") == []
+        rec = recover(path)
+        assert rec.config.shm and rec.config.batch_wave  # knobs journaled
+        assert 0 < rec.n_committed < rec.n_tasks
+        rec2, run = resume_run(path)
+        assert_states_equal(oracle_state(problem), run.state)
+        assert leaked_segments(f"repro-{os.getpid()}-") == []
+        report = check_resume_invariants(run.report.events, rec2.scan.committed)
+        assert report.ok, report.summary()
+
 
 class TestSimulatedResume:
     def test_crash_then_resume_completes_with_invariants(self, tmp_path):

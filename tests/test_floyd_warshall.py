@@ -60,11 +60,27 @@ class TestFWPattern:
     def test_phase3_depends_on_row_and_col(self):
         p = FloydWarshallPattern(3)
         preds = set(p.predecessors((1, 0, 2)))
-        assert preds == {(0, 0, 2), (1, 1, 2), (1, 0, 1)}
+        # (1, 0, 2) overwrites round-0 row strip R(0, 2): besides its
+        # self/row/col inputs it carries WAR edges from that strip's
+        # round-0 phase-3 readers.
+        assert preds == {(0, 0, 2), (1, 1, 2), (1, 0, 1), (0, 1, 2), (0, 2, 2)}
 
     def test_row_depends_on_pivot(self):
         p = FloydWarshallPattern(3)
-        assert set(p.predecessors((1, 1, 0))) == {(0, 1, 0), (1, 1, 1)}
+        # (1, 1, 0) overwrites round-0 column strip R(1, 0): WAR edges
+        # from its round-0 phase-3 readers ride along with self + pivot.
+        assert set(p.predecessors((1, 1, 0))) == {
+            (0, 1, 0), (1, 1, 1), (0, 1, 1), (0, 1, 2),
+        }
+
+    def test_war_edges_mirror(self):
+        """Every WAR predecessor edge appears as a successor edge too."""
+        p = FloydWarshallPattern(4)
+        for v in p.vertices():
+            for u in p.predecessors(v):
+                assert v in p.successors(u), (u, v)
+            for w in p.successors(v):
+                assert v in p.predecessors(w), (v, w)
 
     def test_parser_drains_completely(self):
         p = FloydWarshallPattern(4)

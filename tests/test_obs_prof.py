@@ -34,7 +34,11 @@ def _prof_stream():
     rec = EventRecorder(ManualClock())
     t = (0, 0)
     rec.emit("assign", t, epoch=0, node=-1, worker=0, ts=1.0)
+    rec.emit("batch-assemble", None, node=-1, worker=0, ts=0.9, t0=0.8, t1=0.9,
+             n_tasks=1)
     rec.emit("queue-wait", t, epoch=0, node=-1, worker=0, ts=1.0, t0=0.25, t1=1.0)
+    rec.emit("shm-attach", t, epoch=0, node=-1, worker=0, scope="message",
+             ts=1.3, t0=1.2, t1=1.3, ok=True, nbytes=4096)
     rec.emit("digest-compute", t, epoch=0, node=-1, worker=0,
              ts=1.1, t0=1.0, t1=1.1, hop="assign")
     rec.emit("compute", t, epoch=0, node=0, worker=0, ts=3.0, t0=1.5, t1=3.0)

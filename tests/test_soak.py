@@ -87,10 +87,11 @@ def _budget_left() -> float:
 
 
 @pytest.mark.soak
+@pytest.mark.parametrize("batch", [False, True], ids=["batch-off", "batch-on"])
 @pytest.mark.parametrize("scheduler", SOAK_SCHEDULERS)
 @pytest.mark.parametrize("mix", sorted(FAULT_MIXES))
 @pytest.mark.parametrize("backend", SOAK_BACKENDS)
-def test_chaos_matrix(backend, mix, scheduler):
+def test_chaos_matrix(backend, mix, scheduler, batch):
     left = _budget_left()
     if left <= 0:
         pytest.skip(f"soak budget ({SOAK_BUDGET:.0f}s) exhausted")
@@ -100,6 +101,11 @@ def test_chaos_matrix(backend, mix, scheduler):
         size=40,
         scheduler=scheduler,
         run_timeout=min(60.0, max(10.0, left)),
+        batch_wave=batch,
+        # Batched processes cells also flip the shm plane on, so the
+        # chaos surface covers BatchAssign/BatchResult envelopes carrying
+        # BlockRef payloads (and the segment-leak invariant on abort).
+        shm=batch and backend == "processes",
         **FAULT_MIXES[mix],
     )
     run_campaign(spec).raise_if_failed()
