@@ -63,7 +63,7 @@ def run_processes(
     # one master-side block store (assign payloads), one store per slave
     # process (result payloads, built inside slave_process_main). The
     # master sweeps the prefix at teardown as the leak backstop.
-    shm_prefix = run_prefix() if config.shm else None
+    shm_prefix = run_prefix(config.run_id) if config.shm else None
     store = BlockStore(shm_prefix) if shm_prefix is not None else None
 
     master_channels = []
@@ -148,6 +148,7 @@ def run_processes(
         batch_wave=config.batch_wave,
         max_batch=config.max_batch,
         block_store=store,
+        job_id=config.run_id,
     )
 
     started = time.perf_counter()

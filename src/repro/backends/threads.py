@@ -148,6 +148,7 @@ def run_threads(
         # (``config.shm``) is meaningless in-process and ignored here.
         batch_wave=config.batch_wave,
         max_batch=config.max_batch,
+        job_id=config.run_id,
     )
 
     slave_threads = [

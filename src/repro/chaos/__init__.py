@@ -30,6 +30,12 @@ from repro.chaos.campaign import (
     run_campaign,
 )
 from repro.chaos.channel import ChaosChannel
+from repro.chaos.serve import (
+    JobVerdict,
+    ServeCampaignResult,
+    ServeCampaignSpec,
+    run_serve_campaign,
+)
 from repro.cluster.faults import (
     MESSAGE_FAULT_KINDS,
     WORKER_FAULT_KINDS,
@@ -46,6 +52,10 @@ __all__ = [
     "chaos_config",
     "run_campaign",
     "ChaosChannel",
+    "JobVerdict",
+    "ServeCampaignResult",
+    "ServeCampaignSpec",
+    "run_serve_campaign",
     "MESSAGE_FAULT_KINDS",
     "WORKER_FAULT_KINDS",
     "MessageFaultPlan",

@@ -308,6 +308,16 @@ def _execute_one(
     from repro.runtime.system import EasyHPS
 
     config = chaos_config(backend, seed, spec)
+    if backend == "processes" and spec.shm:
+        # Key this run's segments by a run id so the leak check below
+        # inspects exactly this run's namespace — a pid-keyed prefix
+        # would collide with every other shm run this process hosts
+        # (parallel campaigns, the serve daemon's concurrent jobs).
+        from dataclasses import replace as _replace
+
+        config = _replace(
+            config, run_id=f"chaos-{backend}-s{seed}-p{os.getpid()}"
+        )
     problem = _build_problem(spec)
     box: Dict[str, object] = {}
 
@@ -336,11 +346,12 @@ def _execute_one(
         # reclaimed every block segment this master parked. (The hang
         # path above legitimately still holds segments, so it returns
         # before this check.)
-        from repro.comm.shm import leaked_segments, sweep_segments
+        from repro.comm.shm import leaked_segments, run_prefix, sweep_segments
 
-        leaks = leaked_segments(f"repro-{os.getpid()}-")
+        prefix = run_prefix(config.run_id)
+        leaks = leaked_segments(prefix)
         if leaks:
-            sweep_segments(f"repro-{os.getpid()}-")  # don't poison later seeds
+            sweep_segments(prefix)  # don't poison later seeds
             return RunOutcome(
                 backend, seed, "invariant-violation",
                 detail=f"{len(leaks)} shm segments leaked: {leaks[:3]}",

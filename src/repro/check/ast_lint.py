@@ -158,7 +158,7 @@ def check_lock_discipline(
 
 def check_clock_discipline(
     root: Optional[str] = None,
-    subdirs: Tuple[str, ...] = ("runtime", "backends"),
+    subdirs: Tuple[str, ...] = ("runtime", "backends", "serve"),
     title: str = "lint:clock-discipline",
 ) -> CheckReport:
     """Scan scheduling code for direct wall-clock reads."""

@@ -67,6 +67,11 @@ from repro.utils.errors import FaultToleranceExhausted
 #: :class:`FaultToleranceExhausted` abort (documented above).
 EXIT_FAULT_EXHAUSTED = 3
 
+#: Exit code of ``repro submit`` when the daemon shed the job (bounded
+#: queue full, daemon draining, or invalid spec) — the structured
+#: rejection is printed; retrying later is the client's call.
+EXIT_SHED = 4
+
 #: name -> factory(size, seed) for CLI-runnable algorithm instances.
 ALGORITHMS: Dict[str, Callable[[int, int], DPProblem]] = {}
 
@@ -519,10 +524,145 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0 if failed == 0 else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant scheduler daemon until SIGTERM drains it."""
+    import signal
+    import threading
+
+    from repro.serve.daemon import ServeDaemon
+    from repro.serve.ipc import ServeServer
+
+    daemon = ServeDaemon(
+        workers=args.workers,
+        queue_cap=args.queue_cap,
+        policy=args.policy,
+        policy_seed=args.policy_seed,
+        wal_path=args.journal,
+        job_journal_dir=args.job_journal_dir,
+        resume=args.resume,
+        fsync=args.fsync,
+        grow_running=args.grow,
+        threads_per_node=args.threads,
+        task_timeout=args.task_timeout,
+        job_timeout=args.job_timeout,
+        keep_states=False,
+    )
+    daemon.start()
+    server = ServeServer(daemon, args.socket)
+    server.start()
+    if daemon.resumed_jobs:
+        print(f"resumed {daemon.resumed_jobs} unfinished jobs from {args.journal}")
+    print(f"repro serve: listening on {args.socket} "
+          f"({args.workers} workers, queue cap {args.queue_cap}, "
+          f"policy {args.policy})", flush=True)
+
+    stop = threading.Event()
+
+    def _drain_signal(_signum: int, _frame: object) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _drain_signal)
+    signal.signal(signal.SIGINT, _drain_signal)
+    while not stop.wait(0.2):
+        pass
+    print("repro serve: draining (admission closed, finishing running jobs)",
+          flush=True)
+    clean = daemon.drain(timeout=args.drain_timeout)
+    server.stop()
+    print(f"repro serve: drained {'cleanly' if clean else 'WITH STRAGGLERS'}",
+          flush=True)
+    return 0 if clean else 1
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one job to a running daemon; exit 0 accepted, 4 shed."""
+    import json as _json
+
+    from repro.serve.ipc import submit_job
+
+    spec = {
+        "tenant": args.tenant,
+        "algo": args.algo,
+        "size": args.size,
+        "seed": args.seed,
+        "nodes": args.nodes,
+        "scheduler": args.scheduler,
+        "max_retries": args.max_retries,
+    }
+    if args.deadline is not None:
+        spec["deadline"] = args.deadline
+    if args.integrity is not None:
+        spec["integrity"] = args.integrity
+    decision = submit_job(args.socket, spec)
+    print(_json.dumps(decision))
+    return 0 if decision.get("accepted") else EXIT_SHED
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    """List a running daemon's jobs (or ``--stats`` per-tenant metrics)."""
+    import json as _json
+
+    from repro.serve.ipc import daemon_stats, list_jobs
+
+    if args.stats:
+        print(_json.dumps(daemon_stats(args.socket), indent=2, default=str))
+        return 0
+    jobs = list_jobs(args.socket)
+    if args.json:
+        print(_json.dumps(jobs, indent=2))
+        return 0
+    if not jobs:
+        print("no jobs")
+        return 0
+    print(f"{'JOB':12s} {'TENANT':10s} {'ALGO':16s} {'SIZE':>5s} "
+          f"{'STATUS':10s} DETAIL")
+    for job in jobs:
+        print(f"{job['job_id']:12s} {job['tenant']:10s} {job['algo']:16s} "
+              f"{job['size']:5d} {job['status']:10s} {job['detail'][:60]}")
+    return 0
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    """Cancel a queued or running job by id."""
+    from repro.serve.ipc import cancel_job
+
+    outcome = cancel_job(args.socket, args.job_id)
+    print(f"{args.job_id}: {outcome}")
+    return 0 if outcome in ("cancelled", "aborting") else 1
+
+
+def _cmd_chaos_serve(args: argparse.Namespace) -> int:
+    """Service-level campaign: ``repro chaos --serve --jobs 200``."""
+    from repro.chaos.serve import ServeCampaignSpec, run_serve_campaign
+
+    spec = ServeCampaignSpec(
+        n_jobs=args.jobs,
+        seed=args.first_seed,
+        workers=args.serve_workers,
+        policy=args.serve_policy,
+        trace=args.trace,
+        algo=args.algo,
+        size_min=16,
+        size_max=max(16, args.size),
+        kill_daemon_at=args.kill_daemon_at if args.kill_daemon_at >= 0 else None,
+        job_timeout=args.run_timeout,
+    )
+    result = run_serve_campaign(
+        spec,
+        artifact_dir=args.artifact_dir,
+        progress=None if args.quiet else (lambda msg: print(f"  {msg}", flush=True)),
+    )
+    if args.quiet:
+        print(result.summary())
+    return 0 if result.ok else 1
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Seeded fault campaign: ``repro chaos --seeds 20 --backend threads``."""
     from repro.chaos import CampaignSpec, run_campaign
 
+    if args.serve:
+        return _cmd_chaos_serve(args)
     kwargs = {}
     if args.kill_master_at is not None:
         kwargs["kill_master_at"] = args.kill_master_at
@@ -795,7 +935,93 @@ def build_parser() -> argparse.ArgumentParser:
         help="write failing runs' telemetry (and kill-mode journals) here",
     )
     chaos_p.add_argument("--quiet", action="store_true", help="suppress per-run lines")
+    chaos_p.add_argument(
+        "--serve", action="store_true",
+        help="service-level campaign: multi-tenant jobs against an "
+             "in-process serve daemon with worker kills, one sabotaged "
+             "tenant, and a mid-campaign daemon kill + WAL resume",
+    )
+    chaos_p.add_argument("--jobs", type=int, default=40,
+                         help="with --serve: jobs in the campaign trace")
+    chaos_p.add_argument("--serve-workers", type=int, default=4,
+                         help="with --serve: shared fleet size")
+    chaos_p.add_argument("--serve-policy", default="fifo",
+                         help="with --serve: queue ordering policy")
+    chaos_p.add_argument("--trace", default="heavy-tail",
+                         choices=("poisson-burst", "diurnal", "heavy-tail"),
+                         help="with --serve: arrival-trace shape")
+    chaos_p.add_argument(
+        "--kill-daemon-at", type=float, default=0.5, metavar="P",
+        help="with --serve: kill + resume the daemon after fraction P of "
+             "submissions (negative disables)",
+    )
     chaos_p.set_defaults(fn=cmd_chaos)
+
+    def _socket_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--socket", default="/tmp/repro-serve.sock",
+            help="unix socket the daemon listens on",
+        )
+
+    serve_p = sub.add_parser(
+        "serve", help="multi-tenant scheduler daemon over a shared worker fleet"
+    )
+    _socket_arg(serve_p)
+    serve_p.add_argument("--workers", type=int, default=4, help="shared fleet size")
+    serve_p.add_argument("--queue-cap", type=int, default=32,
+                         help="bounded admission queue depth (overload sheds)")
+    serve_p.add_argument("--policy", default="fifo",
+                         choices=("fifo", "sjf", "hrrn", "fair", "lottery"),
+                         help="queue ordering policy")
+    serve_p.add_argument("--policy-seed", type=int, default=0,
+                         help="seed for the lottery policy")
+    serve_p.add_argument("--journal", metavar="PATH", default=None,
+                         help="submission write-ahead log; enables --resume")
+    serve_p.add_argument("--job-journal-dir", metavar="DIR", default=None,
+                         help="per-job commit journals for mid-run resume")
+    serve_p.add_argument("--resume", action="store_true",
+                         help="replay the submission log after a daemon kill")
+    serve_p.add_argument("--fsync", action="store_true",
+                         help="fsync every journal record (OS-crash durable)")
+    serve_p.add_argument("--grow", action="store_true",
+                         help="attach idle workers to running jobs "
+                              "(elastic membership)")
+    serve_p.add_argument("--threads", type=int, default=2,
+                         help="computing threads per fleet worker")
+    serve_p.add_argument("--task-timeout", type=float, default=10.0,
+                         help="per-task timeout inside each job")
+    serve_p.add_argument("--job-timeout", type=float, default=None,
+                         help="daemon-wide hard cap per job (clean abort past it)")
+    serve_p.add_argument("--drain-timeout", type=float, default=60.0,
+                         help="SIGTERM drain budget before aborting stragglers")
+    serve_p.set_defaults(fn=cmd_serve)
+
+    submit_p = sub.add_parser("submit", help="submit one job to a running daemon")
+    _socket_arg(submit_p)
+    common(submit_p)
+    submit_p.add_argument("--tenant", default="default", help="tenant the job bills to")
+    submit_p.add_argument("--nodes", type=int, default=3,
+                          help="requested cluster shape (master + nodes-1 workers)")
+    submit_p.add_argument("--deadline", type=float, default=None,
+                          help="seconds from start before a clean cancel")
+    submit_p.add_argument("--max-retries", type=int, default=8,
+                          help="per-job retry budget")
+    submit_p.add_argument("--integrity", default=None,
+                          choices=("off", "digest", "audit", "vote"),
+                          help="integrity mode for this job")
+    submit_p.set_defaults(fn=cmd_submit)
+
+    jobs_p = sub.add_parser("jobs", help="list a running daemon's jobs")
+    _socket_arg(jobs_p)
+    jobs_p.add_argument("--json", action="store_true", help="machine-readable output")
+    jobs_p.add_argument("--stats", action="store_true",
+                        help="per-tenant wait/slowdown/shed metrics instead")
+    jobs_p.set_defaults(fn=cmd_jobs)
+
+    cancel_p = sub.add_parser("cancel", help="cancel a queued or running job")
+    _socket_arg(cancel_p)
+    cancel_p.add_argument("job_id", help="job id as shown by `repro jobs`")
+    cancel_p.set_defaults(fn=cmd_cancel)
     return parser
 
 

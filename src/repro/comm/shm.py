@@ -81,8 +81,21 @@ def _untrack(name: str) -> None:
         pass
 
 
-def run_prefix() -> str:
-    """A fresh per-run segment name prefix (shared by master and slaves)."""
+def run_prefix(run_id: Optional[str] = None) -> str:
+    """The per-run segment name prefix (shared by master and slaves).
+
+    With ``run_id`` (``RunConfig.run_id``) the prefix is a *pure function
+    of the run identity*: a long-lived process hosting many sequential or
+    concurrent runs (the ``repro serve`` daemon) gets one namespace per
+    job, so each job's teardown sweep reclaims exactly its own segments —
+    a pid-keyed prefix would make every sweep in that process race every
+    other job's live segments. Without ``run_id`` (standalone
+    ``repro run``) the prefix stays the historical fresh
+    ``repro-<pid>-<nonce>`` draw.
+    """
+    if run_id is not None:
+        safe = "".join(c if c.isalnum() or c in "-_." else "-" for c in run_id)
+        return f"repro-{safe}"
     return f"repro-{os.getpid()}-{uuid.uuid4().hex[:8]}"
 
 

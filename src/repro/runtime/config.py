@@ -283,6 +283,14 @@ class RunConfig:
     #: backends ignore it (threads already share memory; serial and
     #: simulated move no real bytes). Overridable via ``REPRO_SHM``.
     shm: bool = field(default_factory=_env_bool("REPRO_SHM", False))
+    #: Stable identifier of this run within a multi-run process (the
+    #: ``repro serve`` daemon sets it to the job id). Keys the shm
+    #: segment namespace (:func:`repro.comm.shm.run_prefix`) so each
+    #: job's teardown sweep reclaims exactly its own segments, and rides
+    #: on :class:`~repro.utils.errors.FaultToleranceExhausted` plus the
+    #: abort-path telemetry so multi-job traces attribute aborts to the
+    #: right tenant. None for standalone runs.
+    run_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         check_in("backend", self.backend, BACKENDS)
@@ -352,6 +360,10 @@ class RunConfig:
         check_type("batch_wave", self.batch_wave, bool)
         check_type("shm", self.shm, bool)
         check_positive("max_batch", self.max_batch)
+        if self.run_id is not None:
+            check_type("run_id", self.run_id, str)
+            if not self.run_id:
+                raise ConfigError("run_id must be a non-empty string or None")
 
     # -- derived ------------------------------------------------------------
 

@@ -205,6 +205,7 @@ class MasterPart:
         batch_wave: bool = False,
         max_batch: int = 8,
         block_store: Optional[BlockStore] = None,
+        job_id: Optional[str] = None,
     ) -> None:
         if not channels:
             raise SchedulerError("master needs at least one slave channel")
@@ -242,6 +243,12 @@ class MasterPart:
         #: — commit, requeue, worker retirement — and sweeps the rest at
         #: teardown, so undelivered assigns never leak segments.
         self.block_store = block_store
+        #: Run identity within a multi-run process (``RunConfig.run_id``;
+        #: the serve daemon sets it to the job id). Stamped onto every
+        #: :class:`FaultToleranceExhausted` this master raises and onto
+        #: the ``abort`` telemetry event, so multi-job traces and
+        #: ``repro stats`` attribute aborts to the right tenant.
+        self.job_id = job_id
 
         self.verify = verify
         #: Unified scheduling instrumentation: the happens-before trace
@@ -1184,10 +1191,36 @@ class MasterPart:
 
     def _abort(self, exc: BaseException) -> None:
         """Record a fatal failure and wake every blocked thread."""
+        if isinstance(exc, FaultToleranceExhausted) and exc.job_id is None:
+            exc.job_id = self.job_id
+        if self.sched.observing:
+            self.sched.record(
+                "abort", None, -1,
+                reason=str(exc)[:300],
+                exc_type=type(exc).__name__,
+                job_id=self.job_id,
+            )
         self._failure.append(exc)
         self._end.set()
         self._stack.close()
         self._finished.close()
+
+    def request_abort(self, reason: str) -> bool:
+        """Cancel the run from outside the scheduling threads.
+
+        The serve daemon's deadline watchdog and ``repro cancel`` use
+        this: the run ends in a clean, attributed
+        :class:`FaultToleranceExhausted` raised out of :meth:`run` — the
+        same contract as an exhausted retry budget, never a hang and
+        never a half-merged state (the scheduling thread observes
+        ``_failure`` before its next commit). Returns False when the run
+        had already ended (or aborted) — cancelling a finished run is a
+        no-op, not an error.
+        """
+        if self._end.is_set() or self._failure:
+            return False
+        self._abort(FaultToleranceExhausted(reason, job_id=self.job_id))
+        return True
 
     def _fault_tolerance(self) -> None:
         # (ready_at, tiebreak, task_id) re-dispatches held by backoff.

@@ -1,0 +1,59 @@
+"""``repro.serve`` — the multi-tenant DP scheduler daemon.
+
+A long-lived service over the EasyHPS runtime: one shared elastic
+worker fleet (:mod:`repro.serve.fleet`), a bounded admission queue with
+pluggable ordering policies (:mod:`repro.serve.admission`,
+:mod:`repro.serve.policy`), a write-ahead submission log for ``kill
+-9``-safe resume (:mod:`repro.serve.wal`), per-job fault isolation and
+deadlines (:mod:`repro.serve.daemon`), and a unix-socket control plane
+(:mod:`repro.serve.ipc`). See ``docs/serving.md``.
+"""
+
+from repro.serve.admission import (
+    SHED_DRAINING,
+    SHED_INVALID,
+    SHED_QUEUE_FULL,
+    AdmissionController,
+    AdmissionDecision,
+)
+from repro.serve.daemon import ServeDaemon, build_problem
+from repro.serve.fleet import WorkerFleet
+from repro.serve.job import JOB_STATES, TERMINAL_STATES, JobRecord, JobSpec
+from repro.serve.policy import (
+    ORDERING_POLICIES,
+    FairSharePolicy,
+    FIFOPolicy,
+    HRRNPolicy,
+    LotteryPolicy,
+    OrderingPolicy,
+    SJFPolicy,
+    make_ordering_policy,
+)
+from repro.serve.wal import ServeEntry, ServeJournal, ServeScan, scan_serve_journal
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "SHED_DRAINING",
+    "SHED_INVALID",
+    "SHED_QUEUE_FULL",
+    "ServeDaemon",
+    "build_problem",
+    "WorkerFleet",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobRecord",
+    "JobSpec",
+    "ORDERING_POLICIES",
+    "OrderingPolicy",
+    "FIFOPolicy",
+    "SJFPolicy",
+    "HRRNPolicy",
+    "FairSharePolicy",
+    "LotteryPolicy",
+    "make_ordering_policy",
+    "ServeEntry",
+    "ServeJournal",
+    "ServeScan",
+    "scan_serve_journal",
+]

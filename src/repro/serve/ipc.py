@@ -1,0 +1,168 @@
+"""Client/server IPC of the serve daemon (unix socket, JSON lines).
+
+``repro serve`` starts a :class:`ServeServer` on a unix-domain socket;
+``repro submit``/``repro jobs``/``repro cancel`` are thin clients that
+write one JSON request line and read one JSON response line. The
+protocol is deliberately minimal and schema-free on the wire — every
+request is ``{"op": ..., ...}`` and every response ``{"ok": bool,
+...}`` — because the structured contracts (admission decisions, job
+snapshots) are defined by :mod:`repro.serve.admission` and
+:mod:`repro.serve.job` and serialized verbatim.
+
+Robustness notes: the server thread accepts with a timeout so daemon
+shutdown never blocks on a quiet socket; a malformed request gets a
+structured error response, never a dropped connection; client calls
+carry a timeout so a dead daemon yields a clean
+:class:`~repro.utils.errors.TransportError` instead of a hang.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.serve.daemon import ServeDaemon
+from repro.utils.errors import TransportError
+
+#: Cap on one request line (1 MiB) — longer is a protocol error.
+_MAX_LINE = 1 << 20
+
+
+class ServeServer:
+    """JSON-lines request server bound to one daemon instance."""
+
+    def __init__(self, daemon: ServeDaemon, socket_path: str) -> None:
+        self.daemon = daemon
+        self.socket_path = socket_path
+        self._stop = threading.Event()
+        self._sock: Optional[socket.socket] = None
+        self._thread: Optional[threading.Thread] = None
+        self.requests_served = 0
+
+    def start(self) -> None:
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(self.socket_path)
+        sock.listen(16)
+        sock.settimeout(0.2)
+        self._sock = sock
+        self._thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name="serve-ipc"
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        if self._sock is not None:
+            self._sock.close()
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+
+    def _accept_loop(self) -> None:
+        assert self._sock is not None
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                self._serve_one(conn)
+            except OSError:
+                pass  # client went away mid-exchange; its problem
+            finally:
+                conn.close()
+            self.requests_served += 1
+
+    def _serve_one(self, conn: socket.socket) -> None:
+        conn.settimeout(2.0)
+        raw = b""
+        while b"\n" not in raw and len(raw) < _MAX_LINE:
+            chunk = conn.recv(4096)
+            if not chunk:
+                break
+            raw += chunk
+        try:
+            request = json.loads(raw.decode("utf-8"))
+            response = self._dispatch(request)
+        except Exception as exc:  # malformed request: structured error
+            response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        conn.sendall(json.dumps(response).encode("utf-8") + b"\n")
+
+    def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pid": os.getpid()}
+        if op == "submit":
+            decision = self.daemon.submit_dict(request.get("spec") or {})
+            return {"ok": True, "decision": decision.to_dict()}
+        if op == "jobs":
+            return {"ok": True, "jobs": self.daemon.jobs()}
+        if op == "stats":
+            return {"ok": True, "stats": self.daemon.tenant_stats()}
+        if op == "cancel":
+            outcome = self.daemon.cancel(str(request.get("job_id")))
+            return {"ok": True, "outcome": outcome}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+def request(socket_path: str, payload: Dict[str, Any], timeout: float = 5.0) -> Dict[str, Any]:
+    """One request/response round trip; raises TransportError, never hangs."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    try:
+        sock.connect(socket_path)
+        sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+        raw = b""
+        while b"\n" not in raw and len(raw) < _MAX_LINE:
+            chunk = sock.recv(4096)
+            if not chunk:
+                break
+            raw += chunk
+    except (OSError, socket.timeout) as exc:
+        raise TransportError(
+            f"serve daemon unreachable at {socket_path!r}: {exc}"
+        ) from exc
+    finally:
+        sock.close()
+    if not raw:
+        raise TransportError(f"serve daemon at {socket_path!r} closed without reply")
+    try:
+        return dict(json.loads(raw.decode("utf-8")))
+    except (ValueError, TypeError) as exc:
+        raise TransportError(f"malformed reply from {socket_path!r}: {exc}") from exc
+
+
+def submit_job(socket_path: str, spec: Dict[str, Any], timeout: float = 5.0) -> Dict[str, Any]:
+    reply = request(socket_path, {"op": "submit", "spec": spec}, timeout)
+    if not reply.get("ok"):
+        raise TransportError(f"submit failed: {reply.get('error')}")
+    return dict(reply["decision"])
+
+
+def list_jobs(socket_path: str, timeout: float = 5.0) -> List[Dict[str, Any]]:
+    reply = request(socket_path, {"op": "jobs"}, timeout)
+    if not reply.get("ok"):
+        raise TransportError(f"jobs failed: {reply.get('error')}")
+    return list(reply["jobs"])
+
+
+def daemon_stats(socket_path: str, timeout: float = 5.0) -> Dict[str, Any]:
+    reply = request(socket_path, {"op": "stats"}, timeout)
+    if not reply.get("ok"):
+        raise TransportError(f"stats failed: {reply.get('error')}")
+    return dict(reply["stats"])
+
+
+def cancel_job(socket_path: str, job_id: str, timeout: float = 5.0) -> str:
+    reply = request(socket_path, {"op": "cancel", "job_id": job_id}, timeout)
+    if not reply.get("ok"):
+        raise TransportError(f"cancel failed: {reply.get('error')}")
+    return str(reply["outcome"])

@@ -1,0 +1,202 @@
+"""Job-ordering policies of the serve daemon's submission queue.
+
+These decide *which queued job starts next* when fleet workers free up —
+one level above :mod:`repro.schedulers.policy`, which orders tasks
+*inside* a run. The daemon calls :meth:`OrderingPolicy.select` with the
+current queue snapshot each time it can launch a job, and feeds
+start/finish events back so stateful policies (fair-share) can account
+tenant service.
+
+All policies are deterministic given the submission sequence (lottery
+draws from its own seeded generator), so trace replays and the serve
+chaos tier reproduce bit-identical schedules.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve.job import JobRecord
+from repro.utils.errors import ConfigError
+
+#: Assumed sustained compute rate used to turn an estimated flop count
+#: into seconds for HRRN's response ratio. Only the *relative* scale
+#: matters (it weighs wait time against job length), so a rough constant
+#: is fine.
+DEFAULT_COST_RATE = 5e7
+
+
+class OrderingPolicy(ABC):
+    """Order rule for the daemon's submission queue."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def select(self, queue: Sequence[JobRecord], now: float) -> int:
+        """Index into ``queue`` of the job to start next.
+
+        ``queue`` is non-empty and in submission (FIFO) order; ``now`` is
+        the daemon clock. Must be side-effect free w.r.t. the records.
+        """
+
+    def note_started(self, record: JobRecord, now: float) -> None:
+        """Hook: ``record`` left the queue and began running."""
+
+    def note_finished(self, record: JobRecord, now: float) -> None:
+        """Hook: ``record`` reached a terminal state."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FIFOPolicy(OrderingPolicy):
+    """First come, first served — the baseline and the default."""
+
+    name = "fifo"
+
+    def select(self, queue: Sequence[JobRecord], now: float) -> int:
+        return 0
+
+
+class SJFPolicy(OrderingPolicy):
+    """Shortest job first, by the admission-time cost estimate.
+
+    The estimate is the flop count of the job's process-level partition
+    (the same model the simulator charges), stamped on the record at
+    admission. Ties fall back to FIFO so equal-cost jobs cannot starve
+    each other.
+    """
+
+    name = "sjf"
+
+    def select(self, queue: Sequence[JobRecord], now: float) -> int:
+        best = 0
+        for idx in range(1, len(queue)):
+            if queue[idx].est_cost < queue[best].est_cost:
+                best = idx
+        return best
+
+
+class HRRNPolicy(OrderingPolicy):
+    """Highest response ratio next: ``(wait + est) / est``.
+
+    Favors short jobs like SJF but ages long waiters, so no job starves
+    under a stream of short arrivals.
+    """
+
+    name = "hrrn"
+
+    def __init__(self, rate: float = DEFAULT_COST_RATE) -> None:
+        if rate <= 0:
+            raise ConfigError(f"rate must be > 0, got {rate}")
+        self.rate = rate
+
+    def _ratio(self, record: JobRecord, now: float) -> float:
+        est = max(record.est_cost / self.rate, 1e-9)
+        wait = max(0.0, now - record.submitted_at)
+        return (wait + est) / est
+
+    def select(self, queue: Sequence[JobRecord], now: float) -> int:
+        best = 0
+        best_ratio = self._ratio(queue[0], now)
+        for idx in range(1, len(queue)):
+            ratio = self._ratio(queue[idx], now)
+            if ratio > best_ratio:
+                best, best_ratio = idx, ratio
+        return best
+
+
+class FairSharePolicy(OrderingPolicy):
+    """Per-tenant fair share by accumulated service time.
+
+    Picks the oldest queued job of the tenant that has consumed the
+    least run time so far (running jobs count their elapsed time, so a
+    tenant cannot grab the whole fleet by submitting faster than its
+    jobs finish). Fresh tenants start at zero and therefore go first.
+    """
+
+    name = "fair"
+
+    def __init__(self) -> None:
+        self._consumed: Dict[str, float] = {}
+        self._running_since: Dict[str, Dict[str, float]] = {}
+
+    def _service(self, tenant: str, now: float) -> float:
+        live = sum(
+            max(0.0, now - t0)
+            for t0 in self._running_since.get(tenant, {}).values()
+        )
+        return self._consumed.get(tenant, 0.0) + live
+
+    def select(self, queue: Sequence[JobRecord], now: float) -> int:
+        best = 0
+        best_service = self._service(queue[0].spec.tenant, now)
+        for idx in range(1, len(queue)):
+            service = self._service(queue[idx].spec.tenant, now)
+            if service < best_service:
+                best, best_service = idx, service
+        return best
+
+    def note_started(self, record: JobRecord, now: float) -> None:
+        self._running_since.setdefault(record.spec.tenant, {})[record.job_id] = now
+
+    def note_finished(self, record: JobRecord, now: float) -> None:
+        tenant = record.spec.tenant
+        t0 = self._running_since.get(tenant, {}).pop(record.job_id, None)
+        if t0 is not None:
+            self._consumed[tenant] = self._consumed.get(tenant, 0.0) + max(0.0, now - t0)
+
+
+class LotteryPolicy(OrderingPolicy):
+    """Seeded lottery scheduling: each tenant holds equal tickets.
+
+    A draw first picks a tenant (uniform over tenants with queued work,
+    so a flood of jobs from one tenant does not buy it more tickets),
+    then takes that tenant's oldest job. Probabilistically fair and
+    starvation-free, yet reproducible: the generator is seeded and
+    consumed once per launch decision.
+    """
+
+    name = "lottery"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def select(self, queue: Sequence[JobRecord], now: float) -> int:
+        tenants = sorted({record.spec.tenant for record in queue})
+        winner = tenants[int(self._rng.integers(len(tenants)))]
+        for idx, record in enumerate(queue):
+            if record.spec.tenant == winner:
+                return idx
+        raise AssertionError("unreachable: winner drawn from queued tenants")
+
+
+#: Names accepted by ``repro serve --policy``.
+ORDERING_POLICIES: Tuple[str, ...] = ("fifo", "sjf", "hrrn", "fair", "lottery")
+
+
+def make_ordering_policy(
+    name: str, *, seed: int = 0, rate: float = DEFAULT_COST_RATE
+) -> OrderingPolicy:
+    """Build the named queue-ordering policy.
+
+    ``seed`` feeds the lottery's generator; ``rate`` scales HRRN's cost
+    estimate into seconds. Both are ignored by the other policies.
+    """
+    if name == "fifo":
+        return FIFOPolicy()
+    if name == "sjf":
+        return SJFPolicy()
+    if name == "hrrn":
+        return HRRNPolicy(rate)
+    if name == "fair":
+        return FairSharePolicy()
+    if name == "lottery":
+        return LotteryPolicy(seed)
+    raise ConfigError(
+        f"unknown ordering policy {name!r}; choose from {', '.join(ORDERING_POLICIES)}"
+    )

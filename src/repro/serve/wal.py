@@ -1,0 +1,254 @@
+"""The serve daemon's submission write-ahead log (``*.srvj``).
+
+The daemon journals every accepted job *before* acknowledging the
+submission, then journals its start and its terminal outcome. After a
+``kill -9`` of the daemon, ``repro serve --resume`` scans this log and
+reconstructs the job table: finished jobs become history, accepted-but
+-unfinished jobs are re-queued, and started jobs whose per-run commit
+journal survived resume mid-run through :mod:`repro.durable`.
+
+The framing is the same crash-tolerant scheme as the run-level commit
+journal (:mod:`repro.durable.journal`): ``MAGIC`` then length+CRC framed
+pickled dicts, torn tails expected and cleanly truncated on resume.
+Payloads here are plain JSON-safe dicts (a :class:`~repro.serve.job
+.JobSpec` round-trips through ``to_dict``), so the log never couples to
+runtime object layouts.
+
+Unlike the commit journal, this log *is* thread-safe: submissions land
+from the IPC thread while finishes land from per-job runner threads, so
+every append happens under one lock (which also makes the log a
+linearization of the daemon's admission order).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.check.lock_lint import make_lock
+from repro.serve.job import TERMINAL_STATES, JobSpec
+from repro.utils.errors import JournalError
+
+#: File magic of the serve submission log, versioned independently of
+#: the run-level commit journal.
+MAGIC = b"REPRO-SRVJ\x01\n"
+
+_HEADER = struct.Struct("<II")
+_MAX_RECORD = 1 << 30
+
+
+def _frame(payload: bytes) -> bytes:
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _encode(record: Dict[str, Any]) -> bytes:
+    return _frame(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+class ServeJournal:
+    """Append side of the submission log (the daemon's end)."""
+
+    def __init__(self, path: str, fh: io.BufferedWriter, *, fsync: bool = True) -> None:
+        self.path = path
+        self._fh: Optional[io.BufferedWriter] = fh
+        self.fsync = fsync
+        self._lock = make_lock("serve.wal")
+        self.records_written = 0
+
+    @classmethod
+    def create(cls, path: str, *, fsync: bool = True) -> "ServeJournal":
+        """Start a fresh submission log (truncates an existing file)."""
+        fh = open(path, "wb")
+        fh.write(MAGIC)
+        fh.flush()
+        return cls(path, fh, fsync=fsync)
+
+    @classmethod
+    def open_resume(cls, scan: "ServeScan", *, fsync: bool = True) -> "ServeJournal":
+        """Reopen a scanned log for append, truncating any torn tail."""
+        with open(scan.path, "rb+") as trunc:
+            trunc.truncate(scan.valid_bytes)
+        fh = open(scan.path, "ab")
+        return cls(scan.path, fh, fsync=fsync)
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            if self._fh is None:
+                raise JournalError(f"serve journal {self.path!r} is closed")
+            self._fh.write(_encode(record))
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+            self.records_written += 1
+
+    # -- record writers --------------------------------------------------
+
+    def submit(self, job_id: str, spec: JobSpec) -> None:
+        """Journal an accepted submission (write-ahead of the ack)."""
+        self._write({"type": "submit", "job_id": job_id, "spec": spec.to_dict()})
+
+    def start(self, job_id: str, journal_path: Optional[str] = None) -> None:
+        """Journal a job leaving the queue; ``journal_path`` names its
+        per-run commit journal so resume can find it."""
+        self._write({"type": "start", "job_id": job_id, "journal": journal_path})
+
+    def finish(self, job_id: str, status: str, detail: str = "") -> None:
+        """Journal a terminal outcome (done/aborted/error/cancelled)."""
+        if status not in TERMINAL_STATES:
+            raise JournalError(f"finish with non-terminal status {status!r}")
+        self._write({"type": "finish", "job_id": job_id,
+                     "status": status, "detail": detail})
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def abandon(self) -> None:
+        """Drop the file handle *without* flushing buffered bytes — the
+        in-process stand-in for the daemon dying mid-write (the chaos
+        tier's kill switch; a real SIGKILL needs no help)."""
+        with self._lock:
+            self._fh = None
+
+    def __enter__(self) -> "ServeJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+@dataclass
+class ServeEntry:
+    """One job's recovered history from the submission log."""
+
+    job_id: str
+    spec: JobSpec
+    #: ``submitted`` | ``started`` | a terminal job state.
+    status: str = "submitted"
+    detail: str = ""
+    #: Per-run commit journal path recorded at start, if any.
+    run_journal: Optional[str] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+
+@dataclass
+class ServeScan:
+    """The decoded valid prefix of one submission log."""
+
+    path: str
+    entries: Dict[str, ServeEntry] = field(default_factory=dict)
+    #: Job ids in submission order.
+    order: List[str] = field(default_factory=list)
+    valid_bytes: int = 0
+    truncated: bool = False
+    diagnostic: str = ""
+
+    def pending(self) -> Tuple[ServeEntry, ...]:
+        """Accepted jobs with no terminal record, in submission order —
+        exactly what ``--resume`` must run (or re-run)."""
+        return tuple(
+            self.entries[job_id]
+            for job_id in self.order
+            if not self.entries[job_id].finished
+        )
+
+    @property
+    def max_job_number(self) -> int:
+        """Largest numeric suffix among recovered ids (counter priming)."""
+        best = 0
+        for job_id in self.order:
+            tail = job_id.rsplit("-", 1)[-1]
+            if tail.isdigit():
+                best = max(best, int(tail))
+        return best
+
+
+def scan_serve_journal(path: str) -> ServeScan:
+    """Decode the valid prefix of a submission log.
+
+    Mirrors :func:`repro.durable.journal.scan_journal`: raises
+    :class:`JournalError` only for a missing file or bad magic; torn or
+    corrupt tails terminate the scan cleanly with a diagnostic and the
+    intact prefix is recovered. Records for unknown job ids (a ``start``
+    whose ``submit`` fell in the torn tail cannot happen — appends are
+    ordered — but a corrupt scan could surface one) are dropped, not
+    fatal.
+    """
+    try:
+        fh = open(path, "rb")
+    except OSError as exc:
+        raise JournalError(f"cannot open serve journal {path!r}: {exc}") from exc
+    scan = ServeScan(path=path)
+    with fh:
+        magic = fh.read(len(MAGIC))
+        if magic != MAGIC:
+            raise JournalError(
+                f"{path!r} is not a serve journal (bad magic {magic[:12]!r})"
+            )
+        offset = len(MAGIC)
+        scan.valid_bytes = offset
+        while True:
+            header = fh.read(_HEADER.size)
+            if not header:
+                break
+            if len(header) < _HEADER.size:
+                scan.truncated = True
+                scan.diagnostic = (
+                    f"torn frame header at offset {offset} "
+                    f"({len(header)} of {_HEADER.size} bytes)"
+                )
+                break
+            length, crc = _HEADER.unpack(header)
+            if length > _MAX_RECORD:
+                scan.truncated = True
+                scan.diagnostic = (
+                    f"implausible record length {length} at offset {offset}"
+                )
+                break
+            payload = fh.read(length)
+            if len(payload) < length:
+                scan.truncated = True
+                scan.diagnostic = (
+                    f"torn record at offset {offset}: header promises "
+                    f"{length} bytes, file holds {len(payload)}"
+                )
+                break
+            if zlib.crc32(payload) != crc:
+                scan.truncated = True
+                scan.diagnostic = f"CRC mismatch at offset {offset}"
+                break
+            try:
+                record = pickle.loads(payload)
+                kind = record["type"]
+            except Exception as exc:
+                scan.truncated = True
+                scan.diagnostic = f"undecodable record at offset {offset}: {exc}"
+                break
+            offset += _HEADER.size + length
+            scan.valid_bytes = offset
+            if kind == "submit":
+                job_id = record["job_id"]
+                entry = ServeEntry(job_id, JobSpec.from_dict(record["spec"]))
+                scan.entries[job_id] = entry
+                scan.order.append(job_id)
+            elif kind == "start":
+                entry_opt = scan.entries.get(record["job_id"])
+                if entry_opt is not None:
+                    entry_opt.status = "started"
+                    entry_opt.run_journal = record.get("journal")
+            elif kind == "finish":
+                entry_opt = scan.entries.get(record["job_id"])
+                if entry_opt is not None:
+                    entry_opt.status = record["status"]
+                    entry_opt.detail = record.get("detail", "")
+    return scan

@@ -27,7 +27,23 @@ class TransportError(ReproError):
 
 
 class FaultToleranceExhausted(ReproError):
-    """A sub-task kept failing beyond the configured retry budget."""
+    """A sub-task kept failing beyond the configured retry budget.
+
+    ``job_id`` attributes the abort to one run when many share a process
+    (the ``repro serve`` daemon): multi-job traces and ``repro stats``
+    can then charge the abort to the right tenant instead of guessing
+    from interleaved telemetry. ``None`` for standalone runs.
+    """
+
+    def __init__(self, message: str, *, job_id: "str | None" = None) -> None:
+        super().__init__(message)
+        self.job_id = job_id
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.job_id is not None:
+            return f"[job {self.job_id}] {base}"
+        return base
 
 
 class ConfigError(ReproError, ValueError):

@@ -1,0 +1,31 @@
+"""``repro.workloads`` — seeded arrival traces and trace-driven replay.
+
+Generators for service-shaped load (Poisson bursts, diurnal cycles,
+heavy-tailed job sizes) and a replay harness that drives a
+:class:`~repro.serve.daemon.ServeDaemon` from a trace and reports
+per-tenant wait/slowdown/throughput. See ``docs/serving.md``.
+"""
+
+from repro.workloads.arrivals import (
+    DEFAULT_TENANTS,
+    TRACE_KINDS,
+    ArrivalEvent,
+    diurnal_trace,
+    heavy_tail_trace,
+    make_trace,
+    poisson_burst_trace,
+)
+from repro.workloads.replay import ReplayReport, replay, throughput
+
+__all__ = [
+    "ArrivalEvent",
+    "DEFAULT_TENANTS",
+    "TRACE_KINDS",
+    "diurnal_trace",
+    "heavy_tail_trace",
+    "make_trace",
+    "poisson_burst_trace",
+    "ReplayReport",
+    "replay",
+    "throughput",
+]

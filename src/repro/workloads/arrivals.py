@@ -1,0 +1,181 @@
+"""Seeded arrival-trace generators for the serve daemon.
+
+A trace is a tuple of :class:`ArrivalEvent` — (arrival offset, tenant,
+job spec fields) — drawn from one of three stochastic shapes:
+
+- **poisson-burst**: a base Poisson process with periodic bursts at a
+  multiplied rate (flash crowds hitting a service);
+- **diurnal**: a sinusoidally modulated Poisson process (day/night
+  load);
+- **heavy-tail**: Poisson arrivals whose job *sizes* follow a bounded
+  Pareto, so most jobs are small and a few are much larger (the mix
+  that makes FIFO-vs-SJF policy choices visible).
+
+Everything is derived from ``numpy.random.default_rng(seed)``, so a
+trace is a pure function of its parameters — the chaos tier and the
+replay harness regenerate identical campaigns from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.errors import ConfigError
+
+#: Trace shapes accepted by :func:`make_trace`.
+TRACE_KINDS: Tuple[str, ...] = ("poisson-burst", "diurnal", "heavy-tail")
+
+DEFAULT_TENANTS: Tuple[str, ...] = ("acme", "globex", "initech")
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """One job arrival: when, who, and what to run."""
+
+    t: float
+    tenant: str
+    algo: str
+    size: int
+    seed: int
+
+    def spec_dict(self, **overrides: Any) -> Dict[str, Any]:
+        """The JSON-safe submission dict this arrival turns into."""
+        out: Dict[str, Any] = {
+            "tenant": self.tenant,
+            "algo": self.algo,
+            "size": self.size,
+            "seed": self.seed,
+        }
+        out.update(overrides)
+        return out
+
+
+def _draw_common(
+    rng: np.random.Generator,
+    n: int,
+    tenants: Sequence[str],
+    algos: Sequence[str],
+) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    if n < 1:
+        raise ConfigError(f"n must be >= 1, got {n}")
+    if not tenants or not algos:
+        raise ConfigError("tenants and algos must be non-empty")
+    drawn_tenants = tuple(tenants[int(i)] for i in rng.integers(len(tenants), size=n))
+    drawn_algos = tuple(algos[int(i)] for i in rng.integers(len(algos), size=n))
+    return drawn_tenants, drawn_algos
+
+
+def poisson_burst_trace(
+    n: int,
+    *,
+    seed: int = 0,
+    base_rate: float = 2.0,
+    burst_factor: float = 8.0,
+    burst_every: float = 10.0,
+    burst_len: float = 2.0,
+    size: int = 28,
+    tenants: Sequence[str] = DEFAULT_TENANTS,
+    algos: Sequence[str] = ("edit-distance",),
+) -> Tuple[ArrivalEvent, ...]:
+    """Poisson arrivals at ``base_rate``/s, with windows of length
+    ``burst_len`` every ``burst_every`` seconds running ``burst_factor``
+    times hotter (thinning construction: draw at the peak rate, keep
+    off-burst arrivals with probability ``1/burst_factor``)."""
+    if base_rate <= 0 or burst_factor < 1:
+        raise ConfigError("base_rate must be > 0 and burst_factor >= 1")
+    rng = np.random.default_rng(seed)
+    peak = base_rate * burst_factor
+    times = []
+    t = 0.0
+    while len(times) < n:
+        t += float(rng.exponential(1.0 / peak))
+        in_burst = (t % burst_every) < burst_len
+        if in_burst or rng.random() < 1.0 / burst_factor:
+            times.append(t)
+    drawn_tenants, drawn_algos = _draw_common(rng, n, tenants, algos)
+    return tuple(
+        ArrivalEvent(times[i], drawn_tenants[i], drawn_algos[i], size, int(i))
+        for i in range(n)
+    )
+
+
+def diurnal_trace(
+    n: int,
+    *,
+    seed: int = 0,
+    period: float = 60.0,
+    peak_rate: float = 6.0,
+    trough_rate: float = 0.5,
+    size: int = 28,
+    tenants: Sequence[str] = DEFAULT_TENANTS,
+    algos: Sequence[str] = ("edit-distance",),
+) -> Tuple[ArrivalEvent, ...]:
+    """A sinusoidal rate between ``trough_rate`` and ``peak_rate`` with
+    the given ``period`` (thinned from the peak rate)."""
+    if peak_rate <= 0 or not 0 < trough_rate <= peak_rate:
+        raise ConfigError("need 0 < trough_rate <= peak_rate")
+    rng = np.random.default_rng(seed)
+    times = []
+    t = 0.0
+    while len(times) < n:
+        t += float(rng.exponential(1.0 / peak_rate))
+        phase = 0.5 * (1.0 + np.sin(2.0 * np.pi * t / period))
+        rate = trough_rate + (peak_rate - trough_rate) * phase
+        if rng.random() < rate / peak_rate:
+            times.append(t)
+    drawn_tenants, drawn_algos = _draw_common(rng, n, tenants, algos)
+    return tuple(
+        ArrivalEvent(times[i], drawn_tenants[i], drawn_algos[i], size, int(i))
+        for i in range(n)
+    )
+
+
+def heavy_tail_trace(
+    n: int,
+    *,
+    seed: int = 0,
+    rate: float = 3.0,
+    size_min: int = 16,
+    size_max: int = 96,
+    alpha: float = 1.5,
+    tenants: Sequence[str] = DEFAULT_TENANTS,
+    algos: Sequence[str] = ("edit-distance",),
+) -> Tuple[ArrivalEvent, ...]:
+    """Poisson arrivals whose sizes follow a bounded Pareto(``alpha``)
+    over ``[size_min, size_max]`` — mostly small jobs, a heavy tail of
+    large ones."""
+    if rate <= 0 or alpha <= 0:
+        raise ConfigError("rate and alpha must be > 0")
+    if not 2 <= size_min <= size_max:
+        raise ConfigError(f"need 2 <= size_min <= size_max, got {size_min}..{size_max}")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate, size=n)
+    times = np.cumsum(gaps)
+    # Inverse-CDF of the bounded Pareto.
+    u = rng.random(size=n)
+    lo, hi = float(size_min), float(size_max)
+    sizes = (lo**-alpha - u * (lo**-alpha - hi**-alpha)) ** (-1.0 / alpha)
+    drawn_tenants, drawn_algos = _draw_common(rng, n, tenants, algos)
+    return tuple(
+        ArrivalEvent(
+            float(times[i]), drawn_tenants[i], drawn_algos[i],
+            int(np.clip(round(sizes[i]), size_min, size_max)), int(i),
+        )
+        for i in range(n)
+    )
+
+
+def make_trace(kind: str, n: int, *, seed: int = 0, **knobs: Any) -> Tuple[ArrivalEvent, ...]:
+    """Build the named trace shape (see :data:`TRACE_KINDS`)."""
+    if kind == "poisson-burst":
+        return poisson_burst_trace(n, seed=seed, **knobs)
+    if kind == "diurnal":
+        return diurnal_trace(n, seed=seed, **knobs)
+    if kind == "heavy-tail":
+        return heavy_tail_trace(n, seed=seed, **knobs)
+    raise ConfigError(
+        f"unknown trace kind {kind!r}; choose from {', '.join(TRACE_KINDS)}"
+    )

@@ -1,0 +1,118 @@
+"""Trace-driven workload replay against a live serve daemon.
+
+:func:`replay` feeds an arrival trace (see :mod:`repro.workloads
+.arrivals`) into a :class:`~repro.serve.daemon.ServeDaemon`, honouring
+inter-arrival gaps scaled by ``speed`` (``0`` collapses the trace to an
+instantaneous batch — the overload case), then waits for the daemon to
+go idle and reports per-tenant service quality: admission counts, shed
+counts, wait/run/slowdown summaries, and terminal-state tallies.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.serve.admission import AdmissionDecision
+from repro.serve.daemon import ServeDaemon
+from repro.workloads.arrivals import ArrivalEvent
+
+
+@dataclass
+class ReplayReport:
+    """What one trace replay did to (and got from) the daemon."""
+
+    submitted: int = 0
+    accepted: int = 0
+    shed: int = 0
+    drained_idle: bool = False
+    decisions: List[AdmissionDecision] = field(default_factory=list)
+    #: tenant -> {submitted, accepted, shed, done, aborted, error,
+    #: cancelled, wait_p50, wait_p95, slowdown_p50, ...}
+    tenants: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def tenant(self, name: str) -> Dict[str, Any]:
+        return self.tenants.setdefault(name, {
+            "submitted": 0, "accepted": 0, "shed": 0,
+            "done": 0, "aborted": 0, "error": 0, "cancelled": 0,
+        })
+
+
+def replay(
+    daemon: ServeDaemon,
+    trace: Sequence[ArrivalEvent],
+    *,
+    speed: float = 0.0,
+    spec_overrides: Dict[str, Any] | None = None,
+    chaos_tenants: Dict[str, Dict[str, float]] | None = None,
+    wait_timeout: float = 120.0,
+) -> ReplayReport:
+    """Submit ``trace`` to ``daemon`` and summarize the outcome.
+
+    ``speed`` scales inter-arrival gaps (1.0 = real trace time, 0 = all
+    at once). ``spec_overrides`` merges into every submission dict
+    (e.g. ``{"nodes": 2, "deadline": 5.0}``). ``chaos_tenants`` maps a
+    tenant name to the chaos profile injected into *that tenant's jobs
+    only* — the sabotage hook of the service chaos tier.
+    """
+    report = ReplayReport()
+    overrides = dict(spec_overrides or {})
+    sabotage = dict(chaos_tenants or {})
+    prev_t = trace[0].t if trace else 0.0
+    for event in trace:
+        if speed > 0:
+            gap = (event.t - prev_t) * speed
+            if gap > 0:
+                time.sleep(min(gap, 5.0))
+            prev_t = event.t
+        spec = event.spec_dict(**overrides)
+        if event.tenant in sabotage:
+            spec["chaos"] = dict(sabotage[event.tenant])
+        decision = daemon.submit_dict(spec)
+        report.submitted += 1
+        report.decisions.append(decision)
+        per = report.tenant(event.tenant)
+        per["submitted"] += 1
+        if decision.accepted:
+            report.accepted += 1
+            per["accepted"] += 1
+        else:
+            report.shed += 1
+            per["shed"] += 1
+    report.drained_idle = daemon.wait_idle(wait_timeout)
+    _fold_outcomes(daemon, report)
+    return report
+
+
+def _fold_outcomes(daemon: ServeDaemon, report: ReplayReport) -> None:
+    """Merge job outcomes and latency summaries into the report."""
+    for snap in daemon.jobs():
+        per = report.tenant(snap["tenant"])
+        status = snap["status"]
+        if status in per:
+            per[status] += 1
+    histograms = daemon.metrics.snapshot()["histograms"]
+    shorts = {
+        "serve.wait_seconds": "wait",
+        "serve.run_seconds": "run",
+        "serve.slowdown": "slowdown",
+    }
+    for key, value in histograms.items():
+        for base, short in shorts.items():
+            prefix = base + "{tenant="
+            if key.startswith(prefix):
+                tenant = key[len(prefix):].rstrip("}")
+                per = report.tenant(tenant)
+                if isinstance(value, dict):
+                    for stat in ("p50", "p95", "p99", "mean", "count"):
+                        if stat in value:
+                            per[f"{short}_{stat}"] = value[stat]
+
+
+def throughput(report: ReplayReport, elapsed: float) -> Tuple[float, float]:
+    """(accepted, completed) jobs per second over ``elapsed`` seconds."""
+    done = sum(per.get("done", 0) for per in report.tenants.values())
+    if elapsed <= 0:
+        return (0.0, 0.0)
+    return (report.accepted / elapsed, done / elapsed)

@@ -1,0 +1,135 @@
+"""Queue-ordering policies of the serve daemon."""
+
+import pytest
+
+from repro.serve.job import JobRecord, JobSpec
+from repro.serve.policy import (
+    ORDERING_POLICIES,
+    FairSharePolicy,
+    LotteryPolicy,
+    make_ordering_policy,
+)
+from repro.utils.errors import ConfigError
+
+
+def _record(job_id, tenant="t", cost=1.0, submitted=0.0):
+    rec = JobRecord(job_id, JobSpec(tenant=tenant), submitted_at=submitted)
+    rec.est_cost = cost
+    return rec
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        for name in ORDERING_POLICIES:
+            assert make_ordering_policy(name).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError):
+            make_ordering_policy("srtf")
+
+
+class TestFIFO:
+    def test_picks_head(self):
+        policy = make_ordering_policy("fifo")
+        queue = [_record("a"), _record("b"), _record("c")]
+        assert policy.select(queue, 1.0) == 0
+
+
+class TestSJF:
+    def test_picks_cheapest(self):
+        policy = make_ordering_policy("sjf")
+        queue = [_record("a", cost=30), _record("b", cost=5), _record("c", cost=10)]
+        assert policy.select(queue, 1.0) == 1
+
+    def test_tie_falls_back_to_fifo(self):
+        policy = make_ordering_policy("sjf")
+        queue = [_record("a", cost=5), _record("b", cost=5)]
+        assert policy.select(queue, 1.0) == 0
+
+
+class TestHRRN:
+    def test_short_job_wins_at_equal_wait(self):
+        policy = make_ordering_policy("hrrn", rate=1.0)
+        queue = [_record("long", cost=100, submitted=0.0),
+                 _record("short", cost=1, submitted=0.0)]
+        assert policy.select(queue, 10.0) == 1
+
+    def test_aging_rescues_long_waiter(self):
+        policy = make_ordering_policy("hrrn", rate=1.0)
+        # The long job has waited 1000s, the short one just arrived:
+        # (1000+100)/100 = 11 beats (0+1)/1 = 1.
+        queue = [_record("long", cost=100, submitted=0.0),
+                 _record("short", cost=1, submitted=1000.0)]
+        assert policy.select(queue, 1000.0) == 0
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            make_ordering_policy("hrrn", rate=0.0)
+
+
+class TestFairShare:
+    def test_fresh_tenant_goes_first(self):
+        policy = FairSharePolicy()
+        hog = _record("h1", tenant="hog")
+        policy.note_started(hog, 0.0)
+        policy.note_finished(hog, 50.0)
+        queue = [_record("h2", tenant="hog"), _record("n1", tenant="new")]
+        assert policy.select(queue, 60.0) == 1
+
+    def test_running_time_counts_against_tenant(self):
+        policy = FairSharePolicy()
+        live = _record("h1", tenant="hog")
+        policy.note_started(live, 0.0)  # still running at select time
+        queue = [_record("h2", tenant="hog"), _record("n1", tenant="new")]
+        assert policy.select(queue, 30.0) == 1
+
+    def test_balances_alternating(self):
+        policy = FairSharePolicy()
+        picked = []
+        now = 0.0
+        queue = [
+            _record("a1", tenant="a"), _record("a2", tenant="a"),
+            _record("b1", tenant="b"), _record("b2", tenant="b"),
+        ]
+        while queue:
+            idx = policy.select(queue, now)
+            rec = queue.pop(idx)
+            picked.append(rec.spec.tenant)
+            policy.note_started(rec, now)
+            policy.note_finished(rec, now + 10.0)
+            now += 10.0
+        # Strict alternation: each pick goes to the least-served tenant.
+        assert picked in (["a", "b", "a", "b"], ["b", "a", "b", "a"])
+
+
+class TestLottery:
+    def test_deterministic_given_seed(self):
+        queue = [_record(f"j{i}", tenant=f"t{i % 3}") for i in range(9)]
+        a = [LotteryPolicy(seed=7).select(queue, 0.0) for _ in range(1)]
+        b = [LotteryPolicy(seed=7).select(queue, 0.0) for _ in range(1)]
+        assert a == b
+        seq1 = LotteryPolicy(seed=7)
+        seq2 = LotteryPolicy(seed=7)
+        assert [seq1.select(queue, 0.0) for _ in range(20)] == [
+            seq2.select(queue, 0.0) for _ in range(20)
+        ]
+
+    def test_winner_is_tenants_oldest_job(self):
+        policy = LotteryPolicy(seed=0)
+        queue = [_record("x1", tenant="x"), _record("y1", tenant="y"),
+                 _record("x2", tenant="x"), _record("y2", tenant="y")]
+        for _ in range(10):
+            idx = policy.select(queue, 0.0)
+            assert idx in (0, 1)  # always a tenant's first queued job
+
+    def test_flooding_does_not_buy_tickets(self):
+        """Tenant draw is uniform over tenants, not jobs: a tenant with
+        9x the queued jobs should win ~half the draws, not ~90%."""
+        policy = LotteryPolicy(seed=42)
+        queue = [_record(f"f{i}", tenant="flood") for i in range(18)]
+        queue.append(_record("s1", tenant="small"))
+        wins_small = sum(
+            1 for _ in range(200)
+            if queue[policy.select(queue, 0.0)].spec.tenant == "small"
+        )
+        assert 60 <= wins_small <= 140

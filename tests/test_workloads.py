@@ -1,0 +1,113 @@
+"""Arrival-trace generators and the trace replay harness."""
+
+import pytest
+
+from repro.serve import ServeDaemon
+from repro.utils.errors import ConfigError
+from repro.workloads import (
+    TRACE_KINDS,
+    heavy_tail_trace,
+    make_trace,
+    replay,
+    throughput,
+)
+
+
+class TestTraceGenerators:
+    def test_all_kinds_generate_and_are_deterministic(self):
+        for kind in TRACE_KINDS:
+            a = make_trace(kind, 20, seed=7)
+            b = make_trace(kind, 20, seed=7)
+            assert a == b, f"{kind} trace is not a pure function of its seed"
+            assert len(a) == 20
+            times = [e.t for e in a]
+            assert times == sorted(times), f"{kind} arrivals not ordered"
+            assert all(e.t >= 0 for e in a)
+
+    def test_different_seed_different_trace(self):
+        assert make_trace("heavy-tail", 20, seed=0) != make_trace(
+            "heavy-tail", 20, seed=1
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            make_trace("flat", 5)
+
+    def test_heavy_tail_sizes_bounded_and_skewed(self):
+        trace = heavy_tail_trace(300, seed=3, size_min=16, size_max=96)
+        sizes = [e.size for e in trace]
+        assert min(sizes) >= 16 and max(sizes) <= 96
+        small = sum(1 for s in sizes if s <= 32)
+        assert small > len(sizes) / 2, "bounded Pareto should skew small"
+        assert max(sizes) > 48, "the heavy tail should reach large sizes"
+
+    def test_spec_dict_with_overrides(self):
+        event = make_trace("poisson-burst", 1, seed=0)[0]
+        spec = event.spec_dict(nodes=2, deadline=5.0)
+        assert spec["tenant"] == event.tenant
+        assert spec["size"] == event.size
+        assert spec["nodes"] == 2 and spec["deadline"] == 5.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigError):
+            make_trace("heavy-tail", 0)
+        with pytest.raises(ConfigError):
+            heavy_tail_trace(5, size_min=1, size_max=0)
+        with pytest.raises(ConfigError):
+            make_trace("poisson-burst", 5, tenants=())
+
+
+class TestReplay:
+    def test_replay_batch_reports_outcomes_and_latency(self):
+        daemon = ServeDaemon(workers=3, queue_cap=64, task_timeout=5.0)
+        daemon.start()
+        try:
+            trace = make_trace(
+                "heavy-tail", 8, seed=2, size_min=16, size_max=28,
+                algos=("lcs",),
+            )
+            report = replay(
+                daemon, trace, spec_overrides={"nodes": 2}, wait_timeout=90.0,
+            )
+            assert report.submitted == 8
+            assert report.accepted + report.shed == 8
+            assert report.drained_idle
+            done = sum(per.get("done", 0) for per in report.tenants.values())
+            assert done == report.accepted
+            # The latency fold must surface histogram summaries per tenant.
+            with_latency = [
+                per for per in report.tenants.values() if per.get("accepted")
+            ]
+            assert with_latency
+            for per in with_latency:
+                assert "wait_p50" in per and "slowdown_p95" in per
+            acc_rate, done_rate = throughput(report, elapsed=10.0)
+            assert acc_rate == pytest.approx(report.accepted / 10.0)
+            assert done_rate == pytest.approx(done / 10.0)
+        finally:
+            daemon.drain(20.0)
+
+    def test_replay_sabotaged_tenant_gets_chaos_profile(self):
+        daemon = ServeDaemon(workers=2, queue_cap=64, task_timeout=5.0)
+        daemon.start()
+        try:
+            trace = make_trace(
+                "poisson-burst", 6, seed=4, size=20, algos=("lcs",),
+                tenants=("clean", "dirty"),
+            )
+            assert any(e.tenant == "dirty" for e in trace)
+            report = replay(
+                daemon, trace,
+                spec_overrides={"nodes": 2},
+                chaos_tenants={"dirty": {"worker_p_slow": 0.2, "seed": 1}},
+                wait_timeout=90.0,
+            )
+            assert report.drained_idle
+            for snap in daemon.jobs():
+                record = daemon.get(snap["job_id"])
+                if record.spec.tenant == "dirty":
+                    assert record.spec.chaos == {"worker_p_slow": 0.2, "seed": 1}
+                else:
+                    assert record.spec.chaos == {}
+        finally:
+            daemon.drain(20.0)
