@@ -20,7 +20,14 @@ from repro.algorithms.problem import DPProblem
 from repro.analysis.report import RunReport
 from repro.backends.threads import open_journal
 from repro.chaos.channel import ChaosChannel
-from repro.comm.shm import BlockStore, ShmChannel, run_prefix, sweep_segments
+from repro.cluster.faults import IoPolicy
+from repro.comm.shm import (
+    BlockStore,
+    ShmChannel,
+    drain_shm_errors,
+    run_prefix,
+    sweep_segments,
+)
 from repro.comm.transport import PipeChannel
 from repro.obs import EventRecorder, MetricsRegistry, to_gantt_trace
 from repro.runtime.config import RunConfig
@@ -64,7 +71,16 @@ def run_processes(
     # process (result payloads, built inside slave_process_main). The
     # master sweeps the prefix at teardown as the leak backstop.
     shm_prefix = run_prefix(config.run_id) if config.shm else None
-    store = BlockStore(shm_prefix) if shm_prefix is not None else None
+    store = (
+        BlockStore(
+            shm_prefix,
+            io_policy=IoPolicy(config.io_fault_plan, "shm-master")
+            if config.io_fault_plan
+            else None,
+        )
+        if shm_prefix is not None
+        else None
+    )
 
     master_channels = []
     procs = []
@@ -81,6 +97,7 @@ def run_processes(
         heartbeat_interval=config.heartbeat_interval,
         integrity=config.integrity,
         shm_prefix=shm_prefix,
+        io_fault_plan=config.io_fault_plan if config.io_fault_plan else None,
     )
     for k in range(config.n_slaves):
         parent_conn, child_conn = ctx.Pipe(duplex=True)
@@ -114,7 +131,7 @@ def run_processes(
             )
         )
 
-    journal = open_journal(config, problem, resume)
+    journal = open_journal(config, problem, resume, obs=recorder)
     master = MasterPart(
         problem,
         partition,
@@ -171,6 +188,9 @@ def run_processes(
             # released as their dispatches settled; this catches orphans
             # from slaves killed mid-park).
             sweep_segments(shm_prefix)
+            # Surface every OSError the reclamation hooks swallowed for
+            # this run — resource failures must never be invisible.
+            drain_shm_errors(shm_prefix, metrics=metrics, obs=recorder)
     elapsed = time.perf_counter() - started
 
     report = RunReport(

@@ -40,11 +40,11 @@ def run_serial(
     partition = problem.build_partition(proc_size)
     state = problem.make_state() if resume is None else resume.state
     committed = dict(resume.committed) if resume is not None else {}
-    journal = open_journal(config, problem, resume)
     # The oracle emits the same task lifecycle as the parallel backends
     # (one virtual worker, node 0) so traces are structurally comparable.
     recorder = EventRecorder() if config.observing else None
     metrics = MetricsRegistry() if config.observing else None
+    journal = open_journal(config, problem, resume, obs=recorder)
     if recorder is not None and committed:
         recorder.emit("resume", None, node=0, n_committed=len(committed))
     # The oracle folds the same rolling run digest as the parallel

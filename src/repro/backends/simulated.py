@@ -285,7 +285,16 @@ class _SimulatedRun:
                 )
         from repro.backends.threads import open_journal
 
-        self.journal = open_journal(config, problem, resume)
+        self.journal = open_journal(config, problem, resume, obs=self.obs)
+        if self.journal is not None:
+            # ``journal_degrade="checkpoint"`` rescue: the simulator's
+            # checkpoints carry no DP state (it computes no cells), just
+            # the committed set and retry budgets.
+            self.journal.bind_rescue(
+                lambda: self.journal.checkpoint(
+                    None, self.committed, dict(self.attempts)
+                )
+            )
         #: task -> sim-time when it became dispatchable; consumed at
         #: assign time for the ``queue-wait`` span. Only kept while
         #: observing so the disabled path stays allocation-free.

@@ -19,6 +19,8 @@ from repro.algorithms.problem import DPProblem
 from repro.analysis.report import RunReport
 from repro.chaos.channel import ChaosChannel
 from repro.comm.transport import channel_pair
+from repro.cluster.faults import IoPolicy
+from repro.durable.degrade import JournalGuard
 from repro.durable.journal import CommitJournal
 from repro.obs import EventRecorder, MetricsRegistry, to_gantt_trace
 from repro.runtime.config import RunConfig
@@ -27,18 +29,36 @@ from repro.runtime.slave import SlavePart
 from repro.schedulers.policy import make_policy
 
 
-def open_journal(config: RunConfig, problem: DPProblem, resume) -> Optional[CommitJournal]:
+def open_journal(
+    config: RunConfig, problem: DPProblem, resume, obs=None
+) -> Optional[JournalGuard]:
     """Shared backend helper: the run's write-ahead journal, if any.
 
     Fresh runs create (and ``begin``) the journal at ``journal_path``
     with the chaos kill switch armed; resumed runs reopen the recovered
     journal for append (truncating any torn tail) with the switch off.
+    Either way the handle comes back wrapped in a
+    :class:`~repro.durable.degrade.JournalGuard`, so every backend gets
+    the same bounded retry-then-degrade ladder
+    (``config.journal_degrade``) when a write hits ENOSPC/EIO — real or
+    injected by ``config.io_fault_plan``.
     """
+    io_policy = (
+        IoPolicy(config.io_fault_plan, "journal") if config.io_fault_plan else None
+    )
     if resume is not None:
-        return CommitJournal.open_resume(
+        journal = CommitJournal.open_resume(
             resume.scan,
             fsync=config.journal_fsync,
             checkpoint_interval=config.checkpoint_interval,
+            io_policy=io_policy,
+        )
+        return JournalGuard(
+            journal,
+            mode=config.journal_degrade,
+            retries=config.journal_retries,
+            job_id=config.run_id,
+            obs=obs,
         )
     if config.journal_path is None:
         return None
@@ -48,9 +68,17 @@ def open_journal(config: RunConfig, problem: DPProblem, resume) -> Optional[Comm
         checkpoint_interval=config.checkpoint_interval,
         kill_after=config.journal_kill_after,
         kill_torn=config.journal_kill_torn,
+        io_policy=io_policy,
     )
-    journal.begin(problem, config)
-    return journal
+    guard = JournalGuard(
+        journal,
+        mode=config.journal_degrade,
+        retries=config.journal_retries,
+        job_id=config.run_id,
+        obs=obs,
+    )
+    guard.begin(problem, config)
+    return guard
 
 
 def run_threads(
@@ -113,7 +141,7 @@ def run_threads(
                 integrity=config.integrity,
             )
         )
-    journal = open_journal(config, problem, resume)
+    journal = open_journal(config, problem, resume, obs=recorder)
     master = MasterPart(
         problem,
         partition,

@@ -30,6 +30,7 @@ from repro.chaos.campaign import (
     run_campaign,
 )
 from repro.chaos.channel import ChaosChannel
+from repro.chaos.resources import DEGRADE_CYCLE
 from repro.chaos.serve import (
     JobVerdict,
     ServeCampaignResult,
@@ -37,8 +38,13 @@ from repro.chaos.serve import (
     run_serve_campaign,
 )
 from repro.cluster.faults import (
+    IO_FAULT_KINDS,
+    IO_FAULT_OPS,
     MESSAGE_FAULT_KINDS,
     WORKER_FAULT_KINDS,
+    IoFaultPlan,
+    IoFaultRule,
+    IoPolicy,
     MessageFaultPlan,
     MessageFaultRule,
     WorkerFaultPlan,
@@ -56,6 +62,12 @@ __all__ = [
     "ServeCampaignResult",
     "ServeCampaignSpec",
     "run_serve_campaign",
+    "DEGRADE_CYCLE",
+    "IO_FAULT_KINDS",
+    "IO_FAULT_OPS",
+    "IoFaultPlan",
+    "IoFaultRule",
+    "IoPolicy",
     "MESSAGE_FAULT_KINDS",
     "WORKER_FAULT_KINDS",
     "MessageFaultPlan",

@@ -47,6 +47,7 @@ from repro.cluster.faults import (
     DETECTABLE_MESSAGE_KINDS,
     MESSAGE_FAULT_KINDS,
     FaultPlan,
+    IoFaultPlan,
     MessageFaultPlan,
     WorkerFaultPlan,
 )
@@ -106,6 +107,14 @@ class CampaignSpec:
     batch_wave: bool = False
     max_batch: int = 8
     shm: bool = False
+    #: Resource-exhaustion mode (``repro chaos --resources``): seeded
+    #: I/O faults into journal appends/fsyncs and shm allocation, a
+    #: journal in a temp dir, and the degrade ladder cycled per seed.
+    #: See :mod:`repro.chaos.resources` for the contract.
+    resources: bool = False
+    io_p_write: float = 0.08
+    io_p_fsync: float = 0.04
+    io_p_shm: float = 0.15
 
     def __post_init__(self) -> None:
         from repro.integrity import INTEGRITY_MODES
@@ -120,6 +129,11 @@ class CampaignSpec:
         if self.kill_master_at is not None and not (0.0 < self.kill_master_at <= 1.0):
             raise ChaosError(
                 f"kill_master_at must be a fraction in (0, 1], got {self.kill_master_at}"
+            )
+        if self.resources and self.kill_master_at is not None:
+            raise ChaosError(
+                "resources mode and kill-master mode are separate campaigns; "
+                "run them one at a time"
             )
         if self.integrity not in INTEGRITY_MODES:
             raise ChaosError(
@@ -240,6 +254,16 @@ def chaos_config(backend: str, seed: int, spec: CampaignSpec) -> RunConfig:
                 or (spec.sdc and spec.worker_p_lie > 0)
             )
             else WorkerFaultPlan.none()
+        ),
+        io_fault_plan=(
+            IoFaultPlan.random(
+                p_write=spec.io_p_write,
+                p_fsync=spec.io_p_fsync,
+                p_shm=spec.io_p_shm,
+                seed=seed,
+            )
+            if spec.resources
+            else IoFaultPlan.none()
         ),
         blacklist_threshold=4,
         retry_backoff=0.01,
@@ -585,7 +609,14 @@ def run_campaign(
     ``artifact_dir`` (when set). Raises nothing — inspect the result (or
     call :meth:`CampaignResult.raise_if_failed`)."""
     oracle = _oracle_state(spec)
-    execute = _execute_one if spec.kill_master_at is None else _execute_kill_master
+    if spec.kill_master_at is not None:
+        execute = _execute_kill_master
+    elif spec.resources:
+        from repro.chaos.resources import _execute_resource
+
+        execute = _execute_resource
+    else:
+        execute = _execute_one
     outcomes: List[RunOutcome] = []
     for backend in spec.backends:
         for i in range(spec.seeds):

@@ -531,7 +531,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve.daemon import ServeDaemon
     from repro.serve.ipc import ServeServer
+    from repro.serve.pressure import ResourceWatermarks
 
+    import os as _os
+
+    wal_dir = _os.path.dirname(args.journal) if args.journal else "."
+    watermarks = ResourceWatermarks(
+        min_disk_bytes=int(args.min_disk_mb * 1024 * 1024),
+        min_memory_bytes=int(args.min_memory_mb * 1024 * 1024),
+        max_fd_fraction=args.max_fd_fraction,
+        path=wal_dir or ".",
+    )
     daemon = ServeDaemon(
         workers=args.workers,
         queue_cap=args.queue_cap,
@@ -546,6 +556,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         task_timeout=args.task_timeout,
         job_timeout=args.job_timeout,
         keep_states=False,
+        watermarks=watermarks,
+        wal_compact_interval=args.wal_compact_interval,
+        wal_keep_history=args.wal_keep_history,
     )
     daemon.start()
     server = ServeServer(daemon, args.socket)
@@ -680,6 +693,20 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             # pressure so corrupt/bitflip still fire.
             kwargs.update(
                 message_p=0.05, worker_p_die=0.0, worker_p_slow=0.0, task_fault_p=0.0
+            )
+    if args.resources:
+        kwargs["resources"] = True
+        kwargs.update(
+            io_p_write=args.io_p_write,
+            io_p_fsync=args.io_p_fsync,
+            io_p_shm=args.io_p_shm,
+        )
+        if not args.keep_pressure:
+            # Resource mode isolates the I/O fault tier by default so an
+            # abort is attributable to resources, not to worker deaths
+            # racing the retry budget.
+            kwargs.update(
+                message_p=0.0, worker_p_die=0.0, worker_p_slow=0.0, task_fault_p=0.0
             )
     if args.integrity is not None:
         if not args.sdc:
@@ -925,6 +952,26 @@ def build_parser() -> argparse.ArgumentParser:
              "oracle-identical-or-clean-abort",
     )
     chaos_p.add_argument(
+        "--resources", action="store_true",
+        help="resource-exhaustion mode: seeded ENOSPC/EIO/short-write/"
+             "fsync faults on the journal and shm allocation failures, "
+             "cycling the degrade ladder; asserts oracle-match or a clean "
+             "attributed ResourceExhausted abort, a recoverable journal, "
+             "and a clean /dev/shm",
+    )
+    chaos_p.add_argument(
+        "--io-p-write", type=float, default=0.08, metavar="P",
+        help="with --resources: per-append journal write-fault probability",
+    )
+    chaos_p.add_argument(
+        "--io-p-fsync", type=float, default=0.04, metavar="P",
+        help="with --resources: per-append fsync-fault probability",
+    )
+    chaos_p.add_argument(
+        "--io-p-shm", type=float, default=0.15, metavar="P",
+        help="with --resources: per-park shm allocation-fault probability",
+    )
+    chaos_p.add_argument(
         "--integrity", default=None,
         choices=("off", "digest", "audit", "vote"),
         help="with --sdc: integrity mode under test (default audit); "
@@ -994,6 +1041,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="daemon-wide hard cap per job (clean abort past it)")
     serve_p.add_argument("--drain-timeout", type=float, default=60.0,
                          help="SIGTERM drain budget before aborting stragglers")
+    serve_p.add_argument("--min-disk-mb", type=float, default=0.0,
+                         help="shed admissions when free disk under the WAL "
+                              "falls below this floor (0 disables)")
+    serve_p.add_argument("--min-memory-mb", type=float, default=0.0,
+                         help="shed admissions when available memory falls "
+                              "below this floor (0 disables)")
+    serve_p.add_argument("--max-fd-fraction", type=float, default=1.0,
+                         help="shed admissions past this fraction of "
+                              "RLIMIT_NOFILE (1.0 disables)")
+    serve_p.add_argument("--wal-compact-interval", type=int, default=64,
+                         help="compact the submission WAL every N finished "
+                              "jobs (0 disables)")
+    serve_p.add_argument("--wal-keep-history", type=int, default=64,
+                         help="finished jobs kept across a WAL compaction")
     serve_p.set_defaults(fn=cmd_serve)
 
     submit_p = sub.add_parser("submit", help="submit one job to a running daemon")

@@ -63,9 +63,20 @@ DETECTABLE_MESSAGE_KINDS = ("drop", "duplicate", "delay", "corrupt")
 #: Worker-level fault kinds. ``liar`` is the silent-data-corruption tier.
 WORKER_FAULT_KINDS = ("die", "slow", "liar")
 
-#: Per-plan-type salt mixed into derived RNG keys so the three plan
-#: families never reuse a stream even under the same seed.
-_SALT_TASK, _SALT_MESSAGE, _SALT_WORKER = 11, 13, 17
+#: Resource-exhaustion fault kinds injected at the file-I/O boundary
+#: (:class:`IoFaultPlan`): ``enospc`` (disk full), ``eio`` (device
+#: error), ``partial`` (a write that lands only a prefix before
+#: failing — the torn-frame generator), ``fsync-fail`` (data reached the
+#: page cache but durability is refused), ``emfile`` (fd exhaustion).
+IO_FAULT_KINDS = ("enospc", "eio", "partial", "fsync-fail", "emfile")
+
+#: I/O operations :class:`IoFaultPlan` can target: journal/WAL record
+#: writes, their fsyncs, and shared-memory segment allocation.
+IO_FAULT_OPS = ("write", "fsync", "shm")
+
+#: Per-plan-type salt mixed into derived RNG keys so the plan families
+#: never reuse a stream even under the same seed.
+_SALT_TASK, _SALT_MESSAGE, _SALT_WORKER, _SALT_IO = 11, 13, 17, 23
 
 
 def _key_ints(value: object) -> Tuple[int, ...]:
@@ -466,3 +477,171 @@ class WorkerFaultPlan:
                 f"p_slow={self._p_slow}, p_lie={self._p_lie})"
             )
         return f"WorkerFaultPlan({len(self.rules)} rules)"
+
+
+# -- resource-exhaustion faults (file-I/O boundary) -----------------------------------
+
+#: errno realized for each injected I/O fault kind.
+_IO_ERRNOS = {
+    "enospc": 28,  # errno.ENOSPC
+    "eio": 5,  # errno.EIO
+    "partial": 28,  # the partial write ends in ENOSPC
+    "fsync-fail": 5,
+    "emfile": 24,  # errno.EMFILE
+}
+
+#: Kinds drawn per op by :meth:`IoFaultPlan.random` — each op only gets
+#: kinds its injection site can realize (a partial *fsync* or an EMFILE
+#: *write* would be meaningless).
+_IO_RANDOM_KINDS = {
+    "write": ("enospc", "eio", "partial"),
+    "fsync": ("fsync-fail",),
+    "shm": ("enospc", "emfile"),
+}
+
+
+@dataclass(frozen=True)
+class IoFaultRule:
+    """One injected I/O failure at a file-system boundary.
+
+    ``stream`` names the endpoint the policy wraps (``"journal"``,
+    ``"wal"``, ``"shm-master"``, ``"shm-slave3"``; ``None`` matches
+    all); ``index`` is the per-stream, per-op operation counter
+    (``None`` = every index); ``after`` makes the fault *persistent*
+    instead — every op with ``index >= after`` fails, modeling a disk
+    that stays full rather than a transient hiccup. ``fraction`` is how
+    much of a ``partial`` write lands before the failure.
+    """
+
+    op: str
+    kind: str
+    stream: Optional[str] = None
+    index: Optional[int] = None
+    after: Optional[int] = None
+    fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_in("io fault op", self.op, IO_FAULT_OPS)
+        check_in("io fault kind", self.kind, IO_FAULT_KINDS)
+        if self.index is not None:
+            check_nonnegative("index", self.index)
+        if self.after is not None:
+            check_nonnegative("after", self.after)
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {self.fraction}")
+
+    def matches(self, stream: str, op: str, index: int) -> bool:
+        if self.op != op:
+            return False
+        if self.stream is not None and self.stream != stream:
+            return False
+        if self.after is not None:
+            return index >= self.after
+        return self.index is None or self.index == index
+
+    @property
+    def errno(self) -> int:
+        return _IO_ERRNOS[self.kind]
+
+    def to_oserror(self) -> OSError:
+        """The concrete :class:`OSError` this fault presents as."""
+        return OSError(self.errno, f"injected {self.kind} ({self.op})")
+
+    def cut(self, size: int) -> int:
+        """Bytes of a ``partial`` write that land before the failure."""
+        return max(0, min(size - 1, int(size * self.fraction)))
+
+
+class IoFaultPlan:
+    """A queryable collection of resource-exhaustion I/O fault rules.
+
+    Same contract as the other plan families: decisions in ``random``
+    mode are a pure function of ``(seed, stream, op, index)`` via
+    :func:`derived_rng`, so the same campaign seed injects the same
+    faults regardless of thread interleaving, and the plan pickles
+    across the process boundary to slave-side shm stores.
+    """
+
+    def __init__(self, rules: Iterable[IoFaultRule] = ()) -> None:
+        self.rules = tuple(rules)
+        self._p: Dict[str, float] = {}
+        self._seed = 0
+
+    @classmethod
+    def none(cls) -> "IoFaultPlan":
+        return cls(())
+
+    @classmethod
+    def random(
+        cls,
+        p_write: float = 0.0,
+        p_fsync: float = 0.0,
+        p_shm: float = 0.0,
+        seed: int = 0,
+    ) -> "IoFaultPlan":
+        """Each journal/WAL write, fsync, and shm allocation fails
+        independently with its op's probability; the kind is drawn
+        uniformly from the op's realizable kinds (``_IO_RANDOM_KINDS``).
+        """
+        check_probability("p_write", p_write)
+        check_probability("p_fsync", p_fsync)
+        check_probability("p_shm", p_shm)
+        plan = cls(())
+        plan._p = {"write": p_write, "fsync": p_fsync, "shm": p_shm}
+        plan._seed = seed
+        return plan
+
+    def decide(self, stream: str, op: str, index: int) -> Optional[IoFaultRule]:
+        """The fault (if any) hitting operation ``index`` of ``op`` on
+        ``stream``. Pure: no memoization needed, the RNG derives from
+        the decision's identity."""
+        for rule in self.rules:
+            if rule.matches(stream, op, index):
+                return rule
+        p = self._p.get(op, 0.0)
+        if p > 0.0:
+            rng = derived_rng(self._seed, _SALT_IO, stream, op, index)
+            if rng.random() < p:
+                kinds = _IO_RANDOM_KINDS[op]
+                kind = kinds[int(rng.integers(len(kinds)))]
+                return IoFaultRule(op, kind, stream=stream, index=index)
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self.rules) or any(p > 0.0 for p in self._p.values())
+
+    def __repr__(self) -> str:
+        if any(self._p.values()):
+            ps = ", ".join(f"p_{k}={v}" for k, v in self._p.items() if v)
+            return f"IoFaultPlan(random {ps})"
+        return f"IoFaultPlan({len(self.rules)} rules)"
+
+
+class IoPolicy:
+    """One endpoint's view of an :class:`IoFaultPlan`.
+
+    Holds the per-op operation counters (the plan itself stays pure /
+    shareable); the journal, WAL, and block store each get their own
+    policy with a distinct ``stream`` name so their fault sequences are
+    independent under one seed.
+    """
+
+    def __init__(self, plan: IoFaultPlan, stream: str) -> None:
+        self.plan = plan
+        self.stream = stream
+        self._counts: Dict[str, int] = {}
+
+    def _next(self, op: str) -> int:
+        index = self._counts.get(op, 0)
+        self._counts[op] = index + 1
+        return index
+
+    def fault(self, op: str) -> Optional[IoFaultRule]:
+        """Consume one operation slot of ``op``; the fault it hits, if any."""
+        return self.plan.decide(self.stream, op, self._next(op))
+
+    def check(self, op: str) -> None:
+        """Consume one slot and *raise* the fault as its OSError."""
+        rule = self.fault(op)
+        if rule is not None:
+            raise rule.to_oserror()

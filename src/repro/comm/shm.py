@@ -39,7 +39,8 @@ from __future__ import annotations
 import os
 import time
 import uuid
-from dataclasses import replace
+from collections import deque
+from dataclasses import dataclass, replace
 from multiprocessing import resource_tracker, shared_memory
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -81,6 +82,108 @@ def _untrack(name: str) -> None:
         pass
 
 
+@dataclass(frozen=True)
+class ShmError:
+    """One swallowed shm OSError, kept visible for telemetry."""
+
+    op: str  # "unlink" | "attach-unlink" | "listdir"
+    name: Optional[str]  # segment name, None for directory-level failures
+    errno: Optional[int]
+    message: str
+    ts: float
+
+
+class ShmErrorLog:
+    """Thread-safe record of OSErrors the shm reclamation paths swallow.
+
+    The unlink/sweep hooks are *intentionally* idempotent — a segment
+    already gone is the normal receiver-unlinked case and stays silent —
+    but any other OSError (EACCES on ``/dev/shm``, an EMFILE during the
+    attach-before-unlink, a failing listdir) used to vanish in the same
+    ``except``. Those are resource failures operators need to see: they
+    land here, and the processes backend drains the log at teardown into
+    the ``comm.shm.errors`` metric plus one ``shm-error`` obs event each.
+    """
+
+    def __init__(self, keep: int = 256) -> None:
+        from repro.check.lock_lint import make_lock
+
+        self._lock = make_lock("comm.shm.errors")
+        self._entries: deque = deque(maxlen=keep)
+        self.total = 0
+
+    def note(self, op: str, name: Optional[str], exc: OSError) -> None:
+        with self._lock:
+            self.total += 1
+            self._entries.append(
+                ShmError(
+                    op=op,
+                    name=name,
+                    errno=getattr(exc, "errno", None),
+                    message=str(exc),
+                    ts=time.time(),
+                )
+            )
+
+    def drain(self, prefix: Optional[str] = None) -> Tuple[ShmError, ...]:
+        """Remove and return entries for one run's segments.
+
+        ``prefix`` filters by segment-name prefix (directory-level
+        entries with no name always match — they affect every run);
+        ``None`` drains everything. Draining keeps the daemon's
+        per-job accounting disjoint.
+        """
+        with self._lock:
+            if prefix is None:
+                taken, kept = list(self._entries), []
+            else:
+                taken, kept = [], []
+                for entry in self._entries:
+                    if entry.name is None or entry.name.startswith(prefix):
+                        taken.append(entry)
+                    else:
+                        kept.append(entry)
+            self._entries.clear()
+            self._entries.extend(kept)
+            return tuple(taken)
+
+    def snapshot(self) -> Tuple[ShmError, ...]:
+        with self._lock:
+            return tuple(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+#: Process-wide log of swallowed shm errors (the reclamation hooks run on
+#: teardown paths that have no channel or recorder in scope).
+SHM_ERRORS = ShmErrorLog()
+
+
+def drain_shm_errors(prefix: str, metrics: Any = None, obs: Any = None) -> int:
+    """Teardown helper: move one run's swallowed shm errors into telemetry.
+
+    Increments ``comm.shm.errors`` (labelled by op) on ``metrics`` and
+    emits one ``shm-error`` event per entry on ``obs``; both optional.
+    Returns the number of errors drained.
+    """
+    entries = SHM_ERRORS.drain(prefix)
+    for entry in entries:
+        if metrics is not None:
+            metrics.counter("comm.shm.errors", op=entry.op).inc()
+        if obs is not None and getattr(obs, "enabled", False):
+            obs.emit(
+                "shm-error",
+                scope="run",
+                op=entry.op,
+                segment=entry.name,
+                errno=entry.errno,
+                error=entry.message,
+            )
+    return len(entries)
+
+
 def run_prefix(run_id: Optional[str] = None) -> str:
     """The per-run segment name prefix (shared by master and slaves).
 
@@ -109,20 +212,42 @@ class BlockStore:
     worker-leave paths; each slave process keeps its own for results.
     """
 
-    def __init__(self, prefix: str) -> None:
+    def __init__(self, prefix: str, io_policy: Optional[Any] = None) -> None:
         self.prefix = prefix
         self._seq = 0
         #: segment name -> task_id that parked it (None for results the
         #: task routing does not track); used by the release hooks.
         self._live: Dict[str, Any] = {}
+        #: Injected shm-allocation faults (an
+        #: :class:`~repro.cluster.faults.IoPolicy` or None): consulted
+        #: before each segment create, raising the injected ENOSPC/EMFILE
+        #: exactly where a full ``/dev/shm`` would.
+        self.io_policy = io_policy
+        #: Parks that failed (real or injected) and fell back inline.
+        self.park_failures = 0
 
     def park(self, array: np.ndarray, owner: Any = None) -> BlockRef:
-        """Copy ``array`` into a fresh segment and return its handle."""
+        """Copy ``array`` into a fresh segment and return its handle.
+
+        Raises :class:`OSError` when ``/dev/shm`` refuses the allocation
+        (full, fd-exhausted, or an injected fault) — callers degrade to
+        the inline pickle lane per message.
+        """
         block = np.ascontiguousarray(array)
         self._seq += 1
         name = f"{self.prefix}-{os.getpid()}-{self._seq}"
         nbytes = max(1, int(block.nbytes))  # zero-size segments are illegal
-        seg = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+        if self.io_policy is not None:
+            try:
+                self.io_policy.check("shm")
+            except OSError:
+                self.park_failures += 1
+                raise
+        try:
+            seg = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+        except OSError:
+            self.park_failures += 1
+            raise
         try:
             if block.nbytes:
                 view = np.ndarray(block.shape, dtype=block.dtype, buffer=seg.buf)
@@ -180,12 +305,19 @@ def _unlink_quiet(name: str) -> bool:
     """
     try:
         seg = shared_memory.SharedMemory(name=name)
-    except (FileNotFoundError, OSError):
+    except FileNotFoundError:
+        return False  # already reclaimed: the normal idempotent case
+    except OSError as exc:
+        SHM_ERRORS.note("unlink", name, exc)  # EMFILE/EACCES — not "gone"
         return False
     try:
         seg.close()
         seg.unlink()
-    except (FileNotFoundError, OSError):
+    except FileNotFoundError:
+        _untrack(name)
+        return False
+    except OSError as exc:
+        SHM_ERRORS.note("unlink", name, exc)
         _untrack(name)
         return False
     return True
@@ -195,7 +327,10 @@ def leaked_segments(prefix: str) -> List[str]:
     """Names of run-prefixed segments still present on this host."""
     try:
         entries = os.listdir(_DEV_SHM)
-    except OSError:
+    except FileNotFoundError:
+        return []  # platform without /dev/shm: nothing to sweep
+    except OSError as exc:
+        SHM_ERRORS.note("listdir", None, exc)
         return []
     return sorted(e for e in entries if e.startswith(prefix))
 
@@ -230,7 +365,10 @@ def attach_copy(ref: BlockRef) -> np.ndarray:
         # Receiver unlinks: destroys the segment and cancels the attach's
         # tracker registration in one go (balanced books either way).
         seg.unlink()
-    except (FileNotFoundError, OSError):
+    except FileNotFoundError:
+        _untrack(ref.segment)
+    except OSError as exc:
+        SHM_ERRORS.note("attach-unlink", ref.segment, exc)
         _untrack(ref.segment)
     return block
 
@@ -240,14 +378,27 @@ def attach_copy(ref: BlockRef) -> np.ndarray:
 
 def _encode_payload(
     store: BlockStore, payload: Dict[str, Any], owner: Any
-) -> Dict[str, Any]:
+) -> Tuple[Dict[str, Any], int]:
+    """Park each large array; returns ``(encoded, parks_degraded)``.
+
+    A park that fails — ``/dev/shm`` full, fd exhaustion, an injected
+    fault — degrades *that array* to the inline pickle lane instead of
+    failing the send: the message still flows (slower), and digests are
+    unaffected because they are stamped over the arrays themselves,
+    before this encoding runs.
+    """
     out: Dict[str, Any] = {}
+    degraded = 0
     for key, value in payload.items():
         if isinstance(value, np.ndarray) and value.nbytes >= SHM_MIN_BYTES:
-            out[key] = store.park(value, owner=owner)
+            try:
+                out[key] = store.park(value, owner=owner)
+            except OSError:
+                out[key] = value
+                degraded += 1
         else:
             out[key] = value
-    return out
+    return out, degraded
 
 
 def _decode_payload(payload: Dict[str, Any]) -> Tuple[Dict[str, Any], int]:
@@ -280,21 +431,26 @@ class ShmChannel(DelegatingChannel):
         #: Attach failures translated into drops (mirrors the chaos
         #: channel's ``faults_injected`` so reports can count them).
         self.attach_failures = 0
+        #: Arrays that fell back to the inline lane because their segment
+        #: allocation failed (graceful degradation, not an error).
+        self.park_degrades = 0
         #: Bytes attached while decoding the current message (drives the
         #: per-message ``shm-attach`` span).
         self._attached = 0
+        #: Parks degraded while encoding the current message.
+        self._degraded = 0
 
     # -- encode (send side) --------------------------------------------------
 
     def _encode(self, msg: Message) -> Message:
         if isinstance(msg, TaskAssign):
-            return replace(
-                msg, inputs=_encode_payload(self.store, msg.inputs, msg.task_id)
-            )
+            inputs, degraded = _encode_payload(self.store, msg.inputs, msg.task_id)
+            self._degraded += degraded
+            return replace(msg, inputs=inputs)
         if isinstance(msg, TaskResult):
-            return replace(
-                msg, outputs=_encode_payload(self.store, msg.outputs, msg.task_id)
-            )
+            outputs, degraded = _encode_payload(self.store, msg.outputs, msg.task_id)
+            self._degraded += degraded
+            return replace(msg, outputs=outputs)
         if isinstance(msg, BatchAssign):
             return BatchAssign(assigns=tuple(self._encode(a) for a in msg.assigns))
         if isinstance(msg, BatchResult):
@@ -304,7 +460,22 @@ class ShmChannel(DelegatingChannel):
         return msg
 
     def _send(self, msg: Message) -> None:
-        self.inner._send(self._encode(msg))
+        self._degraded = 0
+        encoded = self._encode(msg)
+        if self._degraded:
+            self.park_degrades += self._degraded
+            if self._obs.enabled:
+                self._obs.emit(
+                    "resource-degrade",
+                    getattr(msg, "task_id", None),
+                    epoch=getattr(msg, "epoch", -1),
+                    node=getattr(self, "_obs_node", -1),
+                    scope="message",
+                    layer="shm",
+                    action="inline-fallback",
+                    n_arrays=self._degraded,
+                )
+        self.inner._send(encoded)
 
     # -- decode (recv side) --------------------------------------------------
 

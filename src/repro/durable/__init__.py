@@ -18,12 +18,14 @@ Enable with ``RunConfig(journal_path="run.walj")``; knobs
 ``journal_latency`` tune it.
 """
 
+from repro.durable.degrade import JournalGuard
 from repro.durable.journal import MAGIC, CommitJournal, JournalScan, scan_journal
 from repro.durable.recovery import RecoveredRun, recover, resume_run
 
 __all__ = [
     "MAGIC",
     "CommitJournal",
+    "JournalGuard",
     "JournalScan",
     "scan_journal",
     "RecoveredRun",

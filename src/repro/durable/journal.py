@@ -63,7 +63,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.comm.messages import TaskId
-from repro.utils.errors import JournalError, MasterCrash
+from repro.utils.errors import JournalError, JournalIOError, MasterCrash
 
 #: File magic, versioned: bump the byte on incompatible format changes.
 MAGIC = b"REPRO-WALJ\x01\n"
@@ -104,6 +104,7 @@ class CommitJournal:
         kill_after: Optional[int] = None,
         kill_torn: bool = False,
         commits_written: int = 0,
+        io_policy: Optional[Any] = None,
     ) -> None:
         self.path = path
         self._fh: Optional[io.BufferedWriter] = fh
@@ -111,6 +112,11 @@ class CommitJournal:
         self.checkpoint_interval = max(1, int(checkpoint_interval))
         self.kill_after = kill_after
         self.kill_torn = kill_torn
+        #: Injected resource faults (an :class:`~repro.cluster.faults.IoPolicy`
+        #: or None): consulted before every record write / fsync / the
+        #: checkpoint tmp-file write, raising the injected OSError exactly
+        #: where a real ENOSPC/EIO would surface.
+        self.io_policy = io_policy
         #: Commit records written by *this* handle (kill-switch counter).
         self.commits_written = commits_written
         #: Commits since the last checkpoint (drives ``should_checkpoint``).
@@ -118,6 +124,12 @@ class CommitJournal:
         #: Bytes of the begin record (re-written verbatim on compaction).
         self._begin_raw: Optional[bytes] = None
         self.checkpoints_written = 0
+        #: File offset after the last fully-written record: the repair
+        #: point a failed write truncates back to, keeping the committed
+        #: prefix CRC-recoverable no matter where an I/O fault lands.
+        self._good_offset = len(MAGIC)
+        #: Record writes that failed (transient or fatal) on this handle.
+        self.write_errors = 0
 
     # -- constructors --------------------------------------------------------
 
@@ -130,6 +142,7 @@ class CommitJournal:
         checkpoint_interval: int = 32,
         kill_after: Optional[int] = None,
         kill_torn: bool = False,
+        io_policy: Optional[Any] = None,
     ) -> "CommitJournal":
         """Start a fresh journal (truncates any existing file at ``path``)."""
         fh = open(path, "wb")
@@ -142,6 +155,7 @@ class CommitJournal:
             checkpoint_interval=checkpoint_interval,
             kill_after=kill_after,
             kill_torn=kill_torn,
+            io_policy=io_policy,
         )
 
     @classmethod
@@ -151,6 +165,7 @@ class CommitJournal:
         *,
         fsync: bool = True,
         checkpoint_interval: int = 32,
+        io_policy: Optional[Any] = None,
     ) -> "CommitJournal":
         """Reopen a scanned journal for append-after-recovery.
 
@@ -166,19 +181,84 @@ class CommitJournal:
             fsync=fsync,
             checkpoint_interval=checkpoint_interval,
             commits_written=0,
+            io_policy=io_policy,
         )
         journal._begin_raw = scan.begin_raw
+        journal._good_offset = scan.valid_bytes
         return journal
 
     # -- record writers -------------------------------------------------------
 
+    def _repair(self) -> None:
+        """Truncate back to the last good frame boundary after a failed
+        write, so the journal's committed prefix stays scan-recoverable.
+
+        Reopens the handle (a buffered writer's state is unknowable after
+        a failed flush). Every step is best-effort: if even the truncate
+        fails, the torn bytes stay on disk — but the CRC/length framing
+        already makes :func:`scan_journal` discard them, so recovery
+        still proceeds from the same good prefix.
+        """
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+        try:
+            os.truncate(self.path, self._good_offset)
+        except OSError:
+            pass
+        try:
+            self._fh = open(self.path, "ab")
+        except OSError:
+            pass  # next _write raises JournalIOError(op="open")
+
     def _write(self, raw: bytes) -> None:
         if self._fh is None:
-            raise JournalError(f"journal {self.path!r} is closed")
-        self._fh.write(raw)
-        self._fh.flush()
+            # The handle died in a previous repair; surface it as the
+            # retryable I/O error so the degrade ladder (not a crash)
+            # decides what happens next.
+            self.write_errors += 1
+            raise JournalIOError(
+                f"journal {self.path!r} has no usable file handle",
+                op="open", path=self.path,
+            )
+        fault = self.io_policy.fault("write") if self.io_policy else None
+        try:
+            if fault is not None and fault.kind == "partial":
+                # Land a prefix of the frame, then fail: the canonical
+                # torn-record generator the CRC scan must reject.
+                self._fh.write(raw[: fault.cut(len(raw))])
+                self._fh.flush()
+                raise fault.to_oserror()
+            if fault is not None:
+                raise fault.to_oserror()
+            self._fh.write(raw)
+            self._fh.flush()
+        except OSError as exc:
+            self.write_errors += 1
+            self._repair()
+            raise JournalIOError(
+                f"journal write failed on {self.path!r}: {exc}",
+                op="write", errno=exc.errno, path=self.path,
+            ) from exc
         if self.fsync:
-            os.fsync(self._fh.fileno())
+            try:
+                if self.io_policy:
+                    self.io_policy.check("fsync")
+                os.fsync(self._fh.fileno())
+            except OSError as exc:
+                # The bytes reached the page cache but durability is
+                # refused; truncate the frame back out so a retry
+                # rewrites it whole rather than appending a duplicate.
+                self.write_errors += 1
+                self._repair()
+                raise JournalIOError(
+                    f"journal fsync failed on {self.path!r}: {exc}",
+                    op="fsync", errno=exc.errno, path=self.path,
+                ) from exc
+        self._good_offset += len(raw)
 
     def begin(self, problem: Any, config: Any) -> None:
         """Write the begin record: the problem and config, pickled."""
@@ -256,17 +336,43 @@ class CommitJournal:
             "commit_digests": dict(commit_digests) if commit_digests else {},
         })
         tmp = self.path + ".compact.tmp"
-        with open(tmp, "wb") as out:
-            out.write(MAGIC)
-            out.write(self._begin_raw)
-            out.write(raw)
-            out.flush()
-            if self.fsync:
-                os.fsync(out.fileno())
+        try:
+            with open(tmp, "wb") as out:
+                if self.io_policy:
+                    self.io_policy.check("write")
+                out.write(MAGIC)
+                out.write(self._begin_raw)
+                out.write(raw)
+                out.flush()
+                if self.fsync:
+                    if self.io_policy:
+                        self.io_policy.check("fsync")
+                    os.fsync(out.fileno())
+        except OSError as exc:
+            # Compaction failed before the swap: the original journal is
+            # untouched and still appendable — drop the tmp and report.
+            self.write_errors += 1
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise JournalIOError(
+                f"journal checkpoint failed on {self.path!r}: {exc}",
+                op="checkpoint", errno=exc.errno, path=self.path,
+            ) from exc
         if self._fh is not None:
             self._fh.close()
         os.replace(tmp, self.path)
-        self._fh = open(self.path, "ab")
+        try:
+            self._fh = open(self.path, "ab")
+        except OSError as exc:
+            self._fh = None
+            self.write_errors += 1
+            raise JournalIOError(
+                f"journal reopen after checkpoint failed on {self.path!r}: {exc}",
+                op="open", errno=exc.errno, path=self.path,
+            ) from exc
+        self._good_offset = len(MAGIC) + len(self._begin_raw) + len(raw)
         self.commits_since_checkpoint = 0
         self.checkpoints_written += 1
         return len(raw)

@@ -13,7 +13,12 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
-from repro.cluster.faults import FaultPlan, MessageFaultPlan, WorkerFaultPlan
+from repro.cluster.faults import (
+    FaultPlan,
+    IoFaultPlan,
+    MessageFaultPlan,
+    WorkerFaultPlan,
+)
 from repro.cluster.topology import ClusterSpec, experiment_layout
 from repro.dag.partition import BlockShape, _as_pair
 from repro.schedulers.policy import POLICIES
@@ -21,6 +26,10 @@ from repro.utils.errors import ConfigError
 from repro.utils.validate import check_in, check_positive, check_type
 
 BACKENDS = ("serial", "threads", "processes", "simulated")
+
+#: Degradation ladder for journal/WAL write failures (see
+#: :attr:`RunConfig.journal_degrade`).
+JOURNAL_DEGRADE_MODES = ("abort", "checkpoint", "memory")
 
 
 def _verify_default() -> bool:
@@ -138,6 +147,27 @@ class RunConfig:
     message_fault_plan: MessageFaultPlan = field(default_factory=MessageFaultPlan.none)
     #: Injected worker-level faults (slave death mid-run, slow node).
     worker_fault_plan: WorkerFaultPlan = field(default_factory=WorkerFaultPlan.none)
+    #: Injected resource-exhaustion I/O faults (ENOSPC/EIO/partial
+    #: writes/fsync failures on the journal, shm allocation failures) at
+    #: seeded points (:mod:`repro.chaos.resources`).
+    io_fault_plan: IoFaultPlan = field(default_factory=IoFaultPlan.none)
+    #: What a journal write failure degrades to once
+    #: :attr:`journal_retries` in-place retries are spent: ``"abort"``
+    #: raises a clean attributed
+    #: :class:`~repro.utils.errors.ResourceExhausted`; ``"checkpoint"``
+    #: first compacts the journal (freeing every subsumed record's disk)
+    #: and retries once more before aborting; ``"memory"`` drops
+    #: durability — the journal file is removed, the run continues
+    #: in-memory-only, and the degradation is recorded as a
+    #: ``resource-degrade`` obs event. Overridable via
+    #: ``REPRO_JOURNAL_DEGRADE``.
+    journal_degrade: str = field(
+        default_factory=_env_str("REPRO_JOURNAL_DEGRADE", "abort")
+    )
+    #: In-place retries of a failed journal/WAL record write before the
+    #: :attr:`journal_degrade` policy engages (transient ENOSPC/EIO
+    #: absorb here). Overridable via ``REPRO_JOURNAL_RETRIES``.
+    journal_retries: int = field(default_factory=_env_int("REPRO_JOURNAL_RETRIES", 2))
     #: How long a "hang" fault sleeps before replying late, seconds.
     hang_duration: float = 1.0
     #: Base delay before re-dispatching a timed-out sub-task, seconds;
@@ -300,6 +330,12 @@ class RunConfig:
         check_type("thread_fault_plan", self.thread_fault_plan, FaultPlan)
         check_type("message_fault_plan", self.message_fault_plan, MessageFaultPlan)
         check_type("worker_fault_plan", self.worker_fault_plan, WorkerFaultPlan)
+        check_type("io_fault_plan", self.io_fault_plan, IoFaultPlan)
+        check_in("journal_degrade", self.journal_degrade, JOURNAL_DEGRADE_MODES)
+        if self.journal_retries < 0:
+            raise ConfigError(
+                f"journal_retries must be >= 0, got {self.journal_retries}"
+            )
         check_type("verify", self.verify, bool)
         check_type("trace", self.trace, bool)
         check_type("observe", self.observe, bool)

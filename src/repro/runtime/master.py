@@ -163,6 +163,13 @@ class MasterStats:
     #: Rolling run digest (hex) after the last commit; None when
     #: integrity is off.
     run_digest: Optional[str] = None
+    #: Journal write failures absorbed by the retry/rescue ladder
+    #: (``RunConfig.journal_degrade``) without aborting the run.
+    journal_errors_absorbed: int = 0
+    #: True when a journal write failure degraded the run to
+    #: in-memory-only (``journal_degrade="memory"``): the result is still
+    #: correct but the run is no longer crash-resumable.
+    journal_degraded: bool = False
 
 
 class MasterPart:
@@ -307,7 +314,16 @@ class MasterPart:
         #: Write-ahead commit journal (:mod:`repro.durable`); every commit
         #: is journaled *before* it merges into state, so a master crash
         #: at any point loses at most the in-flight (uncommitted) work.
+        #: Usually a :class:`~repro.durable.degrade.JournalGuard` (the
+        #: backends wrap it), but a bare :class:`CommitJournal` works too
+        #: — the rescue binding below is then simply skipped.
         self.journal = journal
+        bind_rescue = getattr(journal, "bind_rescue", None)
+        if bind_rescue is not None:
+            # ``journal_degrade="checkpoint"``: a failed record write may
+            # be rescued by compacting the journal around a full state
+            # checkpoint, which needs this master's state snapshot.
+            bind_rescue(self._write_checkpoint)
         #: task -> epoch of commits recovered from a journal (resume);
         #: these are replayed into the DAG parser, never re-dispatched.
         self._prior_commits: Dict[TaskId, int] = dict(completed) if completed else {}
@@ -508,6 +524,13 @@ class MasterPart:
                 t.join(timeout=10.0)
             ft.join(timeout=10.0)
             self._surface_leaks([*workers, ft])
+            if self.journal is not None:
+                self.stats.journal_degraded = bool(
+                    getattr(self.journal, "degraded", False)
+                )
+                self.stats.journal_errors_absorbed = int(
+                    getattr(self.journal, "errors_absorbed", 0)
+                )
             if self.block_store is not None:
                 # Backstop for segments whose dispatch never settled (e.g.
                 # an abort mid-wave); the processes backend additionally

@@ -505,15 +505,24 @@ def slave_process_main(
 
     options = dict(options)
     shm_prefix = options.pop("shm_prefix", None)
+    io_fault_plan = options.pop("io_fault_plan", None)
     channel = PipeChannel(conn)
     store = None
     if shm_prefix is not None:
         # Zero-copy data plane: result payloads park in this process's
         # own run-prefixed store; assign refs parked by the master are
-        # rehydrated (and unlinked) on receive.
+        # rehydrated (and unlinked) on receive. Each slave gets its own
+        # fault stream so injected shm exhaustion stays deterministic
+        # regardless of scheduling.
+        from repro.cluster.faults import IoPolicy
         from repro.comm.shm import BlockStore, ShmChannel
 
-        store = BlockStore(shm_prefix)
+        io_policy = (
+            IoPolicy(io_fault_plan, f"shm-slave{slave_id}")
+            if io_fault_plan is not None
+            else None
+        )
+        store = BlockStore(shm_prefix, io_policy=io_policy)
         channel = ShmChannel(channel, store)
     partition = problem.build_partition(process_partition)
     part = SlavePart(

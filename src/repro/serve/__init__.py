@@ -13,10 +13,12 @@ from repro.serve.admission import (
     SHED_DRAINING,
     SHED_INVALID,
     SHED_QUEUE_FULL,
+    SHED_RESOURCE,
     AdmissionController,
     AdmissionDecision,
 )
 from repro.serve.daemon import ServeDaemon, build_problem
+from repro.serve.pressure import PressureProbe, ResourceWatermarks
 from repro.serve.fleet import WorkerFleet
 from repro.serve.job import JOB_STATES, TERMINAL_STATES, JobRecord, JobSpec
 from repro.serve.policy import (
@@ -37,6 +39,9 @@ __all__ = [
     "SHED_DRAINING",
     "SHED_INVALID",
     "SHED_QUEUE_FULL",
+    "SHED_RESOURCE",
+    "PressureProbe",
+    "ResourceWatermarks",
     "ServeDaemon",
     "build_problem",
     "WorkerFleet",

@@ -26,6 +26,10 @@ from repro.utils.errors import ConfigError
 SHED_QUEUE_FULL = "queue-full"
 SHED_DRAINING = "draining"
 SHED_INVALID = "invalid-spec"
+#: Host resource watermark breached (disk/memory/fd — see
+#: :mod:`repro.serve.pressure`; also used by the daemon for WAL-write
+#: failures as ``resource-pressure:wal-write``).
+SHED_RESOURCE = "resource-pressure"
 
 
 @dataclass(frozen=True)
@@ -52,7 +56,12 @@ class AdmissionDecision:
 class AdmissionController:
     """Bounded FIFO queue with backpressure and per-tenant shed counters."""
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        pressure_probe: Optional[Callable[[], Optional[str]]] = None,
+    ) -> None:
         if capacity < 1:
             raise ConfigError(f"queue capacity must be >= 1, got {capacity}")
         self.capacity = capacity
@@ -61,6 +70,11 @@ class AdmissionController:
         self._draining = False
         self.shed_by_tenant: Dict[str, int] = {}
         self.admitted = 0
+        #: Optional host watermark check (:meth:`repro.serve.pressure
+        #: .PressureProbe.check` or any nullary returning a shed reason
+        #: or None). Consulted on every admit, never on restore/requeue.
+        self.pressure_probe = pressure_probe
+        self.resource_sheds = 0
 
     # -- submission side -------------------------------------------------
 
@@ -74,6 +88,14 @@ class AdmissionController:
                     f"{SHED_DRAINING}: daemon is draining, not accepting jobs",
                     len(self._queue),
                 )
+            if self.pressure_probe is not None:
+                pressure = self.pressure_probe()
+                if pressure is not None:
+                    self._shed(record)
+                    self.resource_sheds += 1
+                    return AdmissionDecision(
+                        False, None, pressure, len(self._queue)
+                    )
             if len(self._queue) >= self.capacity:
                 self._shed(record)
                 return AdmissionDecision(

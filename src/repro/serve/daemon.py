@@ -41,15 +41,23 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.check.lock_lint import make_lock
 from repro.obs.clock import Clock, ensure_clock
 from repro.obs.metrics import MetricsRegistry
-from repro.serve.admission import SHED_INVALID, AdmissionController, AdmissionDecision
+from repro.serve.admission import (
+    SHED_INVALID,
+    SHED_RESOURCE,
+    AdmissionController,
+    AdmissionDecision,
+)
 from repro.serve.fleet import WorkerFleet
 from repro.serve.job import JobRecord, JobSpec, next_job_id, prime_job_counter
 from repro.serve.policy import OrderingPolicy, make_ordering_policy
-from repro.serve.wal import ServeJournal, scan_serve_journal
+from repro.serve.pressure import PressureProbe, ResourceWatermarks
+from repro.serve.wal import ServeEntry, ServeJournal, scan_serve_journal
 from repro.utils.errors import (
     ConfigError,
     FaultToleranceExhausted,
     JournalError,
+    JournalIOError,
+    ResourceExhausted,
     SchedulerError,
 )
 
@@ -111,10 +119,24 @@ class ServeDaemon:
         job_timeout: Optional[float] = None,
         poll_interval: float = 0.02,
         job_prefix: str = "job",
+        watermarks: Optional[ResourceWatermarks] = None,
+        pressure_interval: float = 1.0,
+        wal_compact_interval: int = 64,
+        wal_keep_history: int = 64,
+        io_fault_plan: Any = None,
     ) -> None:
         self.clock = ensure_clock(clock)
         self.fleet = WorkerFleet(workers)
-        self.admission = AdmissionController(queue_cap)
+        self.watermarks = watermarks
+        self.pressure: Optional[PressureProbe] = None
+        if watermarks is not None and watermarks.enabled:
+            self.pressure = PressureProbe(
+                watermarks, interval=pressure_interval, clock=self.clock
+            )
+        self.admission = AdmissionController(
+            queue_cap,
+            pressure_probe=self.pressure.check if self.pressure else None,
+        )
         self.policy: OrderingPolicy = make_ordering_policy(policy, seed=policy_seed)
         self.metrics = MetricsRegistry()
         self.wal_path = wal_path
@@ -128,8 +150,13 @@ class ServeDaemon:
         self.job_timeout = job_timeout
         self.poll_interval = poll_interval
         self.job_prefix = job_prefix
+        #: Compact the submission log every N finishes (0 disables).
+        self.wal_compact_interval = wal_compact_interval
+        self.wal_keep_history = wal_keep_history
+        self.io_fault_plan = io_fault_plan
 
         self._wal: Optional[ServeJournal] = None
+        self._finishes_since_compact = 0
         self._lock = make_lock("serve.daemon")
         self._records: Dict[str, JobRecord] = {}
         self._order: List[str] = []
@@ -149,7 +176,10 @@ class ServeDaemon:
             if self.resume_requested and os.path.exists(self.wal_path):
                 self._replay_wal()
             else:
-                self._wal = ServeJournal.create(self.wal_path, fsync=self.fsync)
+                self._wal = ServeJournal.create(
+                    self.wal_path, fsync=self.fsync,
+                    io_policy=self._wal_io_policy(),
+                )
         if self.job_journal_dir is not None:
             os.makedirs(self.job_journal_dir, exist_ok=True)
         self.fleet.start()
@@ -166,7 +196,9 @@ class ServeDaemon:
         assert self.wal_path is not None
         scan = scan_serve_journal(self.wal_path)
         prime_job_counter(scan.max_job_number)
-        self._wal = ServeJournal.open_resume(scan, fsync=self.fsync)
+        self._wal = ServeJournal.open_resume(
+            scan, fsync=self.fsync, io_policy=self._wal_io_policy()
+        )
         for job_id in scan.order:
             entry = scan.entries[job_id]
             record = JobRecord(job_id, entry.spec, submitted_at=self.clock.now())
@@ -174,6 +206,7 @@ class ServeDaemon:
                 # History: carry the terminal outcome forward verbatim.
                 record.status = entry.status
                 record.detail = entry.detail
+                record.reason = entry.reason
             else:
                 record.est_cost = self._estimate_cost(entry.spec)
                 record.resumed = True
@@ -205,6 +238,10 @@ class ServeDaemon:
         decision = self.admission.admit(record)
         if not decision.accepted:
             self._count_shed(spec.tenant)
+            if decision.reason.startswith(SHED_RESOURCE):
+                self.metrics.counter(
+                    "serve.resource_sheds", tenant=spec.tenant
+                ).inc()
             return decision
         with self._lock:
             self._records[record.job_id] = record
@@ -213,7 +250,31 @@ class ServeDaemon:
         # learns the job was accepted, so an acknowledged job can never
         # vanish in a daemon crash.
         if self._wal is not None:
-            self._wal.submit(record.job_id, spec)
+            try:
+                self._wal.submit(record.job_id, spec)
+            except JournalIOError as exc:
+                # Cannot make the acceptance durable — revoke it and shed
+                # with a resource reason instead of acknowledging a job a
+                # crash would silently lose.
+                reason = f"{SHED_RESOURCE}:wal-write"
+                self._count_shed(spec.tenant)
+                self.metrics.counter(
+                    "serve.resource_sheds", tenant=spec.tenant
+                ).inc()
+                if self.admission.cancel(record.job_id) is not None:
+                    self._finish(
+                        record, "cancelled",
+                        f"revoked: submission WAL write failed: {exc}",
+                        reason=reason,
+                    )
+                else:
+                    # The scheduler already popped it; abort it cleanly.
+                    self.cancel(
+                        record.job_id, f"submission WAL write failed: {exc}"
+                    )
+                return AdmissionDecision(
+                    False, None, f"{reason}: {exc}", self.admission.depth
+                )
         self.metrics.counter("serve.jobs_submitted", tenant=spec.tenant).inc()
         self.metrics.gauge("serve.queue_depth").set(self.admission.depth)
         return decision
@@ -484,8 +545,18 @@ class ServeDaemon:
                 f"digest {record.run_digest}" if record.run_digest else "completed"
             )
             self._finish(record, "done", detail)
+        except ResourceExhausted as exc:
+            # Resource exhaustion inside the job's fault domain: clean,
+            # attributed abort with the machine-readable reason surfaced
+            # through the job table, the WAL, and the IPC snapshot.
+            self.metrics.counter(
+                "serve.resource_aborts", tenant=record.spec.tenant
+            ).inc()
+            self._finish(record, "aborted", str(exc), reason=exc.reason)
         except FaultToleranceExhausted as exc:
-            self._finish(record, "aborted", str(exc))
+            self._finish(
+                record, "aborted", str(exc), reason="fault-tolerance-exhausted"
+            )
         except BaseException as exc:  # noqa: B036 — job fault domain
             self._finish(record, "error", f"{type(exc).__name__}: {exc}")
         finally:
@@ -493,10 +564,13 @@ class ServeDaemon:
             with self._lock:
                 self._contexts.pop(record.job_id, None)
 
-    def _finish(self, record: JobRecord, status: str, detail: str) -> None:
+    def _finish(
+        self, record: JobRecord, status: str, detail: str, reason: str = ""
+    ) -> None:
         now = self.clock.now()
         record.status = status
         record.detail = detail
+        record.reason = reason
         record.finished_at = now
         self.policy.note_finished(record, now)
         tenant = record.spec.tenant
@@ -510,9 +584,67 @@ class ServeDaemon:
             )
         if self._wal is not None and not self._killed:
             try:
-                self._wal.finish(record.job_id, status, detail[:500])
+                self._wal.finish(record.job_id, status, detail[:500], reason)
             except JournalError:
                 pass  # closed during kill/drain race: resume reruns it
+            else:
+                self._maybe_compact()
+
+    # -- WAL compaction --------------------------------------------------
+
+    def _wal_io_policy(self) -> Any:
+        if not self.io_fault_plan:
+            return None
+        from repro.cluster.faults import IoPolicy
+
+        return IoPolicy(self.io_fault_plan, "serve-wal")
+
+    def _wal_entries(self) -> List[ServeEntry]:
+        """Current job history as compaction input (called by
+        :meth:`ServeJournal.compact` *under the WAL lock*, so a finish
+        racing the compaction is either in this snapshot or appends
+        after the rewrite — never lost)."""
+        with self._lock:
+            records = [self._records[j] for j in self._order]
+            journals = {
+                j: c.config.journal_path for j, c in self._contexts.items()
+            }
+        entries = []
+        for r in records:
+            if r.terminal:
+                status = r.status
+            elif r.started_at is not None:
+                status = "started"
+            else:
+                status = "submitted"
+            entries.append(ServeEntry(
+                r.job_id, r.spec, status=status, detail=r.detail[:500],
+                run_journal=journals.get(r.job_id), reason=r.reason,
+            ))
+        return entries
+
+    def _maybe_compact(self) -> None:
+        """Every ``wal_compact_interval`` finishes, rewrite the WAL so a
+        long-lived daemon's log stays bounded by live jobs + recent
+        history instead of growing forever."""
+        if self._wal is None or self.wal_compact_interval <= 0:
+            return
+        with self._lock:
+            self._finishes_since_compact += 1
+            if self._finishes_since_compact < self.wal_compact_interval:
+                return
+            self._finishes_since_compact = 0
+        try:
+            dropped = self._wal.compact(
+                self._wal_entries, keep_history=self.wal_keep_history
+            )
+        except JournalError:
+            # Compaction failure is never fatal: the append log is still
+            # intact (tmp-file rewrite), we just stay un-compacted.
+            self.metrics.counter("serve.wal_compact_failures").inc()
+        else:
+            self.metrics.counter("serve.wal_compactions").inc()
+            self.metrics.gauge("serve.wal_compact_dropped").set(dropped)
 
     # -- elastic growth --------------------------------------------------
 
@@ -589,6 +721,9 @@ class ServeDaemon:
         snap = self.metrics.snapshot()
         snap["shed_by_tenant"] = dict(self.admission.shed_by_tenant)
         snap["queue_depth"] = self.admission.depth
+        snap["resource_sheds"] = self.admission.resource_sheds
+        if self.pressure is not None:
+            snap["pressure_trips"] = self.pressure.trips
         snap["fleet_idle"] = self.fleet.idle_count
         snap["fleet_crashes"] = len(self.fleet.crash_log)
         return snap

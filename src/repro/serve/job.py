@@ -150,6 +150,10 @@ class JobRecord:
     finished_at: Optional[float] = None
     #: Human-readable outcome (abort reason, cancel cause, digest, ...).
     detail: str = ""
+    #: Machine-readable terminal attribution (e.g.
+    #: ``resource-exhausted:disk:journal-write``); empty for ordinary
+    #: completions.
+    reason: str = ""
     #: Estimated work (flops of the process-level partition) — feeds the
     #: SJF/HRRN/lottery ordering policies. Stamped at admission.
     est_cost: float = 0.0
@@ -187,6 +191,7 @@ class JobRecord:
             "size": self.spec.size,
             "status": self.status,
             "detail": self.detail,
+            "reason": self.reason,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,

@@ -1,0 +1,181 @@
+"""Resource-pressure watermarks for serve admission control.
+
+A long-lived daemon must stop *accepting* work before the host actually
+runs out of disk, memory, or file descriptors — hitting the wall
+mid-run turns into per-job aborts; hitting it at admission is a clean,
+immediate shed with a structured reason the client can act on.
+
+:class:`ResourceWatermarks` declares the floor for each resource;
+:class:`PressureProbe` samples the host against it (rate-limited, so a
+submit storm does not turn into a ``statvfs`` storm) and returns a
+``resource-pressure:<resource>: ...`` reason string when any floor is
+breached. The samplers are injectable, which is how the chaos tier and
+the tests drive the daemon into pressure without filling a real disk.
+
+Reason grammar (machine-readable prefix, human-readable tail)::
+
+    resource-pressure:disk: free 12.0MB < floor 64.0MB
+    resource-pressure:memory: available 90.0MB < floor 128.0MB
+    resource-pressure:fd: 1010/1024 descriptors in use (>= 95%)
+    resource-pressure:wal-write: ...   (emitted by the daemon, not here)
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.obs.clock import Clock, ensure_clock
+from repro.utils.errors import ConfigError
+
+#: Prefix of every pressure-shed reason (mirrored by
+#: :data:`repro.serve.admission.SHED_RESOURCE`).
+PRESSURE_PREFIX = "resource-pressure"
+
+
+def free_disk_bytes(path: str) -> Optional[int]:
+    """Free bytes on the filesystem holding ``path`` (None if unknowable)."""
+    try:
+        stat = os.statvfs(path)
+    except OSError:
+        return None
+    return stat.f_bavail * stat.f_frsize
+
+
+def available_memory_bytes() -> Optional[int]:
+    """``MemAvailable`` from ``/proc/meminfo`` (None off Linux)."""
+    try:
+        with open("/proc/meminfo", "r") as fh:
+            for line in fh:
+                if line.startswith("MemAvailable:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def fd_usage() -> Optional[Tuple[int, int]]:
+    """``(open_fds, soft_limit)`` for this process (None if unknowable)."""
+    try:
+        import resource
+
+        soft, _hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+        n_open = len(os.listdir("/proc/self/fd"))
+    except (OSError, ImportError, ValueError):
+        return None
+    return n_open, soft
+
+
+def _mb(n: int) -> str:
+    return f"{n / (1024 * 1024):.1f}MB"
+
+
+@dataclass(frozen=True)
+class ResourceWatermarks:
+    """Floors below which the daemon sheds new submissions.
+
+    A floor of zero disables that resource's check entirely (the
+    default daemon runs uncapped, exactly as before this tier existed).
+    """
+
+    #: Shed when free disk under ``path`` drops below this many bytes.
+    min_disk_bytes: int = 0
+    #: Shed when ``MemAvailable`` drops below this many bytes.
+    min_memory_bytes: int = 0
+    #: Shed when open fds reach this fraction of ``RLIMIT_NOFILE``
+    #: (1.0 disables the check).
+    max_fd_fraction: float = 1.0
+    #: Filesystem to probe for the disk floor (the WAL/journal dir).
+    path: str = "."
+
+    def __post_init__(self) -> None:
+        if self.min_disk_bytes < 0 or self.min_memory_bytes < 0:
+            raise ConfigError("watermark byte floors must be >= 0")
+        if not 0.0 < self.max_fd_fraction <= 1.0:
+            raise ConfigError(
+                f"max_fd_fraction must be in (0, 1], got {self.max_fd_fraction}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.min_disk_bytes > 0
+            or self.min_memory_bytes > 0
+            or self.max_fd_fraction < 1.0
+        )
+
+
+class PressureProbe:
+    """Samples the host against watermarks; injectable and rate-limited.
+
+    ``check()`` returns None when healthy, else the full shed reason.
+    Samples are cached for ``interval`` seconds so admission stays O(1)
+    under submit storms; an unreadable sampler (non-Linux ``/proc``,
+    racing statvfs) reads as healthy — pressure shedding is an
+    optimization, never a correctness gate.
+    """
+
+    def __init__(
+        self,
+        watermarks: ResourceWatermarks,
+        *,
+        interval: float = 1.0,
+        disk_fn: Optional[Callable[[str], Optional[int]]] = None,
+        memory_fn: Optional[Callable[[], Optional[int]]] = None,
+        fd_fn: Optional[Callable[[], Optional[Tuple[int, int]]]] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        self.watermarks = watermarks
+        self.interval = interval
+        self.clock = ensure_clock(clock)
+        self._disk_fn = disk_fn if disk_fn is not None else free_disk_bytes
+        self._memory_fn = memory_fn if memory_fn is not None else available_memory_bytes
+        self._fd_fn = fd_fn if fd_fn is not None else fd_usage
+        self._cached: Optional[str] = None
+        self._cached_at: Optional[float] = None
+        self.checks = 0
+        self.trips = 0
+
+    def check(self) -> Optional[str]:
+        """None when every watermark holds, else the shed reason."""
+        wm = self.watermarks
+        if not wm.enabled:
+            return None
+        now = self.clock.now()
+        if self._cached_at is not None and now - self._cached_at < self.interval:
+            return self._cached
+        self.checks += 1
+        reason = self._sample()
+        self._cached = reason
+        self._cached_at = now
+        if reason is not None:
+            self.trips += 1
+        return reason
+
+    def _sample(self) -> Optional[str]:
+        wm = self.watermarks
+        if wm.min_disk_bytes > 0:
+            free = self._disk_fn(wm.path)
+            if free is not None and free < wm.min_disk_bytes:
+                return (
+                    f"{PRESSURE_PREFIX}:disk: free {_mb(free)} < floor "
+                    f"{_mb(wm.min_disk_bytes)}"
+                )
+        if wm.min_memory_bytes > 0:
+            avail = self._memory_fn()
+            if avail is not None and avail < wm.min_memory_bytes:
+                return (
+                    f"{PRESSURE_PREFIX}:memory: available {_mb(avail)} < floor "
+                    f"{_mb(wm.min_memory_bytes)}"
+                )
+        if wm.max_fd_fraction < 1.0:
+            usage = self._fd_fn()
+            if usage is not None:
+                n_open, limit = usage
+                if limit > 0 and n_open >= wm.max_fd_fraction * limit:
+                    return (
+                        f"{PRESSURE_PREFIX}:fd: {n_open}/{limit} descriptors "
+                        f"in use (>= {wm.max_fd_fraction:.0%})"
+                    )
+        return None

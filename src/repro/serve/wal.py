@@ -32,7 +32,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.check.lock_lint import make_lock
 from repro.serve.job import TERMINAL_STATES, JobSpec
-from repro.utils.errors import JournalError
+from repro.utils.errors import JournalError, JournalIOError
 
 #: File magic of the serve submission log, versioned independently of
 #: the run-level commit journal.
@@ -53,37 +53,102 @@ def _encode(record: Dict[str, Any]) -> bytes:
 class ServeJournal:
     """Append side of the submission log (the daemon's end)."""
 
-    def __init__(self, path: str, fh: io.BufferedWriter, *, fsync: bool = True) -> None:
+    def __init__(
+        self,
+        path: str,
+        fh: io.BufferedWriter,
+        *,
+        fsync: bool = True,
+        io_policy: Optional[Any] = None,
+    ) -> None:
         self.path = path
         self._fh: Optional[io.BufferedWriter] = fh
         self.fsync = fsync
         self._lock = make_lock("serve.wal")
         self.records_written = 0
+        #: Injected resource faults (:class:`~repro.cluster.faults.IoPolicy`
+        #: or None) — same contract as the run-level commit journal.
+        self.io_policy = io_policy
+        #: Offset after the last intact record (the repair point).
+        self._good_offset = len(MAGIC)
+        self.write_errors = 0
+        self.compactions = 0
 
     @classmethod
-    def create(cls, path: str, *, fsync: bool = True) -> "ServeJournal":
+    def create(
+        cls, path: str, *, fsync: bool = True, io_policy: Optional[Any] = None
+    ) -> "ServeJournal":
         """Start a fresh submission log (truncates an existing file)."""
         fh = open(path, "wb")
         fh.write(MAGIC)
         fh.flush()
-        return cls(path, fh, fsync=fsync)
+        return cls(path, fh, fsync=fsync, io_policy=io_policy)
 
     @classmethod
-    def open_resume(cls, scan: "ServeScan", *, fsync: bool = True) -> "ServeJournal":
+    def open_resume(
+        cls, scan: "ServeScan", *, fsync: bool = True, io_policy: Optional[Any] = None
+    ) -> "ServeJournal":
         """Reopen a scanned log for append, truncating any torn tail."""
         with open(scan.path, "rb+") as trunc:
             trunc.truncate(scan.valid_bytes)
         fh = open(scan.path, "ab")
-        return cls(scan.path, fh, fsync=fsync)
+        journal = cls(scan.path, fh, fsync=fsync, io_policy=io_policy)
+        journal._good_offset = scan.valid_bytes
+        return journal
+
+    def _repair_locked(self) -> None:
+        """Truncate back to the last good frame after a failed write
+        (mirrors :meth:`repro.durable.journal.CommitJournal._repair`)."""
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+        try:
+            os.truncate(self.path, self._good_offset)
+        except OSError:
+            pass
+        try:
+            self._fh = open(self.path, "ab")
+        except OSError:
+            pass
 
     def _write(self, record: Dict[str, Any]) -> None:
         with self._lock:
             if self._fh is None:
                 raise JournalError(f"serve journal {self.path!r} is closed")
-            self._fh.write(_encode(record))
-            self._fh.flush()
+            raw = _encode(record)
+            fault = self.io_policy.fault("write") if self.io_policy else None
+            try:
+                if fault is not None and fault.kind == "partial":
+                    self._fh.write(raw[: fault.cut(len(raw))])
+                    self._fh.flush()
+                    raise fault.to_oserror()
+                if fault is not None:
+                    raise fault.to_oserror()
+                self._fh.write(raw)
+                self._fh.flush()
+            except OSError as exc:
+                self.write_errors += 1
+                self._repair_locked()
+                raise JournalIOError(
+                    f"serve journal write failed on {self.path!r}: {exc}",
+                    op="write", errno=exc.errno, path=self.path,
+                ) from exc
             if self.fsync:
-                os.fsync(self._fh.fileno())
+                try:
+                    if self.io_policy:
+                        self.io_policy.check("fsync")
+                    os.fsync(self._fh.fileno())
+                except OSError as exc:
+                    self.write_errors += 1
+                    self._repair_locked()
+                    raise JournalIOError(
+                        f"serve journal fsync failed on {self.path!r}: {exc}",
+                        op="fsync", errno=exc.errno, path=self.path,
+                    ) from exc
+            self._good_offset += len(raw)
             self.records_written += 1
 
     # -- record writers --------------------------------------------------
@@ -97,12 +162,97 @@ class ServeJournal:
         per-run commit journal so resume can find it."""
         self._write({"type": "start", "job_id": job_id, "journal": journal_path})
 
-    def finish(self, job_id: str, status: str, detail: str = "") -> None:
-        """Journal a terminal outcome (done/aborted/error/cancelled)."""
+    def finish(
+        self, job_id: str, status: str, detail: str = "", reason: str = ""
+    ) -> None:
+        """Journal a terminal outcome (done/aborted/error/cancelled).
+
+        ``reason`` is the machine-readable attribution string (e.g.
+        ``resource-exhausted:disk:journal-write``) carried alongside the
+        human-facing ``detail``.
+        """
         if status not in TERMINAL_STATES:
             raise JournalError(f"finish with non-terminal status {status!r}")
         self._write({"type": "finish", "job_id": job_id,
-                     "status": status, "detail": detail})
+                     "status": status, "detail": detail, "reason": reason})
+
+    # -- compaction ------------------------------------------------------
+
+    def compact(self, entries, keep_history: int = 64) -> int:
+        """Rewrite the log as one record run per surviving job.
+
+        A long-lived daemon appends forever; compaction rewrites the file
+        to hold only unfinished jobs plus the ``keep_history`` most recent
+        finished ones, using the same atomic tmp + fsync + ``os.replace``
+        idiom as run-journal checkpoints — a crash mid-compaction leaves
+        either the old intact log or the new intact log, never a hybrid.
+
+        ``entries`` is the current job history in submission order
+        (:class:`ServeEntry` values, e.g. from a fresh scan or the
+        daemon's record table) — or a nullary callable returning it,
+        invoked *under the WAL lock* so the snapshot cannot miss a
+        concurrently-appended record. Returns the entries dropped.
+        """
+        with self._lock:
+            if self._fh is None:
+                raise JournalError(f"serve journal {self.path!r} is closed")
+            entries = list(entries() if callable(entries) else entries)
+            finished = [e for e in entries if e.finished]
+            drop = (
+                {e.job_id for e in finished[:-keep_history]}
+                if keep_history >= 0 and len(finished) > keep_history
+                else set()
+            )
+            kept = [e for e in entries if e.job_id not in drop]
+            tmp = self.path + ".compact.tmp"
+            raw = bytearray(MAGIC)
+            for e in kept:
+                raw += _encode(
+                    {"type": "submit", "job_id": e.job_id, "spec": e.spec.to_dict()}
+                )
+                if e.status != "submitted":
+                    raw += _encode(
+                        {"type": "start", "job_id": e.job_id,
+                         "journal": e.run_journal}
+                    )
+                if e.finished:
+                    raw += _encode(
+                        {"type": "finish", "job_id": e.job_id, "status": e.status,
+                         "detail": e.detail, "reason": e.reason}
+                    )
+            try:
+                with open(tmp, "wb") as out:
+                    if self.io_policy:
+                        self.io_policy.check("write")
+                    out.write(raw)
+                    out.flush()
+                    if self.fsync:
+                        if self.io_policy:
+                            self.io_policy.check("fsync")
+                        os.fsync(out.fileno())
+            except OSError as exc:
+                self.write_errors += 1
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise JournalIOError(
+                    f"serve journal compaction failed on {self.path!r}: {exc}",
+                    op="compact", errno=exc.errno, path=self.path,
+                ) from exc
+            self._fh.close()
+            self._fh = None
+            os.replace(tmp, self.path)
+            try:
+                self._fh = open(self.path, "ab")
+            except OSError as exc:
+                raise JournalIOError(
+                    f"cannot reopen compacted serve journal {self.path!r}: {exc}",
+                    op="open", errno=exc.errno, path=self.path,
+                ) from exc
+            self._good_offset = len(raw)
+            self.compactions += 1
+            return len(entries) - len(kept)
 
     def close(self) -> None:
         with self._lock:
@@ -135,6 +285,8 @@ class ServeEntry:
     detail: str = ""
     #: Per-run commit journal path recorded at start, if any.
     run_journal: Optional[str] = None
+    #: Machine-readable terminal attribution (``resource-exhausted:...``).
+    reason: str = ""
 
     @property
     def finished(self) -> bool:
@@ -251,4 +403,5 @@ def scan_serve_journal(path: str) -> ServeScan:
                 if entry_opt is not None:
                     entry_opt.status = record["status"]
                     entry_opt.detail = record.get("detail", "")
+                    entry_opt.reason = record.get("reason", "")
     return scan

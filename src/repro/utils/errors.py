@@ -46,6 +46,55 @@ class FaultToleranceExhausted(ReproError):
         return base
 
 
+class ResourceExhausted(FaultToleranceExhausted):
+    """A machine resource (disk, shm, fds, memory) ran out and the
+    configured degradation policy could not absorb it.
+
+    Subclasses :class:`FaultToleranceExhausted` so every existing
+    clean-abort path — chaos campaign classification, the serve daemon's
+    per-job fault domain, the CLI exit code — treats it as an attributed
+    abort rather than a crash. ``resource`` names what ran out
+    (``disk``/``shm``/``fd``/``memory``), ``op`` the operation that hit
+    the wall (``journal-write``, ``shm-park``, ...); :attr:`reason` is
+    the machine-readable form carried through serve IPC.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        job_id: "str | None" = None,
+        resource: str = "disk",
+        op: str = "",
+    ) -> None:
+        super().__init__(message, job_id=job_id)
+        self.resource = resource
+        self.op = op
+
+    @property
+    def reason(self) -> str:
+        """Machine-readable abort reason, e.g.
+        ``resource-exhausted:disk:journal-write``."""
+        parts = ["resource-exhausted", self.resource]
+        if self.op:
+            parts.append(self.op)
+        return ":".join(parts)
+
+    def __reduce__(self):
+        # Keyword-only attributes do not survive the default Exception
+        # pickling (which replays only *args); rebuild explicitly so the
+        # attribution crosses process and IPC boundaries intact.
+        args = self.args[0] if self.args else ""
+        return (
+            _rebuild_resource_exhausted,
+            (args, self.job_id, self.resource, self.op),
+        )
+
+
+def _rebuild_resource_exhausted(message, job_id, resource, op):
+    return ResourceExhausted(message, job_id=job_id, resource=resource, op=op)
+
+
 class ConfigError(ReproError, ValueError):
     """A run configuration is invalid or inconsistent.
 
@@ -69,6 +118,30 @@ class JournalError(ReproError):
     """The write-ahead commit journal is unusable (missing file, bad
     magic, no begin record) — distinct from a merely *truncated* journal,
     which recovery handles by falling back to the valid prefix."""
+
+
+class JournalIOError(JournalError):
+    """A journal (or serve WAL) write/fsync hit an I/O failure — ENOSPC,
+    EIO, an injected partial write — *after* the file itself was valid.
+
+    Distinct from the parent: the journal's committed prefix is still
+    CRC-recoverable (the writer truncates any torn bytes back to the
+    last good frame boundary before raising). Callers may retry the
+    failed record or degrade per ``RunConfig.journal_degrade``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        op: str = "write",
+        errno: "int | None" = None,
+        path: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.op = op
+        self.errno = errno
+        self.path = path
 
 
 class MasterCrash(ReproError):

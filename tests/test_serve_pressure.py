@@ -1,0 +1,132 @@
+"""Admission watermarks: pressure probes, resource shedding, attribution."""
+
+import pytest
+
+from repro.serve import JobSpec, ServeDaemon
+from repro.serve.admission import SHED_RESOURCE, AdmissionController
+from repro.serve.job import JobRecord
+from repro.serve.pressure import PressureProbe, ResourceWatermarks
+from repro.utils.errors import ConfigError
+
+
+def _record(job_id="job-1", tenant="t"):
+    return JobRecord(job_id, JobSpec(tenant=tenant, algo="lcs", size=16))
+
+
+class TestWatermarks:
+    def test_defaults_are_disabled(self):
+        wm = ResourceWatermarks()
+        assert not wm.enabled
+        assert PressureProbe(wm).check() is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ResourceWatermarks(min_disk_bytes=-1)
+        with pytest.raises(ConfigError):
+            ResourceWatermarks(max_fd_fraction=0.0)
+        with pytest.raises(ConfigError):
+            ResourceWatermarks(max_fd_fraction=1.5)
+
+    def test_disk_floor_trips_with_reason(self):
+        wm = ResourceWatermarks(min_disk_bytes=1 << 20)
+        probe = PressureProbe(wm, interval=0.0, disk_fn=lambda path: 1 << 10)
+        reason = probe.check()
+        assert reason is not None
+        assert reason.startswith(f"{SHED_RESOURCE}:disk:")
+        assert probe.trips == 1
+
+    def test_memory_and_fd_floors(self):
+        wm = ResourceWatermarks(min_memory_bytes=1 << 30, max_fd_fraction=0.5)
+        low_mem = PressureProbe(wm, interval=0.0, memory_fn=lambda: 1 << 20,
+                                fd_fn=lambda: (0, 1024))
+        assert low_mem.check().startswith(f"{SHED_RESOURCE}:memory:")
+        fd_heavy = PressureProbe(wm, interval=0.0, memory_fn=lambda: 1 << 31,
+                                 fd_fn=lambda: (600, 1024))
+        assert fd_heavy.check().startswith(f"{SHED_RESOURCE}:fd:")
+
+    def test_unreadable_samplers_read_healthy(self):
+        wm = ResourceWatermarks(min_disk_bytes=1, min_memory_bytes=1,
+                                max_fd_fraction=0.5)
+        probe = PressureProbe(wm, interval=0.0, disk_fn=lambda path: None,
+                              memory_fn=lambda: None, fd_fn=lambda: None)
+        assert probe.check() is None
+
+    def test_samples_are_cached_for_interval(self):
+        calls = []
+        wm = ResourceWatermarks(min_disk_bytes=1 << 20)
+        probe = PressureProbe(
+            wm, interval=3600.0,
+            disk_fn=lambda path: calls.append(path) or (1 << 30),
+        )
+        for _ in range(10):
+            assert probe.check() is None
+        assert len(calls) == 1
+
+    def test_real_samplers_return_plausible_values(self):
+        from repro.serve.pressure import (
+            available_memory_bytes,
+            fd_usage,
+            free_disk_bytes,
+        )
+
+        disk = free_disk_bytes(".")
+        assert disk is None or disk >= 0
+        mem = available_memory_bytes()
+        assert mem is None or mem > 0
+        fds = fd_usage()
+        if fds is not None:
+            n_open, limit = fds
+            assert 0 < n_open <= limit
+
+
+class TestAdmissionShedding:
+    def test_pressure_sheds_before_capacity(self):
+        ctrl = AdmissionController(
+            8, pressure_probe=lambda: f"{SHED_RESOURCE}:disk: free 0B < floor 1MB"
+        )
+        decision = ctrl.admit(_record())
+        assert not decision.accepted
+        assert decision.reason.startswith(f"{SHED_RESOURCE}:disk")
+        assert ctrl.resource_sheds == 1
+        assert ctrl.shed_by_tenant == {"t": 1}
+        assert ctrl.depth == 0
+
+    def test_healthy_probe_admits(self):
+        ctrl = AdmissionController(8, pressure_probe=lambda: None)
+        assert ctrl.admit(_record()).accepted
+
+    def test_restore_bypasses_pressure(self):
+        # WAL-recovered jobs were already acknowledged; pressure must
+        # never shed them on resume.
+        ctrl = AdmissionController(
+            1, pressure_probe=lambda: f"{SHED_RESOURCE}:disk: full"
+        )
+        ctrl.restore(_record("job-1"))
+        ctrl.restore(_record("job-2"))
+        assert ctrl.depth == 2
+
+
+class TestDaemonWiring:
+    def test_daemon_under_pressure_sheds_with_reason(self):
+        daemon = ServeDaemon(
+            workers=1,
+            watermarks=ResourceWatermarks(min_disk_bytes=1 << 20),
+            pressure_interval=0.0,
+        )
+        daemon.pressure._disk_fn = lambda path: 0  # inject: disk is full
+        daemon.start()
+        try:
+            decision = daemon.submit(JobSpec(algo="lcs", size=16, nodes=2))
+            assert not decision.accepted
+            assert decision.reason.startswith(f"{SHED_RESOURCE}:disk")
+            stats = daemon.tenant_stats()
+            assert stats["resource_sheds"] == 1
+            assert stats["pressure_trips"] >= 1
+            assert stats["counters"]["serve.resource_sheds{tenant=default}"] == 1
+        finally:
+            daemon.drain(10.0)
+
+    def test_daemon_without_watermarks_has_no_probe(self):
+        daemon = ServeDaemon(workers=1)
+        assert daemon.pressure is None
+        assert daemon.admission.pressure_probe is None

@@ -1,0 +1,144 @@
+"""Shm resource faults: inline fallback, error visibility, no silent drops."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.faults import IoFaultPlan, IoFaultRule, IoPolicy
+from repro.comm.messages import BlockRef, TaskAssign
+from repro.comm.serialization import content_digest
+from repro.comm.shm import (
+    SHM_ERRORS,
+    SHM_MIN_BYTES,
+    BlockStore,
+    ShmChannel,
+    attach_copy,
+    drain_shm_errors,
+    leaked_segments,
+    run_prefix,
+    sweep_segments,
+)
+from repro.comm.transport import channel_pair
+from repro.obs import EventRecorder, MetricsRegistry
+
+
+def big(seed=0, shape=(64, 64)):
+    arr = np.random.default_rng(seed).standard_normal(shape)
+    assert arr.nbytes >= SHM_MIN_BYTES
+    return arr
+
+
+def faulted_store(prefix, rules):
+    return BlockStore(prefix, io_policy=IoPolicy(IoFaultPlan(rules), "shm"))
+
+
+class TestParkFaults:
+    def test_park_fault_raises_oserror(self):
+        prefix = run_prefix()
+        store = faulted_store(prefix, [IoFaultRule("shm", "enospc", index=0)])
+        with pytest.raises(OSError) as err:
+            store.park(big())
+        assert err.value.errno == 28
+        assert store.park_failures == 1
+        assert leaked_segments(prefix) == []  # nothing was allocated
+
+    def test_park_recovers_on_next_allocation(self):
+        prefix = run_prefix()
+        store = faulted_store(prefix, [IoFaultRule("shm", "emfile", index=0)])
+        with pytest.raises(OSError):
+            store.park(big())
+        ref = store.park(big())  # index 1: clean
+        assert isinstance(ref, BlockRef)
+        assert np.array_equal(attach_copy(ref), big())
+        sweep_segments(prefix)
+
+
+class TestInlineFallback:
+    def test_channel_falls_back_to_inline_payload(self):
+        prefix = run_prefix()
+        store = faulted_store(prefix, [IoFaultRule("shm", "enospc", after=0)])
+        a, b = channel_pair()
+        sender = ShmChannel(a, store)
+        arr = big(3)
+        sender.send(TaskAssign((0, 0), 0, {"x": arr}))
+        msg = b.recv(timeout=1.0)
+        # Every park failed, so the arrays crossed inline — bitwise
+        # intact, no BlockRef in sight, nothing in /dev/shm.
+        assert not isinstance(msg.inputs["x"], BlockRef)
+        assert np.array_equal(msg.inputs["x"], arr)
+        assert content_digest(msg.inputs["x"]) == content_digest(arr)
+        assert sender.park_degrades == 1
+        assert leaked_segments(prefix) == []
+        sender.close()
+        b.close()
+
+    def test_fallback_emits_resource_degrade_event(self):
+        prefix = run_prefix()
+        store = faulted_store(prefix, [IoFaultRule("shm", "enospc", after=0)])
+        a, b = channel_pair()
+        rec = EventRecorder()
+        sender = ShmChannel(a, store)
+        sender.instrument(rec, endpoint="slave0")
+        sender.send(TaskAssign((0, 0), 0, {"x": big()}))
+        b.recv(timeout=1.0)
+        events = [e for e in rec.events() if e.kind == "resource-degrade"]
+        assert len(events) == 1
+        assert events[0].data["layer"] == "shm"
+        assert events[0].data["action"] == "inline-fallback"
+        assert events[0].data["n_arrays"] == 1
+        sender.close()
+        b.close()
+
+    def test_partial_fallback_mixes_refs_and_inline(self):
+        prefix = run_prefix()
+        # Second park fails, first and third succeed.
+        store = faulted_store(prefix, [IoFaultRule("shm", "enospc", index=1)])
+        a, b = channel_pair()
+        sender = ShmChannel(a, store)
+        arrs = {"p": big(0), "q": big(1), "r": big(2)}
+        sender.send(TaskAssign((0, 0), 0, dict(arrs)))
+        msg = b.recv(timeout=1.0)
+        kinds = {k: isinstance(v, BlockRef) for k, v in msg.inputs.items()}
+        assert sum(kinds.values()) == 2  # two parked, one inline
+        for k, v in msg.inputs.items():
+            got = attach_copy(v) if isinstance(v, BlockRef) else v
+            assert np.array_equal(got, arrs[k])
+        sender.close()
+        b.close()
+        sweep_segments(prefix)
+
+
+class TestErrorVisibility:
+    def test_error_log_notes_and_drains_by_prefix(self):
+        SHM_ERRORS.drain()  # isolate from other tests
+        SHM_ERRORS.note("unlink", "pfx-a-seg1", OSError(24, "too many"))
+        SHM_ERRORS.note("unlink", "pfx-b-seg1", OSError(13, "denied"))
+        drained = SHM_ERRORS.drain("pfx-a")
+        assert [e.name for e in drained] == ["pfx-a-seg1"]
+        assert drained[0].errno == 24
+        # The other prefix's entry is still pending.
+        assert [e.name for e in SHM_ERRORS.drain()] == ["pfx-b-seg1"]
+
+    def test_drain_shm_errors_feeds_metrics_and_obs(self):
+        SHM_ERRORS.drain()
+        SHM_ERRORS.note("unlink", "run-x-1", OSError(24, "emfile"))
+        SHM_ERRORS.note("listdir", None, OSError(5, "eio"))
+        metrics = MetricsRegistry()
+        rec = EventRecorder()
+        n = drain_shm_errors("run-x", metrics=metrics, obs=rec)
+        assert n == 2  # nameless entries always match
+        counters = metrics.snapshot()["counters"]
+        assert sum(v for k, v in counters.items()
+                   if k.startswith("comm.shm.errors")) == 2
+        kinds = [e for e in rec.events() if e.kind == "shm-error"]
+        assert len(kinds) == 2
+        assert {e.data["op"] for e in kinds} == {"unlink", "listdir"}
+
+    def test_file_not_found_unlink_stays_silent(self):
+        SHM_ERRORS.drain()
+        prefix = run_prefix()
+        store = BlockStore(prefix)
+        ref = store.park(big())
+        attach_copy(ref)          # receiver unlinked the segment
+        store.sweep()             # sweeping the already-gone segment: quiet
+        sweep_segments(prefix)
+        assert SHM_ERRORS.drain(prefix) == ()

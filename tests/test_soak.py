@@ -73,6 +73,20 @@ FAULT_MIXES = {
     "message-only": dict(task_fault_p=0.0, message_p=0.15, worker_p_die=0.0, worker_p_slow=0.0),
     "worker-only": dict(task_fault_p=0.0, message_p=0.0, worker_p_die=0.25, worker_p_slow=0.25),
     "combined": dict(task_fault_p=0.1, message_p=0.1, worker_p_die=0.2, worker_p_slow=0.2),
+    # Resource tier: I/O faults into the journal (and shm, on the cells
+    # that enable it) with no distributed fault pressure, asserting the
+    # degradation contract (oracle-match or attributed ResourceExhausted,
+    # recoverable journal, clean /dev/shm) across schedulers.
+    "resources": dict(
+        task_fault_p=0.0, message_p=0.0, worker_p_die=0.0, worker_p_slow=0.0,
+        resources=True, io_p_write=0.1, io_p_fsync=0.05, io_p_shm=0.2,
+    ),
+    # Resource + distributed pressure composed: journal degradation
+    # racing worker deaths and message loss must still settle cleanly.
+    "resources+combined": dict(
+        task_fault_p=0.05, message_p=0.05, worker_p_die=0.1, worker_p_slow=0.1,
+        resources=True, io_p_write=0.06, io_p_fsync=0.03, io_p_shm=0.1,
+    ),
 }
 
 #: Static policies are included on purpose: with a dead or blacklisted
